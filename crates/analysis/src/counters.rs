@@ -1,0 +1,157 @@
+//! LIKWID-style hardware-counter groups.
+//!
+//! The study reads `likwid-perfctr -g MEM_DP / L3 / L2` (Table 3) to
+//! obtain flop counts (scalar vs. AVX-512), memory / L3 / L2 data
+//! volumes, and derives bandwidths as volume over wall-clock time
+//! (§3: "Memory bandwidths were determined using the ratio of memory
+//! data volume to wall-clock time").
+
+use serde::{Deserialize, Serialize};
+
+/// Which counter group a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterGroup {
+    /// Memory traffic + DP flop counters.
+    MemDp,
+    /// L3 traffic.
+    L3,
+    /// L2 traffic.
+    L2,
+}
+
+/// One full counter measurement of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Wall-clock time of the measured region, s.
+    pub runtime_s: f64,
+    /// Total DP flops executed (scalar + SIMD).
+    pub dp_flops: f64,
+    /// DP flops executed with AVX-512 SIMD instructions.
+    pub dp_avx_flops: f64,
+    /// Main-memory data volume, bytes.
+    pub mem_bytes: f64,
+    /// L3 data volume, bytes.
+    pub l3_bytes: f64,
+    /// L2 data volume, bytes.
+    pub l2_bytes: f64,
+}
+
+impl CounterSample {
+    /// DP performance in Gflop/s (the paper's Fig. 1 "DP" series).
+    pub fn dp_gflops(&self) -> f64 {
+        self.dp_flops / self.runtime_s / 1e9
+    }
+
+    /// Vectorized-only performance in Gflop/s (Fig. 1 "DP-AVX").
+    pub fn dp_avx_gflops(&self) -> f64 {
+        self.dp_avx_flops / self.runtime_s / 1e9
+    }
+
+    /// Vectorization ratio: fraction of numerical work done with SIMD
+    /// instructions (§4.1.3). "A well-vectorized code has a small
+    /// difference between DP and DP-AVX."
+    pub fn vectorization_ratio(&self) -> f64 {
+        if self.dp_flops <= 0.0 {
+            return 0.0;
+        }
+        self.dp_avx_flops / self.dp_flops
+    }
+
+    /// Memory bandwidth in GB/s.
+    pub fn mem_bandwidth(&self) -> f64 {
+        self.mem_bytes / self.runtime_s / 1e9
+    }
+
+    /// L3 bandwidth in GB/s.
+    pub fn l3_bandwidth(&self) -> f64 {
+        self.l3_bytes / self.runtime_s / 1e9
+    }
+
+    /// L2 bandwidth in GB/s.
+    pub fn l2_bandwidth(&self) -> f64 {
+        self.l2_bytes / self.runtime_s / 1e9
+    }
+
+    /// Arithmetic intensity against memory, flops/byte.
+    pub fn intensity(&self) -> f64 {
+        if self.mem_bytes <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.dp_flops / self.mem_bytes
+    }
+
+    /// Victim-L3 indicator (§4.1.4): on Ice Lake / Sapphire Rapids the
+    /// L3 sees traffic coming down from L2, so `L3 volume > memory
+    /// volume` (and for pot3d even `L3 bandwidth > L2 bandwidth`).
+    pub fn shows_victim_l3(&self) -> bool {
+        self.l3_bytes > self.mem_bytes
+    }
+
+    /// Scale all volumes and flops by a factor (e.g. steps).
+    pub fn scaled(&self, factor: f64) -> CounterSample {
+        CounterSample {
+            runtime_s: self.runtime_s * factor,
+            dp_flops: self.dp_flops * factor,
+            dp_avx_flops: self.dp_avx_flops * factor,
+            mem_bytes: self.mem_bytes * factor,
+            l3_bytes: self.l3_bytes * factor,
+            l2_bytes: self.l2_bytes * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSample {
+        CounterSample {
+            runtime_s: 2.0,
+            dp_flops: 2e12,
+            dp_avx_flops: 1.9e12,
+            mem_bytes: 4e11,
+            l3_bytes: 6e11,
+            l2_bytes: 8e11,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = sample();
+        assert!((s.dp_gflops() - 1000.0).abs() < 1e-9);
+        assert!((s.dp_avx_gflops() - 950.0).abs() < 1e-9);
+        assert!((s.vectorization_ratio() - 0.95).abs() < 1e-12);
+        assert!((s.mem_bandwidth() - 200.0).abs() < 1e-9);
+        assert!((s.l3_bandwidth() - 300.0).abs() < 1e-9);
+        assert!((s.l2_bandwidth() - 400.0).abs() < 1e-9);
+        assert!((s.intensity() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn victim_l3_detected() {
+        let s = sample();
+        assert!(s.shows_victim_l3());
+        let mut s2 = s;
+        s2.l3_bytes = 3e11;
+        assert!(!s2.shows_victim_l3());
+    }
+
+    #[test]
+    fn scaling_preserves_rates() {
+        let s = sample();
+        let s10 = s.scaled(10.0);
+        assert!((s10.mem_bandwidth() - s.mem_bandwidth()).abs() < 1e-9);
+        assert!((s10.vectorization_ratio() - s.vectorization_ratio()).abs() < 1e-12);
+        assert!((s10.mem_bytes - 4e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        let z = CounterSample {
+            runtime_s: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(z.vectorization_ratio(), 0.0);
+        assert!(z.intensity().is_infinite());
+    }
+}

@@ -1,0 +1,152 @@
+//! `likwid-perfctr`-style report rendering for counter samples.
+//!
+//! The study reads the MEM_DP, L3 and L2 counter groups (Table 3:
+//! `likwid-perfctr -g MEM_DP/L3/L2`). This module renders a
+//! [`CounterSample`] in the familiar group-report layout so framework
+//! output can be eyeballed against real LIKWID output.
+
+use crate::counters::{CounterGroup, CounterSample};
+
+/// Render one counter group of a sample as a likwid-style metric table.
+pub fn render_group(group: CounterGroup, sample: &CounterSample, region: &str) -> String {
+    let mut rows: Vec<(String, String)> = vec![(
+        "Runtime (RDTSC) [s]".to_string(),
+        format!("{:.4}", sample.runtime_s),
+    )];
+    match group {
+        CounterGroup::MemDp => {
+            rows.push((
+                "DP [MFLOP/s]".into(),
+                format!("{:.2}", sample.dp_gflops() * 1e3),
+            ));
+            rows.push((
+                "AVX DP [MFLOP/s]".into(),
+                format!("{:.2}", sample.dp_avx_gflops() * 1e3),
+            ));
+            rows.push((
+                "Vectorization ratio [%]".into(),
+                format!("{:.1}", sample.vectorization_ratio() * 100.0),
+            ));
+            rows.push((
+                "Memory data volume [GBytes]".into(),
+                format!("{:.2}", sample.mem_bytes / 1e9),
+            ));
+            rows.push((
+                "Memory bandwidth [MBytes/s]".into(),
+                format!("{:.2}", sample.mem_bandwidth() * 1e3),
+            ));
+            rows.push((
+                "Operational intensity [FLOP/Byte]".into(),
+                format!("{:.4}", sample.intensity()),
+            ));
+        }
+        CounterGroup::L3 => {
+            rows.push((
+                "L3 data volume [GBytes]".into(),
+                format!("{:.2}", sample.l3_bytes / 1e9),
+            ));
+            rows.push((
+                "L3 bandwidth [MBytes/s]".into(),
+                format!("{:.2}", sample.l3_bandwidth() * 1e3),
+            ));
+        }
+        CounterGroup::L2 => {
+            rows.push((
+                "L2 data volume [GBytes]".into(),
+                format!("{:.2}", sample.l2_bytes / 1e9),
+            ));
+            rows.push((
+                "L2 bandwidth [MBytes/s]".into(),
+                format!("{:.2}", sample.l2_bandwidth() * 1e3),
+            ));
+        }
+    }
+
+    let group_name = match group {
+        CounterGroup::MemDp => "MEM_DP",
+        CounterGroup::L3 => "L3",
+        CounterGroup::L2 => "L2",
+    };
+    let width = rows
+        .iter()
+        .map(|(k, _)| k.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(12);
+    let vwidth = rows
+        .iter()
+        .map(|(_, v)| v.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let bar = format!("+{}+{}+", "-".repeat(width + 2), "-".repeat(vwidth + 2));
+    let mut out = String::new();
+    out.push_str(&format!("Region {region}, Group 1: {group_name}\n"));
+    out.push_str(&bar);
+    out.push('\n');
+    out.push_str(&format!(
+        "| {:<width$} | {:>vwidth$} |\n",
+        "Metric", "Value"
+    ));
+    out.push_str(&bar);
+    out.push('\n');
+    for (k, v) in rows {
+        out.push_str(&format!("| {k:<width$} | {v:>vwidth$} |\n"));
+    }
+    out.push_str(&bar);
+    out.push('\n');
+    out
+}
+
+/// Render all three groups of the study.
+pub fn render_all(sample: &CounterSample, region: &str) -> String {
+    [CounterGroup::MemDp, CounterGroup::L3, CounterGroup::L2]
+        .iter()
+        .map(|&g| render_group(g, sample, region))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterSample {
+        CounterSample {
+            runtime_s: 10.0,
+            dp_flops: 5e12,
+            dp_avx_flops: 4.75e12,
+            mem_bytes: 2e12,
+            l3_bytes: 3e12,
+            l2_bytes: 4e12,
+        }
+    }
+
+    #[test]
+    fn mem_dp_group_reports_the_headline_metrics() {
+        let s = render_group(CounterGroup::MemDp, &sample(), "tiny");
+        assert!(s.contains("MEM_DP"));
+        assert!(s.contains("Vectorization ratio [%]"));
+        assert!(s.contains("95.0"), "ratio missing: {s}");
+        assert!(s.contains("Memory bandwidth"));
+        // 2e12 B / 10 s = 200 GB/s = 200000 MB/s.
+        assert!(s.contains("200000.00"), "bandwidth missing: {s}");
+    }
+
+    #[test]
+    fn all_groups_render_and_are_aligned() {
+        let s = render_all(&sample(), "solver");
+        assert!(s.contains("Group 1: MEM_DP"));
+        assert!(s.contains("Group 1: L3"));
+        assert!(s.contains("Group 1: L2"));
+        // All table lines of a block share the same width.
+        for block in s.split("\n\n") {
+            let widths: Vec<usize> = block
+                .lines()
+                .filter(|l| l.starts_with('|') || l.starts_with('+'))
+                .map(|l| l.chars().count())
+                .collect();
+            assert!(widths.windows(2).all(|w| w[0] == w[1]), "misaligned:\n{block}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The Roofline model (paper §4.1.2 adopts "a Roofline-like view of
+//! hardware-software interaction").
+
+use serde::{Deserialize, Serialize};
+use spechpc_machine::node::NodeSpec;
+
+/// Roofline of one node (or a subset of it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak double-precision performance in Gflop/s.
+    pub peak_gflops: f64,
+    /// Saturated memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+}
+
+impl Roofline {
+    /// Roofline of a full node.
+    pub fn of_node(node: &NodeSpec) -> Self {
+        Roofline {
+            peak_gflops: node.peak_flops(),
+            mem_bandwidth_gbps: node.saturated_mem_bandwidth(),
+        }
+    }
+
+    /// Roofline of one ccNUMA domain.
+    pub fn of_domain(node: &NodeSpec) -> Self {
+        Roofline {
+            peak_gflops: node.peak_flops() / node.numa_domains() as f64,
+            mem_bandwidth_gbps: node.domain_memory.saturation.plateau,
+        }
+    }
+
+    /// The machine balance in flops/byte at which the two roofs meet.
+    pub fn knee_intensity(&self) -> f64 {
+        self.peak_gflops / self.mem_bandwidth_gbps
+    }
+
+    /// Attainable performance in Gflop/s at a given arithmetic
+    /// intensity (flops per byte of memory traffic).
+    pub fn attainable(&self, intensity: f64) -> f64 {
+        (intensity * self.mem_bandwidth_gbps).min(self.peak_gflops)
+    }
+
+    /// Whether a code of this intensity is memory-bound on this roof.
+    pub fn is_memory_bound(&self, intensity: f64) -> bool {
+        intensity < self.knee_intensity()
+    }
+
+    /// Fraction of the relevant roof that a measured performance
+    /// achieves.
+    pub fn roof_fraction(&self, intensity: f64, measured_gflops: f64) -> f64 {
+        measured_gflops / self.attainable(intensity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_machine::presets;
+
+    #[test]
+    fn node_rooflines_match_table_3() {
+        let a = Roofline::of_node(&presets::cluster_a().node);
+        assert!((a.peak_gflops - 5529.6).abs() < 1.0);
+        assert!((a.mem_bandwidth_gbps - 306.0).abs() < 2.0);
+        // Knee at ~18 flops/byte.
+        assert!((a.knee_intensity() - 18.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn attainable_clamps_to_peak() {
+        let r = Roofline {
+            peak_gflops: 1000.0,
+            mem_bandwidth_gbps: 100.0,
+        };
+        assert_eq!(r.attainable(5.0), 500.0);
+        assert_eq!(r.attainable(50.0), 1000.0);
+        assert!(r.is_memory_bound(5.0));
+        assert!(!r.is_memory_bound(50.0));
+    }
+
+    #[test]
+    fn suite_split_memory_vs_compute_bound() {
+        // The paper's memory-bound set {tealeaf, cloverleaf, pot3d,
+        // hpgmgfv} has intensities ≲ 0.5; the non-memory-bound set
+        // {lbm, soma, minisweep, sph-exa} ≫ 1. All fall on the correct
+        // side of the ClusterA knee (≈18 F/B is far above all of them,
+        // so the discriminator is the per-core scalar roof — here we
+        // just check ordering against the domain roof).
+        let dom = Roofline::of_domain(&presets::cluster_a().node);
+        assert!(dom.is_memory_bound(0.2)); // tealeaf-like
+        assert!(dom.is_memory_bound(7.4)); // even lbm is below the SIMD knee…
+        // …but the relevant comparison for lbm is its achievable
+        // in-core rate, which the node model handles; the roofline
+        // still bounds it correctly:
+        assert!(dom.attainable(7.4) < dom.peak_gflops);
+    }
+
+    #[test]
+    fn cluster_b_has_lower_knee() {
+        // Higher machine balance ⇒ lower knee intensity (§5.1.3).
+        let a = Roofline::of_node(&presets::cluster_a().node);
+        let b = Roofline::of_node(&presets::cluster_b().node);
+        assert!(b.knee_intensity() < a.knee_intensity());
+    }
+
+    #[test]
+    fn roof_fraction_sane() {
+        let r = Roofline {
+            peak_gflops: 1000.0,
+            mem_bandwidth_gbps: 100.0,
+        };
+        assert!((r.roof_fraction(5.0, 250.0) - 0.5).abs() < 1e-12);
+    }
+}

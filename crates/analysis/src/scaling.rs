@@ -1,0 +1,172 @@
+//! The multi-node scaling-case classifier of paper §5.1.
+//!
+//! "Two antagonistic effects determine the scaling behavior:
+//! communication overhead and memory data volume." The four cases:
+//!
+//! | Case | Scalability     | Cache effect | Communication overhead |
+//! |------|-----------------|--------------|------------------------|
+//! | A    | super-linear    | strong       | low                    |
+//! | B    | linear          | present      | present (they balance) |
+//! | C    | close-to-linear | present      | dominating             |
+//! | D    | close-to-linear | none         | present                |
+//! | Poor | poor            | any          | high + small data set  |
+
+use serde::{Deserialize, Serialize};
+
+use crate::speedup::SpeedupCurve;
+
+/// The §5.1 scaling cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingCase {
+    /// Cache effect prevails over communication overhead.
+    A,
+    /// Communication overhead and cache effects balance out.
+    B,
+    /// Communication overhead dominates over the cache effect.
+    C,
+    /// No cache effect; only communication overhead.
+    D,
+    /// Poor scaling: heavy communication on a small data set.
+    Poor,
+}
+
+impl std::fmt::Display for ScalingCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScalingCase::A => "A (super-linear: cache effect prevails)",
+            ScalingCase::B => "B (linear: cache effect balances communication)",
+            ScalingCase::C => "C (close-to-linear: communication dominates cache gain)",
+            ScalingCase::D => "D (close-to-linear: communication only, no cache effect)",
+            ScalingCase::Poor => "poor (communication overhead + small data set)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The evidence the classifier weighs, all over the same node sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingEvidence {
+    /// Runtime per node count.
+    pub curve: SpeedupCurve,
+    /// Aggregate memory data volume per run (bytes) per node count —
+    /// a *declining* volume indicates cache effects (Fig. 5 c, f).
+    pub mem_volume: Vec<(usize, f64)>,
+    /// MPI fraction of the runtime at the largest node count.
+    pub comm_fraction: f64,
+}
+
+impl ScalingEvidence {
+    /// Relative drop of the memory volume from the first to the last
+    /// point (positive = volume shrinks = cache effect).
+    pub fn cache_gain(&self) -> f64 {
+        let (Some(first), Some(last)) = (self.mem_volume.first(), self.mem_volume.last())
+        else {
+            return 0.0;
+        };
+        if first.1 <= 0.0 {
+            return 0.0;
+        }
+        ((first.1 - last.1) / first.1).max(-10.0)
+    }
+
+    /// Parallel efficiency between the first and last node counts.
+    pub fn efficiency(&self) -> f64 {
+        let (r0, t0) = *self.curve.points.first().expect("non-empty curve");
+        let (r1, t1) = *self.curve.points.last().expect("non-empty curve");
+        (t0 / t1) / (r1 as f64 / r0 as f64)
+    }
+}
+
+/// Classify a multi-node sweep.
+pub fn classify_scaling(e: &ScalingEvidence) -> ScalingCase {
+    let eff = e.efficiency();
+    let cache = e.cache_gain();
+    let has_cache_effect = cache > 0.03;
+    let heavy_comm = e.comm_fraction > 0.10;
+    if eff < 0.55 {
+        return ScalingCase::Poor;
+    }
+    if eff > 1.06 && has_cache_effect {
+        return ScalingCase::A;
+    }
+    if has_cache_effect && heavy_comm && eff >= 0.9 {
+        return ScalingCase::B;
+    }
+    if has_cache_effect {
+        // Cache gain there, but the expected superlinear speedup was
+        // eaten by communication (or other overheads).
+        return ScalingCase::C;
+    }
+    ScalingCase::D
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence(eff_per_double: f64, volume_drop: f64, comm: f64) -> ScalingEvidence {
+        // Build a 1..16-node sweep with constant per-doubling efficiency.
+        let mut points = Vec::new();
+        let mut volumes = Vec::new();
+        let mut t = 100.0;
+        let mut v = 1e12;
+        let mut n = 1;
+        for step in 0..5 {
+            points.push((n, t));
+            volumes.push((n, v));
+            if step < 4 {
+                t /= 2.0 * eff_per_double;
+                v *= 1.0 - volume_drop;
+                n *= 2;
+            }
+        }
+        ScalingEvidence {
+            curve: SpeedupCurve::new(points),
+            mem_volume: volumes,
+            comm_fraction: comm,
+        }
+    }
+
+    #[test]
+    fn case_a_superlinear() {
+        // weather on ClusterB: strong volume drop, little comm.
+        let e = evidence(1.15, 0.35, 0.05);
+        assert_eq!(classify_scaling(&e), ScalingCase::A);
+        assert!(e.cache_gain() > 0.5);
+    }
+
+    #[test]
+    fn case_b_balanced() {
+        // tealeaf: cache gain + comm cancel to linear.
+        let e = evidence(1.0, 0.2, 0.3);
+        assert_eq!(classify_scaling(&e), ScalingCase::B);
+    }
+
+    #[test]
+    fn case_c_comm_dominates_cache() {
+        // hpgmgfv: volume drops but efficiency below linear.
+        let e = evidence(0.92, 0.2, 0.4);
+        assert_eq!(classify_scaling(&e), ScalingCase::C);
+    }
+
+    #[test]
+    fn case_d_no_cache_effect() {
+        // cloverleaf: flat volume, moderate comm.
+        let e = evidence(0.93, 0.0, 0.2);
+        assert_eq!(classify_scaling(&e), ScalingCase::D);
+    }
+
+    #[test]
+    fn poor_scaling_detected() {
+        // soma / minisweep / sph-exa: efficiency collapses.
+        let e = evidence(0.6, 0.0, 0.7);
+        assert!(e.efficiency() < 0.55);
+        assert_eq!(classify_scaling(&e), ScalingCase::Poor);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(ScalingCase::A.to_string().contains("super-linear"));
+        assert!(ScalingCase::Poor.to_string().contains("small data set"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Run statistics: min / max / average over repetitions.
+//!
+//! Paper §3: "To account for variations in runtime, we repeated code
+//! executions several times and only statistically significant
+//! deviations were reported." Figures 1(a, d) and 5(a, d) plot speedups
+//! "with min, max and average statistics".
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub stddev: f64,
+    pub samples: usize,
+}
+
+impl RunStats {
+    /// Summarize a non-empty set of measurements.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "statistics need at least one sample");
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let stddev = if xs.len() > 1 {
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        RunStats {
+            min,
+            max,
+            mean,
+            stddev,
+            samples: xs.len(),
+        }
+    }
+
+    /// Relative spread `(max − min) / mean`.
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        (self.max - self.min) / self.mean
+    }
+
+    /// Whether a deviation from another stats set is *statistically
+    /// significant*: the means differ by more than `k` pooled standard
+    /// deviations (the paper reports only significant deviations).
+    pub fn significantly_differs(&self, other: &RunStats, k: f64) -> bool {
+        let pooled = (self.stddev.powi(2) + other.stddev.powi(2)).sqrt();
+        if pooled == 0.0 {
+            return self.mean != other.mean;
+        }
+        (self.mean - other.mean).abs() > k * pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = RunStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+        assert_eq!(s.samples, 3);
+        assert!((s.relative_spread() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = RunStats::from_samples(&[5.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn significance_respects_noise() {
+        let quiet_a = RunStats::from_samples(&[10.0, 10.1, 9.9]);
+        let quiet_b = RunStats::from_samples(&[12.0, 12.1, 11.9]);
+        assert!(quiet_a.significantly_differs(&quiet_b, 3.0));
+        let noisy_a = RunStats::from_samples(&[10.0, 14.0, 6.0]);
+        let noisy_b = RunStats::from_samples(&[12.0, 16.0, 8.0]);
+        assert!(!noisy_a.significantly_differs(&noisy_b, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        RunStats::from_samples(&[]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the framework substrates themselves: the
+//! discrete-event engine's op throughput, the collective cost models,
+//! the node performance model, and the native kernels' step rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spechpc::kernels::common::model::NodeModel;
+use spechpc::prelude::*;
+use spechpc::simmpi::engine::{Engine, SimConfig};
+use spechpc::simmpi::netmodel::NetModel;
+use spechpc::simmpi::program::{Op, Program};
+
+/// Ring sendrecv + allreduce across 256 ranks, 20 steps.
+fn engine_throughput(c: &mut Criterion) {
+    let cluster = presets::cluster_a();
+    let n = 256;
+    let mk = || -> Vec<Program> {
+        (0..n)
+            .map(|r| {
+                let mut p = Program::new();
+                for _ in 0..20 {
+                    p.push(Op::compute(1e-3));
+                    p.push(Op::sendrecv((r + 1) % n, 8192, (r + n - 1) % n, 0));
+                    p.push(Op::allreduce(8));
+                }
+                p
+            })
+            .collect()
+    };
+    let ops: usize = mk().iter().map(|p| p.ops.len()).sum();
+    println!("engine throughput bench: {ops} ops over {n} ranks per iteration");
+    c.bench_function("engine_ring_allreduce_256r", |b| {
+        b.iter(|| {
+            let net = NetModel::compact(&cluster, n);
+            Engine::new(SimConfig { trace: false }, net, mk())
+                .run()
+                .unwrap()
+        })
+    });
+}
+
+/// The node performance model for a full suite signature set.
+fn node_model(c: &mut Criterion) {
+    let cluster = presets::cluster_b();
+    let benches = all_benchmarks();
+    c.bench_function("node_model_full_suite_104r", |b| {
+        b.iter(|| {
+            let model = NodeModel::new(&cluster, 104);
+            benches
+                .iter()
+                .map(|bench| {
+                    let sig = bench.signature(WorkloadClass::Tiny);
+                    model.compute_times(&sig, &[]).max_seconds()
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+/// Native kernel step rates at test scale (single rank).
+fn native_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_kernel_step");
+    g.sample_size(10);
+    for name in ["lbm", "tealeaf", "cloverleaf", "pot3d", "hpgmgfv", "weather"] {
+        let bench = benchmark_by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter_with_setup(
+                || {
+                    (
+                        bench.make_kernel(WorkloadClass::Test, 0, 1, 42),
+                        spechpc::simmpi::comm::SelfComm::new(),
+                    )
+                },
+                |(mut k, mut comm)| {
+                    k.step(&mut comm);
+                    k.checksum()
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, node_model, native_kernels);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benches regenerating the paper's multi-node artifacts: Fig. 5
+//! (scaling/bandwidth/volume), Fig. 6 (power/energy scaling), the §5.1
+//! scaling cases, the §5.1.2 soma anomaly and the §5.1.3 cluster
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spechpc::harness::experiments::multi_node::{
+    comm_breakdown, fig5, fig6, scaling_cases, soma_anomaly,
+};
+use spechpc::prelude::*;
+
+const NODES: [usize; 4] = [1, 2, 4, 8];
+
+fn config() -> RunConfig {
+    RunConfig {
+        repetitions: 1,
+        trace: false,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_multi_node(c: &mut Criterion) {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let f5a = fig5(&a, &config(), &NODES).expect("fig5 A");
+    let f5b = fig5(&b, &config(), &NODES).expect("fig5 B");
+
+    println!("== §5.1 scaling cases ==");
+    for ((n, ca), (_, cb)) in scaling_cases(&f5a).iter().zip(&scaling_cases(&f5b)) {
+        println!("{n:<12} A: {ca:?}  B: {cb:?}");
+    }
+
+    println!("== §5.1.2 soma anomaly (ClusterA) ==");
+    let soma = soma_anomaly(&f5a).unwrap();
+    for (n, bw) in &soma.per_node_bw {
+        println!("  {n} node(s): {bw:.0} GB/s per node");
+    }
+    println!("  Allreduce share {:.0}%", soma.allreduce_fraction * 100.0);
+
+    println!("== §5.1.3 cluster comparison: weather efficiency ==");
+    let eff = |f: &spechpc::harness::experiments::multi_node::Fig5| {
+        f.sweep("weather").unwrap().evidence().efficiency()
+    };
+    println!("  weather: effA {:.2}, effB {:.2}", eff(&f5a), eff(&f5b));
+
+    println!("== §5 communication ranking (top 8, ClusterA) ==");
+    let mut rank = comm_breakdown(&f5a);
+    rank.sort_by(|x, y| y.2.total_cmp(&x.2));
+    for (bench, kind, frac) in rank.iter().take(8) {
+        println!("  {bench:<12} {kind:<14} {:>5.1}%", frac * 100.0);
+    }
+
+    println!("== Fig. 6: total energy at 1 vs 8 nodes [MJ] ==");
+    for (name, pts) in &fig6(&f5a).series {
+        println!(
+            "  {name:<12} {:.1} → {:.1}",
+            pts.first().unwrap().2,
+            pts.last().unwrap().2
+        );
+    }
+
+    let mut g = c.benchmark_group("multi_node");
+    g.sample_size(10);
+    g.bench_function("fig5_single_benchmark_4nodes", |bch| {
+        let runner = SimRunner::new(config());
+        let bench = benchmark_by_name("tealeaf").unwrap();
+        let n = 4 * a.node.cores();
+        bch.iter(|| runner.run(&a, &*bench, WorkloadClass::Small, n).unwrap())
+    });
+    g.bench_function("scaling_classifier", |bch| {
+        bch.iter(|| scaling_cases(&f5a))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multi_node);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benches regenerating the paper's node-level artifacts:
+//! Fig. 1 (speedup + DP/DP-AVX), Fig. 2 (bandwidths/volumes + insets),
+//! and the §4.1.1 / §4.1.2 / §4.1.3 tables.
+//!
+//! Each bench prints its regenerated rows once, then measures the
+//! regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spechpc::harness::experiments::node_level::{
+    acceleration_table, efficiency_table, fig1, fig2, vectorization_table,
+};
+use spechpc::prelude::*;
+
+const STEP: usize = 8;
+
+fn config() -> RunConfig {
+    RunConfig {
+        repetitions: 3,
+        trace: false,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_fig1_and_tables(c: &mut Criterion) {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let f1a = fig1(&a, &config(), STEP).expect("fig1 A");
+    let f1b = fig1(&b, &config(), STEP).expect("fig1 B");
+
+    println!("== §4.1.1 parallel efficiency [%] (domain → node) ==");
+    let ea = efficiency_table(&f1a, &a);
+    let eb = efficiency_table(&f1b, &b);
+    for ((n, x), (_, y)) in ea.iter().zip(&eb) {
+        println!("{n:<12} A {x:>6.0}  B {y:>6.0}");
+    }
+    println!("== §4.1.2 acceleration factor B/A ==");
+    for (n, x) in acceleration_table(&f1a, &f1b) {
+        println!("{n:<12} {x:>5.2}");
+    }
+    println!("== §4.1.3 vectorization ratio [%] ==");
+    for (n, x) in vectorization_table(&f1a) {
+        println!("{n:<12} {x:>5.1}");
+    }
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("cluster_a_sweep", |bch| {
+        bch.iter(|| fig1(&a, &config(), STEP).unwrap())
+    });
+    g.bench_function("efficiency_table", |bch| {
+        bch.iter(|| efficiency_table(&f1a, &a))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let a = presets::cluster_a();
+    let f2 = fig2(&a, &config(), 24).expect("fig2");
+    println!(
+        "== Fig. 2 insets: minisweep@59 Recv {:.0}%, lbm@71 wait+barrier {:.0}% ==",
+        f2.minisweep_59.recv_fraction * 100.0,
+        (f2.lbm_odd.wait_fraction + f2.lbm_odd.barrier_fraction) * 100.0
+    );
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("insets", |bch| {
+        bch.iter(|| fig2(&a, &config(), 71).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1_and_tables, bench_fig2);
+criterion_main!(benches);

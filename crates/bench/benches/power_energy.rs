@@ -1,0 +1,67 @@
+//! Benches regenerating the paper's power/energy artifacts: Fig. 3
+//! (CPU+DRAM power), Fig. 4 (Z-plots, E/EDP minima), the §4.2.1
+//! hot/cool table and the §4.2.3 baseline comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spechpc::harness::experiments::node_level::fig1;
+use spechpc::harness::experiments::power_energy::{
+    baseline_table, fig3, fig4, hot_cool_table,
+};
+use spechpc::prelude::*;
+
+fn config() -> RunConfig {
+    RunConfig {
+        repetitions: 1,
+        trace: false,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_power_energy(c: &mut Criterion) {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let f1a = fig1(&a, &config(), 8).expect("sweep A");
+    let f1b = fig1(&b, &config(), 8).expect("sweep B");
+
+    println!("== Fig. 3: zero-core baselines ==");
+    let f3a = fig3(&f1a, &a);
+    let f3b = fig3(&f1b, &b);
+    println!(
+        "ClusterA extrapolated baseline {:.0} W/socket; ClusterB {:.0} W/socket",
+        f3a.extrapolated_baseline_w, f3b.extrapolated_baseline_w
+    );
+
+    println!("== §4.2.1 hot/cool (W per socket | % of TDP) ==");
+    for ((n, wa, fa), (_, wb, fb)) in hot_cool_table(&f1a, &a).iter().zip(&hot_cool_table(&f1b, &b)) {
+        println!(
+            "{n:<12} A {wa:>4.0} W {:>3.0}% | B {wb:>4.0} W {:>3.0}%",
+            fa * 100.0,
+            fb * 100.0
+        );
+    }
+
+    println!("== §4.2.3 ==");
+    let sb = presets::sandy_bridge_node();
+    println!("{}", baseline_table(&[&a.node, &b.node, &sb]).render());
+
+    println!("== Fig. 4: E/EDP minima separation (sweep steps) ==");
+    for z in &fig4(&f1a).zplots {
+        println!(
+            "{:<24} separation {}",
+            z.label,
+            z.min_separation_steps().unwrap_or(usize::MAX)
+        );
+    }
+
+    let mut g = c.benchmark_group("power_energy");
+    g.sample_size(10);
+    g.bench_function("fig3_derivation", |bch| bch.iter(|| fig3(&f1a, &a)));
+    g.bench_function("fig4_derivation", |bch| bch.iter(|| fig4(&f1a)));
+    g.bench_function("hot_cool_table", |bch| {
+        bch.iter(|| hot_cool_table(&f1a, &a))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_power_energy);
+criterion_main!(benches);

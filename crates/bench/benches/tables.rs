@@ -1,0 +1,28 @@
+//! Benches regenerating the paper's static tables (Tables 1–3).
+//!
+//! Each bench prints the regenerated table once (the deliverable) and
+//! then measures the regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spechpc::harness::experiments::tables::{table1, table2, table3};
+use spechpc::prelude::*;
+
+fn bench_tables(c: &mut Criterion) {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+
+    println!("{}", table1().render());
+    println!("{}", table2().render());
+    println!("{}", table3(&[&a, &b]).render());
+
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |bch| bch.iter(|| table1().render()));
+    g.bench_function("table2", |bch| bch.iter(|| table2().render()));
+    g.bench_function("table3", |bch| {
+        bch.iter(|| table3(&[&a, &b]).render())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! Hand-rolled argument parsing for the `spechpc` binary (no external
+//! CLI dependency).
+
+use spechpc::prelude::WorkloadClass;
+
+/// Which cluster preset to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterChoice {
+    A,
+    B,
+}
+
+impl ClusterChoice {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" | "clustera" | "icelake" | "icx" => Ok(ClusterChoice::A),
+            "b" | "clusterb" | "sapphirerapids" | "spr" => Ok(ClusterChoice::B),
+            other => Err(format!("unknown cluster '{other}' (use a|b)")),
+        }
+    }
+}
+
+pub fn parse_class(s: &str) -> Result<WorkloadClass, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "test" => Ok(WorkloadClass::Test),
+        "tiny" | "t" => Ok(WorkloadClass::Tiny),
+        "small" | "s" => Ok(WorkloadClass::Small),
+        "medium" | "m" => Ok(WorkloadClass::Medium),
+        "large" | "l" => Ok(WorkloadClass::Large),
+        other => Err(format!(
+            "unknown workload class '{other}' (use test|tiny|small|medium|large)"
+        )),
+    }
+}
+
+/// The parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    List,
+    Run {
+        benchmark: String,
+        cluster: ClusterChoice,
+        class: WorkloadClass,
+        nranks: Option<usize>,
+        trace_csv: Option<String>,
+    },
+    Suite {
+        cluster: ClusterChoice,
+        class: WorkloadClass,
+        nranks: Option<usize>,
+    },
+    Score {
+        class: WorkloadClass,
+    },
+    Figures {
+        which: String,
+    },
+    Dvfs {
+        benchmark: String,
+        cluster: ClusterChoice,
+    },
+    Help,
+}
+
+pub const USAGE: &str = "\
+spechpc — SPEChpc 2021 performance/energy case-study reproduction
+
+USAGE:
+    spechpc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                         list benchmarks and cluster presets
+    run <benchmark>              simulate one benchmark
+        --cluster a|b            cluster preset             [default: a]
+        --class tiny|small|...   workload class             [default: tiny]
+        -n, --ranks N            MPI ranks                  [default: full node]
+        --trace FILE.csv         write the ITAC-style trace as CSV
+    suite                        run the whole suite
+        --cluster a|b  --class C  -n N
+    score                        SPEC-style score of ClusterB vs ClusterA
+        --class C                                           [default: tiny]
+    figures <fig1|fig2|fig3|fig4|fig5|fig6|tables|all>
+                                 regenerate the paper's artifacts
+    dvfs <benchmark>             frequency-scaling energy analysis
+        --cluster a|b
+    help                         show this message
+";
+
+/// Parse the argument vector (without argv[0]).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+
+    // Collect options (--key value / -n value) and positionals.
+    let mut positional = Vec::new();
+    let mut options = std::collections::BTreeMap::new();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{key} needs a value"))?;
+            options.insert(key.to_string(), value.clone());
+        } else if a == "-n" {
+            let value = it.next().ok_or("option -n needs a value")?;
+            options.insert("ranks".to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+
+    let cluster = match options.get("cluster") {
+        Some(s) => ClusterChoice::parse(s)?,
+        None => ClusterChoice::A,
+    };
+    let class = match options.get("class") {
+        Some(s) => parse_class(s)?,
+        None => WorkloadClass::Tiny,
+    };
+    let nranks = match options.get("ranks") {
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|e| format!("bad rank count '{s}': {e}"))?,
+        ),
+        None => None,
+    };
+
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "run" => {
+            let benchmark = positional
+                .first()
+                .ok_or("run: which benchmark? (try `spechpc list`)")?
+                .clone();
+            Ok(Command::Run {
+                benchmark,
+                cluster,
+                class,
+                nranks,
+                trace_csv: options.get("trace").cloned(),
+            })
+        }
+        "suite" => Ok(Command::Suite {
+            cluster,
+            class,
+            nranks,
+        }),
+        "score" => Ok(Command::Score { class }),
+        "figures" => Ok(Command::Figures {
+            which: positional.first().cloned().unwrap_or_else(|| "all".into()),
+        }),
+        "dvfs" => {
+            let benchmark = positional
+                .first()
+                .ok_or("dvfs: which benchmark?")?
+                .clone();
+            Ok(Command::Dvfs { benchmark, cluster })
+        }
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_all_options() {
+        let c = parse(&v(&[
+            "run", "tealeaf", "--cluster", "b", "--class", "small", "-n", "208", "--trace",
+            "out.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                benchmark: "tealeaf".into(),
+                cluster: ClusterChoice::B,
+                class: WorkloadClass::Small,
+                nranks: Some(208),
+                trace_csv: Some("out.csv".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let c = parse(&v(&["run", "lbm"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                benchmark: "lbm".into(),
+                cluster: ClusterChoice::A,
+                class: WorkloadClass::Tiny,
+                nranks: None,
+                trace_csv: None,
+            }
+        );
+    }
+
+    #[test]
+    fn cluster_aliases() {
+        assert_eq!(ClusterChoice::parse("SPR").unwrap(), ClusterChoice::B);
+        assert_eq!(ClusterChoice::parse("icelake").unwrap(), ClusterChoice::A);
+        assert!(ClusterChoice::parse("c").is_err());
+    }
+
+    #[test]
+    fn class_aliases() {
+        assert_eq!(parse_class("t").unwrap(), WorkloadClass::Tiny);
+        assert_eq!(parse_class("MEDIUM").unwrap(), WorkloadClass::Medium);
+        assert!(parse_class("gigantic").is_err());
+    }
+
+    #[test]
+    fn missing_values_are_errors() {
+        assert!(parse(&v(&["run", "lbm", "--cluster"])).is_err());
+        assert!(parse(&v(&["run", "lbm", "-n"])).is_err());
+        assert!(parse(&v(&["run"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn empty_and_help_flags_mean_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["-h"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn figures_default_all() {
+        assert_eq!(
+            parse(&v(&["figures"])).unwrap(),
+            Command::Figures { which: "all".into() }
+        );
+        assert_eq!(
+            parse(&v(&["figures", "fig5"])).unwrap(),
+            Command::Figures { which: "fig5".into() }
+        );
+    }
+}

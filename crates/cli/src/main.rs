@@ -1,0 +1,274 @@
+//! `spechpc` — command-line driver for the case-study reproduction.
+//!
+//! ```text
+//! spechpc run pot3d --cluster b --class tiny -n 104
+//! spechpc suite --cluster a
+//! spechpc score
+//! spechpc figures fig5
+//! spechpc dvfs tealeaf --cluster a
+//! ```
+
+mod args;
+
+use args::{ClusterChoice, Command, USAGE};
+use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
+use spechpc::power::dvfs;
+use spechpc::prelude::*;
+
+fn cluster_of(c: ClusterChoice) -> ClusterSpec {
+    match c {
+        ClusterChoice::A => presets::cluster_a(),
+        ClusterChoice::B => presets::cluster_b(),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List => {
+            println!("benchmarks (SPEChpc 2021, Table 1 order):");
+            for b in all_benchmarks() {
+                let m = b.meta();
+                println!(
+                    "  {:<11} {:<8} {:>7} LOC  collective: {:<9}  {}",
+                    m.name, m.language, m.loc, m.collective, m.numerics
+                );
+            }
+            println!("\ncluster presets:");
+            for c in [presets::cluster_a(), presets::cluster_b()] {
+                println!(
+                    "  {:<8} {} — {} cores/node, {} ccNUMA domains, {:.0} Gflop/s, {:.0} GB/s",
+                    c.name,
+                    c.node.cpu.model,
+                    c.node.cores(),
+                    c.node.numa_domains(),
+                    c.node.peak_flops(),
+                    c.node.saturated_mem_bandwidth()
+                );
+            }
+            Ok(())
+        }
+        Command::Run {
+            benchmark,
+            cluster,
+            class,
+            nranks,
+            trace_csv,
+        } => {
+            let cl = cluster_of(cluster);
+            let bench = benchmark_by_name(&benchmark)
+                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
+            let n = nranks.unwrap_or_else(|| cl.node.cores());
+            let runner = SimRunner::new(RunConfig::default());
+            let r = runner
+                .run(&cl, &*bench, class, n)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} {} on {} with {} ranks ({} node(s)):",
+                benchmark, class, cl.name, n, r.nodes_used
+            );
+            println!("  runtime        {:>12.2} s  ({:.5} s/step)", r.runtime_s, r.step_seconds);
+            println!("  performance    {:>12.1} Gflop/s (DP), {:.1} vectorized", r.counters.dp_gflops(), r.counters.dp_avx_gflops());
+            println!("  memory BW      {:>12.1} GB/s  (L3 {:.1}, L2 {:.1})", r.counters.mem_bandwidth(), r.counters.l3_bandwidth(), r.counters.l2_bandwidth());
+            println!("  MPI share      {:>12.1} %  (dominant: {})", r.breakdown.mpi_fraction() * 100.0,
+                r.breakdown.dominant_mpi().map(|k| k.to_string()).unwrap_or_else(|| "—".into()));
+            println!("  power          {:>12.1} W  (package {:.1} + DRAM {:.1})", r.power.total(), r.power.package_w, r.power.dram_w);
+            println!("  energy         {:>12.1} kJ  (EDP {:.3e} J·s)", r.energy.total_j() / 1e3, r.energy.edp());
+            if let Some(path) = trace_csv {
+                let csv = spechpc::simmpi::export::to_csv(&r.timeline);
+                std::fs::write(&path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("  trace          written to {path}");
+            }
+            Ok(())
+        }
+        Command::Suite {
+            cluster,
+            class,
+            nranks,
+        } => {
+            let cl = cluster_of(cluster);
+            let n = nranks.unwrap_or_else(|| cl.node.cores());
+            let suite = Suite { class, nranks: n };
+            let report = suite
+                .run(&cl, RunConfig::default())
+                .map_err(|e| e.to_string())?;
+            println!("{}", report.render());
+            Ok(())
+        }
+        Command::Score { class } => {
+            let a = presets::cluster_a();
+            let b = presets::cluster_b();
+            let cfg = RunConfig {
+                repetitions: 1,
+                trace: false,
+                ..RunConfig::default()
+            };
+            let suite_a = Suite {
+                class,
+                nranks: a.node.cores(),
+            };
+            let suite_b = Suite {
+                class,
+                nranks: b.node.cores(),
+            };
+            let ra = suite_a.run(&a, cfg.clone()).map_err(|e| e.to_string())?;
+            let rb = suite_b.run(&b, cfg).map_err(|e| e.to_string())?;
+            println!(
+                "SPEC-style {class} score (reference = ClusterA full node):"
+            );
+            println!("  ClusterA: {:.3}", ra.spec_score(&ra).unwrap_or(0.0));
+            println!("  ClusterB: {:.3}", rb.spec_score(&ra).unwrap_or(0.0));
+            Ok(())
+        }
+        Command::Figures { which } => figures(&which),
+        Command::Dvfs { benchmark, cluster } => {
+            let cl = cluster_of(cluster);
+            let bench = benchmark_by_name(&benchmark)
+                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
+            let sig = bench.signature(WorkloadClass::Tiny);
+            let n = cl.node.cores();
+            let model = NodeModel::new(&cl, n);
+            let ct = model.compute_times(&sig, &[]);
+            // Socket-level in-core vs memory split of a representative
+            // rank at the full node.
+            let t_flops = ct.t_flops[0];
+            let t_mem = ct.t_mem[0];
+            let sweep = dvfs::frequency_sweep(
+                &cl.node.cpu,
+                sig.heat,
+                t_flops,
+                t_mem,
+                cl.node.cpu.base_clock_ghz * 0.5,
+                16,
+            );
+            println!(
+                "{benchmark} on {}: DVFS sweep (t_flops {:.2} ms, t_mem {:.2} ms per step)",
+                cl.name,
+                t_flops * 1e3,
+                t_mem * 1e3
+            );
+            println!("{:>8} {:>12} {:>10} {:>12}", "GHz", "t/step [ms]", "P [W]", "E [J/step]");
+            for p in &sweep {
+                println!(
+                    "{:>8.2} {:>12.3} {:>10.1} {:>12.3}",
+                    p.clock_ghz,
+                    p.runtime_s * 1e3,
+                    p.power_w,
+                    p.energy_j
+                );
+            }
+            let a = dvfs::analyze(&sweep).expect("non-empty sweep");
+            println!(
+                "energy-optimal clock {:.2} GHz — saves {:.1} % vs base at ×{:.2} runtime",
+                a.optimal_clock_ghz,
+                a.saving_vs_base * 100.0,
+                a.slowdown_at_optimum
+            );
+            Ok(())
+        }
+    }
+}
+
+fn figures(which: &str) -> Result<(), String> {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let cfg = RunConfig {
+        repetitions: 3,
+        trace: false,
+        ..RunConfig::default()
+    };
+    let all = which == "all";
+    let mut matched = false;
+
+    if all || which == "tables" {
+        matched = true;
+        println!("{}", tables::table1().render());
+        println!("{}", tables::table2().render());
+        println!("{}", tables::table3(&[&a, &b]).render());
+    }
+    if all || which == "fig1" {
+        matched = true;
+        let f1a = node_level::fig1(&a, &cfg, 8).map_err(|e| e.to_string())?;
+        let f1b = node_level::fig1(&b, &cfg, 8).map_err(|e| e.to_string())?;
+        println!("== §4.1.1 parallel efficiency [%] ==");
+        for ((n, x), (_, y)) in node_level::efficiency_table(&f1a, &a)
+            .iter()
+            .zip(&node_level::efficiency_table(&f1b, &b))
+        {
+            println!("{n:<12} A {x:>5.0}  B {y:>5.0}");
+        }
+        println!("== §4.1.2 acceleration B/A ==");
+        for (n, x) in node_level::acceleration_table(&f1a, &f1b) {
+            println!("{n:<12} {x:>5.2}");
+        }
+        println!("== §4.1.3 vectorization [%] ==");
+        for (n, x) in node_level::vectorization_table(&f1a) {
+            println!("{n:<12} {x:>5.1}");
+        }
+    }
+    if all || which == "fig2" {
+        matched = true;
+        let f2 = node_level::fig2(&a, &cfg, 24).map_err(|e| e.to_string())?;
+        println!(
+            "Fig. 2 insets: minisweep@59 Recv {:.0} %, lbm@{} wait+barrier {:.0} %",
+            f2.minisweep_59.recv_fraction * 100.0,
+            f2.lbm_odd.nranks,
+            (f2.lbm_odd.wait_fraction + f2.lbm_odd.barrier_fraction) * 100.0
+        );
+    }
+    if all || which == "fig3" || which == "fig4" {
+        matched = true;
+        let f1a = node_level::fig1(&a, &cfg, 8).map_err(|e| e.to_string())?;
+        let f3 = power_energy::fig3(&f1a, &a);
+        println!(
+            "Fig. 3 ({}): extrapolated baseline {:.0} W/socket",
+            a.name, f3.extrapolated_baseline_w
+        );
+        for (name, w, frac) in power_energy::hot_cool_table(&f1a, &a) {
+            println!("  {name:<12} {w:>5.0} W/socket ({:.0} % TDP)", frac * 100.0);
+        }
+        let f4 = power_energy::fig4(&f1a);
+        for z in &f4.zplots {
+            println!(
+                "  {:<24} E/EDP minima separation: {} step(s)",
+                z.label,
+                z.min_separation_steps().unwrap_or(0)
+            );
+        }
+    }
+    if all || which == "fig5" || which == "fig6" {
+        matched = true;
+        for cl in [&a, &b] {
+            let f5 = multi_node::fig5(cl, &cfg, &[1, 2, 4, 8]).map_err(|e| e.to_string())?;
+            println!("{}", f5.render());
+            println!("scaling cases ({}):", cl.name);
+            for (n, c) in multi_node::scaling_cases(&f5) {
+                println!("  {n:<12} {c}");
+            }
+        }
+    }
+    if !matched {
+        return Err(format!(
+            "unknown figure '{which}' (use tables|fig1|fig2|fig3|fig4|fig5|fig6|all)"
+        ));
+    }
+    Ok(())
+}

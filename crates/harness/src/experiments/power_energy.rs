@@ -1,0 +1,251 @@
+//! Power and energy experiments: the paper's Fig. 3 (CPU and DRAM
+//! power), Fig. 4 (Z-plots and total energy), the §4.2.1 hot/cool table
+//! and the §4.2.3 baseline-power comparison — all on the *tiny* suite.
+
+use spechpc_machine::cluster::ClusterSpec;
+use spechpc_machine::node::NodeSpec;
+use spechpc_power::zplot::{ZPlot, ZPoint};
+use spechpc_simmpi::engine::SimError;
+
+use crate::experiments::node_level::{fig1, Fig1};
+use crate::report::{fmt, Table};
+use crate::runner::RunConfig;
+
+/// Fig. 3 data: power vs. speedup on one ccNUMA domain (a/c) and power
+/// vs. process count on the full node (b/d).
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    pub cluster: String,
+    /// Per benchmark: (n, speedup, package W, DRAM W) for n within the
+    /// first ccNUMA domain.
+    pub domain_series: Vec<(String, Vec<(usize, f64, f64, f64)>)>,
+    /// Per benchmark: (n, package W, DRAM W) across the full node.
+    pub node_series: Vec<(String, Vec<(usize, f64, f64)>)>,
+    /// Zero-core extrapolated baseline per socket (the dotted line of
+    /// Fig. 3 a/c).
+    pub extrapolated_baseline_w: f64,
+}
+
+/// Derive Fig. 3 from a Fig. 1 sweep.
+pub fn fig3(f1: &Fig1, cluster: &ClusterSpec) -> Fig3 {
+    let domain = cluster.node.cores_per_domain();
+    let mut domain_series = Vec::new();
+    let mut node_series = Vec::new();
+    for s in &f1.sweeps {
+        let t1 = s.results.first().map(|r| r.step_seconds).unwrap_or(1.0);
+        let d: Vec<(usize, f64, f64, f64)> = s
+            .results
+            .iter()
+            .filter(|r| r.nranks <= domain)
+            .map(|r| {
+                (
+                    r.nranks,
+                    t1 / r.step_seconds,
+                    r.power.package_w,
+                    r.power.dram_w,
+                )
+            })
+            .collect();
+        let n: Vec<(usize, f64, f64)> = s
+            .results
+            .iter()
+            .map(|r| (r.nranks, r.power.package_w, r.power.dram_w))
+            .collect();
+        domain_series.push((s.benchmark.clone(), d));
+        node_series.push((s.benchmark.clone(), n));
+    }
+    // Zero-core extrapolation: linear fit through the first two domain
+    // points, evaluated at n = 0 (per active socket — subtract the idle
+    // second socket's baseline).
+    let idle_socket = cluster.node.cpu.baseline_power_w;
+    let extrapolated = domain_series
+        .first()
+        .and_then(|(_, d)| {
+            if d.len() < 2 {
+                return None;
+            }
+            let (n0, _, p0, _) = d[0];
+            let (n1, _, p1, _) = d[1];
+            let slope = (p1 - p0) / (n1 as f64 - n0 as f64);
+            Some(p0 - slope * n0 as f64 - idle_socket)
+        })
+        .unwrap_or(idle_socket);
+    Fig3 {
+        cluster: f1.cluster.clone(),
+        domain_series,
+        node_series,
+        extrapolated_baseline_w: extrapolated,
+    }
+}
+
+/// Fig. 4 data: Z-plots (energy vs. speedup, cores as parameter) per
+/// benchmark, plus total node energy vs. process count.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    pub cluster: String,
+    pub zplots: Vec<ZPlot>,
+}
+
+/// Derive Fig. 4 from a Fig. 1 sweep. Energies are normalized to the
+/// full tiny workload.
+pub fn fig4(f1: &Fig1) -> Fig4 {
+    let mut zplots = Vec::new();
+    for s in &f1.sweeps {
+        let t1 = s.results.first().map(|r| r.step_seconds).unwrap_or(1.0);
+        let mut z = ZPlot::new(format!("{} ({})", s.benchmark, f1.cluster));
+        for r in &s.results {
+            z.push(ZPoint {
+                resources: r.nranks,
+                speedup: t1 / r.step_seconds,
+                energy_j: r.energy.total_j(),
+                runtime_s: r.runtime_s,
+            });
+        }
+        zplots.push(z);
+    }
+    Fig4 {
+        cluster: f1.cluster.clone(),
+        zplots,
+    }
+}
+
+/// The §4.2.1 hot/cool table: fraction of socket TDP per benchmark at
+/// the full node.
+pub fn hot_cool_table(f1: &Fig1, cluster: &ClusterSpec) -> Vec<(String, f64, f64)> {
+    let tdp = cluster.node.tdp();
+    f1.sweeps
+        .iter()
+        .map(|s| {
+            let r = s.results.last().expect("non-empty sweep");
+            let frac = r.power.package_w / tdp;
+            (s.benchmark.clone(), r.power.package_w / 2.0, frac)
+        })
+        .collect()
+}
+
+/// The §4.2.3 baseline-power comparison across CPU generations.
+pub fn baseline_table(nodes: &[&NodeSpec]) -> Table {
+    let mut t = Table::new(
+        "§4.2.3 — extrapolated zero-core baseline power across CPU generations",
+        &["node", "TDP [W]", "baseline [W]", "baseline/TDP [%]"],
+    );
+    for n in nodes {
+        t.row(vec![
+            n.cpu.model.clone(),
+            fmt(n.cpu.tdp_w),
+            fmt(n.cpu.baseline_power_w),
+            fmt(100.0 * n.cpu.baseline_power_w / n.cpu.tdp_w),
+        ]);
+    }
+    t
+}
+
+/// Run the full tiny-suite power/energy pipeline for one cluster.
+pub fn run_power_energy(
+    cluster: &ClusterSpec,
+    config: &RunConfig,
+    step: usize,
+) -> Result<(Fig1, Fig3, Fig4), SimError> {
+    let f1 = fig1(cluster, config, step)?;
+    let f3 = fig3(&f1, cluster);
+    let f4 = fig4(&f1);
+    Ok((f1, f3, f4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_machine::presets;
+    use spechpc_power::rapl::RaplModel;
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            repetitions: 1,
+            trace: false,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn fig3_baseline_extrapolation_matches_spec() {
+        // The extrapolated zero-core baseline must recover the CPU's
+        // configured baseline power (§4.2.3: 95–101 W on Ice Lake).
+        let cluster = presets::cluster_a();
+        let f1 = fig1(&cluster, &quick(), 4).unwrap();
+        let f3 = fig3(&f1, &cluster);
+        let base = f3.extrapolated_baseline_w;
+        assert!(
+            (base - 98.0).abs() < 15.0,
+            "extrapolated baseline {base} W vs configured 98 W"
+        );
+    }
+
+    #[test]
+    fn fig3_power_grows_with_sockets() {
+        // Fig. 3 b/d: going from one socket to two roughly doubles the
+        // dynamic power swing.
+        let cluster = presets::cluster_a();
+        let f1 = fig1(&cluster, &quick(), 17).unwrap();
+        let f3 = fig3(&f1, &cluster);
+        let (_, series) = f3
+            .node_series
+            .iter()
+            .find(|(b, _)| b == "sph-exa")
+            .unwrap();
+        let p36 = series.iter().find(|(n, _, _)| *n == 36).unwrap().1;
+        let p72 = series.iter().find(|(n, _, _)| *n == 72).unwrap().1;
+        let rapl = RaplModel::new(&cluster);
+        let base = rapl.baseline_power(1);
+        let swing_ratio = (p72 - base) / (p36 - base);
+        assert!(
+            (swing_ratio - 2.0).abs() < 0.3,
+            "dynamic power swing ratio {swing_ratio}"
+        );
+    }
+
+    #[test]
+    fn fig4_minima_nearly_coincide_on_modern_cpus() {
+        // §4.3.1: E and EDP minima "so close together as to be hardly
+        // discernible".
+        let cluster = presets::cluster_b();
+        let f1 = fig1(&cluster, &quick(), 12).unwrap();
+        let f4 = fig4(&f1);
+        for z in &f4.zplots {
+            if z.label.starts_with("lbm") || z.label.starts_with("minisweep") {
+                continue; // erratic codes: minima track the dips
+            }
+            let sep = z.min_separation_steps().unwrap();
+            assert!(sep <= 1, "{}: E/EDP minima separated by {sep} steps", z.label);
+        }
+    }
+
+    #[test]
+    fn hot_cool_table_matches_421() {
+        let cluster = presets::cluster_a();
+        let f1 = fig1(&cluster, &quick(), 71).unwrap();
+        let hc = hot_cool_table(&f1, &cluster);
+        let get = |n: &str| hc.iter().find(|(b, _, _)| b == n).unwrap();
+        let (_, w_sph, f_sph) = get("sph-exa");
+        let (_, w_soma, f_soma) = get("soma");
+        // sph-exa ≈ 244 W/socket (98 % TDP), soma ≈ 222 W (89 %).
+        assert!((w_sph - 244.0).abs() < 12.0, "sph-exa {w_sph} W");
+        assert!((w_soma - 222.0).abs() < 12.0, "soma {w_soma} W");
+        assert!(f_sph > f_soma);
+        // sph-exa is the hottest of the suite.
+        for (b, _, f) in &hc {
+            assert!(*f <= f_sph + 1e-9, "{b} hotter than sph-exa");
+        }
+    }
+
+    #[test]
+    fn baseline_table_shows_the_generational_shift() {
+        let a = presets::cluster_a();
+        let b = presets::cluster_b();
+        let sb = presets::sandy_bridge_node();
+        let text = baseline_table(&[&a.node, &b.node, &sb]).render();
+        assert!(text.contains("8360Y"));
+        assert!(text.contains("E5-2680"));
+        // Sandy Bridge <20 %, Ice Lake ~39 %, SPR ~51 %.
+        assert!(text.contains("18.3"), "Sandy Bridge fraction missing: {text}");
+    }
+}

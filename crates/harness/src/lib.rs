@@ -1,0 +1,21 @@
+//! # spechpc-harness — SPEC-like run rules and experiment drivers
+//!
+//! Glues the substrates together: the [`runner`] executes one benchmark
+//! configuration on one simulated cluster (node performance model →
+//! per-rank MPI programs → discrete-event replay → counters, trace
+//! breakdowns, power and energy), honouring the paper's methodology
+//! (§3): warm-up steps with global synchronization before measurement,
+//! repeated executions with min/max/avg statistics, compact pinning at
+//! fixed base clock.
+//!
+//! [`experiments`] holds one driver per table/figure of the paper — the
+//! per-experiment index lives in `DESIGN.md` and the measured-vs-paper
+//! comparison in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod suite;
+
+pub use runner::{RunConfig, RunResult, SimRunner};
+pub use suite::{Suite, SuiteReport};

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                line.push_str(&format!(" {}{} |", c, " ".repeat(pad)));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a float with sensible benchmark-report precision.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["tealeaf".into(), "1.0".into()]);
+        t.row(vec!["lbm".into(), "130".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| tealeaf | 1.0   |"));
+        // All data lines have the same width.
+        let widths: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.6), "1235");
+        assert_eq!(fmt(42.42), "42.4");
+        assert_eq!(fmt(1.234), "1.23");
+        assert_eq!(pct(95.4), "95%");
+    }
+}

@@ -1,0 +1,188 @@
+//! Suite-level driver: run all nine benchmarks under SPEC-like rules.
+
+use spechpc_kernels::common::config::WorkloadClass;
+use spechpc_kernels::registry::all_benchmarks;
+use spechpc_machine::cluster::ClusterSpec;
+use spechpc_simmpi::engine::SimError;
+
+use crate::report::{fmt, Table};
+use crate::runner::{RunConfig, RunResult, SimRunner};
+
+/// One suite execution: a workload class at one process count.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    pub class: WorkloadClass,
+    pub nranks: usize,
+}
+
+impl Suite {
+    /// The paper's node-level configuration: tiny workloads on a full
+    /// node of the given cluster.
+    pub fn tiny_full_node(cluster: &ClusterSpec) -> Self {
+        Suite {
+            class: WorkloadClass::Tiny,
+            nranks: cluster.node.cores(),
+        }
+    }
+
+    /// Run every benchmark of the suite (skipping those that do not
+    /// ship the requested workload class).
+    pub fn run(&self, cluster: &ClusterSpec, config: RunConfig) -> Result<SuiteReport, SimError> {
+        let runner = SimRunner::new(config);
+        let mut results = Vec::new();
+        for b in all_benchmarks() {
+            let supported = match self.class {
+                WorkloadClass::Medium | WorkloadClass::Large => b.meta().supports_medium_large,
+                _ => true,
+            };
+            if !supported {
+                continue;
+            }
+            results.push(runner.run(cluster, &*b, self.class, self.nranks)?);
+        }
+        Ok(SuiteReport {
+            cluster: cluster.name.clone(),
+            class: self.class,
+            results,
+        })
+    }
+}
+
+/// Results of a full-suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    pub cluster: String,
+    pub class: WorkloadClass,
+    pub results: Vec<RunResult>,
+}
+
+impl SuiteReport {
+    pub fn result(&self, benchmark: &str) -> Option<&RunResult> {
+        self.results.iter().find(|r| r.benchmark == benchmark)
+    }
+
+    /// SPEC-style score against a reference run: the geometric mean of
+    /// `reference_runtime / runtime` over the benchmarks present in
+    /// both reports (SPEC's "base" metric, with the reference machine
+    /// scoring 1.0). Returns `None` when the reports share no
+    /// benchmarks.
+    pub fn spec_score(&self, reference: &SuiteReport) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for r in &self.results {
+            if let Some(refr) = reference.result(&r.benchmark) {
+                if r.runtime_s > 0.0 && refr.runtime_s > 0.0 {
+                    log_sum += (refr.runtime_s / r.runtime_s).ln();
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| (log_sum / n as f64).exp())
+    }
+
+    /// Render a per-benchmark summary table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            format!("SPEChpc 2021 {} suite on {}", self.class, self.cluster),
+            &[
+                "benchmark",
+                "ranks",
+                "runtime [s]",
+                "Gflop/s",
+                "mem BW [GB/s]",
+                "MPI [%]",
+                "power [W]",
+                "energy [kJ]",
+            ],
+        );
+        for r in &self.results {
+            t.row(vec![
+                r.benchmark.clone(),
+                r.nranks.to_string(),
+                fmt(r.runtime_s),
+                fmt(r.gflops()),
+                fmt(r.counters.mem_bandwidth()),
+                fmt(r.breakdown.mpi_fraction() * 100.0),
+                fmt(r.power.total()),
+                fmt(r.energy.total_j() / 1e3),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_machine::presets;
+
+    #[test]
+    fn tiny_suite_runs_all_nine_on_cluster_a() {
+        let cluster = presets::cluster_a();
+        let suite = Suite::tiny_full_node(&cluster);
+        let report = suite
+            .run(
+                &cluster,
+                RunConfig {
+                    repetitions: 1,
+                    trace: false,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.results.len(), 9);
+        for r in &report.results {
+            assert!(r.runtime_s > 0.0, "{} has zero runtime", r.benchmark);
+            assert!(r.power.total() > 0.0);
+        }
+        let text = report.render();
+        assert!(text.contains("tealeaf"));
+        assert!(text.contains("sph-exa"));
+    }
+
+    #[test]
+    fn spec_score_is_one_against_itself_and_favours_cluster_b() {
+        let cfg = RunConfig {
+            repetitions: 1,
+            trace: false,
+            ..RunConfig::default()
+        };
+        let a = presets::cluster_a();
+        let b = presets::cluster_b();
+        let ra = Suite::tiny_full_node(&a).run(&a, cfg.clone()).unwrap();
+        let rb = Suite::tiny_full_node(&b).run(&b, cfg).unwrap();
+        let self_score = ra.spec_score(&ra).unwrap();
+        assert!((self_score - 1.0).abs() < 1e-12);
+        let b_score = rb.spec_score(&ra).unwrap();
+        // The geometric mean of the §4.1.2 acceleration factors
+        // (1.0–2.05) lands around 1.4.
+        assert!(
+            (1.2..1.8).contains(&b_score),
+            "ClusterB suite score {b_score}"
+        );
+    }
+
+    #[test]
+    fn medium_suite_skips_unsupported_codes() {
+        let cluster = presets::cluster_b();
+        let suite = Suite {
+            class: WorkloadClass::Medium,
+            nranks: cluster.node.cores(),
+        };
+        let report = suite
+            .run(
+                &cluster,
+                RunConfig {
+                    repetitions: 1,
+                    trace: false,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+        // Six of nine ship medium/large workloads.
+        assert_eq!(report.results.len(), 6);
+        assert!(report.result("minisweep").is_none());
+        assert!(report.result("soma").is_none());
+        assert!(report.result("sph-exa").is_none());
+    }
+}

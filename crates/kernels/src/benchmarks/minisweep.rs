@@ -1,0 +1,491 @@
+//! `minisweep` — deterministic radiation-transport sweep
+//! (SPEC id 21, C, ~17500 LOC, no collective).
+//!
+//! A successor to Sweep3D (paper Table 2): a KBA wavefront sweep over a
+//! 3-D grid with many energy groups and angles, 2-D domain decomposition
+//! in (x, y), and pipelining over z-blocks. The paper's key minisweep
+//! finding (§4.1.5) is a *communication-serialization performance bug*:
+//! the code posts its (large ⇒ synchronous-rendezvous) sends to the
+//! downwind neighbor *before* the matching upwind receives; with open
+//! boundary conditions only the most-downwind process in the chain can
+//! receive right away, so the communication "ripples" through the
+//! process chain, serializing it. Prime process counts (59, 61, …) force
+//! a 1 × p decomposition — a maximal chain — and cost up to 75 % of the
+//! performance, with `MPI_Recv` dominating the trace.
+//!
+//! [`Minisweep::step_programs`] reproduces the buggy send-first ordering
+//! exactly; the real kernel ([`SweepKernel`]) implements the correct
+//! upwind discrete-ordinates sweep (receive → sweep → send) whose
+//! positivity and convergence invariants are tested.
+
+use spechpc_simmpi::comm::Comm;
+use spechpc_simmpi::program::{Op, Program};
+
+use crate::common::benchmark::{BenchConfig, BenchMeta, Benchmark, Kernel};
+use crate::common::config::WorkloadClass;
+use crate::common::decomp::Grid2d;
+use crate::common::model::ComputeTimes;
+use crate::common::signature::WorkloadSignature;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepParams {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Energy groups.
+    pub groups: usize,
+    /// Angles per octant direction.
+    pub angles: usize,
+    /// Z-blocks for KBA pipelining.
+    pub zblocks: usize,
+    pub steps: u64,
+}
+
+pub fn params(class: WorkloadClass) -> SweepParams {
+    match class {
+        WorkloadClass::Test => SweepParams {
+            nx: 12,
+            ny: 12,
+            nz: 8,
+            groups: 2,
+            angles: 2,
+            zblocks: 2,
+            steps: 4,
+        },
+        WorkloadClass::Tiny => SweepParams {
+            nx: 96,
+            ny: 64,
+            nz: 64,
+            groups: 64,
+            angles: 32,
+            zblocks: 8,
+            steps: 40,
+        },
+        WorkloadClass::Small => SweepParams {
+            nx: 128,
+            ny: 64,
+            nz: 64,
+            groups: 64,
+            angles: 32,
+            zblocks: 8,
+            steps: 80,
+        },
+        // minisweep ships no medium/large workloads (one of the three
+        // codes without them); these extrapolations are only reachable
+        // through the API, not the suite driver.
+        WorkloadClass::Medium | WorkloadClass::Large => SweepParams {
+            nx: 256,
+            ny: 128,
+            nz: 128,
+            groups: 64,
+            angles: 32,
+            zblocks: 8,
+            steps: 80,
+        },
+    }
+}
+
+/// The minisweep suite member.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Minisweep;
+
+impl Benchmark for Minisweep {
+    fn meta(&self) -> BenchMeta {
+        BenchMeta {
+            name: "minisweep",
+            spec_id: 21,
+            language: "C",
+            loc: 17500,
+            collective: "—",
+            numerics: "KBA wavefront sweep (Sweep3D successor)",
+            domain: "Radiation transport in nuclear engineering",
+            supports_medium_large: false,
+        }
+    }
+
+    fn config(&self, class: WorkloadClass) -> BenchConfig {
+        let p = params(class);
+        BenchConfig {
+            params: vec![
+                ("Number of sweep iterations", p.steps.to_string()),
+                (
+                    "Global number of grid cells along the [X,Y,Z]-dimension",
+                    format!("{{{},{},{}}}", p.nx, p.ny, p.nz),
+                ),
+                ("Total number of energy groups", p.groups.to_string()),
+                ("Number of angles for each octant direction", p.angles.to_string()),
+                ("Number of sweep blocks used to tile the Z-dimension", p.zblocks.to_string()),
+            ],
+            steps: p.steps,
+        }
+    }
+
+    fn signature(&self, class: WorkloadClass) -> WorkloadSignature {
+        let p = params(class);
+        let cells = (p.nx * p.ny * p.nz) as f64;
+        let work = cells * p.groups as f64 * (8 * p.angles) as f64;
+        WorkloadSignature {
+            // ~16 flops per cell-angle-group update.
+            flops: work * 16.0,
+            simd_fraction: 0.5,
+            core_efficiency: 0.25,
+            // Only the scalar flux and wavefront planes stream from
+            // memory — the angular flux lives in cache-sized blocks.
+            mem_bytes: cells * p.groups as f64 * 8.0 * 6.0,
+            mem_bytes_per_rank: 0.0,
+            l2_bytes: cells * p.groups as f64 * 8.0 * 20.0,
+            l3_bytes: cells * p.groups as f64 * 8.0 * 10.0,
+            // "Comparatively small data set" (§5.1): scalar flux +
+            // source + cross-sections.
+            working_set_bytes: cells * p.groups as f64 * 8.0 * 4.0,
+            cache_exponent: 1.0,
+            replicated_fraction: 0.0,
+            heat: 0.8,
+            steps: p.steps,
+        }
+    }
+
+    /// The buggy send-before-receive KBA stage ordering of the original
+    /// (paper §4.1.5): per octant and z-block, every rank posts its
+    /// downwind sends first, then its upwind receives, then computes.
+    fn step_programs(&self, class: WorkloadClass, compute: &ComputeTimes) -> Vec<Program> {
+        let nranks = compute.per_rank.len();
+        let p = params(class);
+        let grid = Grid2d::new(p.nx, p.ny, nranks);
+        let bz = p.nz / p.zblocks.max(1);
+        let stages = 8 * p.zblocks;
+        (0..nranks)
+            .map(|r| {
+                let mut prog = Program::new();
+                let (lx, ly) = grid.tile_size(r);
+                let [w, e, s, n] = grid.neighbors(r);
+                let face_x = ly * bz * p.groups * p.angles * 8;
+                let face_y = lx * bz * p.groups * p.angles * 8;
+                let per_stage = compute.per_rank[r] / stages as f64;
+                for octant in 0..8u32 {
+                    // Sweep direction of this octant.
+                    let (down_x, up_x) = if octant & 1 == 0 { (e, w) } else { (w, e) };
+                    let (down_y, up_y) = if octant & 2 == 0 { (n, s) } else { (s, n) };
+                    // KBA wavefront dependency per z-block: the upwind
+                    // faces must arrive before the block is swept; the
+                    // downwind faces are sent afterwards. Blocking
+                    // rendezvous sends stall the sender until the
+                    // downwind rank has caught up, so the wavefront
+                    // serializes over the process chain — the §4.1.5
+                    // ripple. Open boundaries: the most-upwind rank of
+                    // the chain starts immediately, the most-downwind
+                    // ranks accumulate massive MPI_Recv time. Prime
+                    // process counts force a 1 × p chain and maximize
+                    // the damage.
+                    for zb in 0..p.zblocks as u32 {
+                        let tag = octant * 100 + zb;
+                        if let Some(u) = up_x {
+                            prog.push(Op::recv(u, tag));
+                        }
+                        if let Some(u) = up_y {
+                            prog.push(Op::recv(u, 1000 + tag));
+                        }
+                        prog.push(Op::compute(per_stage));
+                        if let Some(d) = down_x {
+                            prog.push(Op::send(d, tag, face_x));
+                        }
+                        if let Some(d) = down_y {
+                            prog.push(Op::send(d, 1000 + tag, face_y));
+                        }
+                    }
+                }
+                prog
+            })
+            .collect()
+    }
+
+    fn make_kernel(
+        &self,
+        class: WorkloadClass,
+        rank: usize,
+        nranks: usize,
+        _seed: u64,
+    ) -> Box<dyn Kernel> {
+        let p = params(class);
+        Box::new(SweepKernel::new(p, rank, nranks))
+    }
+}
+
+/// Real discrete-ordinates upwind sweep on the rank-local tile: one
+/// representative angle per octant, `groups` energy groups folded into a
+/// single group for the executable analog (the signature carries the
+/// full cost).
+pub struct SweepKernel {
+    grid: Grid2d,
+    rank: usize,
+    lx: usize,
+    ly: usize,
+    nz: usize,
+    /// Scalar flux accumulated over octants, `lx × ly × nz`.
+    pub phi: Vec<f64>,
+    /// Previous step's scalar flux (for convergence measurement).
+    phi_prev: Vec<f64>,
+    /// Total cross-section and source (uniform medium).
+    sigma: f64,
+    source: f64,
+    /// Angular direction cosines (one representative angle).
+    mu: (f64, f64, f64),
+    pub steps_done: u64,
+}
+
+impl SweepKernel {
+    pub fn new(p: SweepParams, rank: usize, nranks: usize) -> Self {
+        let grid = Grid2d::new(p.nx, p.ny, nranks);
+        let (lx, ly) = grid.tile_size(rank);
+        SweepKernel {
+            grid,
+            rank,
+            lx,
+            ly,
+            nz: p.nz,
+            phi: vec![0.0; lx * ly * p.nz],
+            phi_prev: vec![0.0; lx * ly * p.nz],
+            sigma: 1.0,
+            source: 1.0,
+            mu: (0.5, 0.5, 0.5),
+            steps_done: 0,
+        }
+    }
+
+    /// The analytic infinite-medium bound: ψ ≤ S/σ per angle, so the
+    /// 8-octant scalar flux is bounded by `8 · S/σ`.
+    pub fn flux_bound(&self) -> f64 {
+        8.0 * self.source / self.sigma
+    }
+
+    /// Sweep one octant: receive upwind faces, solve the upwind
+    /// discretization cell by cell in sweep order, send downwind faces.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_octant(
+        &mut self,
+        comm: &mut dyn Comm,
+        octant: u32,
+        psi_acc: &mut [f64],
+    ) {
+        let (lx, ly, nz) = (self.lx, self.ly, self.nz);
+        let [wn, en, sn, nn] = self.grid.neighbors(self.rank);
+        let pos_x = octant & 1 == 0;
+        let pos_y = octant & 2 == 0;
+        let pos_z = octant & 4 == 0;
+        let (up_x, down_x) = if pos_x { (wn, en) } else { (en, wn) };
+        let (up_y, down_y) = if pos_y { (sn, nn) } else { (nn, sn) };
+        let (mx, my, mz) = self.mu;
+
+        // Incoming faces: zero at open boundaries.
+        let mut in_x = vec![0.0; ly * nz];
+        let mut in_y = vec![0.0; lx * nz];
+        if let Some(u) = up_x {
+            comm.recv(u, octant * 2, &mut in_x);
+        }
+        if let Some(u) = up_y {
+            comm.recv(u, octant * 2 + 1, &mut in_y);
+        }
+
+        // Sweep order per direction sign.
+        let xs: Vec<usize> = if pos_x { (0..lx).collect() } else { (0..lx).rev().collect() };
+        let ys: Vec<usize> = if pos_y { (0..ly).collect() } else { (0..ly).rev().collect() };
+        let zs: Vec<usize> = if pos_z { (0..nz).collect() } else { (0..nz).rev().collect() };
+
+        // ψ on the current wavefront: face storage updated in place.
+        // face_x[y, z] = ψ entering the next cell along x, etc.
+        let mut face_x = in_x;
+        let mut face_y_all = vec![0.0; lx * nz];
+        face_y_all.copy_from_slice(&in_y);
+        let mut psi = vec![0.0; lx * ly * nz];
+        let mut face_z = vec![0.0; lx * ly];
+
+        for &z in &zs {
+            for &y in &ys {
+                for &x in &xs {
+                    let fx = face_x[z * ly + y];
+                    let fy = face_y_all[z * lx + x];
+                    let fz = face_z[y * lx + x];
+                    // Step (fully upwind) discretization: the outgoing
+                    // face flux equals the cell flux, which makes the
+                    // infinite-medium bound ψ ≤ S/σ hold exactly.
+                    let num = self.source + mx * fx + my * fy + mz * fz;
+                    let den = self.sigma + mx + my + mz;
+                    let c = num / den;
+                    psi[(z * ly + y) * lx + x] = c;
+                    face_x[z * ly + y] = c;
+                    face_y_all[z * lx + x] = c;
+                    face_z[y * lx + x] = c;
+                }
+            }
+        }
+        for (acc, p) in psi_acc.iter_mut().zip(&psi) {
+            *acc += p;
+        }
+
+        // Send outgoing faces downwind.
+        if let Some(d) = down_x {
+            comm.send(d, octant * 2, &face_x);
+        }
+        if let Some(d) = down_y {
+            comm.send(d, octant * 2 + 1, &face_y_all);
+        }
+    }
+
+    /// Scalar flux at a local grid point.
+    pub fn flux_at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.phi[(z * self.ly + y) * self.lx + x]
+    }
+
+    /// Maximum change of the scalar flux in the last step.
+    pub fn last_change(&self) -> f64 {
+        self.phi
+            .iter()
+            .zip(&self.phi_prev)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Kernel for SweepKernel {
+    fn step(&mut self, comm: &mut dyn Comm) {
+        self.phi_prev.copy_from_slice(&self.phi);
+        let mut acc = vec![0.0; self.lx * self.ly * self.nz];
+        for octant in 0..8 {
+            self.sweep_octant(comm, octant, &mut acc);
+        }
+        self.phi.copy_from_slice(&acc);
+        self.steps_done += 1;
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let bound = self.flux_bound() * (1.0 + 1e-12);
+        for (i, &v) in self.phi.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(format!("non-finite flux at {i}"));
+            }
+            if v < 0.0 {
+                return Err(format!("negative flux {v} at {i}"));
+            }
+            if v > bound {
+                return Err(format!("flux {v} exceeds the infinite-medium bound {bound}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn checksum(&self) -> f64 {
+        self.phi.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_simmpi::comm::SelfComm;
+    use spechpc_simmpi::threadcomm::ThreadWorld;
+
+    #[test]
+    fn flux_positive_and_bounded_single_rank() {
+        let mut k = SweepKernel::new(params(WorkloadClass::Test), 0, 1);
+        let mut comm = SelfComm::new();
+        for _ in 0..4 {
+            k.step(&mut comm);
+            k.validate().unwrap();
+        }
+        assert!(k.checksum() > 0.0);
+    }
+
+    #[test]
+    fn sweep_converges_to_steady_state() {
+        let mut k = SweepKernel::new(params(WorkloadClass::Test), 0, 1);
+        let mut comm = SelfComm::new();
+        k.step(&mut comm);
+        k.step(&mut comm);
+        let c1 = k.last_change();
+        for _ in 0..6 {
+            k.step(&mut comm);
+        }
+        let c2 = k.last_change();
+        assert!(
+            c2 <= c1,
+            "sweep must converge: change {c1} then {c2}"
+        );
+    }
+
+    #[test]
+    fn four_rank_native_sweep_matches_bound() {
+        let p = params(WorkloadClass::Test);
+        let sums = ThreadWorld::run(4, |rank, comm| {
+            let mut k = SweepKernel::new(p, rank, 4);
+            for _ in 0..3 {
+                k.step(comm);
+            }
+            k.validate().unwrap();
+            k.checksum()
+        });
+        assert!(sums.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn step_program_encodes_the_wavefront_dependency() {
+        let ct = ComputeTimes {
+            per_rank: vec![0.01; 6],
+            t_flops: vec![0.01; 6],
+            t_mem: vec![0.0; 6],
+            utilization: vec![1.0; 6],
+            effective_mem_bytes: 0.0,
+            effective_l3_bytes: 0.0,
+            effective_l2_bytes: 0.0,
+        };
+        let progs = Minisweep.step_programs(WorkloadClass::Tiny, &ct);
+        // Each z-block stage of a mid-chain rank: Recv(upwind) …
+        // Compute … Send(downwind) — the blocking rendezvous send then
+        // stalls the rank until the downwind neighbor catches up.
+        let prog = &progs[1];
+        let first_recv = prog.ops.iter().position(|o| matches!(o, Op::Recv { .. }));
+        let first_send = prog.ops.iter().position(|o| matches!(o, Op::Send { .. }));
+        assert!(first_recv.unwrap() < first_send.unwrap());
+        // The sweep compute is spread over all 64 stages.
+        let computes = prog
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Compute { .. }))
+            .count();
+        assert_eq!(computes, 64);
+        for p in &progs {
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn prime_counts_decompose_into_chains() {
+        let p = params(WorkloadClass::Tiny);
+        let g59 = Grid2d::new(p.nx, p.ny, 59);
+        assert_eq!(g59.px.max(g59.py), 59, "59 must give a 1×59 chain");
+        let g58 = Grid2d::new(p.nx, p.ny, 58);
+        assert!(g58.px.max(g58.py) <= 29, "58 factors into 2×29");
+    }
+
+    #[test]
+    fn faces_are_rendezvous_sized_at_tiny_scale() {
+        // §4.1.5: rendezvous mode "due to large messages".
+        let p = params(WorkloadClass::Tiny);
+        let grid = Grid2d::new(p.nx, p.ny, 59);
+        let (_, ly) = grid.tile_size(0);
+        let bz = p.nz / p.zblocks;
+        let face_x = ly * bz * p.groups * p.angles * 8;
+        assert!(face_x > 64 * 1024, "face {face_x} B must exceed the eager threshold");
+    }
+
+    #[test]
+    fn config_matches_table_1() {
+        let cfg = Minisweep.config(WorkloadClass::Tiny);
+        assert_eq!(
+            cfg.param("Global number of grid cells along the [X,Y,Z]-dimension"),
+            Some("{96,64,64}")
+        );
+        assert_eq!(cfg.param("Total number of energy groups"), Some("64"));
+        assert_eq!(cfg.steps, 40);
+        assert!(!Minisweep.meta().supports_medium_large);
+    }
+}

@@ -1,0 +1,11 @@
+//! The nine SPEChpc 2021 benchmark analogs, in Table 1 order.
+
+pub mod cloverleaf;
+pub mod hpgmgfv;
+pub mod lbm;
+pub mod minisweep;
+pub mod pot3d;
+pub mod soma;
+pub mod sph_exa;
+pub mod tealeaf;
+pub mod weather;

@@ -1,0 +1,141 @@
+//! The [`Benchmark`] and [`Kernel`] traits every suite member implements.
+
+use spechpc_simmpi::comm::Comm;
+use spechpc_simmpi::program::Program;
+
+use crate::common::config::WorkloadClass;
+use crate::common::model::ComputeTimes;
+use crate::common::signature::WorkloadSignature;
+
+/// Static attributes of a benchmark (paper Tables 1 and 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Suite name, e.g. "lbm".
+    pub name: &'static str,
+    /// SPEC benchmark id within a class, e.g. 90 for `505.lbm_t`
+    /// (Table 1, column "B").
+    pub spec_id: u32,
+    /// Original implementation language (Table 1).
+    pub language: &'static str,
+    /// Lines of code of the original (Table 1).
+    pub loc: u32,
+    /// Dominant collective primitive (Table 1).
+    pub collective: &'static str,
+    /// Numerical method (Table 2).
+    pub numerics: &'static str,
+    /// Application domain (Table 2).
+    pub domain: &'static str,
+    /// Whether the medium/large workloads exist (six of nine codes).
+    pub supports_medium_large: bool,
+}
+
+impl BenchMeta {
+    /// Official benchmark name for a class, e.g. `505.lbm_t`.
+    pub fn spec_name(&self, class: WorkloadClass) -> String {
+        match class.id_prefix() {
+            Some(p) => format!("{}{:02}.{}_{}", p, self.spec_id, self.name, class.suffix()),
+            None => format!("{}_{}", self.name, class.suffix()),
+        }
+    }
+}
+
+/// A printable input configuration (Table 1's "Input configuration"
+/// column): parameter name → value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchConfig {
+    pub params: Vec<(&'static str, String)>,
+    /// Number of timed steps/iterations.
+    pub steps: u64,
+}
+
+impl BenchConfig {
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A real, executable kernel instance bound to one rank.
+pub trait Kernel {
+    /// Advance the local state by one time step, communicating through
+    /// `comm`.
+    fn step(&mut self, comm: &mut dyn Comm);
+
+    /// Check the kernel's numerical invariants (conservation laws,
+    /// residual decrease, positivity, …).
+    fn validate(&self) -> Result<(), String>;
+
+    /// Deterministic digest of the local state, for cross-run
+    /// reproducibility checks.
+    fn checksum(&self) -> f64;
+}
+
+/// One member of the SPEChpc 2021 suite analog.
+pub trait Benchmark: Send + Sync {
+    /// Static attributes (paper Tables 1–2).
+    fn meta(&self) -> BenchMeta;
+
+    /// Input configuration of a workload class (paper Table 1).
+    fn config(&self, class: WorkloadClass) -> BenchConfig;
+
+    /// Calibrated per-step resource footprint of a class.
+    fn signature(&self, class: WorkloadClass) -> WorkloadSignature;
+
+    /// Per-rank compute-time penalty factors (≥ 1.0) at a process count;
+    /// empty means uniform. `lbm` overrides this with its
+    /// data-alignment pathology model (paper §4.1.6).
+    fn penalties(&self, _class: WorkloadClass, _nranks: usize) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Per-rank MPI programs for **one** simulated time step. The
+    /// per-rank compute phases come from the node model via `compute`;
+    /// the communication pattern comes from the same decomposition the
+    /// native kernel uses. `compute.per_rank.len()` is the rank count.
+    fn step_programs(&self, class: WorkloadClass, compute: &ComputeTimes) -> Vec<Program>;
+
+    /// Instantiate the real kernel for `rank` of `nranks` (only
+    /// supported for [`WorkloadClass::Test`]-scale configs in practice —
+    /// the full SPEC sizes would need the original cluster).
+    fn make_kernel(
+        &self,
+        class: WorkloadClass,
+        rank: usize,
+        nranks: usize,
+        seed: u64,
+    ) -> Box<dyn Kernel>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_names_follow_the_numbering_scheme() {
+        let meta = BenchMeta {
+            name: "lbm",
+            spec_id: 5,
+            language: "C",
+            loc: 9000,
+            collective: "Barrier",
+            numerics: "Lattice-Boltzmann Method D2Q37",
+            domain: "2D CFD solver",
+            supports_medium_large: true,
+        };
+        assert_eq!(meta.spec_name(WorkloadClass::Tiny), "505.lbm_t");
+        assert_eq!(meta.spec_name(WorkloadClass::Small), "605.lbm_s");
+        assert_eq!(meta.spec_name(WorkloadClass::Test), "lbm_test");
+    }
+
+    #[test]
+    fn config_param_lookup() {
+        let cfg = BenchConfig {
+            params: vec![("nx", "4096".into()), ("ny", "16384".into())],
+            steps: 600,
+        };
+        assert_eq!(cfg.param("nx"), Some("4096"));
+        assert_eq!(cfg.param("nz"), None);
+    }
+}

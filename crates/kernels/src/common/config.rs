@@ -1,0 +1,103 @@
+//! Workload classes of the SPEChpc 2021 suite.
+//!
+//! The suite ships four strong-scaling workload sizes (paper §2):
+//! *tiny* (≤64 GB, 1–256 processes), *small* (≤480 GB, 64–1024),
+//! *medium* (≤4 TB, 256–4096) and *large* (≤14.5 TB, 2048–32768). We add
+//! a *test* class: a miniature configuration for executing the real
+//! kernels natively in unit/integration tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Miniature, for native test execution (not part of SPEChpc).
+    Test,
+    /// `5xx.name_t`: up to 0.06 TB, 1–256 processes.
+    Tiny,
+    /// `6xx.name_s`: up to 0.48 TB, 64–1024 processes.
+    Small,
+    /// `7xx.name_m`: up to 4 TB, 256–4096 processes (six of nine codes).
+    Medium,
+    /// `8xx.name_l`: up to 14.5 TB, 2048–32768 processes (six of nine).
+    Large,
+}
+
+impl WorkloadClass {
+    /// SPEC benchmark-id prefix digit of the class (`5ID.Name_t`,
+    /// `6ID.Name_s`, …).
+    pub fn id_prefix(self) -> Option<u32> {
+        match self {
+            WorkloadClass::Test => None,
+            WorkloadClass::Tiny => Some(5),
+            WorkloadClass::Small => Some(6),
+            WorkloadClass::Medium => Some(7),
+            WorkloadClass::Large => Some(8),
+        }
+    }
+
+    /// Suffix used in the official benchmark names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            WorkloadClass::Test => "test",
+            WorkloadClass::Tiny => "t",
+            WorkloadClass::Small => "s",
+            WorkloadClass::Medium => "m",
+            WorkloadClass::Large => "l",
+        }
+    }
+
+    /// Documented process-count range of the class.
+    pub fn process_range(self) -> (usize, usize) {
+        match self {
+            WorkloadClass::Test => (1, 16),
+            WorkloadClass::Tiny => (1, 256),
+            WorkloadClass::Small => (64, 1024),
+            WorkloadClass::Medium => (256, 4096),
+            WorkloadClass::Large => (2048, 32768),
+        }
+    }
+
+    /// Documented maximum aggregate memory footprint in TB.
+    pub fn memory_budget_tb(self) -> f64 {
+        match self {
+            WorkloadClass::Test => 0.001,
+            WorkloadClass::Tiny => 0.06,
+            WorkloadClass::Small => 0.48,
+            WorkloadClass::Medium => 4.0,
+            WorkloadClass::Large => 14.5,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WorkloadClass::Test => "test",
+            WorkloadClass::Tiny => "tiny",
+            WorkloadClass::Small => "small",
+            WorkloadClass::Medium => "medium",
+            WorkloadClass::Large => "large",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_metadata_matches_paper() {
+        assert_eq!(WorkloadClass::Tiny.process_range(), (1, 256));
+        assert_eq!(WorkloadClass::Small.process_range(), (64, 1024));
+        assert_eq!(WorkloadClass::Tiny.id_prefix(), Some(5));
+        assert_eq!(WorkloadClass::Small.suffix(), "s");
+        assert!(WorkloadClass::Large.memory_budget_tb() > 14.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkloadClass::Tiny.to_string(), "tiny");
+        assert_eq!(WorkloadClass::Test.to_string(), "test");
+    }
+}

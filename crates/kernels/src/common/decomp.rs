@@ -1,0 +1,340 @@
+//! Domain decompositions shared by the real kernels and the
+//! communication-pattern generators.
+//!
+//! The *same* decomposition code feeds both execution paths, so the
+//! simulated MPI patterns are exactly those the native kernels use. The
+//! factorization routines mirror `MPI_Dims_create`: as square as
+//! possible. This is where the paper's prime-process-count pathologies
+//! originate — a prime `p` factors only as `1 × p`, producing a chain
+//! decomposition with maximal dependency length (minisweep, §4.1.5) and
+//! extreme aspect ratios (lbm, §4.1.6).
+
+use serde::{Deserialize, Serialize};
+
+/// Factor `p` into `(px, py)` with `px × py = p`, as square as possible,
+/// `px ≤ py` (the `MPI_Dims_create` convention).
+pub fn factor_2d(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut best = (1, p);
+    let mut d = 1;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            best = (d, p / d);
+        }
+        d += 1;
+    }
+    best
+}
+
+/// Factor `p` into `(px, py, pz)` with product `p`, as cubic as possible,
+/// `px ≤ py ≤ pz`.
+pub fn factor_3d(p: usize) -> (usize, usize, usize) {
+    assert!(p > 0);
+    let mut best = (1, 1, p);
+    let mut best_score = score3(best);
+    let mut a = 1;
+    while a * a * a <= p {
+        if p.is_multiple_of(a) {
+            let rest = p / a;
+            let mut b = a;
+            while b * b <= rest {
+                if rest.is_multiple_of(b) {
+                    let cand = (a, b, rest / b);
+                    let s = score3(cand);
+                    if s < best_score {
+                        best = cand;
+                        best_score = s;
+                    }
+                }
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+/// Surface-to-volume style badness score: sum of pairwise ratios.
+fn score3((a, b, c): (usize, usize, usize)) -> f64 {
+    let (a, b, c) = (a as f64, b as f64, c as f64);
+    c / a + c / b + b / a
+}
+
+/// The index range `[lo, hi)` of block `i` when `n` items are split over
+/// `p` blocks as evenly as possible (first `n % p` blocks get one extra).
+pub fn block_range(n: usize, p: usize, i: usize) -> (usize, usize) {
+    assert!(i < p, "block index {i} out of {p}");
+    let base = n / p;
+    let extra = n % p;
+    let lo = i * base + i.min(extra);
+    let hi = lo + base + usize::from(i < extra);
+    (lo, hi)
+}
+
+/// A 2-D process grid with block decomposition of an `nx × ny` domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid2d {
+    pub nx: usize,
+    pub ny: usize,
+    pub px: usize,
+    pub py: usize,
+}
+
+impl Grid2d {
+    /// Decompose `nx × ny` over `p` ranks, MPI_Dims_create style. The
+    /// longer process-grid side is assigned to the longer domain side.
+    pub fn new(nx: usize, ny: usize, p: usize) -> Self {
+        let (a, b) = factor_2d(p); // a ≤ b
+        let (px, py) = if nx >= ny { (b, a) } else { (a, b) };
+        Grid2d { nx, ny, px, py }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Grid coordinates of a rank (row-major: x fastest).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank % self.px, rank / self.px)
+    }
+
+    pub fn rank_of(&self, ix: usize, iy: usize) -> usize {
+        iy * self.px + ix
+    }
+
+    /// Local tile `[x0, x1) × [y0, y1)` of a rank.
+    pub fn tile(&self, rank: usize) -> (usize, usize, usize, usize) {
+        let (ix, iy) = self.coords(rank);
+        let (x0, x1) = block_range(self.nx, self.px, ix);
+        let (y0, y1) = block_range(self.ny, self.py, iy);
+        (x0, x1, y0, y1)
+    }
+
+    /// Local tile extents `(lx, ly)`.
+    pub fn tile_size(&self, rank: usize) -> (usize, usize) {
+        let (x0, x1, y0, y1) = self.tile(rank);
+        (x1 - x0, y1 - y0)
+    }
+
+    /// Neighbors `(west, east, south, north)` with open boundaries.
+    pub fn neighbors(&self, rank: usize) -> [Option<usize>; 4] {
+        let (ix, iy) = self.coords(rank);
+        [
+            (ix > 0).then(|| self.rank_of(ix - 1, iy)),
+            (ix + 1 < self.px).then(|| self.rank_of(ix + 1, iy)),
+            (iy > 0).then(|| self.rank_of(ix, iy - 1)),
+            (iy + 1 < self.py).then(|| self.rank_of(ix, iy + 1)),
+        ]
+    }
+
+    /// Neighbors with periodic wrap-around, `(west, east, south, north)`.
+    pub fn neighbors_periodic(&self, rank: usize) -> [usize; 4] {
+        let (ix, iy) = self.coords(rank);
+        [
+            self.rank_of((ix + self.px - 1) % self.px, iy),
+            self.rank_of((ix + 1) % self.px, iy),
+            self.rank_of(ix, (iy + self.py - 1) % self.py),
+            self.rank_of(ix, (iy + 1) % self.py),
+        ]
+    }
+}
+
+/// A 3-D process grid with block decomposition of `nx × ny × nz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3d {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub px: usize,
+    pub py: usize,
+    pub pz: usize,
+}
+
+impl Grid3d {
+    pub fn new(nx: usize, ny: usize, nz: usize, p: usize) -> Self {
+        let (px, py, pz) = factor_3d(p);
+        Grid3d {
+            nx,
+            ny,
+            nz,
+            px,
+            py,
+            pz,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.px * self.py * self.pz
+    }
+
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        (
+            rank % self.px,
+            (rank / self.px) % self.py,
+            rank / (self.px * self.py),
+        )
+    }
+
+    pub fn rank_of(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.py + iy) * self.px + ix
+    }
+
+    /// Local tile `[x0,x1) × [y0,y1) × [z0,z1)`.
+    #[allow(clippy::type_complexity)]
+    pub fn tile(&self, rank: usize) -> ((usize, usize), (usize, usize), (usize, usize)) {
+        let (ix, iy, iz) = self.coords(rank);
+        (
+            block_range(self.nx, self.px, ix),
+            block_range(self.ny, self.py, iy),
+            block_range(self.nz, self.pz, iz),
+        )
+    }
+
+    /// Six face neighbors (−x, +x, −y, +y, −z, +z), open boundaries.
+    pub fn neighbors(&self, rank: usize) -> [Option<usize>; 6] {
+        let (ix, iy, iz) = self.coords(rank);
+        [
+            (ix > 0).then(|| self.rank_of(ix - 1, iy, iz)),
+            (ix + 1 < self.px).then(|| self.rank_of(ix + 1, iy, iz)),
+            (iy > 0).then(|| self.rank_of(ix, iy - 1, iz)),
+            (iy + 1 < self.py).then(|| self.rank_of(ix, iy + 1, iz)),
+            (iz > 0).then(|| self.rank_of(ix, iy, iz - 1)),
+            (iz + 1 < self.pz).then(|| self.rank_of(ix, iy, iz + 1)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_2d_squares() {
+        assert_eq!(factor_2d(1), (1, 1));
+        assert_eq!(factor_2d(12), (3, 4));
+        assert_eq!(factor_2d(36), (6, 6));
+        assert_eq!(factor_2d(44), (4, 11));
+        assert_eq!(factor_2d(45), (5, 9));
+    }
+
+    #[test]
+    fn factor_2d_primes_give_chains() {
+        // Prime process counts decompose as 1 × p — the root of the
+        // paper's minisweep pathologies at {59, 61, …}.
+        for p in [2, 3, 5, 7, 59, 61, 71] {
+            assert_eq!(factor_2d(p), (1, p));
+        }
+    }
+
+    #[test]
+    fn factor_3d_products_and_shape() {
+        for p in 1..200 {
+            let (a, b, c) = factor_3d(p);
+            assert_eq!(a * b * c, p);
+            assert!(a <= b && b <= c);
+        }
+        assert_eq!(factor_3d(8), (2, 2, 2));
+        assert_eq!(factor_3d(64), (4, 4, 4));
+    }
+
+    #[test]
+    fn block_ranges_partition() {
+        for n in [10usize, 97, 1000] {
+            for p in [1usize, 3, 7, 13] {
+                let mut next = 0;
+                for i in 0..p {
+                    let (lo, hi) = block_range(n, p, i);
+                    assert_eq!(lo, next);
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..7).map(|i| {
+            let (lo, hi) = block_range(100, 7, i);
+            hi - lo
+        }).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn grid2d_tiles_cover_domain() {
+        let g = Grid2d::new(100, 60, 12);
+        let mut covered = vec![false; 100 * 60];
+        for r in 0..g.nranks() {
+            let (x0, x1, y0, y1) = g.tile(r);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    assert!(!covered[y * 100 + x]);
+                    covered[y * 100 + x] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn grid2d_orients_long_side_to_long_domain() {
+        let g = Grid2d::new(4096, 16384, 8);
+        assert!(g.py >= g.px, "long domain side Y should get more ranks");
+    }
+
+    #[test]
+    fn grid2d_neighbors_are_mutual() {
+        let g = Grid2d::new(64, 64, 12);
+        for r in 0..12 {
+            let [w, e, s, n] = g.neighbors(r);
+            if let Some(e) = e {
+                assert_eq!(g.neighbors(e)[0], Some(r));
+            }
+            if let Some(w) = w {
+                assert_eq!(g.neighbors(w)[1], Some(r));
+            }
+            if let Some(n) = n {
+                assert_eq!(g.neighbors(n)[2], Some(r));
+            }
+            if let Some(s) = s {
+                assert_eq!(g.neighbors(s)[3], Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn grid2d_periodic_neighbors_wrap() {
+        let g = Grid2d::new(64, 64, 4); // 2×2
+        let n = g.neighbors_periodic(0);
+        assert_eq!(n.len(), 4);
+        // In a 2×2 grid, the periodic west and east neighbor coincide.
+        assert_eq!(n[0], n[1]);
+    }
+
+    #[test]
+    fn grid3d_roundtrip_coords() {
+        let g = Grid3d::new(96, 64, 64, 24);
+        for r in 0..g.nranks() {
+            let (x, y, z) = g.coords(r);
+            assert_eq!(g.rank_of(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn grid3d_neighbors_mutual() {
+        let g = Grid3d::new(32, 32, 32, 27);
+        for r in 0..g.nranks() {
+            let nb = g.neighbors(r);
+            for (dir, n) in nb.iter().enumerate() {
+                if let Some(n) = *n {
+                    let opposite = dir ^ 1;
+                    assert_eq!(g.neighbors(n)[opposite], Some(r));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Infrastructure shared by all nine benchmark analogs.
+
+pub mod benchmark;
+pub mod config;
+pub mod decomp;
+pub mod model;
+pub mod signature;

@@ -1,0 +1,190 @@
+//! Workload signatures: the calibrated resource footprint of one
+//! benchmark time step.
+//!
+//! The paper's entire analysis rests on fundamental resource metrics —
+//! flops (DP vs. DP-AVX), memory/L3/L2 data volumes, bandwidths, and
+//! working-set size ("The working sets of the tiny or small suites were
+//! at least ten times the size of the last-level cache of one node",
+//! §3). A [`WorkloadSignature`] captures exactly those quantities for
+//! one simulated time step of one benchmark at one workload class.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource footprint of one benchmark step, aggregated over all ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSignature {
+    /// Double-precision floating-point operations per step (total).
+    pub flops: f64,
+    /// Fraction of the flops executed with AVX-512 SIMD instructions
+    /// (the paper's §4.1.3 "vectorization ratio").
+    pub simd_fraction: f64,
+    /// Fraction of peak execution throughput a core achieves on this
+    /// code's instruction mix when not memory-bound (pipeline
+    /// dependencies, non-FMA operations, divides, gathers, …).
+    pub core_efficiency: f64,
+    /// Main-memory traffic per step in bytes (total, assuming no part of
+    /// the working set is cache-resident). Split evenly over ranks.
+    pub mem_bytes: f64,
+    /// Additional main-memory traffic per step **per rank** in bytes —
+    /// sweeps over *replicated* data that do not shrink under strong
+    /// scaling (soma's density-field passes, §5.1.2). Aggregate traffic
+    /// from this term grows linearly with the rank count.
+    pub mem_bytes_per_rank: f64,
+    /// L2 cache traffic per step in bytes (total).
+    pub l2_bytes: f64,
+    /// L3 cache traffic per step in bytes (total). On the studied CPUs
+    /// the L3 is a victim cache and sees traffic coming down from L2, so
+    /// `l3_bytes` may exceed `mem_bytes` considerably (paper §4.1.4).
+    pub l3_bytes: f64,
+    /// Aggregate working set in bytes. Split over nodes under strong
+    /// scaling; when the per-node share approaches the effective LLC, the
+    /// memory traffic collapses (superlinear scaling, paper §5.1 case A).
+    pub working_set_bytes: f64,
+    /// Sharpness of the cache-fit transition: the fraction of memory
+    /// traffic that survives caching is `1 − (llc/ws)^cache_exponent`.
+    /// Pure streaming access (LRU gets no reuse until the set nearly
+    /// fits) is sharp (≈3); blocked or irregular access with temporal
+    /// locality benefits earlier (1–1.5).
+    pub cache_exponent: f64,
+    /// Fraction of the working set that is *replicated per rank* rather
+    /// than distributed (soma's density fields, §5.1.2). Replicated data
+    /// adds `replicated_fraction × working_set` per additional rank and
+    /// never becomes cache-resident by scaling out.
+    pub replicated_fraction: f64,
+    /// Power intensity in `[0, 1]`: position of this code between the
+    /// coolest (soma = 0) and hottest (sph-exa = 1) codes of §4.2.1.
+    pub heat: f64,
+    /// Number of timed steps in the workload.
+    pub steps: u64,
+}
+
+impl WorkloadSignature {
+    /// Arithmetic intensity in flops/byte against main memory.
+    pub fn intensity(&self) -> f64 {
+        if self.mem_bytes <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.flops / self.mem_bytes
+    }
+
+    /// Distributed (non-replicated) part of the working set.
+    pub fn distributed_working_set(&self) -> f64 {
+        self.working_set_bytes * (1.0 - self.replicated_fraction)
+    }
+
+    /// Total resident bytes with `nranks` ranks: the distributed part
+    /// plus one replica of the replicated part per rank.
+    pub fn resident_bytes(&self, nranks: usize) -> f64 {
+        self.distributed_working_set()
+            + self.working_set_bytes * self.replicated_fraction * nranks as f64
+    }
+
+    /// Basic sanity check used by the test-suite over all benchmarks.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            (self.flops >= 0.0, "flops must be non-negative"),
+            (
+                (0.0..=1.0).contains(&self.simd_fraction),
+                "simd_fraction must be in [0,1]",
+            ),
+            (
+                self.core_efficiency > 0.0 && self.core_efficiency <= 1.0,
+                "core_efficiency must be in (0,1]",
+            ),
+            (self.mem_bytes >= 0.0, "mem_bytes must be non-negative"),
+            (
+                self.mem_bytes_per_rank >= 0.0,
+                "mem_bytes_per_rank must be non-negative",
+            ),
+            (
+                self.l2_bytes >= self.mem_bytes,
+                "L2 traffic cannot be below memory traffic",
+            ),
+            (
+                self.working_set_bytes > 0.0,
+                "working set must be positive",
+            ),
+            (
+                (0.0..=1.0).contains(&self.replicated_fraction),
+                "replicated_fraction must be in [0,1]",
+            ),
+            (
+                (0.5..=5.0).contains(&self.cache_exponent),
+                "cache_exponent must be in [0.5, 5]",
+            ),
+            ((0.0..=1.0).contains(&self.heat), "heat must be in [0,1]"),
+            (self.steps > 0, "steps must be positive"),
+        ];
+        for (ok, msg) in checks {
+            if !ok {
+                return Err(msg.to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> WorkloadSignature {
+        WorkloadSignature {
+            flops: 1e12,
+            simd_fraction: 0.9,
+            core_efficiency: 0.3,
+            mem_bytes: 1e11,
+            mem_bytes_per_rank: 0.0,
+            l2_bytes: 2e11,
+            l3_bytes: 1.5e11,
+            working_set_bytes: 1e10,
+            cache_exponent: 1.0,
+            replicated_fraction: 0.0,
+            heat: 0.5,
+            steps: 100,
+        }
+    }
+
+    #[test]
+    fn intensity_is_flops_over_bytes() {
+        assert!((sig().intensity() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_memory_traffic_means_infinite_intensity() {
+        let mut s = sig();
+        s.mem_bytes = 0.0;
+        assert!(s.intensity().is_infinite());
+    }
+
+    #[test]
+    fn replicated_data_grows_with_ranks() {
+        let mut s = sig();
+        s.replicated_fraction = 0.5;
+        let one = s.resident_bytes(1);
+        let ten = s.resident_bytes(10);
+        assert!((one - 1e10).abs() < 1.0);
+        // 0.5e10 distributed + 10 × 0.5e10 replicated = 5.5e10
+        assert!((ten - 5.5e10).abs() < 1.0);
+    }
+
+    #[test]
+    fn fully_distributed_data_is_rank_independent() {
+        let s = sig();
+        assert_eq!(s.resident_bytes(1), s.resident_bytes(1000));
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(sig().validate().is_ok());
+        let mut s = sig();
+        s.simd_fraction = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = sig();
+        s.l2_bytes = 0.0;
+        assert!(s.validate().is_err(), "L2 < memory must be rejected");
+        let mut s = sig();
+        s.steps = 0;
+        assert!(s.validate().is_err());
+    }
+}

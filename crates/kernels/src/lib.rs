@@ -1,0 +1,35 @@
+//! # spechpc-kernels — executable analogs of the nine SPEChpc 2021 benchmarks
+//!
+//! The SPEChpc 2021 suite is distributed by SPEC and written in Fortran,
+//! C and C++ (Table 1 of the paper). This crate provides Rust mini-kernel
+//! *analogs* of all nine benchmarks. Each analog has three faces:
+//!
+//! 1. **A real, executable kernel** ([`Kernel`]) implementing the same
+//!    numerical method class on a rank-local domain (lattice-Boltzmann
+//!    D2Q37, CG heat solver, explicit Euler hydro, KBA radiation sweep,
+//!    preconditioned CG Laplace, SPH, FV geometric multigrid, FV
+//!    atmosphere, MC polymers). Kernels run *natively* over
+//!    [`spechpc_simmpi::threadcomm`] — real data moves, invariants are
+//!    testable (conservation laws, residual decrease, …).
+//! 2. **A communication pattern** ([`Benchmark::step_programs`]) — the
+//!    per-rank MPI operation sequence of one time step, fed to the
+//!    discrete-event simulator for cluster-scale replay. The pattern is
+//!    produced by the *same decomposition code* the real kernel uses.
+//! 3. **A workload signature** ([`WorkloadSignature`]) — calibrated
+//!    resource footprints (flops, SIMD fraction, memory/L2/L3 traffic,
+//!    working set, power "heat") that drive the node-level performance
+//!    model ([`common::model::NodeModel`]).
+//!
+//! [`registry::all_benchmarks`] returns the full suite in the paper's
+//! Table 1 order.
+
+pub mod benchmarks;
+pub mod common;
+pub mod registry;
+
+pub use common::benchmark::{BenchConfig, BenchMeta, Benchmark, Kernel};
+pub use common::config::WorkloadClass;
+pub use common::decomp::{block_range, factor_2d, factor_3d, Grid2d, Grid3d};
+pub use common::model::{ComputeTimes, NodeModel};
+pub use common::signature::WorkloadSignature;
+pub use registry::{all_benchmarks, benchmark_by_name, BENCHMARK_NAMES};

@@ -1,0 +1,126 @@
+//! The suite registry: all nine benchmarks in Table 1 order.
+
+use crate::common::benchmark::Benchmark;
+
+/// Benchmark names in the paper's Table 1 order.
+pub const BENCHMARK_NAMES: [&str; 9] = [
+    "lbm",
+    "soma",
+    "tealeaf",
+    "cloverleaf",
+    "minisweep",
+    "pot3d",
+    "sph-exa",
+    "hpgmgfv",
+    "weather",
+];
+
+/// Instantiate the full suite in Table 1 order.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(crate::benchmarks::lbm::Lbm),
+        Box::new(crate::benchmarks::soma::Soma),
+        Box::new(crate::benchmarks::tealeaf::Tealeaf),
+        Box::new(crate::benchmarks::cloverleaf::Cloverleaf),
+        Box::new(crate::benchmarks::minisweep::Minisweep),
+        Box::new(crate::benchmarks::pot3d::Pot3d),
+        Box::new(crate::benchmarks::sph_exa::SphExa),
+        Box::new(crate::benchmarks::hpgmgfv::Hpgmgfv),
+        Box::new(crate::benchmarks::weather::Weather),
+    ]
+}
+
+/// Look up one suite member by its Table 1 name.
+pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.meta().name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::config::WorkloadClass;
+
+    #[test]
+    fn registry_has_nine_members_in_table_order() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 9);
+        for (b, name) in all.iter().zip(BENCHMARK_NAMES) {
+            assert_eq!(b.meta().name, name);
+        }
+    }
+
+    #[test]
+    fn six_of_nine_support_medium_and_large() {
+        // Paper §2: "the medium and large workloads are only supported
+        // by six out of the nine benchmarks".
+        let n = all_benchmarks()
+            .iter()
+            .filter(|b| b.meta().supports_medium_large)
+            .count();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn every_signature_validates_for_every_class() {
+        for b in all_benchmarks() {
+            for class in [
+                WorkloadClass::Test,
+                WorkloadClass::Tiny,
+                WorkloadClass::Small,
+                WorkloadClass::Medium,
+                WorkloadClass::Large,
+            ] {
+                let sig = b.signature(class);
+                sig.validate()
+                    .unwrap_or_else(|e| panic!("{} {class}: {e}", b.meta().name));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_fits_its_memory_budget() {
+        // Tiny working sets must respect the 0.06 TB class budget and be
+        // at least 10× one node's LLC (§3).
+        let llc = 420e6; // the larger (ClusterB) node LLC in bytes
+        for b in all_benchmarks() {
+            let sig = b.signature(WorkloadClass::Tiny);
+            let ws = sig.resident_bytes(72);
+            assert!(
+                ws < 0.07e12,
+                "{}: tiny working set {ws:.2e} exceeds the class budget",
+                b.meta().name
+            );
+            assert!(
+                ws > 1.0 * llc,
+                "{}: tiny working set {ws:.2e} too small to stress memory",
+                b.meta().name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("pot3d").is_some());
+        assert!(benchmark_by_name("sph-exa").is_some());
+        assert!(benchmark_by_name("hpl").is_none());
+    }
+
+    #[test]
+    fn heats_span_the_soma_to_sph_exa_range() {
+        let heats: Vec<(String, f64)> = all_benchmarks()
+            .iter()
+            .map(|b| {
+                (
+                    b.meta().name.to_string(),
+                    b.signature(WorkloadClass::Tiny).heat,
+                )
+            })
+            .collect();
+        let hottest = heats.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let coolest = heats.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        assert_eq!(hottest.0, "sph-exa", "§4.2.1: sph-exa is hottest");
+        assert_eq!(coolest.0, "soma", "§4.2.1: soma is coolest");
+    }
+}

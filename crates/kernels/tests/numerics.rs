@@ -1,0 +1,378 @@
+//! Deeper numerical validation of the nine kernel analogs: fixed
+//! points, analytic limits, symmetry preservation, and convergence
+//! rates — beyond the per-module smoke tests.
+
+use spechpc_kernels::benchmarks::cloverleaf::CloverKernel;
+use spechpc_kernels::benchmarks::hpgmgfv::HpgmgKernel;
+use spechpc_kernels::benchmarks::lbm::{weights_and_cs2, LbmKernel};
+use spechpc_kernels::benchmarks::minisweep::SweepKernel;
+use spechpc_kernels::benchmarks::pot3d::Pot3dKernel;
+use spechpc_kernels::benchmarks::sph_exa::SphKernel;
+use spechpc_kernels::benchmarks::soma::SomaKernel;
+use spechpc_kernels::benchmarks::tealeaf::TealeafKernel;
+use spechpc_kernels::benchmarks::weather::WeatherKernel;
+use spechpc_kernels::benchmarks::{
+    cloverleaf, hpgmgfv, lbm, minisweep, pot3d, soma, sph_exa, tealeaf, weather,
+};
+use spechpc_kernels::common::benchmark::Kernel;
+use spechpc_kernels::common::config::WorkloadClass;
+use spechpc_simmpi::comm::SelfComm;
+
+const TEST: WorkloadClass = WorkloadClass::Test;
+
+// ---------------------------------------------------------------- lbm
+
+#[test]
+fn lbm_uniform_state_is_a_fixed_point() {
+    // A uniform equilibrium lattice must be exactly stationary under
+    // propagate + collide (discrete H-theorem fixed point).
+    let mut k = LbmKernel::new(16, 16, 0, 1, 0);
+    // Overwrite the perturbed IC with a perfectly uniform one.
+    let (w, _) = weights_and_cs2(&lbm::velocities());
+    k.set_uniform(1.0, &w);
+    let m0 = k.local_mass();
+    let mut comm = SelfComm::new();
+    for _ in 0..5 {
+        k.step(&mut comm);
+    }
+    assert!((k.local_mass() - m0).abs() < 1e-12);
+    let (px, py) = k.local_momentum();
+    assert!(px.abs() < 1e-12 && py.abs() < 1e-12);
+    assert!(
+        k.density_spread() < 1e-12,
+        "uniform state must stay uniform, spread {}",
+        k.density_spread()
+    );
+}
+
+#[test]
+fn lbm_perturbation_decays_despite_acoustic_oscillation() {
+    let mut k = LbmKernel::new(24, 24, 0, 1, 42);
+    let mut comm = SelfComm::new();
+    let s0 = k.density_spread();
+    let mut peak = s0;
+    for _ in 0..30 {
+        k.step(&mut comm);
+        peak = peak.max(k.density_spread());
+    }
+    let s1 = k.density_spread();
+    // Sound waves slosh, but the envelope must decay and never blow up.
+    assert!(s1 < 0.7 * s0, "perturbation barely decayed: {s0} → {s1}");
+    assert!(peak < 1.6 * s0, "acoustic amplification: peak {peak} vs {s0}");
+}
+
+// ------------------------------------------------------------- tealeaf
+
+#[test]
+fn tealeaf_matches_dense_direct_solve() {
+    // One implicit step on a miniature grid vs. a dense Gauss solve of
+    // the same (I − λ∇²) system with mirrored (Neumann) boundaries.
+    let p = tealeaf::TealeafParams {
+        nx: 6,
+        ny: 6,
+        outer_steps: 1,
+        cg_iters: 200,
+    };
+    let mut k = TealeafKernel::new(p, 0, 1);
+    let b = k.core_field();
+    let mut comm = SelfComm::new();
+    k.step(&mut comm);
+    let x_cg = k.core_field();
+
+    // Dense assembly of A = I − λ·∇² with Neumann mirroring.
+    let n = 36;
+    let lambda = 0.5;
+    let idx = |x: usize, y: usize| y * 6 + x;
+    let mut a = vec![vec![0.0f64; n]; n];
+    for y in 0..6 {
+        for x in 0..6 {
+            let i = idx(x, y);
+            let neighbors: Vec<usize> = [
+                (x.wrapping_sub(1), y, x > 0),
+                (x + 1, y, x + 1 < 6),
+                (x, y.wrapping_sub(1), y > 0),
+                (x, y + 1, y + 1 < 6),
+            ]
+            .iter()
+            .filter(|&&(_, _, ok)| ok)
+            .map(|&(nx, ny, _)| idx(nx, ny))
+            .collect();
+            // Mirrored missing neighbors contribute the centre value,
+            // so the diagonal Laplacian weight shrinks accordingly.
+            a[i][i] = 1.0 + lambda * neighbors.len() as f64;
+            for &j in &neighbors {
+                a[i][j] -= lambda;
+            }
+        }
+    }
+    // Gauss elimination.
+    let mut rhs = b.clone();
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))
+            .unwrap();
+        a.swap(col, piv);
+        rhs.swap(col, piv);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for c in col..n {
+                a[row][c] -= f * a[col][c];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x_direct = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for c in row + 1..n {
+            s -= a[row][c] * x_direct[c];
+        }
+        x_direct[row] = s / a[row][row];
+    }
+
+    for i in 0..n {
+        assert!(
+            (x_cg[i] - x_direct[i]).abs() < 1e-8,
+            "cell {i}: CG {} vs direct {}",
+            x_cg[i],
+            x_direct[i]
+        );
+    }
+}
+
+#[test]
+fn tealeaf_converges_to_uniform_temperature() {
+    // Insulated box: many steps drive the field to its mean.
+    let p = tealeaf::TealeafParams {
+        nx: 16,
+        ny: 16,
+        outer_steps: 1,
+        cg_iters: 100,
+    };
+    let mut k = TealeafKernel::new(p, 0, 1);
+    let total = k.local_heat();
+    let mean = total / 256.0;
+    let mut comm = SelfComm::new();
+    for _ in 0..200 {
+        k.step(&mut comm);
+    }
+    let field = k.core_field();
+    for v in field {
+        assert!((v - mean).abs() < 0.05 * mean, "not uniform: {v} vs {mean}");
+    }
+    assert!((k.local_heat() - total).abs() / total < 1e-6);
+}
+
+// ---------------------------------------------------------- cloverleaf
+
+#[test]
+fn cloverleaf_preserves_mirror_symmetry() {
+    // The quadrant IC is symmetric under (x,y) → (y,x); the solver must
+    // preserve that symmetry exactly (same flux formulas both axes).
+    let p = cloverleaf::CloverParams {
+        nx: 24,
+        ny: 24,
+        steps: 8,
+    };
+    let mut k = CloverKernel::new(p, 0, 1);
+    let mut comm = SelfComm::new();
+    for _ in 0..8 {
+        k.step(&mut comm);
+    }
+    let rho = k.density_field();
+    for y in 0..24 {
+        for x in 0..24 {
+            let a = rho[y * 24 + x];
+            let b = rho[x * 24 + y];
+            assert!(
+                (a - b).abs() < 1e-12,
+                "diagonal symmetry broken at ({x},{y}): {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cloverleaf_stays_positive_over_long_runs() {
+    let p = cloverleaf::CloverParams {
+        nx: 32,
+        ny: 32,
+        steps: 60,
+    };
+    let mut k = CloverKernel::new(p, 0, 1);
+    let mut comm = SelfComm::new();
+    for _ in 0..60 {
+        k.step(&mut comm);
+        k.validate().expect("positivity must hold every step");
+    }
+}
+
+// ------------------------------------------------------------ minisweep
+
+#[test]
+fn minisweep_reaches_the_infinite_medium_limit() {
+    // Uniform source & absorber, many sweeps: the interior scalar flux
+    // approaches 8 octants × S/σ (boundary cells stay lower because of
+    // the vacuum boundary).
+    let p = minisweep::SweepParams {
+        nx: 16,
+        ny: 16,
+        nz: 12,
+        groups: 1,
+        angles: 1,
+        zblocks: 2,
+        steps: 12,
+    };
+    let mut k = SweepKernel::new(p, 0, 1);
+    let mut comm = SelfComm::new();
+    for _ in 0..12 {
+        k.step(&mut comm);
+    }
+    let centre = k.flux_at(8, 8, 6);
+    let bound = k.flux_bound();
+    assert!(
+        centre > 0.85 * bound && centre <= bound * (1.0 + 1e-9),
+        "interior flux {centre} vs infinite-medium bound {bound}"
+    );
+    // Boundary flux is depressed by the vacuum boundary.
+    let corner = k.flux_at(0, 0, 0);
+    assert!(corner < centre, "corner {corner} should see less flux");
+}
+
+// --------------------------------------------------------------- pot3d
+
+#[test]
+fn pot3d_cg_error_decreases_monotonically_over_steps() {
+    let p = pot3d::Pot3dParams {
+        nr: 12,
+        nt: 12,
+        np: 12,
+        iters: 10,
+    };
+    let mut k = Pot3dKernel::new(p, 0, 1);
+    let mut comm = SelfComm::new();
+    let mut last = f64::INFINITY;
+    for _ in 0..4 {
+        k.step(&mut comm);
+        assert!(
+            k.last_residual <= last * (1.0 + 1e-9),
+            "residual rose: {last} → {}",
+            k.last_residual
+        );
+        last = k.last_residual;
+    }
+    assert!(last < 1e-6, "PCG should be nearly converged: {last}");
+}
+
+// ----------------------------------------------------------------- sph
+
+#[test]
+fn sph_perfect_lattice_stays_near_equilibrium() {
+    let p = sph_exa::SphParams { side: 8, steps: 6 };
+    let mut k = SphKernel::new(p, 0, 1);
+    let mut comm = SelfComm::new();
+    for _ in 0..6 {
+        k.step(&mut comm);
+    }
+    // The jittered lattice relaxes; velocities stay bounded (no blowup).
+    let vmax = k.max_speed();
+    assert!(vmax < 1.0, "velocities exploded: {vmax}");
+    k.validate().unwrap();
+}
+
+// ------------------------------------------------------------- hpgmgfv
+
+#[test]
+fn hpgmgfv_contraction_rate_is_grid_independent() {
+    // Textbook multigrid property: the V-cycle residual-reduction factor
+    // does not degrade as the grid grows.
+    let rate = |log2_grid: u32| -> f64 {
+        let p = hpgmgfv::HpgmgParams {
+            log2_box: 3,
+            log2_grid,
+            steps: 3,
+        };
+        let mut k = HpgmgKernel::new(p, 0, 1);
+        let mut comm = SelfComm::new();
+        k.step(&mut comm);
+        let r1 = k.last_residual;
+        k.step(&mut comm);
+        k.last_residual / r1
+    };
+    let small = rate(4);
+    let large = rate(5);
+    assert!(small < 0.4, "16³ contraction {small}");
+    assert!(large < 0.4, "32³ contraction {large}");
+    assert!(
+        large < 2.5 * small.max(0.05),
+        "contraction degrades with grid size: {small} vs {large}"
+    );
+}
+
+// -------------------------------------------------------------- weather
+
+#[test]
+fn weather_constant_state_is_well_balanced() {
+    // A constant field must be exactly preserved by the conservative
+    // upwind transport (divergence-free prescribed winds not required:
+    // flux differences of a constant only cancel in x, and the z-pass
+    // uses zero-flux walls with a divergence-free roll).
+    let p = weather::WeatherParams {
+        nx: 32,
+        nz: 16,
+        steps: 10,
+        model: 6,
+    };
+    let mut k = WeatherKernel::new(p, 0, 1);
+    k.set_constant(3, 300.0); // flatten θ
+    let mut comm = SelfComm::new();
+    for _ in 0..10 {
+        k.step(&mut comm);
+    }
+    let (mn, mx) = k.field_range(0); // density stays exactly 1
+    assert!((mn - 1.0).abs() < 1e-9 && (mx - 1.0).abs() < 1e-9,
+        "density must stay constant: [{mn}, {mx}]");
+}
+
+#[test]
+fn weather_theta_extrema_are_bounded_by_initial_data() {
+    // First-order upwind transport is monotone: no new extrema.
+    let p = weather::WeatherParams {
+        nx: 48,
+        nz: 24,
+        steps: 30,
+        model: 6,
+    };
+    let mut k = WeatherKernel::new(p, 0, 1);
+    let (mn0, mx0) = k.field_range(3);
+    let mut comm = SelfComm::new();
+    for _ in 0..30 {
+        k.step(&mut comm);
+    }
+    let (mn1, mx1) = k.field_range(3);
+    assert!(mn1 >= mn0 - 1e-9, "new minimum created: {mn0} → {mn1}");
+    assert!(mx1 <= mx0 + 1e-9, "new maximum created: {mx0} → {mx1}");
+}
+
+// ---------------------------------------------------------------- soma
+
+#[test]
+fn soma_stronger_repulsion_lowers_acceptance() {
+    let p = soma::params(TEST);
+    let accept = |kappa: f64| -> f64 {
+        let mut k = SomaKernel::new(p, 0, 1, 11);
+        k.set_kappa(kappa);
+        let mut comm = SelfComm::new();
+        // A couple of steps to populate the density field.
+        for _ in 0..3 {
+            k.step(&mut comm);
+        }
+        k.accepted as f64 / k.attempted as f64
+    };
+    let weak = accept(0.1);
+    let strong = accept(30.0);
+    assert!(
+        strong < weak,
+        "stronger repulsion must reject more moves: {weak} vs {strong}"
+    );
+}

@@ -1,0 +1,186 @@
+//! Process-to-core affinity — the `likwid-mpirun` analog.
+//!
+//! The study maps consecutive MPI ranks to consecutive cores ("compact"
+//! pinning). A "scatter" policy (round-robin over ccNUMA domains) is
+//! provided for ablation experiments: scattering changes when the
+//! per-domain memory-bandwidth bottleneck is hit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+
+/// Pinning policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PinningPolicy {
+    /// Consecutive ranks on consecutive cores, filling domain after
+    /// domain (the paper's setup).
+    Compact,
+    /// Ranks distributed round-robin over the ccNUMA domains of a node
+    /// before filling cores within a domain.
+    Scatter,
+}
+
+/// The placement of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    pub rank: usize,
+    pub node: usize,
+    /// Node-local core id.
+    pub core: usize,
+    /// Node-local ccNUMA domain id.
+    pub domain: usize,
+}
+
+/// A full pinning of `nprocs` ranks onto a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pinning {
+    pub policy: PinningPolicy,
+    pub placements: Vec<Placement>,
+    /// Cores per node of the underlying cluster (for locality queries).
+    cores_per_node: usize,
+}
+
+impl Pinning {
+    /// Pin `nprocs` ranks on `cluster` under `policy`. Nodes are always
+    /// filled in order (node 0 first); the policy controls placement
+    /// *within* a node.
+    pub fn new(cluster: &ClusterSpec, nprocs: usize, policy: PinningPolicy) -> Self {
+        assert!(
+            nprocs <= cluster.total_cores(),
+            "cannot pin {nprocs} ranks on {} cores",
+            cluster.total_cores()
+        );
+        let cpn = cluster.node.cores();
+        let layout = cluster.node.domain_layout();
+        let mut placements = Vec::with_capacity(nprocs);
+        for rank in 0..nprocs {
+            let node = rank / cpn;
+            let local = rank % cpn;
+            let core = match policy {
+                PinningPolicy::Compact => local,
+                PinningPolicy::Scatter => {
+                    // Round-robin over domains: local rank r goes to domain
+                    // r % ndom, slot r / ndom within that domain.
+                    let ndom = layout.len();
+                    let dom = &layout[local % ndom];
+                    let slot = local / ndom;
+                    debug_assert!(slot < dom.cores);
+                    dom.first_core + slot
+                }
+            };
+            let domain = crate::numa::domain_of(&layout, core)
+                .expect("core must belong to a domain")
+                .id;
+            placements.push(Placement {
+                rank,
+                node,
+                core,
+                domain,
+            });
+        }
+        Pinning {
+            policy,
+            placements,
+            cores_per_node: cpn,
+        }
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.placements.len()
+    }
+
+    pub fn placement(&self, rank: usize) -> Placement {
+        self.placements[rank]
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.placements[a].node == self.placements[b].node
+    }
+
+    /// Number of nodes touched.
+    pub fn nodes_used(&self) -> usize {
+        self.placements.last().map(|p| p.node + 1).unwrap_or(0)
+    }
+
+    /// Active ranks per (node, domain) pair; outer index node, inner
+    /// index domain.
+    pub fn active_per_domain(&self, domains_per_node: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![vec![0usize; domains_per_node]; self.nodes_used()];
+        for p in &self.placements {
+            out[p.node][p.domain] += 1;
+        }
+        out
+    }
+
+    /// Ranks resident on a given node.
+    pub fn ranks_on_node(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.placements
+            .iter()
+            .filter(move |p| p.node == node)
+            .map(|p| p.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn compact_fills_first_domain_first() {
+        let c = presets::cluster_a();
+        let p = Pinning::new(&c, 20, PinningPolicy::Compact);
+        // Ranks 0..18 in domain 0, 18..20 in domain 1 of node 0.
+        assert!(p.placements[..18].iter().all(|x| x.domain == 0));
+        assert_eq!(p.placements[18].domain, 1);
+        assert_eq!(p.placements[19].domain, 1);
+        assert_eq!(p.nodes_used(), 1);
+    }
+
+    #[test]
+    fn scatter_round_robins_over_domains() {
+        let c = presets::cluster_a();
+        let p = Pinning::new(&c, 8, PinningPolicy::Scatter);
+        let domains: Vec<usize> = p.placements.iter().map(|x| x.domain).collect();
+        assert_eq!(domains, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_node_compact_spills_to_next_node() {
+        let c = presets::cluster_a();
+        let p = Pinning::new(&c, 100, PinningPolicy::Compact);
+        assert_eq!(p.placements[71].node, 0);
+        assert_eq!(p.placements[72].node, 1);
+        assert_eq!(p.placements[72].core, 0);
+        assert_eq!(p.nodes_used(), 2);
+        assert!(!p.same_node(71, 72));
+    }
+
+    #[test]
+    fn every_core_assigned_at_most_once() {
+        let c = presets::cluster_b();
+        for policy in [PinningPolicy::Compact, PinningPolicy::Scatter] {
+            let p = Pinning::new(&c, 2 * c.node.cores(), policy);
+            let mut seen = std::collections::BTreeSet::new();
+            for pl in &p.placements {
+                assert!(seen.insert((pl.node, pl.core)), "double booking {pl:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_per_domain_counts() {
+        let c = presets::cluster_a();
+        let p = Pinning::new(&c, 40, PinningPolicy::Compact);
+        let a = p.active_per_domain(4);
+        assert_eq!(a, vec![vec![18, 18, 4, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pin")]
+    fn overcommit_panics() {
+        let c = presets::cluster_a();
+        Pinning::new(&c, c.total_cores() + 1, PinningPolicy::Compact);
+    }
+}

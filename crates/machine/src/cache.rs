@@ -1,0 +1,177 @@
+//! Cache hierarchy model.
+//!
+//! Both CPUs of the study have private L1/L2 caches and a shared,
+//! *non-inclusive victim* L3 (paper footnote 6: the effective last-level
+//! cache is the victim L3 plus the L2s). The victim property matters for
+//! the counter model: with hardware prefetchers enabled, L3 sees
+//! additional traffic coming *down* from L2, which is why the paper
+//! observes a higher L3 than L2 bandwidth for `pot3d` (§4.1.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bytes, GBps};
+
+/// The sharing scope of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheScope {
+    /// Private to one core (L1, L2 on both studied CPUs).
+    Core,
+    /// Shared by one ccNUMA domain (not used by the presets but
+    /// expressible, e.g. for CPUs whose L3 is sliced per SNC domain).
+    Domain,
+    /// Shared by the whole socket (L3 on both studied CPUs).
+    Socket,
+}
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// 1, 2 or 3.
+    pub level: u8,
+    /// Capacity *per scope unit* in bytes (per core for `Core` scope,
+    /// per socket for `Socket` scope).
+    pub capacity: Bytes,
+    pub scope: CacheScope,
+    /// Sustained bandwidth per core in GB/s at this level.
+    pub bandwidth_per_core: GBps,
+    /// Whether this level is a non-inclusive victim cache.
+    pub victim: bool,
+}
+
+/// A full private+shared cache hierarchy, ordered L1 → LLC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    pub levels: Vec<CacheLevel>,
+}
+
+impl CacheHierarchy {
+    /// Look up a level by number.
+    pub fn level(&self, n: u8) -> Option<&CacheLevel> {
+        self.levels.iter().find(|l| l.level == n)
+    }
+
+    /// Total capacity of level `n` available to `cores` cores spread over
+    /// `sockets` sockets (for `Socket`-scoped caches capacity scales with
+    /// sockets touched, for `Core`-scoped with cores).
+    pub fn aggregate_capacity(&self, n: u8, cores: usize, sockets: usize) -> Bytes {
+        match self.level(n) {
+            None => 0,
+            Some(l) => match l.scope {
+                CacheScope::Core => l.capacity * cores as u64,
+                CacheScope::Domain | CacheScope::Socket => l.capacity * sockets as u64,
+            },
+        }
+    }
+
+    /// Effective last-level-cache capacity for a set of cores: on the
+    /// studied CPUs this is victim-L3 + aggregate L2 (paper footnote 6).
+    pub fn effective_llc_capacity(&self, cores: usize, sockets: usize) -> Bytes {
+        let l3 = self.aggregate_capacity(3, cores, sockets);
+        let llc_is_victim = self.level(3).map(|l| l.victim).unwrap_or(false);
+        if llc_is_victim {
+            l3 + self.aggregate_capacity(2, cores, sockets)
+        } else {
+            l3
+        }
+    }
+
+    /// Capacity of the highest (largest-numbered) level in the hierarchy,
+    /// per scope unit.
+    pub fn llc(&self) -> Option<&CacheLevel> {
+        self.levels.iter().max_by_key(|l| l.level)
+    }
+
+    /// Validate structural invariants: levels strictly ordered and
+    /// capacities plausible (each shared level bigger than a private one
+    /// per core is *not* required — SPR L2 per core exceeds its L3 share —
+    /// but capacities must be non-zero and levels unique).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for l in &self.levels {
+            if l.capacity == 0 {
+                return Err(format!("L{} has zero capacity", l.level));
+            }
+            if l.bandwidth_per_core <= 0.0 {
+                return Err(format!("L{} has non-positive bandwidth", l.level));
+            }
+            if !seen.insert(l.level) {
+                return Err(format!("duplicate cache level L{}", l.level));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy {
+            levels: vec![
+                CacheLevel {
+                    level: 1,
+                    capacity: 48 * 1024,
+                    scope: CacheScope::Core,
+                    bandwidth_per_core: 400.0,
+                    victim: false,
+                },
+                CacheLevel {
+                    level: 2,
+                    capacity: 1280 * 1024,
+                    scope: CacheScope::Core,
+                    bandwidth_per_core: 80.0,
+                    victim: false,
+                },
+                CacheLevel {
+                    level: 3,
+                    capacity: 54 * MIB,
+                    scope: CacheScope::Socket,
+                    bandwidth_per_core: 30.0,
+                    victim: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_scales_with_cores_for_private_levels() {
+        let h = hierarchy();
+        assert_eq!(h.aggregate_capacity(2, 18, 1), 18 * 1280 * 1024);
+    }
+
+    #[test]
+    fn aggregate_scales_with_sockets_for_shared_levels() {
+        let h = hierarchy();
+        assert_eq!(h.aggregate_capacity(3, 72, 2), 2 * 54 * MIB);
+    }
+
+    #[test]
+    fn effective_llc_includes_l2_for_victim_l3() {
+        let h = hierarchy();
+        let eff = h.effective_llc_capacity(36, 1);
+        assert_eq!(eff, 54 * MIB + 36 * 1280 * 1024);
+    }
+
+    #[test]
+    fn validation_rejects_duplicates() {
+        let mut h = hierarchy();
+        let dup = h.levels[0].clone();
+        h.levels.push(dup);
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn validation_accepts_presets() {
+        assert!(crate::presets::cluster_a().node.caches.validate().is_ok());
+        assert!(crate::presets::cluster_b().node.caches.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_level_has_zero_capacity() {
+        let h = hierarchy();
+        assert_eq!(h.aggregate_capacity(4, 10, 1), 0);
+    }
+}

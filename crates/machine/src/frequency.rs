@@ -1,0 +1,90 @@
+//! Clock-frequency policy.
+//!
+//! The paper fixes the clock of every node to the base frequency of its
+//! CPU via the SLURM `--cpu-freq` option and verifies the setting with
+//! `likwid-perfctr`. This module models that policy plus a turbo mode
+//! used in ablation experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuSpec;
+
+/// How the core clock is governed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FrequencyPolicy {
+    /// Pinned to the CPU's base clock (the study's setting).
+    Base,
+    /// Pinned to an explicit frequency in GHz.
+    Fixed(f64),
+    /// Opportunistic turbo: base clock scaled up by a load-dependent
+    /// factor that shrinks as more cores are active (max single-core
+    /// uplift given as a ratio, e.g. 1.45 for +45 %).
+    Turbo { max_uplift: f64 },
+}
+
+impl FrequencyPolicy {
+    /// Effective clock in GHz with `active` busy cores on the socket.
+    pub fn effective_clock(&self, cpu: &CpuSpec, active: usize) -> f64 {
+        match *self {
+            FrequencyPolicy::Base => cpu.base_clock_ghz,
+            FrequencyPolicy::Fixed(f) => f,
+            FrequencyPolicy::Turbo { max_uplift } => {
+                if active == 0 {
+                    return cpu.base_clock_ghz;
+                }
+                // Linear decay of the uplift from max at 1 core to 1.0
+                // (base) at all cores — a standard simplification.
+                let n = cpu.cores_per_socket.max(1) as f64;
+                let frac = (active.min(cpu.cores_per_socket) as f64 - 1.0) / (n - 1.0).max(1.0);
+                cpu.base_clock_ghz * (max_uplift - frac * (max_uplift - 1.0))
+            }
+        }
+    }
+
+    /// Verify that a measured clock matches the expected policy within
+    /// `tol_ghz` — the `likwid-perfctr` verification step of the paper.
+    pub fn verify(&self, cpu: &CpuSpec, active: usize, measured_ghz: f64, tol_ghz: f64) -> bool {
+        (self.effective_clock(cpu, active) - measured_ghz).abs() <= tol_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn base_policy_returns_base_clock() {
+        let cpu = presets::cluster_a().node.cpu;
+        let p = FrequencyPolicy::Base;
+        assert_eq!(p.effective_clock(&cpu, 1), 2.4);
+        assert_eq!(p.effective_clock(&cpu, 36), 2.4);
+    }
+
+    #[test]
+    fn fixed_policy_overrides() {
+        let cpu = presets::cluster_a().node.cpu;
+        let p = FrequencyPolicy::Fixed(1.8);
+        assert_eq!(p.effective_clock(&cpu, 36), 1.8);
+    }
+
+    #[test]
+    fn turbo_decays_with_active_cores() {
+        let cpu = presets::cluster_b().node.cpu;
+        let p = FrequencyPolicy::Turbo { max_uplift: 1.4 };
+        let one = p.effective_clock(&cpu, 1);
+        let all = p.effective_clock(&cpu, cpu.cores_per_socket);
+        assert!((one - cpu.base_clock_ghz * 1.4).abs() < 1e-9);
+        assert!((all - cpu.base_clock_ghz).abs() < 1e-9);
+        assert!(p.effective_clock(&cpu, 26) < one);
+        assert!(p.effective_clock(&cpu, 26) > all);
+    }
+
+    #[test]
+    fn verification_matches_paper_methodology() {
+        let cpu = presets::cluster_a().node.cpu;
+        let p = FrequencyPolicy::Base;
+        assert!(p.verify(&cpu, 36, 2.39, 0.05));
+        assert!(!p.verify(&cpu, 36, 3.0, 0.05));
+    }
+}

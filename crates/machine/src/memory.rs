@@ -1,0 +1,193 @@
+//! Main-memory specification and the bandwidth-saturation model.
+//!
+//! The central node-level phenomenon of the paper is *memory-bandwidth
+//! saturation on a ccNUMA domain*: with rising core count the achievable
+//! memory bandwidth first grows roughly linearly and then flattens at a
+//! plateau well below the theoretical channel bandwidth (75–78 GB/s per
+//! domain on Ice Lake, 58–62 GB/s on Sapphire Rapids). [`SaturationCurve`]
+//! captures exactly that behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GBps, Watts};
+
+/// DRAM technology generation; relevant for the power model (paper
+/// §4.2.3: DDR5 achieves the same transfer rate at half the clock and a
+/// lower voltage, hence dissipates measurably less power than DDR4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryTech {
+    Ddr3,
+    Ddr4,
+    Ddr5,
+}
+
+/// Saturating bandwidth curve for one ccNUMA domain.
+///
+/// `bw(n) = plateau · tanh(s·n / plateau)` where `s` is the single-core
+/// bandwidth — a smooth ramp that is ≈`s·n` for few cores and converges
+/// to the plateau within the domain (≥99 % at 18 cores on the Ice Lake
+/// preset), matching the measured curves in the paper's Fig. 2(a, b):
+/// the strongly memory-bound codes reach the saturated domain bandwidth
+/// well before the domain is full (§4.1.4), with a rounded knee because
+/// the outstanding cache misses per core only gradually cover the
+/// memory latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationCurve {
+    /// Bandwidth achieved by a single core in GB/s.
+    pub single_core: GBps,
+    /// Saturated bandwidth of the full domain in GB/s.
+    pub plateau: GBps,
+}
+
+impl SaturationCurve {
+    /// Achievable aggregate bandwidth with `n` active cores in the domain.
+    pub fn bandwidth(&self, n: usize) -> GBps {
+        if n == 0 {
+            return 0.0;
+        }
+        let s = self.single_core;
+        let p = self.plateau;
+        // Smooth tanh saturation: ≈ s·n in the linear regime, plateau p.
+        p * (s * n as f64 / p).tanh()
+    }
+
+    /// Smallest core count whose bandwidth reaches `frac` (e.g. 0.9) of
+    /// the plateau, capped at `max_cores`. This is the paper's notion of
+    /// "the bandwidth saturates within the domain".
+    pub fn saturation_point(&self, frac: f64, max_cores: usize) -> usize {
+        for n in 1..=max_cores {
+            if self.bandwidth(n) >= frac * self.plateau {
+                return n;
+            }
+        }
+        max_cores
+    }
+}
+
+/// Memory attached to one ccNUMA domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    pub tech: MemoryTech,
+    /// Transfer rate in MT/s (e.g. 3200 for DDR4-3200).
+    pub mts: u32,
+    /// Memory channels feeding this domain.
+    pub channels: usize,
+    /// Capacity of this domain in GiB.
+    pub capacity_gib: f64,
+    /// Theoretical peak bandwidth of the domain in GB/s
+    /// (`channels × mts × 8 B / 1000`).
+    pub theoretical_bw: GBps,
+    /// Measured saturation behaviour of the domain.
+    pub saturation: SaturationCurve,
+    /// DRAM power of the domain when idle (no traffic), in W.
+    pub idle_power_w: Watts,
+    /// DRAM power of the domain at full saturated bandwidth, in W.
+    pub busy_power_w: Watts,
+}
+
+impl MemorySpec {
+    /// Construct the theoretical bandwidth from channels × rate.
+    pub fn theoretical_from_channels(channels: usize, mts: u32) -> GBps {
+        channels as f64 * mts as f64 * 8.0 / 1000.0
+    }
+
+    /// DRAM power of the domain at a given bandwidth utilization
+    /// (fraction of the *saturated* bandwidth actually drawn).
+    ///
+    /// Linear interpolation between idle and busy power: DRAM power is
+    /// "strongly tied to the memory bandwidth utilization" (paper §4.2.1)
+    /// and becomes constant once the bandwidth has saturated.
+    pub fn dram_power(&self, utilization: f64) -> Watts {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_power_w + u * (self.busy_power_w - self.idle_power_w)
+    }
+
+    /// Efficiency of the saturated plateau relative to the theoretical
+    /// channel bandwidth (≈0.75 for the studied systems).
+    pub fn plateau_efficiency(&self) -> f64 {
+        self.saturation.plateau / self.theoretical_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> SaturationCurve {
+        SaturationCurve {
+            single_core: 13.0,
+            plateau: 76.5,
+        }
+    }
+
+    #[test]
+    fn single_core_bandwidth_is_close_to_nominal() {
+        // tanh(s/p) ≈ s/p for s ≪ p; within 2 % of the nominal value.
+        let bw1 = curve().bandwidth(1);
+        assert!((bw1 - 13.0).abs() / 13.0 < 0.02, "single-core bw {bw1}");
+    }
+
+    #[test]
+    fn domain_is_saturated_well_before_full() {
+        // Paper §4.1.4: the strongly memory-bound codes reach the
+        // saturated bandwidth within the 18-core ccNUMA domain.
+        let c = curve();
+        assert!(c.bandwidth(18) > 0.98 * c.plateau);
+        assert!(c.saturation_point(0.9, 18) <= 12);
+    }
+
+    #[test]
+    fn zero_cores_zero_bandwidth() {
+        assert_eq!(curve().bandwidth(0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_and_bounded_by_plateau() {
+        let c = curve();
+        let mut last = 0.0;
+        for n in 1..=64 {
+            let bw = c.bandwidth(n);
+            assert!(bw >= last);
+            assert!(bw <= c.plateau + 1e-9);
+            last = bw;
+        }
+    }
+
+    #[test]
+    fn saturation_point_is_sane_for_cluster_a() {
+        // On Ice Lake the paper observes saturation well inside the
+        // 18-core domain for the strongly memory-bound codes.
+        let n = curve().saturation_point(0.9, 18);
+        assert!(n >= 4 && n <= 18, "saturation point {n} out of range");
+    }
+
+    #[test]
+    fn dram_power_interpolates() {
+        let m = crate::presets::cluster_a().node.domain_memory.clone();
+        assert!((m.dram_power(0.0) - m.idle_power_w).abs() < 1e-12);
+        assert!((m.dram_power(1.0) - m.busy_power_w).abs() < 1e-12);
+        let half = m.dram_power(0.5);
+        assert!(half > m.idle_power_w && half < m.busy_power_w);
+    }
+
+    #[test]
+    fn dram_power_clamps_utilization() {
+        let m = crate::presets::cluster_a().node.domain_memory.clone();
+        assert_eq!(m.dram_power(7.0), m.busy_power_w);
+        assert_eq!(m.dram_power(-3.0), m.idle_power_w);
+    }
+
+    #[test]
+    fn theoretical_bw_formula() {
+        // 8 channels DDR4-3200: 8 × 3200 × 8 B = 204.8 GB/s
+        assert!((MemorySpec::theoretical_from_channels(8, 3200) - 204.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plateau_efficiency_for_presets_is_realistic() {
+        for cl in [crate::presets::cluster_a(), crate::presets::cluster_b()] {
+            let eff = cl.node.domain_memory.plateau_efficiency();
+            assert!(eff > 0.6 && eff < 0.9, "plateau efficiency {eff}");
+        }
+    }
+}

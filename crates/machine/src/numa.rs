@@ -1,0 +1,130 @@
+//! ccNUMA domain model.
+//!
+//! Both clusters run with Sub-NUMA Clustering (SNC) enabled, which splits
+//! each socket into independent ccNUMA domains — the *fundamental scaling
+//! unit* of the paper's node-level analysis: 18 cores (half a socket) on
+//! ClusterA, 13 cores (a quarter socket) on ClusterB.
+
+use serde::{Deserialize, Serialize};
+
+/// One ccNUMA domain: a set of cores with local memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NumaDomain {
+    /// Index of the domain within the node (0-based, consecutive).
+    pub id: usize,
+    /// Socket the domain belongs to.
+    pub socket: usize,
+    /// First core id (node-global, 0-based) in this domain.
+    pub first_core: usize,
+    /// Number of cores in the domain.
+    pub cores: usize,
+}
+
+impl NumaDomain {
+    /// Node-global core ids covered by this domain.
+    pub fn core_range(&self) -> std::ops::Range<usize> {
+        self.first_core..self.first_core + self.cores
+    }
+
+    /// Whether the node-global core id belongs to this domain.
+    pub fn contains(&self, core: usize) -> bool {
+        self.core_range().contains(&core)
+    }
+}
+
+/// Compute the ccNUMA domain layout of a node.
+///
+/// `snc` is the Sub-NUMA-Clustering factor (domains per socket): 1 means
+/// SNC off, 2 = SNC2 (Ice Lake in the study), 4 = SNC4 (Sapphire Rapids).
+/// Cores are numbered consecutively per socket, matching the compact
+/// pinning the paper uses via `likwid-mpirun`.
+pub fn layout(sockets: usize, cores_per_socket: usize, snc: usize) -> Vec<NumaDomain> {
+    assert!(snc >= 1, "SNC factor must be at least 1");
+    assert!(
+        cores_per_socket.is_multiple_of(snc),
+        "cores per socket ({cores_per_socket}) must divide evenly into {snc} SNC domains"
+    );
+    let per_domain = cores_per_socket / snc;
+    let mut domains = Vec::with_capacity(sockets * snc);
+    for s in 0..sockets {
+        for d in 0..snc {
+            let id = s * snc + d;
+            domains.push(NumaDomain {
+                id,
+                socket: s,
+                first_core: s * cores_per_socket + d * per_domain,
+                cores: per_domain,
+            });
+        }
+    }
+    domains
+}
+
+/// Find the domain a node-global core id belongs to.
+pub fn domain_of(domains: &[NumaDomain], core: usize) -> Option<&NumaDomain> {
+    domains.iter().find(|d| d.contains(core))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_layout_matches_paper() {
+        // 2 sockets × 36 cores, SNC2 → 4 domains of 18 cores.
+        let d = layout(2, 36, 2);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|x| x.cores == 18));
+        assert_eq!(d[0].first_core, 0);
+        assert_eq!(d[1].first_core, 18);
+        assert_eq!(d[2].first_core, 36);
+        assert_eq!(d[2].socket, 1);
+        assert_eq!(d[3].first_core, 54);
+    }
+
+    #[test]
+    fn cluster_b_layout_matches_paper() {
+        // 2 sockets × 52 cores, SNC4 → 8 domains of 13 cores.
+        let d = layout(2, 52, 4);
+        assert_eq!(d.len(), 8);
+        assert!(d.iter().all(|x| x.cores == 13));
+        assert_eq!(d[4].socket, 1);
+        assert_eq!(d[4].first_core, 52);
+    }
+
+    #[test]
+    fn domains_partition_all_cores_exactly() {
+        let d = layout(2, 52, 4);
+        let mut covered = vec![false; 104];
+        for dom in &d {
+            for c in dom.core_range() {
+                assert!(!covered[c], "core {c} covered twice");
+                covered[c] = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn domain_of_finds_the_right_domain() {
+        let d = layout(2, 36, 2);
+        assert_eq!(domain_of(&d, 0).unwrap().id, 0);
+        assert_eq!(domain_of(&d, 17).unwrap().id, 0);
+        assert_eq!(domain_of(&d, 18).unwrap().id, 1);
+        assert_eq!(domain_of(&d, 71).unwrap().id, 3);
+        assert!(domain_of(&d, 72).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_snc_panics() {
+        layout(2, 36, 5);
+    }
+
+    #[test]
+    fn snc_off_gives_one_domain_per_socket() {
+        let d = layout(2, 36, 1);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.cores == 36));
+    }
+}

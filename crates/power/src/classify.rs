@@ -1,0 +1,77 @@
+//! Hot/cool benchmark classification (paper §4.2.1).
+//!
+//! "There are clearly 'hot' and 'cool' SPEChpc benchmarks with high and
+//! low per-CPU power dissipation. The hot benchmarks come close to the
+//! TDP of both systems."
+
+use serde::{Deserialize, Serialize};
+use spechpc_machine::cpu::CpuSpec;
+
+/// Power class of a code on a given CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeatClass {
+    /// ≥ 95 % of socket TDP with all cores busy.
+    Hot,
+    /// 90–95 % of TDP.
+    Warm,
+    /// < 90 % of TDP.
+    Cool,
+}
+
+/// Classify a code's full-socket power draw.
+pub fn classify_heat(cpu: &CpuSpec, heat: f64) -> HeatClass {
+    let frac = cpu.tdp_fraction_full(heat);
+    if frac >= 0.95 {
+        HeatClass::Hot
+    } else if frac >= 0.90 {
+        HeatClass::Warm
+    } else {
+        HeatClass::Cool
+    }
+}
+
+/// Fraction of socket TDP a code reaches with all cores busy.
+pub fn tdp_fraction(cpu: &CpuSpec, heat: f64) -> f64 {
+    cpu.tdp_fraction_full(heat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_machine::presets;
+
+    #[test]
+    fn sph_exa_is_hot_on_both_cpus() {
+        // §4.2.1: 98 % (A) and 95 % (B) of socket TDP.
+        let a = presets::cluster_a().node.cpu;
+        let b = presets::cluster_b().node.cpu;
+        assert_eq!(classify_heat(&a, 1.0), HeatClass::Hot);
+        assert_eq!(classify_heat(&b, 1.0), HeatClass::Hot);
+    }
+
+    #[test]
+    fn soma_is_cool_on_both_cpus() {
+        // §4.2.1: 89 % (A) and 85 % (B).
+        let a = presets::cluster_a().node.cpu;
+        let b = presets::cluster_b().node.cpu;
+        assert_eq!(classify_heat(&a, 0.0), HeatClass::Cool);
+        assert_eq!(classify_heat(&b, 0.0), HeatClass::Cool);
+    }
+
+    #[test]
+    fn tdp_fractions_match_calibration() {
+        let a = presets::cluster_a().node.cpu;
+        assert!((tdp_fraction(&a, 1.0) - 0.976).abs() < 0.02);
+        assert!((tdp_fraction(&a, 0.0) - 0.888).abs() < 0.02);
+    }
+
+    #[test]
+    fn power_spread_across_the_suite_is_about_10_percent() {
+        // §6: "a 25 % variation in power dissipation on the package
+        // level across benchmarks" refers to dynamic power; the total
+        // package spread between hottest and coolest is ~9–11 %.
+        let a = presets::cluster_a().node.cpu;
+        let spread = tdp_fraction(&a, 1.0) - tdp_fraction(&a, 0.0);
+        assert!(spread > 0.05 && spread < 0.15, "spread {spread}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Energy to solution and energy-delay product.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rapl::JobPower;
+
+/// Energy of one run, split by component (J).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    pub cpu_j: f64,
+    pub dram_j: f64,
+    /// Wall-clock runtime the energy was integrated over (s).
+    pub runtime_s: f64,
+}
+
+impl EnergyBreakdown {
+    pub fn total_j(&self) -> f64 {
+        self.cpu_j + self.dram_j
+    }
+
+    /// Energy-delay product in J·s.
+    pub fn edp(&self) -> f64 {
+        self.total_j() * self.runtime_s
+    }
+
+    /// DRAM share of the total energy ("only a minor contributor",
+    /// §4.3.2).
+    pub fn dram_fraction(&self) -> f64 {
+        if self.total_j() <= 0.0 {
+            return 0.0;
+        }
+        self.dram_j / self.total_j()
+    }
+}
+
+/// Integrate a constant power over a runtime.
+pub fn energy_to_solution(power: JobPower, runtime_s: f64) -> EnergyBreakdown {
+    assert!(runtime_s >= 0.0, "runtime must be non-negative");
+    EnergyBreakdown {
+        cpu_j: power.package_w * runtime_s,
+        dram_j: power.dram_w * runtime_s,
+        runtime_s,
+    }
+}
+
+/// Energy-delay product for a given energy and runtime.
+pub fn edp(energy_j: f64, runtime_s: f64) -> f64 {
+    energy_j * runtime_s
+}
+
+/// Integrate a piecewise-constant power profile: `(power, seconds)`
+/// segments (used when a run has phases with different utilization).
+pub fn integrate_profile(segments: &[(JobPower, f64)]) -> EnergyBreakdown {
+    let mut e = EnergyBreakdown::default();
+    for (p, dt) in segments {
+        assert!(*dt >= 0.0);
+        e.cpu_j += p.package_w * dt;
+        e.dram_j += p.dram_w * dt;
+        e.runtime_s += dt;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power(pkg: f64, dram: f64) -> JobPower {
+        JobPower {
+            package_w: pkg,
+            dram_w: dram,
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = energy_to_solution(power(200.0, 50.0), 10.0);
+        assert_eq!(e.cpu_j, 2000.0);
+        assert_eq!(e.dram_j, 500.0);
+        assert_eq!(e.total_j(), 2500.0);
+        assert_eq!(e.edp(), 25000.0);
+    }
+
+    #[test]
+    fn dram_fraction_is_minor_for_typical_values() {
+        // ~490 W package vs ~60 W DRAM on a ClusterA node.
+        let e = energy_to_solution(power(490.0, 60.0), 100.0);
+        assert!(e.dram_fraction() < 0.15);
+    }
+
+    #[test]
+    fn profile_integration_matches_piecewise_sum() {
+        let e = integrate_profile(&[
+            (power(100.0, 10.0), 2.0),
+            (power(300.0, 20.0), 1.0),
+        ]);
+        assert_eq!(e.cpu_j, 500.0);
+        assert_eq!(e.dram_j, 40.0);
+        assert_eq!(e.runtime_s, 3.0);
+    }
+
+    #[test]
+    fn zero_runtime_zero_energy() {
+        let e = energy_to_solution(power(500.0, 50.0), 0.0);
+        assert_eq!(e.total_j(), 0.0);
+        assert_eq!(e.edp(), 0.0);
+        assert_eq!(e.dram_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_runtime_rejected() {
+        energy_to_solution(power(1.0, 1.0), -1.0);
+    }
+}

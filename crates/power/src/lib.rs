@@ -1,0 +1,33 @@
+//! # spechpc-power — RAPL-style power and energy models
+//!
+//! The paper's §4.2–4.3 and §5.2 derive power and energy conclusions
+//! from RAPL package and DRAM measurements. This crate reproduces that
+//! measurement layer on top of [`spechpc_machine`]'s calibrated power
+//! constants:
+//!
+//! * [`rapl`] — package power (baseline + per-core dynamic power scaled
+//!   by code "heat" and memory-stall utilization) and DRAM power (tied
+//!   to bandwidth utilization), per socket / domain / node / job,
+//! * [`energy`] — energy to solution and energy-delay product (EDP),
+//! * [`zplot`] — the Z-plot representation (energy vs. speedup with the
+//!   core count as the parameter, paper Fig. 4) and the E/EDP-minimum
+//!   operating-point search,
+//! * [`classify`] — hot/cool code classification (§4.2.1),
+//! * [`race`] — race-to-idle vs. concurrency-throttling analysis
+//!   (§4.3.1): on CPUs with high baseline power the E and EDP minima
+//!   coincide and "making code faster" is the only energy lever left,
+//! * [`dvfs`] — frequency-scaling energy analysis (the paper's §6
+//!   future-work direction): the same baseline-power argument applies
+//!   to down-clocking memory-bound codes.
+
+pub mod classify;
+pub mod dvfs;
+pub mod energy;
+pub mod race;
+pub mod rapl;
+pub mod zplot;
+
+pub use classify::{classify_heat, HeatClass};
+pub use energy::{edp, energy_to_solution, EnergyBreakdown};
+pub use rapl::{JobPower, PowerState, RaplModel};
+pub use zplot::{OperatingPoint, ZPlot, ZPoint};

@@ -1,0 +1,147 @@
+//! Race-to-idle vs. concurrency throttling (paper §4.3.1).
+//!
+//! On earlier Intel architectures, reducing the number of active cores
+//! ("concurrency throttling") minimized the energy of memory-bound
+//! codes. On Ice Lake and Sapphire Rapids the baseline power dominates
+//! so strongly that idling cores saves almost nothing — "making code
+//! faster (code race-to-idle) is now the primary means of energy
+//! reduction". This module quantifies that argument for any CPU model.
+
+use serde::{Deserialize, Serialize};
+use spechpc_machine::cpu::CpuSpec;
+
+use crate::zplot::{ZPlot, ZPoint};
+
+/// Outcome of the strategy analysis for one CPU and one scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyAnalysis {
+    /// Core count minimizing energy to solution.
+    pub energy_optimal_cores: usize,
+    /// Core count minimizing the EDP.
+    pub edp_optimal_cores: usize,
+    /// Relative energy saving of throttling vs. all cores.
+    pub throttling_gain: f64,
+    /// Whether race-to-idle (use all cores, run fast) is within 5 % of
+    /// the optimum — the modern-CPU verdict.
+    pub race_to_idle_is_optimal: bool,
+}
+
+/// Build the energy-vs-concurrency sweep over `1..=max_cores` cores of
+/// one socket — the paper sweeps one ccNUMA domain (§4.3.1), since the
+/// next domain brings fresh memory bandwidth and restarts the scaling.
+/// `speedup(n)` gives the code's speedup over one core with `n` active
+/// cores, `heat`/`utilization(n)` feed the package-power model, and
+/// `t1_seconds` is the single-core runtime.
+pub fn concurrency_sweep(
+    cpu: &CpuSpec,
+    max_cores: usize,
+    heat: f64,
+    t1_seconds: f64,
+    speedup: impl Fn(usize) -> f64,
+    utilization: impl Fn(usize) -> f64,
+) -> ZPlot {
+    let mut z = ZPlot::new(format!("{} concurrency sweep", cpu.model));
+    for n in 1..=max_cores.min(cpu.cores_per_socket) {
+        let s = speedup(n).max(1e-9);
+        let t = t1_seconds / s;
+        let p = cpu.package_power(n, heat, utilization(n));
+        z.push(ZPoint {
+            resources: n,
+            speedup: s,
+            energy_j: p * t,
+            runtime_s: t,
+        });
+    }
+    z
+}
+
+/// Analyze the sweep.
+pub fn analyze(z: &ZPlot) -> Option<StrategyAnalysis> {
+    let e = z.energy_minimum()?;
+    let edp = z.edp_minimum()?;
+    let gain = z.throttling_gain()?;
+    let full = z.points.iter().max_by_key(|p| p.resources)?;
+    let race_ok = (full.energy_j - e.value) / e.value <= 0.05;
+    Some(StrategyAnalysis {
+        energy_optimal_cores: e.resources,
+        edp_optimal_cores: edp.resources,
+        throttling_gain: gain,
+        race_to_idle_is_optimal: race_ok,
+    })
+}
+
+/// A saturating-speedup model typical for a memory-bound code on one
+/// ccNUMA domain: `s(n) = s_max · tanh(k·n / s_max)`.
+pub fn saturating_speedup(s_max: f64, k: f64) -> impl Fn(usize) -> f64 {
+    move |n| s_max * (k * n as f64 / s_max).tanh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_machine::presets;
+
+    fn mem_bound_sweep(cpu: &CpuSpec, domain_cores: usize, s_max: f64) -> ZPlot {
+        // Memory-bound: speedup saturates at s_max, utilization
+        // collapses past the knee. Swept over one ccNUMA domain.
+        let s = saturating_speedup(s_max, 1.0);
+        concurrency_sweep(cpu, domain_cores, 0.4, 100.0, s, move |n| {
+            (s_max / n as f64).min(1.0)
+        })
+    }
+
+    #[test]
+    fn modern_cpus_favor_race_to_idle() {
+        for cluster in [presets::cluster_a(), presets::cluster_b()] {
+            // DDR4/DDR5 domains saturate around 6 effective cores.
+            let domain = cluster.node.cores_per_domain();
+            let a = analyze(&mem_bound_sweep(&cluster.node.cpu, domain, 6.0)).unwrap();
+            assert!(
+                a.race_to_idle_is_optimal,
+                "{}: race-to-idle must be (near-)optimal: {a:?}",
+                cluster.name
+            );
+            assert!(
+                a.throttling_gain < 0.08,
+                "{}: throttling gain {} should be negligible",
+                cluster.name,
+                a.throttling_gain
+            );
+            // §4.3.1: E and EDP minima nearly coincide.
+            let steps = a.energy_optimal_cores.abs_diff(a.edp_optimal_cores);
+            assert!(steps <= 2, "minima separated by {steps} cores");
+        }
+    }
+
+    #[test]
+    fn sandy_bridge_rewarded_throttling() {
+        let sb = presets::sandy_bridge_node();
+        // DDR3 saturates around 3.5 effective cores of the 8-core chip
+        // (one domain = the whole socket, SNC off).
+        let a = analyze(&mem_bound_sweep(&sb.cpu, 8, 3.5)).unwrap();
+        assert!(
+            a.energy_optimal_cores < sb.cpu.cores_per_socket,
+            "old CPUs had an interior energy optimum: {a:?}"
+        );
+        assert!(
+            a.throttling_gain > 0.05,
+            "Sandy Bridge throttling gain {} should be real",
+            a.throttling_gain
+        );
+    }
+
+    #[test]
+    fn compute_bound_code_always_races() {
+        // Linear speedup: all cores always best, on any CPU.
+        for cpu in [
+            presets::cluster_a().node.cpu,
+            presets::sandy_bridge_node().cpu,
+        ] {
+            let z =
+                concurrency_sweep(&cpu, cpu.cores_per_socket, 0.9, 100.0, |n| n as f64, |_| 1.0);
+            let a = analyze(&z).unwrap();
+            assert_eq!(a.energy_optimal_cores, cpu.cores_per_socket);
+            assert!(a.race_to_idle_is_optimal);
+        }
+    }
+}

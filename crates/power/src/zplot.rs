@@ -1,0 +1,226 @@
+//! The Z-plot: energy vs. speedup with resources as the parameter.
+//!
+//! "In a Z-plot, horizontal lines mark constant energy, vertical lines
+//! mark constant speedup, and lines through the origin mark constant
+//! EDP (the slope being proportional to the EDP)" (paper §4.3, citing
+//! Afzal's Z-plot representation). The paper uses it to show that on
+//! modern Intel CPUs the minimum-energy and minimum-EDP operating
+//! points nearly coincide (§4.3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZPoint {
+    /// Resources used (number of cores or nodes).
+    pub resources: usize,
+    /// Speedup relative to the sweep's baseline.
+    pub speedup: f64,
+    /// Energy to solution in J.
+    pub energy_j: f64,
+    /// Runtime in s.
+    pub runtime_s: f64,
+}
+
+impl ZPoint {
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.runtime_s
+    }
+}
+
+/// An identified optimal operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    pub resources: usize,
+    pub value: f64,
+}
+
+/// A full Z-plot data set (one benchmark, one machine).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ZPlot {
+    pub label: String,
+    pub points: Vec<ZPoint>,
+}
+
+impl ZPlot {
+    pub fn new(label: impl Into<String>) -> Self {
+        ZPlot {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, p: ZPoint) {
+        self.points.push(p);
+    }
+
+    /// The minimum-energy operating point.
+    pub fn energy_minimum(&self) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+            .map(|p| OperatingPoint {
+                resources: p.resources,
+                value: p.energy_j,
+            })
+    }
+
+    /// The minimum-EDP operating point.
+    pub fn edp_minimum(&self) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.edp().total_cmp(&b.edp()))
+            .map(|p| OperatingPoint {
+                resources: p.resources,
+                value: p.edp(),
+            })
+    }
+
+    /// Distance (in resource steps of this sweep) between the E and EDP
+    /// minima — the paper's §4.3.1 metric: "so close together as to be
+    /// hardly discernible" on modern CPUs.
+    pub fn min_separation_steps(&self) -> Option<usize> {
+        let e = self.energy_minimum()?;
+        let edp = self.edp_minimum()?;
+        let idx_of = |r: usize| self.points.iter().position(|p| p.resources == r);
+        Some(idx_of(e.resources)?.abs_diff(idx_of(edp.resources)?))
+    }
+
+    /// Energy saving of the energy-optimal concurrency relative to using
+    /// all resources (the old "concurrency throttling" gain, §4.3.1).
+    pub fn throttling_gain(&self) -> Option<f64> {
+        let e_min = self.energy_minimum()?.value;
+        let full = self
+            .points
+            .iter()
+            .max_by_key(|p| p.resources)?
+            .energy_j;
+        Some((full - e_min) / full)
+    }
+
+    /// Render the Z-plot as an ASCII scatter (speedup on x, energy on y).
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        if self.points.is_empty() || width == 0 || height == 0 {
+            return String::new();
+        }
+        let smax = self.points.iter().map(|p| p.speedup).fold(0.0, f64::max);
+        let emax = self.points.iter().map(|p| p.energy_j).fold(0.0, f64::max);
+        let mut rows = vec![vec![' '; width + 1]; height + 1];
+        for p in &self.points {
+            let x = ((p.speedup / smax) * width as f64).round() as usize;
+            let y = height - ((p.energy_j / emax) * height as f64).round() as usize;
+            rows[y.min(height)][x.min(width)] = 'o';
+        }
+        let mut out = format!("{} (x: speedup 0..{smax:.1}, y: energy 0..{emax:.0} J)\n", self.label);
+        for row in rows {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(width + 1));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Modern-CPU-like sweep: energy keeps falling (or stays flat) as
+    /// speedup rises, because baseline power dominates.
+    fn modern_sweep() -> ZPlot {
+        let mut z = ZPlot::new("modern");
+        // E(n) = (P_base + n·p) · t₁/s(n); saturating speedup.
+        let p_base = 200.0;
+        let p_core = 4.0;
+        let t1 = 100.0;
+        for n in 1..=18usize {
+            let s = (n as f64).min(8.0 + 0.2 * n as f64);
+            let t = t1 / s;
+            let e = (p_base + p_core * n as f64) * t;
+            z.push(ZPoint {
+                resources: n,
+                speedup: s,
+                energy_j: e,
+                runtime_s: t,
+            });
+        }
+        z
+    }
+
+    /// Old-CPU-like sweep: low baseline ⇒ energy minimum at partial
+    /// concurrency.
+    fn old_sweep() -> ZPlot {
+        let mut z = ZPlot::new("sandy-bridge");
+        let p_base = 20.0;
+        let p_core = 11.0;
+        let t1 = 100.0;
+        for n in 1..=8usize {
+            let s = (n as f64).min(4.0 + 0.1 * n as f64);
+            let t = t1 / s;
+            let e = (p_base + p_core * n as f64) * t;
+            z.push(ZPoint {
+                resources: n,
+                speedup: s,
+                energy_j: e,
+                runtime_s: t,
+            });
+        }
+        z
+    }
+
+    #[test]
+    fn modern_minima_coincide() {
+        let z = modern_sweep();
+        assert!(z.min_separation_steps().unwrap() <= 1, "E and EDP minima must nearly coincide");
+    }
+
+    #[test]
+    fn old_cpu_rewards_concurrency_throttling() {
+        let z = old_sweep();
+        let e = z.energy_minimum().unwrap();
+        // Energy minimum strictly inside the sweep (not at full
+        // concurrency).
+        assert!(e.resources < 8, "old CPUs had an interior E-minimum");
+        assert!(z.throttling_gain().unwrap() > 0.05);
+    }
+
+    #[test]
+    fn modern_cpu_throttling_gain_is_negligible() {
+        let z = modern_sweep();
+        assert!(
+            z.throttling_gain().unwrap() < 0.05,
+            "modern baseline power kills the throttling gain"
+        );
+    }
+
+    #[test]
+    fn edp_definition() {
+        let p = ZPoint {
+            resources: 1,
+            speedup: 1.0,
+            energy_j: 10.0,
+            runtime_s: 3.0,
+        };
+        assert_eq!(p.edp(), 30.0);
+    }
+
+    #[test]
+    fn empty_plot_has_no_minima() {
+        let z = ZPlot::new("empty");
+        assert!(z.energy_minimum().is_none());
+        assert!(z.edp_minimum().is_none());
+        assert!(z.min_separation_steps().is_none());
+        assert_eq!(z.render_ascii(10, 5), "");
+    }
+
+    #[test]
+    fn ascii_render_contains_points() {
+        let z = modern_sweep();
+        let s = z.render_ascii(40, 12);
+        assert!(s.contains('o'));
+        assert!(s.lines().count() >= 12);
+    }
+}

@@ -1,0 +1,181 @@
+//! The communication interface the mini-kernels program against.
+//!
+//! Kernels are written once against [`Comm`] and can then be executed
+//! *natively* (data really moves between host threads, collectives really
+//! reduce — see [`crate::threadcomm`]) for correctness validation at
+//! small scale. The *simulated* cluster-scale path does not execute
+//! kernel numerics; it replays the kernels' communication patterns (see
+//! `spechpc_kernels`' `step_program`s) through the [`crate::engine`].
+
+use crate::program::Tag;
+
+/// Reduction operators supported by [`Comm::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply the operator element-wise: `acc[i] = op(acc[i], x[i])`.
+    pub fn combine(self, acc: &mut [f64], x: &[f64]) {
+        debug_assert_eq!(acc.len(), x.len());
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(x).for_each(|(a, b)| *a += b),
+            ReduceOp::Min => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.min(*b)),
+            ReduceOp::Max => acc.iter_mut().zip(x).for_each(|(a, b)| *a = a.max(*b)),
+        }
+    }
+}
+
+/// Blocking message-passing interface (an MPI subset sufficient for the
+/// nine SPEChpc kernel analogs).
+pub trait Comm {
+    /// This process's rank in `0..nranks()`.
+    fn rank(&self) -> usize;
+    /// Total number of ranks.
+    fn nranks(&self) -> usize;
+    /// Blocking standard-mode send.
+    fn send(&mut self, to: usize, tag: Tag, data: &[f64]);
+    /// Blocking receive; `buf` must be sized to the incoming message.
+    fn recv(&mut self, from: usize, tag: Tag, buf: &mut [f64]);
+    /// Combined exchange, deadlock-free even for cyclic patterns.
+    fn sendrecv(&mut self, to: usize, data: &[f64], from: usize, buf: &mut [f64], tag: Tag);
+    /// Global element-wise reduction; the result replaces `data` on every
+    /// rank.
+    fn allreduce(&mut self, op: ReduceOp, data: &mut [f64]);
+    /// Global synchronization.
+    fn barrier(&mut self);
+
+    /// Broadcast `data` from `root` to every rank. The default
+    /// implementation rides on [`Comm::allreduce`]: non-root ranks
+    /// contribute zeros and sum-reduce, which is semantically exact for
+    /// finite values.
+    fn bcast(&mut self, root: usize, data: &mut [f64]) {
+        if self.rank() != root {
+            data.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.allreduce(ReduceOp::Sum, data);
+    }
+
+    /// Reduce element-wise onto `root`; other ranks' buffers hold the
+    /// same combined result afterwards in the default implementation
+    /// (a valid, if chatty, realization of MPI_Reduce semantics at
+    /// root).
+    fn reduce(&mut self, _root: usize, op: ReduceOp, data: &mut [f64]) {
+        self.allreduce(op, data);
+    }
+
+    /// Convenience: all-reduce a single scalar.
+    fn allreduce_scalar(&mut self, op: ReduceOp, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce(op, &mut buf);
+        buf[0]
+    }
+}
+
+/// Trivial [`Comm`] for single-rank execution: sends to self are stored
+/// and matched by subsequent receives; collectives are no-ops.
+#[derive(Debug, Default)]
+pub struct SelfComm {
+    /// Self-messages in flight, keyed by tag (FIFO per tag).
+    pending: std::collections::HashMap<Tag, std::collections::VecDeque<Vec<f64>>>,
+}
+
+impl SelfComm {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Comm for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn nranks(&self) -> usize {
+        1
+    }
+    fn send(&mut self, to: usize, tag: Tag, data: &[f64]) {
+        assert_eq!(to, 0, "SelfComm can only send to rank 0");
+        self.pending.entry(tag).or_default().push_back(data.to_vec());
+    }
+    fn recv(&mut self, from: usize, tag: Tag, buf: &mut [f64]) {
+        assert_eq!(from, 0, "SelfComm can only receive from rank 0");
+        let msg = self
+            .pending
+            .get_mut(&tag)
+            .and_then(|q| q.pop_front())
+            .expect("receive without a matching self-send");
+        assert_eq!(msg.len(), buf.len(), "message/buffer size mismatch");
+        buf.copy_from_slice(&msg);
+    }
+    fn sendrecv(&mut self, to: usize, data: &[f64], from: usize, buf: &mut [f64], tag: Tag) {
+        self.send(to, tag, data);
+        self.recv(from, tag, buf);
+    }
+    fn allreduce(&mut self, _op: ReduceOp, _data: &mut [f64]) {}
+    fn barrier(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops_combine_elementwise() {
+        let mut acc = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.combine(&mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Min.combine(&mut acc, &[0.0, 10.0, -5.0]);
+        assert_eq!(acc, vec![0.0, 6.0, -5.0]);
+        ReduceOp::Max.combine(&mut acc, &[3.0, 0.0, 0.0]);
+        assert_eq!(acc, vec![3.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn self_comm_roundtrip() {
+        let mut c = SelfComm::new();
+        c.send(0, 3, &[1.0, 2.0]);
+        let mut buf = [0.0; 2];
+        c.recv(0, 3, &mut buf);
+        assert_eq!(buf, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn self_comm_fifo_per_tag() {
+        let mut c = SelfComm::new();
+        c.send(0, 0, &[1.0]);
+        c.send(0, 0, &[2.0]);
+        c.send(0, 1, &[9.0]);
+        let mut b = [0.0];
+        c.recv(0, 1, &mut b);
+        assert_eq!(b, [9.0]);
+        c.recv(0, 0, &mut b);
+        assert_eq!(b, [1.0]);
+        c.recv(0, 0, &mut b);
+        assert_eq!(b, [2.0]);
+    }
+
+    #[test]
+    fn self_comm_allreduce_scalar_is_identity() {
+        let mut c = SelfComm::new();
+        assert_eq!(c.allreduce_scalar(ReduceOp::Sum, 4.2), 4.2);
+    }
+
+    #[test]
+    fn bcast_default_impl_single_rank() {
+        let mut c = SelfComm::new();
+        let mut data = [1.0, 2.0];
+        c.bcast(0, &mut data);
+        assert_eq!(data, [1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching self-send")]
+    fn self_comm_recv_without_send_panics() {
+        let mut c = SelfComm::new();
+        let mut b = [0.0];
+        c.recv(0, 0, &mut b);
+    }
+}

@@ -1,0 +1,981 @@
+//! Deterministic discrete-event engine executing one [`Program`] per rank.
+//!
+//! ## Semantics
+//!
+//! * **Point-to-point matching** is FIFO per `(source, destination, tag)`
+//!   channel (MPI non-overtaking rule).
+//! * **Eager protocol** (below the interconnect's threshold): a send
+//!   completes locally after the sender overhead `o`; the message arrives
+//!   at `post + wire_time`; the receive completes at
+//!   `max(recv_post, arrival)`.
+//! * **Synchronous rendezvous** (at/above the threshold): sender and
+//!   receiver hand-shake; the transfer starts at
+//!   `max(send_post, recv_post)` and both sides complete at
+//!   `start + wire_time`. This is the regime responsible for the
+//!   minisweep serialization "ripple" of the paper (§4.1.5).
+//! * **Collectives** are globally ordered per rank-local sequence number;
+//!   every rank must execute the same sequence (mismatches are detected
+//!   and reported). A collective completes for all ranks at
+//!   `max(entry times) + algorithmic cost`.
+//! * **Deadlocks** (cyclic rendezvous sends, missing matches) are
+//!   detected: when no rank can make progress and not all are done, the
+//!   engine reports which rank is stuck on which operation.
+//!
+//! The engine is deterministic: completion times depend only on the
+//! programs and the network model, never on host scheduling.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::netmodel::NetModel;
+use crate::program::{Op, Program, ReqId};
+use crate::trace::{EventKind, Timeline};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Record a full event timeline (disable for very large sweeps).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { trace: true }
+    }
+}
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No rank can make progress. Contains `(rank, op index, op)` for
+    /// every blocked rank.
+    Deadlock(Vec<(usize, usize, Op)>),
+    /// Ranks disagree on the collective sequence.
+    CollectiveMismatch {
+        seq: usize,
+        rank: usize,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// A program failed structural validation.
+    InvalidProgram { rank: usize, reason: String },
+    /// An op referenced a rank outside `0..nranks`.
+    RankOutOfRange { rank: usize, op_index: usize },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(blocked) => {
+                write!(f, "deadlock: {} rank(s) blocked", blocked.len())?;
+                for (r, pc, op) in blocked.iter().take(8) {
+                    write!(f, "; rank {r} at op {pc} ({op:?})")?;
+                }
+                Ok(())
+            }
+            SimError::CollectiveMismatch {
+                seq,
+                rank,
+                expected,
+                found,
+            } => write!(
+                f,
+                "collective mismatch at sequence {seq}: rank {rank} called {found}, others {expected}"
+            ),
+            SimError::InvalidProgram { rank, reason } => {
+                write!(f, "invalid program on rank {rank}: {reason}")
+            }
+            SimError::RankOutOfRange { rank, op_index } => {
+                write!(f, "rank {rank} out of range at op {op_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Time at which the last rank finished (seconds).
+    pub makespan: f64,
+    /// Finish time of every rank.
+    pub finish_times: Vec<f64>,
+    /// Event timeline (empty if tracing was disabled).
+    pub timeline: Timeline,
+    /// Total point-to-point payload bytes moved.
+    pub p2p_bytes: u64,
+    /// Point-to-point payload bytes that crossed a node boundary.
+    pub internode_bytes: u64,
+    /// Per-rank time per event kind (indexed by [`EventKind::ALL`]
+    /// order), accumulated online — available even without tracing.
+    pub per_rank_breakdown: Vec<[f64; EventKind::COUNT]>,
+}
+
+impl SimResult {
+    /// Aggregate [`Breakdown`] over all ranks from the online counters.
+    pub fn breakdown(&self) -> crate::trace::Breakdown {
+        let mut b = crate::trace::Breakdown::default();
+        for rank in &self.per_rank_breakdown {
+            for (i, &kind) in EventKind::ALL.iter().enumerate() {
+                if rank[i] > 0.0 {
+                    *b.seconds.entry(kind).or_insert(0.0) += rank[i];
+                    b.total += rank[i];
+                }
+            }
+        }
+        b
+    }
+}
+
+/// Accumulate one interval into the online per-rank breakdown.
+#[inline]
+fn breakdown_add(
+    breakdown: &mut [[f64; EventKind::COUNT]],
+    rank: usize,
+    kind: EventKind,
+    dur: f64,
+) {
+    let idx = EventKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL");
+    breakdown[rank][idx] += dur;
+}
+
+/// Internal request id (separate namespace from user [`ReqId`]s).
+type IReq = usize;
+
+#[derive(Debug, Clone, Copy)]
+enum ReqState {
+    Pending,
+    Completed(f64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SendPost {
+    time: f64,
+    bytes: usize,
+    ireq: IReq,
+    sender: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecvPost {
+    time: f64,
+    ireq: IReq,
+    receiver: usize,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    sends: VecDeque<SendPost>,
+    recvs: VecDeque<RecvPost>,
+}
+
+/// What a rank is currently blocked on.
+#[derive(Debug, Clone)]
+enum Blocked {
+    /// Waiting for a set of internal requests; resumes at the max of
+    /// their completion times (and not before `start`).
+    Reqs {
+        reqs: Vec<IReq>,
+        kind: EventKind,
+        start: f64,
+    },
+    /// Waiting inside collective number `seq`.
+    Collective { start: f64 },
+}
+
+struct RankState {
+    pc: usize,
+    clock: f64,
+    blocked: Option<Blocked>,
+    done: bool,
+    /// Internal request states.
+    ireqs: Vec<ReqState>,
+    /// User request id → internal request id.
+    user_reqs: HashMap<ReqId, IReq>,
+    /// Rank-local collective sequence number.
+    coll_seq: usize,
+}
+
+struct CollectiveEntry {
+    event_kind: EventKind,
+    bytes: usize,
+    entries: Vec<(usize, f64)>,
+    /// Completion time once all ranks have entered.
+    finish: Option<f64>,
+}
+
+/// The discrete-event engine. See the module docs for semantics.
+pub struct Engine {
+    config: SimConfig,
+    net: NetModel,
+    programs: Vec<Program>,
+}
+
+impl Engine {
+    pub fn new(config: SimConfig, net: NetModel, programs: Vec<Program>) -> Self {
+        assert_eq!(
+            net.nprocs(),
+            programs.len(),
+            "network model sized for {} ranks but {} programs given",
+            net.nprocs(),
+            programs.len()
+        );
+        Engine {
+            config,
+            net,
+            programs,
+        }
+    }
+
+    /// Execute the programs to completion.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        let nranks = self.programs.len();
+        for (rank, p) in self.programs.iter().enumerate() {
+            p.validate()
+                .map_err(|reason| SimError::InvalidProgram { rank, reason })?;
+            for (op_index, op) in p.ops.iter().enumerate() {
+                let peer = match op {
+                    Op::Send { to, .. } | Op::Isend { to, .. } => Some(*to),
+                    Op::Recv { from, .. } | Op::Irecv { from, .. } => Some(*from),
+                    Op::Bcast { root, .. } | Op::Reduce { root, .. } => Some(*root),
+                    Op::Sendrecv { to, from, .. } => {
+                        if *to >= nranks {
+                            return Err(SimError::RankOutOfRange {
+                                rank: *to,
+                                op_index,
+                            });
+                        }
+                        Some(*from)
+                    }
+                    _ => None,
+                };
+                if let Some(p) = peer {
+                    if p >= nranks {
+                        return Err(SimError::RankOutOfRange {
+                            rank: p,
+                            op_index,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut ranks: Vec<RankState> = (0..nranks)
+            .map(|_| RankState {
+                pc: 0,
+                clock: 0.0,
+                blocked: None,
+                done: false,
+                ireqs: Vec::new(),
+                user_reqs: HashMap::new(),
+                coll_seq: 0,
+            })
+            .collect();
+        let mut channels: HashMap<(usize, usize, u32), Channel> = HashMap::new();
+        let mut collectives: Vec<CollectiveEntry> = Vec::new();
+        let mut timeline = Timeline::new(nranks);
+        // Online per-rank breakdown (kept even when full tracing is off).
+        let mut breakdown: Vec<[f64; EventKind::COUNT]> =
+            vec![[0.0; EventKind::COUNT]; nranks];
+        let mut p2p_bytes: u64 = 0;
+        let mut internode_bytes: u64 = 0;
+
+        loop {
+            let mut progressed = false;
+            for r in 0..nranks {
+                loop {
+                    // Try to unblock (two-phase: immutable check first,
+                    // then apply — avoids cloning the blocked state on
+                    // every re-check, which dominates at scale).
+                    if ranks[r].blocked.is_some() {
+                        // Phase 1: decide.
+                        let decision: Option<(f64, f64, EventKind, bool)> =
+                            match ranks[r].blocked.as_ref().expect("checked") {
+                                Blocked::Reqs { reqs, kind, start } => {
+                                    let mut resume = *start;
+                                    let mut all_done = true;
+                                    for &ireq in reqs {
+                                        match ranks[r].ireqs[ireq] {
+                                            ReqState::Completed(t) => {
+                                                resume = resume.max(t)
+                                            }
+                                            ReqState::Pending => {
+                                                all_done = false;
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    all_done.then_some((*start, resume, *kind, false))
+                                }
+                                Blocked::Collective { start } => {
+                                    let entry = &collectives[ranks[r].coll_seq];
+                                    entry.finish.map(|t| (*start, t, entry.event_kind, true))
+                                }
+                            };
+                        // Phase 2: apply or stay blocked.
+                        let Some((start, resume, kind, is_collective)) = decision else {
+                            break;
+                        };
+                        if self.config.trace {
+                            timeline.record(r, start, resume, kind);
+                        }
+                        if resume > start {
+                            breakdown_add(&mut breakdown, r, kind, resume - start);
+                        }
+                        ranks[r].clock = resume;
+                        ranks[r].blocked = None;
+                        if is_collective {
+                            ranks[r].coll_seq += 1;
+                        }
+                        ranks[r].pc += 1;
+                        progressed = true;
+                        continue;
+                    }
+
+                    if ranks[r].done {
+                        break;
+                    }
+                    if ranks[r].pc >= self.programs[r].ops.len() {
+                        ranks[r].done = true;
+                        progressed = true;
+                        break;
+                    }
+
+                    let op = self.programs[r].ops[ranks[r].pc];
+                    let clock = ranks[r].clock;
+                    // Channel touched by this op, if any; only that
+                    // channel can produce new matches.
+                    let mut touched: [Option<(usize, usize, u32)>; 2] = [None, None];
+                    match op {
+                        Op::Compute { seconds } => {
+                            if self.config.trace {
+                                timeline.record(r, clock, clock + seconds, EventKind::Compute);
+                            }
+                            breakdown_add(&mut breakdown, r, EventKind::Compute, seconds);
+                            ranks[r].clock += seconds;
+                            ranks[r].pc += 1;
+                        }
+                        Op::Send { to, tag, bytes } => {
+                            let ireq = Self::post_send(
+                                &mut ranks[r],
+                                &mut channels,
+                                r,
+                                to,
+                                tag,
+                                bytes,
+                                clock,
+                            );
+                            touched[0] = Some((r, to, tag));
+                            if self.net.is_eager(bytes) {
+                                // Eager sends complete locally after the
+                                // sender overhead, receiver or not.
+                                ranks[r].ireqs[ireq] = ReqState::Completed(
+                                    clock + self.net.send_overhead,
+                                );
+                            }
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: vec![ireq],
+                                kind: EventKind::Send,
+                                start: clock,
+                            });
+                            p2p_bytes += bytes as u64;
+                            if !self.net.pinning().same_node(r, to) {
+                                internode_bytes += bytes as u64;
+                            }
+                        }
+                        Op::Recv { from, tag } => {
+                            let ireq =
+                                Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
+                            touched[0] = Some((from, r, tag));
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: vec![ireq],
+                                kind: EventKind::Recv,
+                                start: clock,
+                            });
+                        }
+                        Op::Sendrecv {
+                            to,
+                            send_bytes,
+                            from,
+                            tag,
+                        } => {
+                            let s = Self::post_send(
+                                &mut ranks[r],
+                                &mut channels,
+                                r,
+                                to,
+                                tag,
+                                send_bytes,
+                                clock,
+                            );
+                            let v =
+                                Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
+                            touched[0] = Some((r, to, tag));
+                            touched[1] = Some((from, r, tag));
+                            if self.net.is_eager(send_bytes) {
+                                ranks[r].ireqs[s] = ReqState::Completed(
+                                    clock + self.net.send_overhead,
+                                );
+                            }
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: vec![s, v],
+                                kind: EventKind::Sendrecv,
+                                start: clock,
+                            });
+                            p2p_bytes += send_bytes as u64;
+                            if !self.net.pinning().same_node(r, to) {
+                                internode_bytes += send_bytes as u64;
+                            }
+                        }
+                        Op::Isend {
+                            to,
+                            tag,
+                            bytes,
+                            req,
+                        } => {
+                            let ireq = Self::post_send(
+                                &mut ranks[r],
+                                &mut channels,
+                                r,
+                                to,
+                                tag,
+                                bytes,
+                                clock,
+                            );
+                            touched[0] = Some((r, to, tag));
+                            if self.net.is_eager(bytes) {
+                                ranks[r].ireqs[ireq] = ReqState::Completed(
+                                    clock + self.net.send_overhead,
+                                );
+                            }
+                            ranks[r].user_reqs.insert(req, ireq);
+                            ranks[r].pc += 1;
+                            p2p_bytes += bytes as u64;
+                            if !self.net.pinning().same_node(r, to) {
+                                internode_bytes += bytes as u64;
+                            }
+                        }
+                        Op::Irecv { from, tag, req } => {
+                            let ireq =
+                                Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
+                            touched[0] = Some((from, r, tag));
+                            ranks[r].user_reqs.insert(req, ireq);
+                            ranks[r].pc += 1;
+                        }
+                        Op::Wait { req } => {
+                            let ireq = *ranks[r]
+                                .user_reqs
+                                .get(&req)
+                                .expect("validated: wait follows creation");
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: vec![ireq],
+                                kind: EventKind::Wait,
+                                start: clock,
+                            });
+                        }
+                        Op::Allreduce { .. }
+                        | Op::Barrier
+                        | Op::Bcast { .. }
+                        | Op::Reduce { .. }
+                        | Op::Allgather { .. }
+                        | Op::Alltoall { .. } => {
+                            let (kind, bytes) = match op {
+                                Op::Allreduce { bytes } => (EventKind::Allreduce, bytes),
+                                Op::Barrier => (EventKind::Barrier, 0),
+                                Op::Bcast { bytes, .. } => (EventKind::Bcast, bytes),
+                                Op::Reduce { bytes, .. } => (EventKind::Reduce, bytes),
+                                Op::Allgather { bytes } => (EventKind::Allgather, bytes),
+                                Op::Alltoall { bytes } => (EventKind::Alltoall, bytes),
+                                _ => unreachable!(),
+                            };
+                            let seq = ranks[r].coll_seq;
+                            Self::enter_collective(
+                                &mut collectives,
+                                seq,
+                                kind,
+                                bytes,
+                                r,
+                                clock,
+                                nranks,
+                                &self.net,
+                            )?;
+                            ranks[r].blocked = Some(Blocked::Collective { start: clock });
+                        }
+                    }
+
+                    // Resolve any matches the op enabled on the touched
+                    // channels; completions are delivered directly into
+                    // the owning ranks' request tables.
+                    for key in touched.into_iter().flatten() {
+                        if let Some(ch) = channels.get_mut(&key) {
+                            self.match_channel(ch, &mut ranks);
+                        }
+                    }
+                    progressed = true;
+                }
+            }
+
+            if ranks.iter().all(|s| s.done) {
+                break;
+            }
+            if !progressed {
+                let blocked = ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done)
+                    .map(|(r, s)| {
+                        let pc = s.pc.min(self.programs[r].ops.len().saturating_sub(1));
+                        (r, s.pc, self.programs[r].ops[pc])
+                    })
+                    .collect();
+                return Err(SimError::Deadlock(blocked));
+            }
+        }
+
+        let finish_times: Vec<f64> = ranks.iter().map(|s| s.clock).collect();
+        let makespan = finish_times.iter().copied().fold(0.0, f64::max);
+        Ok(SimResult {
+            makespan,
+            finish_times,
+            timeline,
+            p2p_bytes,
+            internode_bytes,
+            per_rank_breakdown: breakdown,
+        })
+    }
+
+    fn post_send(
+        rank: &mut RankState,
+        channels: &mut HashMap<(usize, usize, u32), Channel>,
+        from: usize,
+        to: usize,
+        tag: u32,
+        bytes: usize,
+        time: f64,
+    ) -> IReq {
+        let ireq = rank.ireqs.len();
+        rank.ireqs.push(ReqState::Pending);
+        channels
+            .entry((from, to, tag))
+            .or_default()
+            .sends
+            .push_back(SendPost {
+                time,
+                bytes,
+                ireq,
+                sender: from,
+            });
+        ireq
+    }
+
+    fn post_recv(
+        rank: &mut RankState,
+        channels: &mut HashMap<(usize, usize, u32), Channel>,
+        from: usize,
+        to: usize,
+        tag: u32,
+        time: f64,
+    ) -> IReq {
+        let ireq = rank.ireqs.len();
+        rank.ireqs.push(ReqState::Pending);
+        channels
+            .entry((from, to, tag))
+            .or_default()
+            .recvs
+            .push_back(RecvPost {
+                time,
+                ireq,
+                receiver: to,
+            });
+        ireq
+    }
+
+    /// Match pending send/recv pairs in one channel, delivering
+    /// completions straight into the owning ranks' request tables.
+    /// FIFO per channel preserves MPI's non-overtaking rule.
+    fn match_channel(&self, ch: &mut Channel, ranks: &mut [RankState]) {
+        while !ch.sends.is_empty() && !ch.recvs.is_empty() {
+            let s = ch.sends.pop_front().expect("non-empty");
+            let v = ch.recvs.pop_front().expect("non-empty");
+            let wire = self.net.p2p_time(s.sender, v.receiver, s.bytes);
+            if self.net.is_eager(s.bytes) {
+                // The sender's completion was already issued at post time
+                // (eager sends complete locally); only the receive side
+                // completes here, at message arrival.
+                let arrival = s.time + wire;
+                let recv_done = v.time.max(arrival);
+                ranks[v.receiver].ireqs[v.ireq] = ReqState::Completed(recv_done);
+            } else {
+                // Rendezvous: transfer starts when both are ready.
+                let start = s.time.max(v.time);
+                let done = start + wire;
+                ranks[s.sender].ireqs[s.ireq] = ReqState::Completed(done);
+                ranks[v.receiver].ireqs[v.ireq] = ReqState::Completed(done);
+            }
+        }
+    }
+
+    /// Name used in collective-mismatch diagnostics.
+    fn collective_name(kind: EventKind) -> &'static str {
+        match kind {
+            EventKind::Allreduce => "Allreduce",
+            EventKind::Barrier => "Barrier",
+            EventKind::Bcast => "Bcast",
+            EventKind::Reduce => "Reduce",
+            EventKind::Allgather => "Allgather",
+            EventKind::Alltoall => "Alltoall",
+            _ => "?",
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enter_collective(
+        collectives: &mut Vec<CollectiveEntry>,
+        seq: usize,
+        kind: EventKind,
+        bytes: usize,
+        rank: usize,
+        time: f64,
+        nranks: usize,
+        net: &NetModel,
+    ) -> Result<(), SimError> {
+        if collectives.len() <= seq {
+            collectives.push(CollectiveEntry {
+                event_kind: kind,
+                bytes,
+                entries: Vec::with_capacity(nranks),
+                finish: None,
+            });
+        }
+        let entry = &mut collectives[seq];
+        if entry.event_kind != kind {
+            return Err(SimError::CollectiveMismatch {
+                seq,
+                rank,
+                expected: Self::collective_name(entry.event_kind),
+                found: Self::collective_name(kind),
+            });
+        }
+        entry.bytes = entry.bytes.max(bytes);
+        entry.entries.push((rank, time));
+        if entry.entries.len() == nranks {
+            let max_entry = entry
+                .entries
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(0.0, f64::max);
+            let cost = match entry.event_kind {
+                EventKind::Barrier => net.barrier_cost(nranks),
+                EventKind::Allreduce => net.allreduce_cost(nranks, entry.bytes),
+                EventKind::Bcast => net.bcast_cost(nranks, entry.bytes),
+                EventKind::Reduce => net.reduce_cost(nranks, entry.bytes),
+                EventKind::Allgather => net.allgather_cost(nranks, entry.bytes),
+                EventKind::Alltoall => net.alltoall_cost(nranks, entry.bytes),
+                _ => 0.0,
+            };
+            entry.finish = Some(max_entry + cost);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Op, Program};
+    use spechpc_machine::presets;
+
+    fn engine_for(progs: Vec<Program>) -> Engine {
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, progs.len());
+        Engine::new(SimConfig::default(), net, progs)
+    }
+
+    fn run(progs: Vec<Program>) -> SimResult {
+        engine_for(progs).run().expect("simulation must succeed")
+    }
+
+    #[test]
+    fn pure_compute_runs_independently() {
+        let mut p0 = Program::new();
+        p0.push(Op::compute(1.0));
+        let mut p1 = Program::new();
+        p1.push(Op::compute(2.0));
+        let r = run(vec![p0, p1]);
+        assert!((r.finish_times[0] - 1.0).abs() < 1e-12);
+        assert!((r.finish_times[1] - 2.0).abs() < 1e-12);
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eager_send_does_not_wait_for_receiver() {
+        // Rank 0 sends a tiny message then computes; rank 1 computes for
+        // a long time before receiving. Eager: sender is not delayed.
+        let mut p0 = Program::new();
+        p0.push(Op::send(1, 0, 8));
+        p0.push(Op::compute(1.0));
+        let mut p1 = Program::new();
+        p1.push(Op::compute(5.0));
+        p1.push(Op::recv(0, 0));
+        let r = run(vec![p0, p1]);
+        assert!(r.finish_times[0] < 1.1, "eager sender delayed: {:?}", r.finish_times);
+        assert!(r.finish_times[1] >= 5.0);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_recv_posted() {
+        // 2 MiB is above the 64 KiB eager threshold.
+        let mut p0 = Program::new();
+        p0.push(Op::send(1, 0, 2 << 20));
+        let mut p1 = Program::new();
+        p1.push(Op::compute(3.0));
+        p1.push(Op::recv(0, 0));
+        let r = run(vec![p0, p1]);
+        // Sender cannot finish before the receiver posts at t=3.
+        assert!(r.finish_times[0] >= 3.0, "rendezvous not enforced: {:?}", r.finish_times);
+    }
+
+    #[test]
+    fn recv_completes_at_arrival_not_post() {
+        let mut p0 = Program::new();
+        p0.push(Op::compute(2.0));
+        p0.push(Op::send(1, 0, 8));
+        let mut p1 = Program::new();
+        p1.push(Op::recv(0, 0));
+        let r = run(vec![p0, p1]);
+        // Receiver posts at t=0 but data only exists after t=2.
+        assert!(r.finish_times[1] >= 2.0);
+    }
+
+    #[test]
+    fn sendrecv_pair_exchanges_without_deadlock() {
+        // Two ranks sendrecv large messages to each other — with plain
+        // blocking rendezvous sends this would deadlock.
+        let mk = |peer: usize| {
+            let mut p = Program::new();
+            p.push(Op::sendrecv(peer, 1 << 20, peer, 0));
+            p
+        };
+        let r = run(vec![mk(1), mk(0)]);
+        assert!(r.makespan > 0.0);
+        assert!((r.finish_times[0] - r.finish_times[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposing_blocking_rendezvous_sends_deadlock() {
+        let mk = |peer: usize| {
+            let mut p = Program::new();
+            p.push(Op::send(peer, 0, 1 << 20));
+            p.push(Op::recv(peer, 0));
+            p
+        };
+        let err = engine_for(vec![mk(1), mk(0)]).run().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)));
+    }
+
+    #[test]
+    fn isend_wait_overlaps_compute() {
+        let mut p0 = Program::new();
+        p0.push(Op::isend(1, 0, 1 << 20, 0));
+        p0.push(Op::compute(1.0));
+        p0.push(Op::wait(0));
+        let mut p1 = Program::new();
+        p1.push(Op::irecv(0, 0, 0));
+        p1.push(Op::compute(1.0));
+        p1.push(Op::wait(0));
+        let r = run(vec![p0, p1]);
+        // Transfer overlaps the compute: finish ≈ 1.0 + wire, well under
+        // the serialized 2.0 + wire.
+        assert!(r.makespan < 1.5, "no overlap: makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let mut progs = Vec::new();
+        for r in 0..4 {
+            let mut p = Program::new();
+            p.push(Op::compute(r as f64));
+            p.push(Op::Barrier);
+            progs.push(p);
+        }
+        let r = run(progs);
+        let slowest_entry = 3.0;
+        for t in &r.finish_times {
+            assert!(*t >= slowest_entry, "barrier exited early: {t}");
+        }
+        // All ranks leave the barrier at the same time.
+        let t0 = r.finish_times[0];
+        assert!(r.finish_times.iter().all(|t| (t - t0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn allreduce_result_time_scales_with_ranks() {
+        let mk_progs = |n: usize| {
+            (0..n)
+                .map(|_| {
+                    let mut p = Program::new();
+                    p.push(Op::allreduce(8));
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        let t4 = run(mk_progs(4)).makespan;
+        let t64 = run(mk_progs(64)).makespan;
+        assert!(t64 > t4, "allreduce cost must grow with rank count");
+    }
+
+    #[test]
+    fn extended_collectives_synchronize_and_cost() {
+        let mk = |nranks: usize| -> Vec<Program> {
+            (0..nranks)
+                .map(|r| {
+                    let mut p = Program::new();
+                    p.push(Op::compute(0.001 * r as f64));
+                    p.push(Op::bcast(0, 4096));
+                    p.push(Op::reduce(0, 4096));
+                    p.push(Op::allgather(1024));
+                    p.push(Op::alltoall(256));
+                    p
+                })
+                .collect()
+        };
+        let r = run(mk(8));
+        // Collectives synchronize: finishing spread is only the cost
+        // differences, not the initial skew.
+        let t0 = r.finish_times[0];
+        assert!(r.finish_times.iter().all(|t| (t - t0).abs() < 1e-12));
+        // Cost grows with rank count for the linear collectives.
+        let r32 = run(mk(32));
+        assert!(r32.makespan > r.makespan);
+        // Breakdown records the new kinds.
+        let b = r.breakdown();
+        assert!(b.fraction(EventKind::Allgather) > 0.0);
+        assert!(b.fraction(EventKind::Alltoall) > 0.0);
+    }
+
+    #[test]
+    fn bcast_root_out_of_range_rejected() {
+        let mut p0 = Program::new();
+        p0.push(Op::bcast(5, 8));
+        let err = engine_for(vec![p0]).run().unwrap_err();
+        assert!(matches!(err, SimError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn collective_mismatch_detected() {
+        let mut p0 = Program::new();
+        p0.push(Op::Barrier);
+        let mut p1 = Program::new();
+        p1.push(Op::allreduce(8));
+        let err = engine_for(vec![p0, p1]).run().unwrap_err();
+        assert!(matches!(err, SimError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn rendezvous_chain_ripples() {
+        // The minisweep pattern: all ranks send up first (open chain).
+        // Rendezvous serializes the chain; makespan grows with length.
+        let chain = |n: usize| {
+            let progs: Vec<Program> = (0..n)
+                .map(|r| {
+                    let mut p = Program::new();
+                    if r + 1 < n {
+                        p.push(Op::send(r + 1, 0, 1 << 20));
+                    }
+                    if r > 0 {
+                        p.push(Op::recv(r - 1, 0));
+                    }
+                    p
+                })
+                .collect();
+            run(progs).makespan
+        };
+        let t4 = chain(4);
+        let t16 = chain(16);
+        assert!(
+            t16 > 3.0 * t4,
+            "serialization missing: t4={t4} t16={t16}"
+        );
+    }
+
+    #[test]
+    fn trace_breakdown_identifies_recv_wait() {
+        // Rank 1 waits 10 s in MPI_Recv for rank 0's late message.
+        let mut p0 = Program::new();
+        p0.push(Op::compute(10.0));
+        p0.push(Op::send(1, 0, 8));
+        let mut p1 = Program::new();
+        p1.push(Op::recv(0, 0));
+        p1.push(Op::compute(0.1));
+        let r = run(vec![p0, p1]);
+        let b = r.timeline.rank_breakdown(1);
+        assert_eq!(b.dominant_mpi(), Some(EventKind::Recv));
+        assert!(b.fraction(EventKind::Recv) > 0.9);
+    }
+
+    #[test]
+    fn byte_accounting_distinguishes_locality() {
+        let cluster = presets::cluster_a();
+        // 73 ranks: rank 72 is on node 1.
+        let mut progs: Vec<Program> = (0..73).map(|_| Program::new()).collect();
+        progs[0].push(Op::send(1, 0, 1000)); // intra-node
+        progs[1].push(Op::recv(0, 0));
+        progs[0].push(Op::send(72, 1, 500)); // inter-node
+        progs[72].push(Op::recv(0, 1));
+        let net = NetModel::compact(&cluster, 73);
+        let r = Engine::new(SimConfig::default(), net, progs).run().unwrap();
+        assert_eq!(r.p2p_bytes, 1500);
+        assert_eq!(r.internode_bytes, 500);
+    }
+
+    #[test]
+    fn out_of_range_rank_rejected() {
+        let mut p0 = Program::new();
+        p0.push(Op::send(5, 0, 8));
+        let err = engine_for(vec![p0]).run().unwrap_err();
+        assert!(matches!(err, SimError::RankOutOfRange { .. }));
+    }
+
+    #[test]
+    fn invalid_program_rejected() {
+        let mut p0 = Program::new();
+        p0.push(Op::wait(3));
+        let err = engine_for(vec![p0]).run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidProgram { .. }));
+    }
+
+    #[test]
+    fn determinism_two_runs_identical() {
+        let mk = || {
+            let mut progs = Vec::new();
+            for r in 0..8 {
+                let mut p = Program::new();
+                p.push(Op::compute(0.01 * (r + 1) as f64));
+                p.push(Op::sendrecv((r + 1) % 8, 1 << 17, (r + 7) % 8, 0));
+                p.push(Op::allreduce(64));
+                progs.push(p);
+            }
+            progs
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a.finish_times, b.finish_times);
+        assert_eq!(a.timeline.events.len(), b.timeline.events.len());
+    }
+
+    #[test]
+    fn tags_keep_channels_separate() {
+        // Two messages with different tags received in reverse order.
+        let mut p0 = Program::new();
+        p0.push(Op::send(1, 7, 8));
+        p0.push(Op::send(1, 9, 8));
+        let mut p1 = Program::new();
+        p1.push(Op::recv(0, 9));
+        p1.push(Op::recv(0, 7));
+        let r = run(vec![p0, p1]);
+        assert!(r.makespan > 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Trace export: serialize [`Timeline`]s to CSV for external analysis
+//! (the ITAC-trace-file analog), with a lossless round-trip parser.
+
+use crate::trace::{EventKind, Timeline, TraceEvent};
+
+/// CSV header of the trace format.
+pub const CSV_HEADER: &str = "rank,start_s,end_s,kind";
+
+fn kind_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Compute => "compute",
+        EventKind::Send => "send",
+        EventKind::Recv => "recv",
+        EventKind::Sendrecv => "sendrecv",
+        EventKind::Wait => "wait",
+        EventKind::Allreduce => "allreduce",
+        EventKind::Barrier => "barrier",
+        EventKind::Bcast => "bcast",
+        EventKind::Reduce => "reduce",
+        EventKind::Allgather => "allgather",
+        EventKind::Alltoall => "alltoall",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<EventKind> {
+    EventKind::ALL.into_iter().find(|&k| kind_name(k) == name)
+}
+
+/// Serialize a timeline to CSV (header + one line per event, events in
+/// recording order).
+pub fn to_csv(timeline: &Timeline) -> String {
+    let mut out = String::with_capacity(timeline.events.len() * 32 + 64);
+    out.push_str(&format!("# nranks={}\n", timeline.nranks));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for e in &timeline.events {
+        out.push_str(&format!(
+            "{},{:.9e},{:.9e},{}\n",
+            e.rank,
+            e.start,
+            e.end,
+            kind_name(e.kind)
+        ));
+    }
+    out
+}
+
+/// Parse a CSV trace produced by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<Timeline, String> {
+    let mut nranks = 0usize;
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line == CSV_HEADER {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# nranks=") {
+            nranks = rest
+                .parse()
+                .map_err(|e| format!("line {}: bad nranks: {e}", lineno + 1))?;
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing {name}", lineno + 1))
+        };
+        let rank: usize = field("rank")?
+            .parse()
+            .map_err(|e| format!("line {}: bad rank: {e}", lineno + 1))?;
+        let start: f64 = field("start")?
+            .parse()
+            .map_err(|e| format!("line {}: bad start: {e}", lineno + 1))?;
+        let end: f64 = field("end")?
+            .parse()
+            .map_err(|e| format!("line {}: bad end: {e}", lineno + 1))?;
+        let kind_s = field("kind")?;
+        let kind = kind_from_name(kind_s)
+            .ok_or_else(|| format!("line {}: unknown kind '{kind_s}'", lineno + 1))?;
+        if end < start {
+            return Err(format!("line {}: event ends before it starts", lineno + 1));
+        }
+        events.push(TraceEvent {
+            rank,
+            start,
+            end,
+            kind,
+        });
+        nranks = nranks.max(rank + 1);
+    }
+    Ok(Timeline { nranks, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new(3);
+        t.record(0, 0.0, 1.25e-3, EventKind::Compute);
+        t.record(1, 1e-6, 2e-3, EventKind::Recv);
+        t.record(2, 0.5e-3, 0.75e-3, EventKind::Allreduce);
+        t.record(0, 1.25e-3, 1.5e-3, EventKind::Alltoall);
+        t
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless() {
+        let t = sample();
+        let csv = to_csv(&t);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.nranks, t.nranks);
+        assert_eq!(back.events.len(), t.events.len());
+        for (a, b) in t.events.iter().zip(&back.events) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.kind, b.kind);
+            assert!((a.start - b.start).abs() < 1e-15);
+            assert!((a.end - b.end).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for kind in EventKind::ALL {
+            assert_eq!(kind_from_name(kind_name(kind)), Some(kind));
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(from_csv("0,1.0,2.0,teleport").is_err());
+        assert!(from_csv("0,2.0,1.0,compute").is_err());
+        assert!(from_csv("x,1.0,2.0,compute").is_err());
+        assert!(from_csv("0,1.0").is_err());
+    }
+
+    #[test]
+    fn empty_and_header_only_inputs_parse() {
+        assert!(from_csv("").unwrap().events.is_empty());
+        let t = from_csv("# nranks=5\nrank,start_s,end_s,kind\n").unwrap();
+        assert_eq!(t.nranks, 5);
+        assert!(t.events.is_empty());
+    }
+}

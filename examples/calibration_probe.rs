@@ -1,0 +1,22 @@
+//! Internal calibration probe (not part of the deliverable examples).
+use spechpc::prelude::*;
+
+fn main() {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let runner = SimRunner::new(RunConfig { repetitions: 1, trace: false, ..RunConfig::default() });
+
+    println!("== §4.1.1 parallel efficiency (domain -> node) & §4.1.2 acceleration B/A ==");
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let ra_dom = runner.run(&a, &*bench, WorkloadClass::Tiny, 18).unwrap();
+        let ra_node = runner.run(&a, &*bench, WorkloadClass::Tiny, 72).unwrap();
+        let rb_dom = runner.run(&b, &*bench, WorkloadClass::Tiny, 13).unwrap();
+        let rb_node = runner.run(&b, &*bench, WorkloadClass::Tiny, 104).unwrap();
+        let eff_a = 100.0 * (ra_dom.step_seconds / ra_node.step_seconds) / 4.0;
+        let eff_b = 100.0 * (rb_dom.step_seconds / rb_node.step_seconds) / 8.0;
+        let accel = ra_node.step_seconds / rb_node.step_seconds;
+        println!("{name:11} effA {eff_a:6.1}%  effB {eff_b:6.1}%  accel B/A {accel:5.2}  bwA_node {:6.1} GB/s  mpiA {:4.1}%",
+            ra_node.counters.mem_bandwidth(), 0.0);
+    }
+}

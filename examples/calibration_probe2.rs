@@ -1,0 +1,24 @@
+//! Internal probe: minisweep detail + MPI fractions + power numbers.
+use spechpc::prelude::*;
+
+fn main() {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let runner = SimRunner::new(RunConfig { repetitions: 1, ..RunConfig::default() });
+    let ms = benchmark_by_name("minisweep").unwrap();
+    for (cl, n) in [(&a, 58), (&a, 59), (&a, 72), (&b, 104)] {
+        let r = runner.run(cl, &*ms, WorkloadClass::Tiny, n).unwrap();
+        println!("minisweep {} n={n}: step {:.4} s  mpi {:.1}%  dominant {:?}",
+            r.cluster, r.step_seconds, r.breakdown.mpi_fraction()*100.0, r.breakdown.dominant_mpi());
+    }
+    println!();
+    println!("== power at full node (paper: sph-exa 244/333 W/socket, soma 222/298) ==");
+    for name in ["sph-exa", "soma", "pot3d", "tealeaf", "lbm", "minisweep"] {
+        let bench = benchmark_by_name(name).unwrap();
+        let ra = runner.run(&a, &*bench, WorkloadClass::Tiny, 72).unwrap();
+        let rb = runner.run(&b, &*bench, WorkloadClass::Tiny, 104).unwrap();
+        println!("{name:10} A pkg/socket {:5.1} W dram/dom {:4.1} W | B pkg/socket {:5.1} W dram/dom {:4.1} W | mpiA {:4.1}%",
+            ra.power.package_w/2.0, ra.power.dram_w/4.0, rb.power.package_w/2.0, rb.power.dram_w/8.0,
+            ra.breakdown.mpi_fraction()*100.0);
+    }
+}

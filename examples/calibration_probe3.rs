@@ -1,0 +1,25 @@
+//! Internal probe: multi-node small-suite behaviour.
+use spechpc::prelude::*;
+use spechpc::harness::experiments::multi_node::{fig5, scaling_cases};
+
+fn main() {
+    let cfg = RunConfig { repetitions: 1, trace: true, ..RunConfig::default() };
+    for cluster in [presets::cluster_a(), presets::cluster_b()] {
+        println!("== {} small suite, nodes 1/2/4/8 ==", cluster.name);
+        let f5 = fig5(&cluster, &cfg, &[1, 2, 4, 8]).unwrap();
+        for s in &f5.sweeps {
+            let e = s.evidence();
+            let v = s.mem_volume();
+            let vol_growth = v.last().unwrap().1 / v[0].1;
+            let bw1 = s.results[0].mem_bandwidth_per_node();
+            let bwn = s.results.last().unwrap().mem_bandwidth_per_node();
+            println!("{:11} eff {:5.2}  cache_gain {:5.2}  comm {:4.1}%  volx {:4.2}  bw/node {:5.0}->{:5.0}",
+                s.benchmark, e.efficiency(), e.cache_gain(),
+                e.comm_fraction*100.0, vol_growth, bw1, bwn);
+        }
+        for (b, c) in scaling_cases(&f5) {
+            print!("{b}:{c:?} ");
+        }
+        println!("\n");
+    }
+}

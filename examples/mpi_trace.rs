@@ -1,0 +1,59 @@
+//! MPI tracing study: record ITAC-style timelines of the two pathology
+//! cases (minisweep@59, lbm@71), print likwid-perfctr-style counter
+//! reports, and export the traces as CSV.
+//!
+//! ```text
+//! cargo run --release --example mpi_trace [outdir]
+//! ```
+
+use spechpc::analysis::perfctr;
+use spechpc::prelude::*;
+use spechpc::simmpi::export;
+
+fn main() {
+    let outdir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+
+    let cluster = presets::cluster_a();
+    let runner = SimRunner::new(RunConfig::default());
+
+    for (name, nranks) in [("minisweep", 59usize), ("lbm", cluster.node.cores() - 1)] {
+        let bench = benchmark_by_name(name).unwrap();
+        let r = runner
+            .run(&cluster, &*bench, WorkloadClass::Tiny, nranks)
+            .expect("simulation failed");
+
+        println!("=== {name} @ {nranks} ranks on {} ===", cluster.name);
+        println!(
+            "step time {:.4} s; MPI breakdown:",
+            r.step_seconds
+        );
+        for kind in EventKind::ALL {
+            let f = r.breakdown.fraction(kind);
+            if f > 0.001 {
+                println!("  {:<14} {:>6.1} %", kind.to_string(), f * 100.0);
+            }
+        }
+
+        println!("\nITAC-style timeline (first 12 ranks):");
+        for line in r.timeline.render_ascii(96).lines().take(12) {
+            println!("  {line}");
+        }
+
+        println!("\nlikwid-perfctr-style report:");
+        print!("{}", perfctr::render_all(&r.counters, &format!("{name}_tiny")));
+
+        let path = format!("{outdir}/{name}_{nranks}.trace.csv");
+        let csv = export::to_csv(&r.timeline);
+        std::fs::write(&path, &csv).expect("write trace");
+        println!(
+            "trace: {} events written to {path} ({} KiB)\n",
+            r.timeline.events.len(),
+            csv.len() / 1024
+        );
+
+        // Round-trip sanity.
+        let back = export::from_csv(&csv).expect("parse back");
+        assert_eq!(back.events.len(), r.timeline.events.len());
+    }
+}

@@ -1,0 +1,2 @@
+//! Workspace root crate; see the `spechpc` facade.
+pub use spechpc::*;

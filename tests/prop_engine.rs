@@ -1,0 +1,160 @@
+//! Property-based tests of the discrete-event MPI engine: determinism,
+//! causality, and semantic bounds over randomly generated (but
+//! well-formed) communication patterns.
+
+use proptest::prelude::*;
+use spechpc::machine::presets;
+use spechpc::simmpi::engine::{Engine, SimConfig};
+use spechpc::simmpi::netmodel::NetModel;
+use spechpc::simmpi::program::{Op, Program};
+
+/// A well-formed random workload: every rank runs `steps` rounds of
+/// compute + a ring sendrecv + optionally a collective, so matching is
+/// guaranteed deadlock-free.
+fn ring_programs(
+    nranks: usize,
+    steps: usize,
+    compute_ms: &[u8],
+    msg_bytes: usize,
+    collective: bool,
+) -> Vec<Program> {
+    (0..nranks)
+        .map(|r| {
+            let mut p = Program::new();
+            for s in 0..steps {
+                let c = compute_ms[(r * steps + s) % compute_ms.len()] as f64 * 1e-4;
+                p.push(Op::compute(c));
+                if nranks > 1 {
+                    p.push(Op::sendrecv(
+                        (r + 1) % nranks,
+                        msg_bytes,
+                        (r + nranks - 1) % nranks,
+                        s as u32,
+                    ));
+                }
+                if collective {
+                    p.push(Op::allreduce(64));
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+fn run(progs: Vec<Program>) -> spechpc::simmpi::engine::SimResult {
+    let cluster = presets::cluster_a();
+    let net = NetModel::compact(&cluster, progs.len());
+    Engine::new(SimConfig { trace: true }, net, progs)
+        .run()
+        .expect("well-formed pattern must not deadlock")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine is deterministic: identical inputs give identical
+    /// finish times.
+    #[test]
+    fn determinism(
+        nranks in 1usize..24,
+        steps in 1usize..6,
+        compute in prop::collection::vec(0u8..100, 4..16),
+        bytes in 1usize..262_144,
+        coll in any::<bool>(),
+    ) {
+        let a = run(ring_programs(nranks, steps, &compute, bytes, coll));
+        let b = run(ring_programs(nranks, steps, &compute, bytes, coll));
+        prop_assert_eq!(a.finish_times, b.finish_times);
+        prop_assert_eq!(a.p2p_bytes, b.p2p_bytes);
+    }
+
+    /// Causality: the makespan is at least the largest per-rank compute
+    /// total, and at least the critical compute path per rank.
+    #[test]
+    fn makespan_bounds(
+        nranks in 1usize..24,
+        steps in 1usize..6,
+        compute in prop::collection::vec(0u8..100, 4..16),
+        bytes in 1usize..65_536,
+    ) {
+        let progs = ring_programs(nranks, steps, &compute, bytes, true);
+        let max_compute = progs
+            .iter()
+            .map(|p| p.compute_seconds())
+            .fold(0.0, f64::max);
+        let r = run(progs);
+        prop_assert!(r.makespan >= max_compute - 1e-12,
+            "makespan {} below compute bound {}", r.makespan, max_compute);
+        // Finish times are non-negative and bounded by the makespan.
+        for t in &r.finish_times {
+            prop_assert!(*t >= 0.0 && *t <= r.makespan + 1e-12);
+        }
+    }
+
+    /// Per-rank timeline events never overlap and never run backwards.
+    #[test]
+    fn timeline_is_well_ordered(
+        nranks in 2usize..12,
+        steps in 1usize..5,
+        compute in prop::collection::vec(1u8..50, 4..8),
+    ) {
+        let r = run(ring_programs(nranks, steps, &compute, 4096, true));
+        for rank in 0..nranks {
+            let events = r.timeline.rank_events(rank);
+            for w in events.windows(2) {
+                prop_assert!(w[0].end <= w[1].start + 1e-12,
+                    "rank {rank}: overlapping events {:?} {:?}", w[0], w[1]);
+            }
+            for e in &events {
+                prop_assert!(e.end >= e.start);
+            }
+        }
+    }
+
+    /// Byte accounting: p2p payload equals exactly what the programs
+    /// declare, and internode bytes never exceed the total.
+    #[test]
+    fn byte_accounting(
+        nranks in 2usize..100,
+        bytes in 1usize..1_000_000,
+    ) {
+        let progs = ring_programs(nranks, 1, &[10], bytes, false);
+        let declared: usize = progs.iter().map(|p| p.bytes_sent()).sum();
+        let r = run(progs);
+        prop_assert_eq!(r.p2p_bytes, declared as u64);
+        prop_assert!(r.internode_bytes <= r.p2p_bytes);
+    }
+
+    /// Adding a barrier at the end synchronizes every rank to a common
+    /// finish time that is no earlier than anyone's previous finish.
+    #[test]
+    fn barrier_synchronizes(
+        nranks in 2usize..16,
+        compute in prop::collection::vec(0u8..200, 2..8),
+    ) {
+        let mut progs = ring_programs(nranks, 1, &compute, 1024, false);
+        let before = run(progs.clone());
+        for p in &mut progs {
+            p.push(Op::Barrier);
+        }
+        let after = run(progs);
+        let t0 = after.finish_times[0];
+        for (i, t) in after.finish_times.iter().enumerate() {
+            prop_assert!((t - t0).abs() < 1e-12, "rank {i} left the barrier at {t} != {t0}");
+            prop_assert!(*t >= before.finish_times[i] - 1e-12);
+        }
+    }
+
+    /// Growing a message can never make the run finish earlier.
+    #[test]
+    fn monotone_in_message_size(
+        nranks in 2usize..16,
+        small in 1usize..10_000,
+        extra in 1usize..500_000,
+    ) {
+        let a = run(ring_programs(nranks, 2, &[5, 9], small, false));
+        let b = run(ring_programs(nranks, 2, &[5, 9], small + extra, false));
+        prop_assert!(b.makespan >= a.makespan - 1e-12,
+            "bigger messages finished earlier: {} vs {}", a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests over the benchmarks' generated MPI programs: for any
+//! rank count, every benchmark must produce programs that validate,
+//! agree on the collective sequence across ranks, respect the node
+//! model's compute budget, and replay deadlock-free in the engine.
+
+use proptest::prelude::*;
+use spechpc::kernels::common::model::NodeModel;
+use spechpc::prelude::*;
+use spechpc::simmpi::engine::{Engine, SimConfig};
+use spechpc::simmpi::netmodel::NetModel;
+use spechpc::simmpi::program::Op;
+
+/// The collective fingerprint of a program: the ordered list of
+/// collective op variants (every rank must match it exactly, or the
+/// engine would detect a mismatch / deadlock).
+fn collective_fingerprint(ops: &[Op]) -> Vec<&'static str> {
+    ops.iter()
+        .filter_map(|o| match o {
+            Op::Allreduce { .. } => Some("allreduce"),
+            Op::Barrier => Some("barrier"),
+            Op::Bcast { .. } => Some("bcast"),
+            Op::Reduce { .. } => Some("reduce"),
+            Op::Allgather { .. } => Some("allgather"),
+            Op::Alltoall { .. } => Some("alltoall"),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Structural properties of the step programs for every benchmark
+    /// at arbitrary rank counts on both clusters.
+    #[test]
+    fn step_programs_are_well_formed(
+        bench_idx in 0usize..9,
+        nranks in 1usize..160,
+        cluster_b in any::<bool>(),
+    ) {
+        let cluster = if cluster_b {
+            presets::cluster_b()
+        } else {
+            presets::cluster_a()
+        };
+        prop_assume!(nranks <= cluster.total_cores());
+        let bench = &all_benchmarks()[bench_idx];
+        let sig = bench.signature(WorkloadClass::Tiny);
+        let model = NodeModel::new(&cluster, nranks);
+        let penalties = bench.penalties(WorkloadClass::Tiny, nranks);
+        let ct = model.compute_times(&sig, &penalties);
+        let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
+
+        prop_assert_eq!(progs.len(), nranks);
+        let fp0 = collective_fingerprint(&progs[0].ops);
+        for (r, p) in progs.iter().enumerate() {
+            p.validate()
+                .map_err(|e| TestCaseError::fail(format!(
+                    "{} rank {r}: {e}", bench.meta().name)))?;
+            // Identical collective sequences across ranks.
+            let fp = collective_fingerprint(&p.ops);
+            prop_assert!(
+                fp == fp0,
+                "{} rank {}: collective sequence differs",
+                bench.meta().name,
+                r
+            );
+            // The program's compute budget equals the node model's
+            // per-rank compute time.
+            let budget = p.compute_seconds();
+            prop_assert!(
+                (budget - ct.per_rank[r]).abs() < 1e-9 * ct.per_rank[r].max(1e-12),
+                "{} rank {r}: compute budget {budget} vs model {}",
+                bench.meta().name,
+                ct.per_rank[r]
+            );
+        }
+    }
+
+    /// The engine replays one step of every benchmark without deadlock
+    /// at small, awkward rank counts (primes included), and the step
+    /// time is at least the slowest rank's compute time.
+    #[test]
+    fn one_step_replays_deadlock_free(
+        bench_idx in 0usize..9,
+        nranks in prop::sample::select(vec![1usize, 2, 3, 5, 7, 9, 11, 13, 17, 18, 19, 23, 29, 36]),
+    ) {
+        let cluster = presets::cluster_a();
+        let bench = &all_benchmarks()[bench_idx];
+        let sig = bench.signature(WorkloadClass::Tiny);
+        let model = NodeModel::new(&cluster, nranks);
+        let ct = model.compute_times(&sig, &bench.penalties(WorkloadClass::Tiny, nranks));
+        let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
+        let net = NetModel::compact(&cluster, nranks);
+        let result = Engine::new(SimConfig { trace: false }, net, progs)
+            .run()
+            .map_err(|e| TestCaseError::fail(format!(
+                "{} @ {nranks}: {e}", bench.meta().name)))?;
+        let floor = ct.max_seconds();
+        prop_assert!(
+            result.makespan >= floor - 1e-12,
+            "{} @ {nranks}: makespan {} below compute floor {floor}",
+            bench.meta().name,
+            result.makespan
+        );
+    }
+
+    /// Penalty vectors are sane: empty or one entry ≥ 1 per rank.
+    #[test]
+    fn penalties_are_sane(bench_idx in 0usize..9, nranks in 1usize..120) {
+        let bench = &all_benchmarks()[bench_idx];
+        for class in [WorkloadClass::Tiny, WorkloadClass::Small] {
+            let p = bench.penalties(class, nranks);
+            prop_assert!(p.is_empty() || p.len() == nranks);
+            for (r, &x) in p.iter().enumerate() {
+                prop_assert!(x >= 1.0 && x < 3.0 && x.is_finite(),
+                    "{} rank {r}: penalty {x}", bench.meta().name);
+            }
+        }
+    }
+}
