@@ -6,10 +6,8 @@
 //! (§3: "Memory bandwidths were determined using the ratio of memory
 //! data volume to wall-clock time").
 
-use serde::{Deserialize, Serialize};
-
 /// Which counter group a sample belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterGroup {
     /// Memory traffic + DP flop counters.
     MemDp,
@@ -20,7 +18,7 @@ pub enum CounterGroup {
 }
 
 /// One full counter measurement of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CounterSample {
     /// Wall-clock time of the measured region, s.
     pub runtime_s: f64,

@@ -146,7 +146,10 @@ mod tests {
                 .filter(|l| l.starts_with('|') || l.starts_with('+'))
                 .map(|l| l.chars().count())
                 .collect();
-            assert!(widths.windows(2).all(|w| w[0] == w[1]), "misaligned:\n{block}");
+            assert!(
+                widths.windows(2).all(|w| w[0] == w[1]),
+                "misaligned:\n{block}"
+            );
         }
     }
 }

@@ -1,11 +1,10 @@
 //! The Roofline model (paper §4.1.2 adopts "a Roofline-like view of
 //! hardware-software interaction").
 
-use serde::{Deserialize, Serialize};
 use spechpc_machine::node::NodeSpec;
 
 /// Roofline of one node (or a subset of it).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     /// Peak double-precision performance in Gflop/s.
     pub peak_gflops: f64,
@@ -90,9 +89,9 @@ mod tests {
         let dom = Roofline::of_domain(&presets::cluster_a().node);
         assert!(dom.is_memory_bound(0.2)); // tealeaf-like
         assert!(dom.is_memory_bound(7.4)); // even lbm is below the SIMD knee…
-        // …but the relevant comparison for lbm is its achievable
-        // in-core rate, which the node model handles; the roofline
-        // still bounds it correctly:
+                                           // …but the relevant comparison for lbm is its achievable
+                                           // in-core rate, which the node model handles; the roofline
+                                           // still bounds it correctly:
         assert!(dom.attainable(7.4) < dom.peak_gflops);
     }
 

@@ -11,12 +11,10 @@
 //! | D    | close-to-linear | none         | present                |
 //! | Poor | poor            | any          | high + small data set  |
 
-use serde::{Deserialize, Serialize};
-
 use crate::speedup::SpeedupCurve;
 
 /// The §5.1 scaling cases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalingCase {
     /// Cache effect prevails over communication overhead.
     A,
@@ -44,7 +42,7 @@ impl std::fmt::Display for ScalingCase {
 }
 
 /// The evidence the classifier weighs, all over the same node sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingEvidence {
     /// Runtime per node count.
     pub curve: SpeedupCurve,
@@ -59,8 +57,7 @@ impl ScalingEvidence {
     /// Relative drop of the memory volume from the first to the last
     /// point (positive = volume shrinks = cache effect).
     pub fn cache_gain(&self) -> f64 {
-        let (Some(first), Some(last)) = (self.mem_volume.first(), self.mem_volume.last())
-        else {
+        let (Some(first), Some(last)) = (self.mem_volume.first(), self.mem_volume.last()) else {
             return 0.0;
         };
         if first.1 <= 0.0 {

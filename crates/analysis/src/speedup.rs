@@ -6,11 +6,9 @@
 //! domains should be ideal … unless cache effects allow for superlinear
 //! scaling."
 
-use serde::{Deserialize, Serialize};
-
 /// A strong-scaling curve: `(resources, runtime_s)` pairs, resources
 /// ascending.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpeedupCurve {
     pub points: Vec<(usize, f64)>,
 }
@@ -78,7 +76,7 @@ pub fn speedup_curve(points: Vec<(usize, f64)>) -> SpeedupCurve {
 }
 
 /// Classification of a node-level scaling pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeScalingPattern {
     /// Speedup saturates within the ccNUMA domain (memory-bound).
     Saturating,
@@ -151,7 +149,10 @@ mod tests {
     fn saturating_curve_detected() {
         let c = saturating(18, 6.0);
         assert!(c.saturates_within(1, 18, 0.55));
-        assert_eq!(classify_node_scaling(&c, 18, 18), NodeScalingPattern::Saturating);
+        assert_eq!(
+            classify_node_scaling(&c, 18, 18),
+            NodeScalingPattern::Saturating
+        );
     }
 
     #[test]
@@ -162,7 +163,10 @@ mod tests {
         let c = SpeedupCurve::new(pts);
         let eff = parallel_efficiency(&c, 18, 72).unwrap();
         assert!((eff - 125.0).abs() < 1e-9);
-        assert_eq!(classify_node_scaling(&c, 18, 72), NodeScalingPattern::Superlinear);
+        assert_eq!(
+            classify_node_scaling(&c, 18, 72),
+            NodeScalingPattern::Superlinear
+        );
     }
 
     #[test]
@@ -178,7 +182,10 @@ mod tests {
             })
             .collect();
         let c = SpeedupCurve::new(pts);
-        assert_eq!(classify_node_scaling(&c, 18, 30), NodeScalingPattern::Erratic);
+        assert_eq!(
+            classify_node_scaling(&c, 18, 30),
+            NodeScalingPattern::Erratic
+        );
     }
 
     #[test]

@@ -5,10 +5,8 @@
 //! deviations were reported." Figures 1(a, d) and 5(a, d) plot speedups
 //! "with min, max and average statistics".
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of repeated measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunStats {
     pub min: f64,
     pub max: f64,

@@ -13,13 +13,13 @@
 //! * **A4 — stalled-core power floor**: the race-to-idle conclusion
 //!   (§4.3.1) flips when stalled cores draw as much as on older CPUs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spechpc::kernels::common::model::NodeModel;
 use spechpc::power::race::{analyze, concurrency_sweep, saturating_speedup};
 use spechpc::prelude::*;
 use spechpc::simmpi::engine::{Engine, SimConfig};
 use spechpc::simmpi::netmodel::NetModel;
 use spechpc::simmpi::program::Op;
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 fn config() -> RunConfig {
     RunConfig {
@@ -44,34 +44,31 @@ fn ablation_eager_rendezvous(c: &mut Criterion) {
     let mut eager = presets::cluster_a();
     eager.interconnect.eager_threshold = usize::MAX;
     let real = presets::cluster_a();
-    let runner = SimRunner::new(config());
-    let bench = benchmark_by_name("minisweep").unwrap();
+    // The ablated spec keeps the preset's name, so the run cache (keyed
+    // on cluster name) must stay off for these variants.
+    let exec = Executor::new(
+        config(),
+        ExecConfig {
+            no_cache: true,
+            ..ExecConfig::default()
+        },
+    );
+    let spec = RunSpec::new("minisweep", WorkloadClass::Tiny, 59);
 
-    let t_real = runner
-        .run(&real, &*bench, WorkloadClass::Tiny, 59)
-        .unwrap()
-        .step_seconds;
-    let t_eager = runner
-        .run(&eager, &*bench, WorkloadClass::Tiny, 59)
-        .unwrap()
-        .step_seconds;
+    let t_real = exec.run_one(&real, &spec).unwrap().step_seconds;
+    let t_eager = exec.run_one(&eager, &spec).unwrap().step_seconds;
     println!(
         "A1 minisweep@59: rendezvous {t_real:.3} s/step vs eager {t_eager:.3} s/step (×{:.2} from the protocol alone)",
         t_real / t_eager
     );
-    assert!(
-        t_real >= t_eager,
-        "buffered sends can only help the sweep"
-    );
+    assert!(t_real >= t_eager, "buffered sends can only help the sweep");
 
     let mut g = c.benchmark_group("ablation_a1");
     g.sample_size(10);
     g.bench_function("rendezvous", |b| {
-        b.iter(|| runner.run(&real, &*bench, WorkloadClass::Tiny, 59).unwrap())
+        b.iter(|| exec.run_one(&real, &spec).unwrap())
     });
-    g.bench_function("eager", |b| {
-        b.iter(|| runner.run(&eager, &*bench, WorkloadClass::Tiny, 59).unwrap())
-    });
+    g.bench_function("eager", |b| b.iter(|| exec.run_one(&eager, &spec).unwrap()));
     g.finish();
 }
 
@@ -86,30 +83,31 @@ fn ablation_snc(c: &mut Criterion) {
     snc_off.node.domain_memory.theoretical_bw *= 2.0;
     snc_off.node.domain_memory.capacity_gib *= 2.0;
     snc_off.node.domain_memory.saturation.plateau *= 2.0;
-    let runner = SimRunner::new(config());
-    let bench = benchmark_by_name("pot3d").unwrap();
+    let exec = Executor::new(
+        config(),
+        ExecConfig {
+            no_cache: true,
+            ..ExecConfig::default()
+        },
+    );
+    let spec = RunSpec::new("pot3d", WorkloadClass::Tiny, 18);
 
     // With SNC on, 18 cores already saturate their domain; with SNC
     // off the same 18 cores see the whole socket's bandwidth.
-    let t_on = runner
-        .run(&snc_on, &*bench, WorkloadClass::Tiny, 18)
-        .unwrap()
-        .step_seconds;
-    let t_off = runner
-        .run(&snc_off, &*bench, WorkloadClass::Tiny, 18)
-        .unwrap()
-        .step_seconds;
+    let t_on = exec.run_one(&snc_on, &spec).unwrap().step_seconds;
+    let t_off = exec.run_one(&snc_off, &spec).unwrap().step_seconds;
     println!(
         "A2 pot3d@18: SNC2 {t_on:.4} s/step vs SNC-off {t_off:.4} s/step (SNC-off ×{:.2} faster at half-socket)",
         t_on / t_off
     );
-    assert!(t_off < t_on, "18 cores must run faster with the full socket's bandwidth");
+    assert!(
+        t_off < t_on,
+        "18 cores must run faster with the full socket's bandwidth"
+    );
 
     let mut g = c.benchmark_group("ablation_a2");
     g.sample_size(10);
-    g.bench_function("snc2", |b| {
-        b.iter(|| runner.run(&snc_on, &*bench, WorkloadClass::Tiny, 18).unwrap())
-    });
+    g.bench_function("snc2", |b| b.iter(|| exec.run_one(&snc_on, &spec).unwrap()));
     g.finish();
 }
 
@@ -157,7 +155,10 @@ fn ablation_lbm_barrier(c: &mut Criterion) {
         "A3 lbm@{n}: with barrier {t_with:.4} s/step vs without {t_without:.4} s/step ({:.1}% saved)",
         100.0 * (t_with - t_without) / t_with
     );
-    assert!(t_without <= t_with + 1e-12, "removing a barrier cannot slow lbm down");
+    assert!(
+        t_without <= t_with + 1e-12,
+        "removing a barrier cannot slow lbm down"
+    );
 
     let mut g = c.benchmark_group("ablation_a3");
     g.sample_size(10);

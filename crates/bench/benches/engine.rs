@@ -2,12 +2,12 @@
 //! discrete-event engine's op throughput, the collective cost models,
 //! the node performance model, and the native kernels' step rate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spechpc::kernels::common::model::NodeModel;
 use spechpc::prelude::*;
 use spechpc::simmpi::engine::{Engine, SimConfig};
 use spechpc::simmpi::netmodel::NetModel;
 use spechpc::simmpi::program::{Op, Program};
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 /// Ring sendrecv + allreduce across 256 ranks, 20 steps.
 fn engine_throughput(c: &mut Criterion) {
@@ -60,7 +60,14 @@ fn node_model(c: &mut Criterion) {
 fn native_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_kernel_step");
     g.sample_size(10);
-    for name in ["lbm", "tealeaf", "cloverleaf", "pot3d", "hpgmgfv", "weather"] {
+    for name in [
+        "lbm",
+        "tealeaf",
+        "cloverleaf",
+        "pot3d",
+        "hpgmgfv",
+        "weather",
+    ] {
         let bench = benchmark_by_name(name).unwrap();
         g.bench_function(name, |b| {
             b.iter_with_setup(

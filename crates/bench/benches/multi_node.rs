@@ -3,11 +3,11 @@
 //! scaling cases, the §5.1.2 soma anomaly and the §5.1.3 cluster
 //! comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spechpc::harness::experiments::multi_node::{
-    comm_breakdown, fig5, fig6, scaling_cases, soma_anomaly,
+    comm_breakdown, fig5_with, fig6, scaling_cases, soma_anomaly,
 };
 use spechpc::prelude::*;
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 const NODES: [usize; 4] = [1, 2, 4, 8];
 
@@ -22,8 +22,9 @@ fn config() -> RunConfig {
 fn bench_multi_node(c: &mut Criterion) {
     let a = presets::cluster_a();
     let b = presets::cluster_b();
-    let f5a = fig5(&a, &config(), &NODES).expect("fig5 A");
-    let f5b = fig5(&b, &config(), &NODES).expect("fig5 B");
+    let exec = Executor::new(config(), ExecConfig::default());
+    let f5a = fig5_with(&exec, &a, &NODES).expect("fig5 A");
+    let f5b = fig5_with(&exec, &b, &NODES).expect("fig5 B");
 
     println!("== §5.1 scaling cases ==");
     for ((n, ca), (_, cb)) in scaling_cases(&f5a).iter().zip(&scaling_cases(&f5b)) {
@@ -62,14 +63,20 @@ fn bench_multi_node(c: &mut Criterion) {
     let mut g = c.benchmark_group("multi_node");
     g.sample_size(10);
     g.bench_function("fig5_single_benchmark_4nodes", |bch| {
-        let runner = SimRunner::new(config());
-        let bench = benchmark_by_name("tealeaf").unwrap();
-        let n = 4 * a.node.cores();
-        bch.iter(|| runner.run(&a, &*bench, WorkloadClass::Small, n).unwrap())
+        let cold = Executor::new(
+            config(),
+            ExecConfig {
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        let spec = RunSpec::new("tealeaf", WorkloadClass::Small, 4 * a.node.cores());
+        bch.iter(|| cold.run_one(&a, &spec).unwrap())
     });
-    g.bench_function("scaling_classifier", |bch| {
-        bch.iter(|| scaling_cases(&f5a))
+    g.bench_function("fig5_warm_cache_replay", |bch| {
+        bch.iter(|| fig5_with(&exec, &a, &NODES).unwrap())
     });
+    g.bench_function("scaling_classifier", |bch| bch.iter(|| scaling_cases(&f5a)));
     g.finish();
 }
 

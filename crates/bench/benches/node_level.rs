@@ -5,11 +5,11 @@
 //! Each bench prints its regenerated rows once, then measures the
 //! regeneration cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spechpc::harness::experiments::node_level::{
-    acceleration_table, efficiency_table, fig1, fig2, vectorization_table,
+    acceleration_table, efficiency_table, fig1_with, fig2_with, vectorization_table,
 };
 use spechpc::prelude::*;
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 const STEP: usize = 8;
 
@@ -24,8 +24,9 @@ fn config() -> RunConfig {
 fn bench_fig1_and_tables(c: &mut Criterion) {
     let a = presets::cluster_a();
     let b = presets::cluster_b();
-    let f1a = fig1(&a, &config(), STEP).expect("fig1 A");
-    let f1b = fig1(&b, &config(), STEP).expect("fig1 B");
+    let exec = Executor::new(config(), ExecConfig::default());
+    let f1a = fig1_with(&exec, &a, STEP).expect("fig1 A");
+    let f1b = fig1_with(&exec, &b, STEP).expect("fig1 B");
 
     println!("== §4.1.1 parallel efficiency [%] (domain → node) ==");
     let ea = efficiency_table(&f1a, &a);
@@ -44,8 +45,20 @@ fn bench_fig1_and_tables(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig1");
     g.sample_size(10);
-    g.bench_function("cluster_a_sweep", |bch| {
-        bch.iter(|| fig1(&a, &config(), STEP).unwrap())
+    g.bench_function("cluster_a_sweep_cold", |bch| {
+        bch.iter(|| {
+            let cold = Executor::new(
+                config(),
+                ExecConfig {
+                    no_cache: true,
+                    ..ExecConfig::default()
+                },
+            );
+            fig1_with(&cold, &a, STEP).unwrap()
+        })
+    });
+    g.bench_function("cluster_a_sweep_warm_cache", |bch| {
+        bch.iter(|| fig1_with(&exec, &a, STEP).unwrap())
     });
     g.bench_function("efficiency_table", |bch| {
         bch.iter(|| efficiency_table(&f1a, &a))
@@ -55,7 +68,8 @@ fn bench_fig1_and_tables(c: &mut Criterion) {
 
 fn bench_fig2(c: &mut Criterion) {
     let a = presets::cluster_a();
-    let f2 = fig2(&a, &config(), 24).expect("fig2");
+    let exec = Executor::new(config(), ExecConfig::default());
+    let f2 = fig2_with(&exec, &a, 24).expect("fig2");
     println!(
         "== Fig. 2 insets: minisweep@59 Recv {:.0}%, lbm@71 wait+barrier {:.0}% ==",
         f2.minisweep_59.recv_fraction * 100.0,
@@ -65,7 +79,7 @@ fn bench_fig2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
     g.bench_function("insets", |bch| {
-        bch.iter(|| fig2(&a, &config(), 71).unwrap())
+        bch.iter(|| fig2_with(&exec, &a, 71).unwrap())
     });
     g.finish();
 }

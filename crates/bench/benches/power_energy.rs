@@ -2,12 +2,12 @@
 //! (CPU+DRAM power), Fig. 4 (Z-plots, E/EDP minima), the §4.2.1
 //! hot/cool table and the §4.2.3 baseline comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use spechpc::harness::experiments::node_level::fig1;
+use spechpc::harness::experiments::node_level::fig1_with;
 use spechpc::harness::experiments::power_energy::{
-    baseline_table, fig3, fig4, hot_cool_table,
+    baseline_table, fig3, fig4, hot_cool_table, run_power_energy_with,
 };
 use spechpc::prelude::*;
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 fn config() -> RunConfig {
     RunConfig {
@@ -20,8 +20,9 @@ fn config() -> RunConfig {
 fn bench_power_energy(c: &mut Criterion) {
     let a = presets::cluster_a();
     let b = presets::cluster_b();
-    let f1a = fig1(&a, &config(), 8).expect("sweep A");
-    let f1b = fig1(&b, &config(), 8).expect("sweep B");
+    let exec = Executor::new(config(), ExecConfig::default());
+    let f1a = fig1_with(&exec, &a, 8).expect("sweep A");
+    let f1b = fig1_with(&exec, &b, 8).expect("sweep B");
 
     println!("== Fig. 3: zero-core baselines ==");
     let f3a = fig3(&f1a, &a);
@@ -32,7 +33,10 @@ fn bench_power_energy(c: &mut Criterion) {
     );
 
     println!("== §4.2.1 hot/cool (W per socket | % of TDP) ==");
-    for ((n, wa, fa), (_, wb, fb)) in hot_cool_table(&f1a, &a).iter().zip(&hot_cool_table(&f1b, &b)) {
+    for ((n, wa, fa), (_, wb, fb)) in hot_cool_table(&f1a, &a)
+        .iter()
+        .zip(&hot_cool_table(&f1b, &b))
+    {
         println!(
             "{n:<12} A {wa:>4.0} W {:>3.0}% | B {wb:>4.0} W {:>3.0}%",
             fa * 100.0,
@@ -55,6 +59,9 @@ fn bench_power_energy(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("power_energy");
     g.sample_size(10);
+    g.bench_function("pipeline_warm_cache", |bch| {
+        bch.iter(|| run_power_energy_with(&exec, &a, 8).unwrap())
+    });
     g.bench_function("fig3_derivation", |bch| bch.iter(|| fig3(&f1a, &a)));
     g.bench_function("fig4_derivation", |bch| bch.iter(|| fig4(&f1a)));
     g.bench_function("hot_cool_table", |bch| {

@@ -3,9 +3,9 @@
 //! Each bench prints the regenerated table once (the deliverable) and
 //! then measures the regeneration cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spechpc::harness::experiments::tables::{table1, table2, table3};
 use spechpc::prelude::*;
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_tables(c: &mut Criterion) {
     let a = presets::cluster_a();
@@ -18,9 +18,7 @@ fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.bench_function("table1", |bch| bch.iter(|| table1().render()));
     g.bench_function("table2", |bch| bch.iter(|| table2().render()));
-    g.bench_function("table3", |bch| {
-        bch.iter(|| table3(&[&a, &b]).render())
-    });
+    g.bench_function("table3", |bch| bch.iter(|| table3(&[&a, &b]).render()));
     g.finish();
 }
 

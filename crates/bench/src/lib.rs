@@ -1,1 +1,221 @@
-//! Benchmark crate; see benches/.
+//! # spechpc-bench — benchmark suite regenerating the paper's artifacts
+//!
+//! The `benches/` targets of this crate regenerate every table and
+//! figure of the paper (Tables 1–3, Fig. 1–6, the §4/§5 derived tables)
+//! and time how long the regeneration takes, plus the `ablations` bench
+//! exercising the design choices called out in `DESIGN.md` and an
+//! `engine` microbenchmark of the simulation substrates themselves.
+//!
+//! The library part is a tiny self-contained timing harness exposing the
+//! subset of the Criterion API the benches use ([`Criterion`],
+//! [`Bencher`], benchmark groups, and the [`criterion_group!`]/
+//! [`criterion_main!`] macros), so the workspace builds without any
+//! external dependency. It is not a statistics engine: each benchmark is
+//! warmed up once and then sampled `sample_size` times with
+//! monotonic-clock timing, reporting min / median / mean.
+//!
+//! Run everything with `cargo bench --workspace`. The figure benches go
+//! through the harness's parallel, cached execution layer
+//! (`spechpc_harness::exec`), so repeated invocations hit the on-disk
+//! run cache and complete in seconds.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Entry point object handed to each bench function (Criterion-API
+/// compatible subset).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Time one closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures one sample: the closure passed to `iter` is executed once
+/// per sample (the routines here are all long-running figure
+/// regenerations, so per-call clock overhead is negligible).
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` once and accumulate the sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine(setup())`, excluding the setup cost.
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One untimed warm-up pass.
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "bench {name:<44} min {:>12} | median {:>12} | mean {:>12} ({samples} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Build a bench-suite function from a list of bench functions
+/// (Criterion-macro compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Build the `main` entry point from bench suites
+/// (Criterion-macro compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_time() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_millis(1)));
+        assert!(b.elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        b.iter_with_setup(|| std::thread::sleep(Duration::from_millis(5)), |_| 2 + 2);
+        assert!(b.elapsed < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn groups_and_macros_compile_and_run() {
+        fn suite(c: &mut Criterion) {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(2);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        let mut c = Criterion::default();
+        suite(&mut c);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

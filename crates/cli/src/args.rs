@@ -33,6 +33,17 @@ pub fn parse_class(s: &str) -> Result<WorkloadClass, String> {
     }
 }
 
+/// Execution-layer options shared by the simulating commands: worker
+/// count and run-cache policy (see `spechpc_harness::exec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOpts {
+    /// `--jobs N`: worker threads (`None` = one per host core).
+    pub jobs: Option<usize>,
+    /// `--no-cache`: re-simulate everything, and do not touch
+    /// `results/cache/`.
+    pub no_cache: bool,
+}
+
 /// The parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -43,17 +54,21 @@ pub enum Command {
         class: WorkloadClass,
         nranks: Option<usize>,
         trace_csv: Option<String>,
+        exec: ExecOpts,
     },
     Suite {
         cluster: ClusterChoice,
         class: WorkloadClass,
         nranks: Option<usize>,
+        exec: ExecOpts,
     },
     Score {
         class: WorkloadClass,
+        exec: ExecOpts,
     },
     Figures {
         which: String,
+        exec: ExecOpts,
     },
     Dvfs {
         benchmark: String,
@@ -84,24 +99,35 @@ COMMANDS:
     dvfs <benchmark>             frequency-scaling energy analysis
         --cluster a|b
     help                         show this message
+
+EXECUTION (run/suite/score/figures):
+    --jobs N                     worker threads             [default: all cores]
+    --no-cache                   re-simulate; skip results/cache/
 ";
 
-/// Parse the argument vector (without argv[0]).
+/// Parse the argument vector (without `argv[0]`).
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
     };
 
-    // Collect options (--key value / -n value) and positionals.
+    // Collect options (--key value / -n value), valueless flags, and
+    // positionals.
+    const FLAGS: [&str; 1] = ["no-cache"];
     let mut positional = Vec::new();
     let mut options = std::collections::BTreeMap::new();
+    let mut flags = std::collections::BTreeSet::new();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("option --{key} needs a value"))?;
-            options.insert(key.to_string(), value.clone());
+            if FLAGS.contains(&key) {
+                flags.insert(key.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                options.insert(key.to_string(), value.clone());
+            }
         } else if a == "-n" {
             let value = it.next().ok_or("option -n needs a value")?;
             options.insert("ranks".to_string(), value.clone());
@@ -125,6 +151,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         ),
         None => None,
     };
+    let exec = ExecOpts {
+        jobs: match options.get("jobs") {
+            Some(s) => Some(
+                s.parse::<usize>()
+                    .map_err(|e| format!("bad job count '{s}': {e}"))
+                    .and_then(|n| (n > 0).then_some(n).ok_or("--jobs must be ≥ 1".to_string()))?,
+            ),
+            None => None,
+        },
+        no_cache: flags.contains("no-cache"),
+    };
 
     match cmd.as_str() {
         "list" => Ok(Command::List),
@@ -139,22 +176,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 class,
                 nranks,
                 trace_csv: options.get("trace").cloned(),
+                exec,
             })
         }
         "suite" => Ok(Command::Suite {
             cluster,
             class,
             nranks,
+            exec,
         }),
-        "score" => Ok(Command::Score { class }),
+        "score" => Ok(Command::Score { class, exec }),
         "figures" => Ok(Command::Figures {
             which: positional.first().cloned().unwrap_or_else(|| "all".into()),
+            exec,
         }),
         "dvfs" => {
-            let benchmark = positional
-                .first()
-                .ok_or("dvfs: which benchmark?")?
-                .clone();
+            let benchmark = positional.first().ok_or("dvfs: which benchmark?")?.clone();
             Ok(Command::Dvfs { benchmark, cluster })
         }
         "help" | "-h" | "--help" => Ok(Command::Help),
@@ -173,8 +210,19 @@ mod tests {
     #[test]
     fn parses_run_with_all_options() {
         let c = parse(&v(&[
-            "run", "tealeaf", "--cluster", "b", "--class", "small", "-n", "208", "--trace",
+            "run",
+            "tealeaf",
+            "--cluster",
+            "b",
+            "--class",
+            "small",
+            "-n",
+            "208",
+            "--trace",
             "out.csv",
+            "--jobs",
+            "4",
+            "--no-cache",
         ]))
         .unwrap();
         assert_eq!(
@@ -185,6 +233,10 @@ mod tests {
                 class: WorkloadClass::Small,
                 nranks: Some(208),
                 trace_csv: Some("out.csv".into()),
+                exec: ExecOpts {
+                    jobs: Some(4),
+                    no_cache: true,
+                },
             }
         );
     }
@@ -200,8 +252,27 @@ mod tests {
                 class: WorkloadClass::Tiny,
                 nranks: None,
                 trace_csv: None,
+                exec: ExecOpts::default(),
             }
         );
+    }
+
+    #[test]
+    fn jobs_validation() {
+        assert!(parse(&v(&["suite", "--jobs", "0"])).is_err());
+        assert!(parse(&v(&["suite", "--jobs", "many"])).is_err());
+        assert!(parse(&v(&["suite", "--jobs"])).is_err());
+        let c = parse(&v(&["suite", "--jobs", "16"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Suite {
+                exec: ExecOpts {
+                    jobs: Some(16),
+                    no_cache: false,
+                },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -237,11 +308,20 @@ mod tests {
     fn figures_default_all() {
         assert_eq!(
             parse(&v(&["figures"])).unwrap(),
-            Command::Figures { which: "all".into() }
+            Command::Figures {
+                which: "all".into(),
+                exec: ExecOpts::default(),
+            }
         );
         assert_eq!(
-            parse(&v(&["figures", "fig5"])).unwrap(),
-            Command::Figures { which: "fig5".into() }
+            parse(&v(&["figures", "fig5", "--no-cache"])).unwrap(),
+            Command::Figures {
+                which: "fig5".into(),
+                exec: ExecOpts {
+                    jobs: None,
+                    no_cache: true,
+                },
+            }
         );
     }
 }

@@ -10,7 +10,7 @@
 
 mod args;
 
-use args::{ClusterChoice, Command, USAGE};
+use args::{ClusterChoice, Command, ExecOpts, USAGE};
 use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
 use spechpc::power::dvfs;
 use spechpc::prelude::*;
@@ -20,6 +20,19 @@ fn cluster_of(c: ClusterChoice) -> ClusterSpec {
         ClusterChoice::A => presets::cluster_a(),
         ClusterChoice::B => presets::cluster_b(),
     }
+}
+
+/// Build the execution layer from the CLI options: all host cores and
+/// the persistent `results/cache/` store unless overridden.
+fn executor_of(config: RunConfig, opts: ExecOpts) -> Executor {
+    Executor::new(
+        config,
+        ExecConfig {
+            jobs: opts.jobs.unwrap_or(0),
+            cache_dir: (!opts.no_cache).then(RunCache::default_dir),
+            no_cache: opts.no_cache,
+        },
+    )
 }
 
 fn main() {
@@ -72,26 +85,66 @@ fn run(cmd: Command) -> Result<(), String> {
             class,
             nranks,
             trace_csv,
+            exec,
         } => {
             let cl = cluster_of(cluster);
-            let bench = benchmark_by_name(&benchmark)
+            benchmark_by_name(&benchmark)
                 .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
             let n = nranks.unwrap_or_else(|| cl.node.cores());
-            let runner = SimRunner::new(RunConfig::default());
-            let r = runner
-                .run(&cl, &*bench, class, n)
-                .map_err(|e| e.to_string())?;
+            let executor = executor_of(
+                RunConfig {
+                    trace: false,
+                    ..RunConfig::default()
+                },
+                exec,
+            );
+            let spec = RunSpec::new(benchmark.as_str(), class, n);
+            // Only a trace export needs the timeline; everything else
+            // goes through (and populates) the run cache.
+            let r = if trace_csv.is_some() {
+                executor.run_traced(&cl, &spec)
+            } else {
+                executor.run_one(&cl, &spec)
+            }
+            .map_err(|e| e.to_string())?;
             println!(
                 "{} {} on {} with {} ranks ({} node(s)):",
                 benchmark, class, cl.name, n, r.nodes_used
             );
-            println!("  runtime        {:>12.2} s  ({:.5} s/step)", r.runtime_s, r.step_seconds);
-            println!("  performance    {:>12.1} Gflop/s (DP), {:.1} vectorized", r.counters.dp_gflops(), r.counters.dp_avx_gflops());
-            println!("  memory BW      {:>12.1} GB/s  (L3 {:.1}, L2 {:.1})", r.counters.mem_bandwidth(), r.counters.l3_bandwidth(), r.counters.l2_bandwidth());
-            println!("  MPI share      {:>12.1} %  (dominant: {})", r.breakdown.mpi_fraction() * 100.0,
-                r.breakdown.dominant_mpi().map(|k| k.to_string()).unwrap_or_else(|| "—".into()));
-            println!("  power          {:>12.1} W  (package {:.1} + DRAM {:.1})", r.power.total(), r.power.package_w, r.power.dram_w);
-            println!("  energy         {:>12.1} kJ  (EDP {:.3e} J·s)", r.energy.total_j() / 1e3, r.energy.edp());
+            println!(
+                "  runtime        {:>12.2} s  ({:.5} s/step)",
+                r.runtime_s, r.step_seconds
+            );
+            println!(
+                "  performance    {:>12.1} Gflop/s (DP), {:.1} vectorized",
+                r.counters.dp_gflops(),
+                r.counters.dp_avx_gflops()
+            );
+            println!(
+                "  memory BW      {:>12.1} GB/s  (L3 {:.1}, L2 {:.1})",
+                r.counters.mem_bandwidth(),
+                r.counters.l3_bandwidth(),
+                r.counters.l2_bandwidth()
+            );
+            println!(
+                "  MPI share      {:>12.1} %  (dominant: {})",
+                r.breakdown.mpi_fraction() * 100.0,
+                r.breakdown
+                    .dominant_mpi()
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "—".into())
+            );
+            println!(
+                "  power          {:>12.1} W  (package {:.1} + DRAM {:.1})",
+                r.power.total(),
+                r.power.package_w,
+                r.power.dram_w
+            );
+            println!(
+                "  energy         {:>12.1} kJ  (EDP {:.3e} J·s)",
+                r.energy.total_j() / 1e3,
+                r.energy.edp()
+            );
             if let Some(path) = trace_csv {
                 let csv = spechpc::simmpi::export::to_csv(&r.timeline);
                 std::fs::write(&path, csv).map_err(|e| format!("writing {path}: {e}"))?;
@@ -103,17 +156,23 @@ fn run(cmd: Command) -> Result<(), String> {
             cluster,
             class,
             nranks,
+            exec,
         } => {
             let cl = cluster_of(cluster);
             let n = nranks.unwrap_or_else(|| cl.node.cores());
             let suite = Suite { class, nranks: n };
-            let report = suite
-                .run(&cl, RunConfig::default())
-                .map_err(|e| e.to_string())?;
+            let executor = executor_of(
+                RunConfig {
+                    trace: false,
+                    ..RunConfig::default()
+                },
+                exec,
+            );
+            let report = suite.run_with(&executor, &cl).map_err(|e| e.to_string())?;
             println!("{}", report.render());
             Ok(())
         }
-        Command::Score { class } => {
+        Command::Score { class, exec } => {
             let a = presets::cluster_a();
             let b = presets::cluster_b();
             let cfg = RunConfig {
@@ -121,6 +180,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 trace: false,
                 ..RunConfig::default()
             };
+            let executor = executor_of(cfg, exec);
             let suite_a = Suite {
                 class,
                 nranks: a.node.cores(),
@@ -129,16 +189,14 @@ fn run(cmd: Command) -> Result<(), String> {
                 class,
                 nranks: b.node.cores(),
             };
-            let ra = suite_a.run(&a, cfg.clone()).map_err(|e| e.to_string())?;
-            let rb = suite_b.run(&b, cfg).map_err(|e| e.to_string())?;
-            println!(
-                "SPEC-style {class} score (reference = ClusterA full node):"
-            );
+            let ra = suite_a.run_with(&executor, &a).map_err(|e| e.to_string())?;
+            let rb = suite_b.run_with(&executor, &b).map_err(|e| e.to_string())?;
+            println!("SPEC-style {class} score (reference = ClusterA full node):");
             println!("  ClusterA: {:.3}", ra.spec_score(&ra).unwrap_or(0.0));
             println!("  ClusterB: {:.3}", rb.spec_score(&ra).unwrap_or(0.0));
             Ok(())
         }
-        Command::Figures { which } => figures(&which),
+        Command::Figures { which, exec } => figures(&which, exec),
         Command::Dvfs { benchmark, cluster } => {
             let cl = cluster_of(cluster);
             let bench = benchmark_by_name(&benchmark)
@@ -165,7 +223,10 @@ fn run(cmd: Command) -> Result<(), String> {
                 t_flops * 1e3,
                 t_mem * 1e3
             );
-            println!("{:>8} {:>12} {:>10} {:>12}", "GHz", "t/step [ms]", "P [W]", "E [J/step]");
+            println!(
+                "{:>8} {:>12} {:>10} {:>12}",
+                "GHz", "t/step [ms]", "P [W]", "E [J/step]"
+            );
             for p in &sweep {
                 println!(
                     "{:>8.2} {:>12.3} {:>10.1} {:>12.3}",
@@ -187,7 +248,7 @@ fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
-fn figures(which: &str) -> Result<(), String> {
+fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
     let a = presets::cluster_a();
     let b = presets::cluster_b();
     let cfg = RunConfig {
@@ -195,6 +256,10 @@ fn figures(which: &str) -> Result<(), String> {
         trace: false,
         ..RunConfig::default()
     };
+    // One executor for the whole regeneration: `figures all` shares the
+    // fig1 grid between the fig1 and fig3/fig4 sections via the cache,
+    // and a second invocation replays entirely from results/cache/.
+    let executor = executor_of(cfg, exec);
     let all = which == "all";
     let mut matched = false;
 
@@ -206,8 +271,8 @@ fn figures(which: &str) -> Result<(), String> {
     }
     if all || which == "fig1" {
         matched = true;
-        let f1a = node_level::fig1(&a, &cfg, 8).map_err(|e| e.to_string())?;
-        let f1b = node_level::fig1(&b, &cfg, 8).map_err(|e| e.to_string())?;
+        let f1a = node_level::fig1_with(&executor, &a, 8).map_err(|e| e.to_string())?;
+        let f1b = node_level::fig1_with(&executor, &b, 8).map_err(|e| e.to_string())?;
         println!("== §4.1.1 parallel efficiency [%] ==");
         for ((n, x), (_, y)) in node_level::efficiency_table(&f1a, &a)
             .iter()
@@ -226,7 +291,7 @@ fn figures(which: &str) -> Result<(), String> {
     }
     if all || which == "fig2" {
         matched = true;
-        let f2 = node_level::fig2(&a, &cfg, 24).map_err(|e| e.to_string())?;
+        let f2 = node_level::fig2_with(&executor, &a, 24).map_err(|e| e.to_string())?;
         println!(
             "Fig. 2 insets: minisweep@59 Recv {:.0} %, lbm@{} wait+barrier {:.0} %",
             f2.minisweep_59.recv_fraction * 100.0,
@@ -236,7 +301,7 @@ fn figures(which: &str) -> Result<(), String> {
     }
     if all || which == "fig3" || which == "fig4" {
         matched = true;
-        let f1a = node_level::fig1(&a, &cfg, 8).map_err(|e| e.to_string())?;
+        let f1a = node_level::fig1_with(&executor, &a, 8).map_err(|e| e.to_string())?;
         let f3 = power_energy::fig3(&f1a, &a);
         println!(
             "Fig. 3 ({}): extrapolated baseline {:.0} W/socket",
@@ -257,7 +322,8 @@ fn figures(which: &str) -> Result<(), String> {
     if all || which == "fig5" || which == "fig6" {
         matched = true;
         for cl in [&a, &b] {
-            let f5 = multi_node::fig5(cl, &cfg, &[1, 2, 4, 8]).map_err(|e| e.to_string())?;
+            let f5 =
+                multi_node::fig5_with(&executor, cl, &[1, 2, 4, 8]).map_err(|e| e.to_string())?;
             println!("{}", f5.render());
             println!("scaling cases ({}):", cl.name);
             for (n, c) in multi_node::scaling_cases(&f5) {

@@ -41,6 +41,8 @@ pub mod prelude {
     pub use spechpc_analysis::scaling::{classify_scaling, ScalingCase, ScalingEvidence};
     pub use spechpc_analysis::speedup::{parallel_efficiency, SpeedupCurve};
     pub use spechpc_analysis::stats::RunStats;
+    pub use spechpc_harness::cache::{RunCache, RunKey};
+    pub use spechpc_harness::exec::{ExecConfig, Executor, RunSpec};
     pub use spechpc_harness::runner::{RunConfig, RunResult, SimRunner};
     pub use spechpc_harness::suite::{Suite, SuiteReport};
     pub use spechpc_kernels::common::benchmark::{Benchmark, Kernel};

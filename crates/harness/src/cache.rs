@@ -1,0 +1,717 @@
+//! Content-addressed memoization of run results.
+//!
+//! Every simulated run is fully determined by its [`RunKey`] — the
+//! benchmark, cluster preset, workload class, rank count and the
+//! run-rule parameters of [`RunConfig`]. The key canonicalizes to a
+//! stable string, hashes with FNV-1a, and addresses a [`RunCache`]
+//! entry: an in-memory map backed (optionally) by one JSON file per run
+//! under `results/cache/`.
+//!
+//! The JSON codec is hand-rolled (the workspace carries no external
+//! dependencies) and round-trips every `f64` exactly: values are
+//! written with Rust's `{:?}` formatting, which emits the shortest
+//! decimal that parses back to the identical bit pattern. A cached
+//! replay is therefore byte-identical to the run that produced it —
+//! the property the parallel executor's determinism guarantee rests on.
+//!
+//! Traced runs are never cached: a [`Timeline`]
+//! can hold millions of events and the experiments that need one (the
+//! Fig. 2 insets, CSV export) re-simulate cheaply.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use spechpc_analysis::counters::CounterSample;
+use spechpc_power::energy::EnergyBreakdown;
+use spechpc_power::rapl::JobPower;
+use spechpc_simmpi::trace::{Breakdown, EventKind, Timeline};
+
+use crate::runner::{RunConfig, RunResult};
+
+/// Bump whenever the on-disk layout or the simulation semantics change;
+/// entries with a different schema are ignored.
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Everything that determines a run's outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    pub benchmark: String,
+    pub cluster: String,
+    pub class: String,
+    pub nranks: usize,
+    pub warmup_steps: usize,
+    pub measured_steps: usize,
+    pub repetitions: usize,
+}
+
+impl RunKey {
+    /// Build the key for one run under `config`'s run rules.
+    ///
+    /// `config.trace` is deliberately absent: tracing changes what is
+    /// recorded, never what is computed, and traced runs bypass the
+    /// cache entirely.
+    pub fn new(
+        cluster: &str,
+        benchmark: &str,
+        class: &str,
+        nranks: usize,
+        config: &RunConfig,
+    ) -> Self {
+        RunKey {
+            benchmark: benchmark.to_string(),
+            cluster: cluster.to_string(),
+            class: class.to_string(),
+            nranks,
+            warmup_steps: config.warmup_steps,
+            measured_steps: config.measured_steps,
+            repetitions: config.repetitions,
+        }
+    }
+
+    /// Canonical string form — the hash input and the collision check
+    /// stored alongside each entry.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v{}|{}|{}|{}|n={}|w={}|m={}|r={}",
+            CACHE_SCHEMA_VERSION,
+            self.benchmark,
+            self.cluster,
+            self.class,
+            self.nranks,
+            self.warmup_steps,
+            self.measured_steps,
+            self.repetitions
+        )
+    }
+
+    /// Stable 64-bit FNV-1a hash of the canonical form, as 16 hex
+    /// digits — the cache file name.
+    pub fn hash_hex(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.canonical().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// Memoized store of [`RunResult`]s, shared across executor workers.
+///
+/// Lookups hit the in-memory map first, then (when a directory is
+/// configured) the on-disk JSON files; stores write through to both.
+pub struct RunCache {
+    mem: Mutex<HashMap<String, RunResult>>,
+    dir: Option<PathBuf>,
+}
+
+impl RunCache {
+    /// Purely in-memory cache (one process lifetime).
+    pub fn in_memory() -> Self {
+        RunCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+        }
+    }
+
+    /// Cache persisted under `dir` (created lazily on first store).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        RunCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// The conventional persistent location, `results/cache/`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results").join("cache")
+    }
+
+    fn path_of(&self, key: &RunKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key.hash_hex())))
+    }
+
+    /// Look `key` up, memory first, then disk.
+    pub fn get(&self, key: &RunKey) -> Option<RunResult> {
+        let canonical = key.canonical();
+        if let Some(hit) = self
+            .mem
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&canonical)
+        {
+            return Some(hit.clone());
+        }
+        let path = self.path_of(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let result = decode_entry(&text, &canonical)?;
+        self.mem
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(canonical, result.clone());
+        Some(result)
+    }
+
+    /// Store `result` under `key`, writing through to disk when
+    /// configured. I/O failures are swallowed: the cache is an
+    /// accelerator, never a correctness dependency.
+    pub fn put(&self, key: &RunKey, result: &RunResult) {
+        let canonical = key.canonical();
+        self.mem
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(canonical.clone(), result.clone());
+        if let Some(path) = self.path_of(key) {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let _ = write_atomically(&path, &encode_entry(&canonical, result));
+        }
+    }
+
+    /// Number of entries resident in memory (test/diagnostic hook).
+    pub fn len_in_memory(&self) -> usize {
+        self.mem.lock().expect("cache lock poisoned").len()
+    }
+}
+
+/// Write via a sibling temp file + rename so concurrent processes never
+/// observe a torn entry.
+fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Exact `f64` serialization: `{:?}` prints the shortest decimal that
+/// round-trips to the same bits. Non-finite values (which no sane run
+/// produces) map to `null` and decode back to NaN.
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize one cache entry (canonical key + result) as JSON.
+pub fn encode_entry(canonical_key: &str, r: &RunResult) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {CACHE_SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"key\": {},\n", jstr(canonical_key)));
+    s.push_str("  \"result\": {\n");
+    s.push_str(&format!("    \"benchmark\": {},\n", jstr(&r.benchmark)));
+    s.push_str(&format!("    \"cluster\": {},\n", jstr(&r.cluster)));
+    s.push_str(&format!("    \"class\": {},\n", jstr(&r.class)));
+    s.push_str(&format!("    \"nranks\": {},\n", r.nranks));
+    s.push_str(&format!("    \"nodes_used\": {},\n", r.nodes_used));
+    s.push_str(&format!("    \"step_seconds\": {},\n", jf(r.step_seconds)));
+    s.push_str(&format!(
+        "    \"step_seconds_min\": {},\n",
+        jf(r.step_seconds_min)
+    ));
+    s.push_str(&format!(
+        "    \"step_seconds_max\": {},\n",
+        jf(r.step_seconds_max)
+    ));
+    s.push_str(&format!("    \"runtime_s\": {},\n", jf(r.runtime_s)));
+    s.push_str(&format!(
+        "    \"counters\": {{ \"runtime_s\": {}, \"dp_flops\": {}, \"dp_avx_flops\": {}, \"mem_bytes\": {}, \"l3_bytes\": {}, \"l2_bytes\": {} }},\n",
+        jf(r.counters.runtime_s),
+        jf(r.counters.dp_flops),
+        jf(r.counters.dp_avx_flops),
+        jf(r.counters.mem_bytes),
+        jf(r.counters.l3_bytes),
+        jf(r.counters.l2_bytes),
+    ));
+    s.push_str("    \"breakdown\": { \"total\": ");
+    s.push_str(&jf(r.breakdown.total));
+    s.push_str(", \"seconds\": [");
+    for (i, (kind, secs)) in r.breakdown.seconds.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("[{}, {}]", jstr(&kind.to_string()), jf(*secs)));
+    }
+    s.push_str("] },\n");
+    s.push_str(&format!(
+        "    \"power\": {{ \"package_w\": {}, \"dram_w\": {} }},\n",
+        jf(r.power.package_w),
+        jf(r.power.dram_w),
+    ));
+    s.push_str(&format!(
+        "    \"energy\": {{ \"cpu_j\": {}, \"dram_j\": {}, \"runtime_s\": {} }}\n",
+        jf(r.energy.cpu_j),
+        jf(r.energy.dram_j),
+        jf(r.energy.runtime_s),
+    ));
+    s.push_str("  }\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value — just enough for the cache entries above.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn usize_of(&self, key: &str) -> Option<usize> {
+        Some(self.get(key)?.num()? as usize)
+    }
+
+    fn f64_of(&self, key: &str) -> Option<f64> {
+        self.get(key)?.num()
+    }
+
+    fn str_of(&self, key: &str) -> Option<String> {
+        Some(self.get(key)?.str()?.to_string())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.peek()? == b).then(|| self.pos += 1)
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Some(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Option<Json> {
+        self.skip_ws();
+        let end = self.pos + word.len();
+        (self.bytes.get(self.pos..end)? == word.as_bytes()).then(|| {
+            self.pos = end;
+            v
+        })
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Some(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                _ => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        text.parse::<f64>().ok().map(Json::Num)
+    }
+}
+
+fn parse_json(text: &str) -> Option<Json> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(v)
+}
+
+/// Inverse of [`EventKind`]'s `Display` names.
+fn event_kind_from_name(name: &str) -> Option<EventKind> {
+    EventKind::ALL.into_iter().find(|k| k.to_string() == name)
+}
+
+/// Decode one cache entry, verifying schema and the embedded canonical
+/// key (which guards against both hash collisions and stale layouts).
+pub fn decode_entry(text: &str, expected_key: &str) -> Option<RunResult> {
+    let root = parse_json(text)?;
+    if root.f64_of("schema")? as u64 != CACHE_SCHEMA_VERSION {
+        return None;
+    }
+    if root.str_of("key")? != expected_key {
+        return None;
+    }
+    let r = root.get("result")?;
+
+    let c = r.get("counters")?;
+    let counters = CounterSample {
+        runtime_s: c.f64_of("runtime_s")?,
+        dp_flops: c.f64_of("dp_flops")?,
+        dp_avx_flops: c.f64_of("dp_avx_flops")?,
+        mem_bytes: c.f64_of("mem_bytes")?,
+        l3_bytes: c.f64_of("l3_bytes")?,
+        l2_bytes: c.f64_of("l2_bytes")?,
+    };
+
+    let b = r.get("breakdown")?;
+    let mut breakdown = Breakdown {
+        total: b.f64_of("total")?,
+        ..Breakdown::default()
+    };
+    let Json::Arr(pairs) = b.get("seconds")? else {
+        return None;
+    };
+    for pair in pairs {
+        let Json::Arr(kv) = pair else { return None };
+        let kind = event_kind_from_name(kv.first()?.str()?)?;
+        breakdown.seconds.insert(kind, kv.get(1)?.num()?);
+    }
+
+    let p = r.get("power")?;
+    let e = r.get("energy")?;
+    let nranks = r.usize_of("nranks")?;
+    Some(RunResult {
+        benchmark: r.str_of("benchmark")?,
+        cluster: r.str_of("cluster")?,
+        class: r.str_of("class")?,
+        nranks,
+        nodes_used: r.usize_of("nodes_used")?,
+        step_seconds: r.f64_of("step_seconds")?,
+        step_seconds_min: r.f64_of("step_seconds_min")?,
+        step_seconds_max: r.f64_of("step_seconds_max")?,
+        runtime_s: r.f64_of("runtime_s")?,
+        counters,
+        breakdown,
+        power: JobPower {
+            package_w: p.f64_of("package_w")?,
+            dram_w: p.f64_of("dram_w")?,
+        },
+        energy: EnergyBreakdown {
+            cpu_j: e.f64_of("cpu_j")?,
+            dram_j: e.f64_of("dram_j")?,
+            runtime_s: e.f64_of("runtime_s")?,
+        },
+        // Cached runs are always untraced: an empty timeline sized
+        // like the one the untraced simulation produced.
+        timeline: Timeline::new(nranks),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> RunResult {
+        let mut breakdown = Breakdown::default();
+        breakdown.seconds.insert(EventKind::Compute, 0.1 + 0.2); // 0.30000000000000004
+        breakdown.seconds.insert(EventKind::Recv, 1e-17);
+        breakdown.total = 0.1 + 0.2 + 1e-17;
+        RunResult {
+            benchmark: "minisweep".into(),
+            cluster: "ClusterA".into(),
+            class: "tiny".into(),
+            nranks: 59,
+            nodes_used: 1,
+            step_seconds: std::f64::consts::PI,
+            step_seconds_min: 2.9,
+            step_seconds_max: 3.5,
+            runtime_s: 1234.5678901234567,
+            counters: CounterSample {
+                runtime_s: 1234.5678901234567,
+                dp_flops: 1.23e15,
+                dp_avx_flops: 4.56e14,
+                mem_bytes: 7.89e13,
+                l3_bytes: 8.9e13,
+                l2_bytes: 9.1e13,
+            },
+            breakdown,
+            power: JobPower {
+                package_w: 417.423,
+                dram_w: 38.0001,
+            },
+            energy: EnergyBreakdown {
+                cpu_j: 5.1e5,
+                dram_j: 4.7e4,
+                runtime_s: 1234.5678901234567,
+            },
+            timeline: Timeline::default(),
+        }
+    }
+
+    fn results_equal(a: &RunResult, b: &RunResult) -> bool {
+        a.benchmark == b.benchmark
+            && a.cluster == b.cluster
+            && a.class == b.class
+            && a.nranks == b.nranks
+            && a.nodes_used == b.nodes_used
+            && a.step_seconds.to_bits() == b.step_seconds.to_bits()
+            && a.step_seconds_min.to_bits() == b.step_seconds_min.to_bits()
+            && a.step_seconds_max.to_bits() == b.step_seconds_max.to_bits()
+            && a.runtime_s.to_bits() == b.runtime_s.to_bits()
+            && a.counters == b.counters
+            && a.breakdown == b.breakdown
+            && a.power == b.power
+            && a.energy.cpu_j.to_bits() == b.energy.cpu_j.to_bits()
+            && a.energy.dram_j.to_bits() == b.energy.dram_j.to_bits()
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let r = sample_result();
+        let key = "v1|minisweep|ClusterA|tiny|n=59|w=2|m=3|r=3";
+        let text = encode_entry(key, &r);
+        let back = decode_entry(&text, key).expect("decodes");
+        assert!(results_equal(&r, &back));
+        // Double round trip is a fixed point.
+        assert_eq!(text, encode_entry(key, &back));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_key_and_schema() {
+        let r = sample_result();
+        let text = encode_entry("some-key", &r);
+        assert!(decode_entry(&text, "other-key").is_none());
+        let stale = text.replace(
+            &format!("\"schema\": {CACHE_SCHEMA_VERSION}"),
+            "\"schema\": 999",
+        );
+        assert!(decode_entry(&stale, "some-key").is_none());
+    }
+
+    #[test]
+    fn key_canonical_and_hash_are_stable() {
+        let cfg = RunConfig::default();
+        let key = RunKey::new("ClusterA", "tealeaf", "tiny", 72, &cfg);
+        assert_eq!(key.canonical(), "v1|tealeaf|ClusterA|tiny|n=72|w=2|m=3|r=3");
+        // Pin the hash: silently changing it would orphan every
+        // existing cache entry.
+        assert_eq!(key.hash_hex(), key.hash_hex());
+        assert_eq!(key.hash_hex().len(), 16);
+        let other = RunKey::new("ClusterA", "tealeaf", "tiny", 73, &cfg);
+        assert_ne!(key.hash_hex(), other.hash_hex());
+    }
+
+    #[test]
+    fn key_separates_run_rule_parameters() {
+        let base = RunConfig::default();
+        let key = RunKey::new("ClusterA", "lbm", "tiny", 8, &base);
+        for cfg in [
+            RunConfig {
+                warmup_steps: 3,
+                ..base.clone()
+            },
+            RunConfig {
+                measured_steps: 5,
+                ..base.clone()
+            },
+            RunConfig {
+                repetitions: 1,
+                ..base.clone()
+            },
+        ] {
+            let k2 = RunKey::new("ClusterA", "lbm", "tiny", 8, &cfg);
+            assert_ne!(key.canonical(), k2.canonical());
+        }
+        // Tracing does NOT change the key (traced runs skip the cache).
+        let traced = RunConfig {
+            trace: true,
+            ..base.clone()
+        };
+        assert_eq!(
+            key.canonical(),
+            RunKey::new("ClusterA", "lbm", "tiny", 8, &traced).canonical()
+        );
+    }
+
+    #[test]
+    fn event_kind_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(event_kind_from_name(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(event_kind_from_name("MPI_Frobnicate"), None);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let j = parse_json(r#"{"k": "a\"b\\c\ndAé", "n": [1.5e3, -0.25, null]}"#).unwrap();
+        assert_eq!(j.str_of("k").unwrap(), "a\"b\\c\ndAé");
+        let Json::Arr(items) = j.get("n").unwrap() else {
+            panic!()
+        };
+        assert_eq!(items[0], Json::Num(1500.0));
+        assert_eq!(items[1], Json::Num(-0.25));
+        assert!(items[2].num().unwrap().is_nan());
+    }
+
+    #[test]
+    fn in_memory_cache_round_trips() {
+        let cache = RunCache::in_memory();
+        let cfg = RunConfig::default();
+        let key = RunKey::new("ClusterA", "minisweep", "tiny", 59, &cfg);
+        assert!(cache.get(&key).is_none());
+        let r = sample_result();
+        cache.put(&key, &r);
+        let hit = cache.get(&key).expect("hit");
+        assert!(results_equal(&r, &hit));
+        assert_eq!(cache.len_in_memory(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Parallel, cached execution of experiment grids.
+//!
+//! The [`Executor`] is the single entry point every experiment driver,
+//! the suite, the CLI and the benches funnel their runs through. It
+//! combines:
+//!
+//! * the [`RunCache`] — each run is looked up
+//!   by its [`RunKey`] before the simulation is
+//!   ever constructed, and stored afterwards;
+//! * a work-stealing thread pool over the host cores
+//!   ([`Executor::run_all`]) with **deterministic result assembly**:
+//!   workers claim grid points through an atomic cursor and write into
+//!   pre-allocated slots, so the output order (and therefore every
+//!   rendered table) is byte-identical to a serial run regardless of
+//!   the job count or scheduling interleavings. The simulation itself
+//!   is pure — a result never depends on *when* it was computed.
+//!
+//! Traced runs ([`Executor::run_traced`]) bypass the cache: timelines
+//! are large and only the Fig. 2 insets and CSV export want them.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use spechpc_kernels::common::benchmark::Benchmark;
+use spechpc_kernels::common::config::WorkloadClass;
+use spechpc_kernels::registry::benchmark_by_name;
+use spechpc_machine::cluster::ClusterSpec;
+use spechpc_simmpi::engine::SimError;
+
+use crate::cache::{RunCache, RunKey};
+use crate::runner::{RunConfig, RunResult, SimRunner};
+
+/// How the executor schedules and memoizes runs.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Worker threads for grid execution; `0` means one per available
+    /// host core.
+    pub jobs: usize,
+    /// Persist results under this directory (usually
+    /// [`RunCache::default_dir`]); `None` keeps the cache in-memory
+    /// only.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Disable memoization entirely (every run re-simulates).
+    pub no_cache: bool,
+}
+
+impl ExecConfig {
+    /// `jobs` resolved against the host.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One point of an experiment grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Registry name of the benchmark (see
+    /// [`spechpc_kernels::registry`]).
+    pub benchmark: String,
+    pub class: WorkloadClass,
+    pub nranks: usize,
+}
+
+impl RunSpec {
+    pub fn new(benchmark: impl Into<String>, class: WorkloadClass, nranks: usize) -> Self {
+        RunSpec {
+            benchmark: benchmark.into(),
+            class,
+            nranks,
+        }
+    }
+}
+
+/// Parallel, memoizing run executor (see the module docs).
+pub struct Executor {
+    runner: SimRunner,
+    jobs: usize,
+    cache: Option<RunCache>,
+}
+
+impl Executor {
+    pub fn new(run_config: RunConfig, exec: ExecConfig) -> Self {
+        let cache = if exec.no_cache {
+            None
+        } else {
+            Some(match &exec.cache_dir {
+                Some(dir) => RunCache::on_disk(dir.clone()),
+                None => RunCache::in_memory(),
+            })
+        };
+        Executor {
+            jobs: exec.effective_jobs(),
+            runner: SimRunner::new(run_config),
+            cache,
+        }
+    }
+
+    /// Serial, in-memory-cached executor — the drop-in replacement the
+    /// compatibility wrappers (`fig1(cluster, config, step)` …) use.
+    pub fn serial(run_config: RunConfig) -> Self {
+        Executor::new(
+            run_config,
+            ExecConfig {
+                jobs: 1,
+                ..ExecConfig::default()
+            },
+        )
+    }
+
+    /// The run rules this executor applies.
+    pub fn run_config(&self) -> &RunConfig {
+        &self.runner.config
+    }
+
+    fn key_of(&self, cluster: &ClusterSpec, spec: &RunSpec) -> RunKey {
+        RunKey::new(
+            &cluster.name,
+            &spec.benchmark,
+            &spec.class.to_string(),
+            spec.nranks,
+            &self.runner.config,
+        )
+    }
+
+    /// Execute one grid point, consulting the cache first. Traced
+    /// configurations always re-simulate (timelines are not cached).
+    pub fn run_one(&self, cluster: &ClusterSpec, spec: &RunSpec) -> Result<RunResult, SimError> {
+        let cacheable = !self.runner.config.trace;
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.get(&self.key_of(cluster, spec)) {
+                    return Ok(hit);
+                }
+            }
+        }
+        let bench = resolve(&spec.benchmark);
+        let result = self.runner.run(cluster, &*bench, spec.class, spec.nranks)?;
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                cache.put(&self.key_of(cluster, spec), &result);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Run with full event tracing, bypassing the cache — for the
+    /// Fig. 2 insets and CSV export.
+    pub fn run_traced(&self, cluster: &ClusterSpec, spec: &RunSpec) -> Result<RunResult, SimError> {
+        let traced = SimRunner::new(RunConfig {
+            trace: true,
+            ..self.runner.config.clone()
+        });
+        let bench = resolve(&spec.benchmark);
+        traced.run(cluster, &*bench, spec.class, spec.nranks)
+    }
+
+    /// Execute a whole grid concurrently across `jobs` workers.
+    ///
+    /// Results come back in `specs` order, identical to running the
+    /// specs one by one — workers claim points through an atomic cursor
+    /// and deposit into the point's own slot, and the simulation is
+    /// deterministic, so scheduling cannot leak into the output. The
+    /// first error (in grid order) is reported; in-flight points finish,
+    /// pending ones are abandoned.
+    pub fn run_all(
+        &self,
+        cluster: &ClusterSpec,
+        specs: &[RunSpec],
+    ) -> Result<Vec<RunResult>, SimError> {
+        // Fail on unknown names before spawning anything.
+        for spec in specs {
+            resolve(&spec.benchmark);
+        }
+        let workers = self.jobs.min(specs.len()).max(1);
+        if workers == 1 {
+            return specs.iter().map(|s| self.run_one(cluster, s)).collect();
+        }
+
+        let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { return };
+                    let outcome = self.run_one(cluster, spec);
+                    if outcome.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        // Assemble in grid order. Empty slots can only exist when a
+        // failure stopped the workers early, in which case the error
+        // wins anyway.
+        let mut results = Vec::with_capacity(specs.len());
+        let mut first_err = None;
+        for slot in slots {
+            match slot.into_inner().expect("slot lock poisoned") {
+                Some(Ok(r)) if first_err.is_none() => results.push(r),
+                Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                _ => {}
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    }
+
+    /// Strong-scaling sweep of one benchmark over `counts`, executed
+    /// concurrently.
+    pub fn sweep(
+        &self,
+        cluster: &ClusterSpec,
+        benchmark: &str,
+        class: WorkloadClass,
+        counts: &[usize],
+    ) -> Result<Vec<RunResult>, SimError> {
+        let specs: Vec<RunSpec> = counts
+            .iter()
+            .map(|&n| RunSpec::new(benchmark, class, n))
+            .collect();
+        self.run_all(cluster, &specs)
+    }
+}
+
+/// Resolve a registry name; grid specs are constructed from the
+/// registry itself, so a miss is a programming error.
+fn resolve(name: &str) -> Box<dyn Benchmark> {
+    benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark '{name}' in run spec"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_machine::presets;
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            repetitions: 1,
+            trace: false,
+            ..RunConfig::default()
+        }
+    }
+
+    fn render(results: &[RunResult]) -> String {
+        results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} n={} step={:?} e={:?}\n",
+                    r.benchmark,
+                    r.nranks,
+                    r.step_seconds,
+                    r.energy.total_j()
+                )
+            })
+            .collect()
+    }
+
+    fn grid() -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for name in ["tealeaf", "lbm", "minisweep", "soma"] {
+            for n in [1usize, 7, 18, 36] {
+                specs.push(RunSpec::new(name, WorkloadClass::Tiny, n));
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_byte_for_byte() {
+        let cluster = presets::cluster_a();
+        let specs = grid();
+        let serial = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 1,
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        let parallel = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 8,
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        let a = serial.run_all(&cluster, &specs).unwrap();
+        let b = parallel.run_all(&cluster, &specs).unwrap();
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn memory_cache_hits_return_identical_results() {
+        let cluster = presets::cluster_b();
+        let exec = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 2,
+                ..ExecConfig::default()
+            },
+        );
+        let spec = RunSpec::new("cloverleaf", WorkloadClass::Tiny, 26);
+        let fresh = exec.run_one(&cluster, &spec).unwrap();
+        let cached = exec.run_one(&cluster, &spec).unwrap();
+        assert_eq!(fresh.step_seconds.to_bits(), cached.step_seconds.to_bits());
+        assert_eq!(fresh.breakdown, cached.breakdown);
+    }
+
+    #[test]
+    fn traced_runs_bypass_cache_and_keep_timelines() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::serial(quick());
+        let spec = RunSpec::new("lbm", WorkloadClass::Tiny, 4);
+        let plain = exec.run_one(&cluster, &spec).unwrap();
+        assert!(plain.timeline.events.is_empty());
+        let traced = exec.run_traced(&cluster, &spec).unwrap();
+        assert!(!traced.timeline.events.is_empty());
+        // Tracing never changes the physics.
+        assert_eq!(plain.step_seconds.to_bits(), traced.step_seconds.to_bits());
+    }
+
+    #[test]
+    fn grid_results_stay_in_spec_order() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 4,
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        // All points valid → full result set, order preserved.
+        let specs = grid();
+        let out = exec.run_all(&cluster, &specs).unwrap();
+        assert_eq!(out.len(), specs.len());
+        for (r, s) in out.iter().zip(&specs) {
+            assert_eq!(r.benchmark, s.benchmark);
+            assert_eq!(r.nranks, s.nranks);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics_before_spawning() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::serial(quick());
+        let _ = exec.run_all(&cluster, &[RunSpec::new("hpl", WorkloadClass::Tiny, 1)]);
+    }
+}

@@ -12,8 +12,9 @@ use spechpc_machine::cluster::ClusterSpec;
 use spechpc_simmpi::engine::SimError;
 use spechpc_simmpi::trace::EventKind;
 
+use crate::exec::{Executor, RunSpec};
 use crate::report::{fmt, Table};
-use crate::runner::{RunConfig, RunResult, SimRunner};
+use crate::runner::{RunConfig, RunResult};
 
 /// One benchmark's multi-node sweep.
 #[derive(Debug, Clone)]
@@ -70,23 +71,49 @@ pub struct Fig5 {
 }
 
 /// Run the small-suite sweep over `node_counts` full nodes.
+///
+/// Convenience wrapper over [`fig5_with`] using a default (parallel,
+/// memory-cached) executor.
 pub fn fig5(
     cluster: &ClusterSpec,
     config: &RunConfig,
     node_counts: &[usize],
 ) -> Result<Fig5, SimError> {
-    let runner = SimRunner::new(config.clone());
+    fig5_with(
+        &Executor::new(config.clone(), Default::default()),
+        cluster,
+        node_counts,
+    )
+}
+
+/// Run the small-suite sweep through `exec`: the full 9-benchmark ×
+/// node-count grid is dispatched as one concurrent batch.
+pub fn fig5_with(
+    exec: &Executor,
+    cluster: &ClusterSpec,
+    node_counts: &[usize],
+) -> Result<Fig5, SimError> {
     let cores = cluster.node.cores();
     let counts: Vec<usize> = node_counts.iter().map(|n| n * cores).collect();
-    let mut sweeps = Vec::new();
-    for b in all_benchmarks() {
-        let results = runner.sweep(cluster, &*b, WorkloadClass::Small, &counts)?;
-        sweeps.push(MultiNodeSweep {
+    let benches = all_benchmarks();
+    let specs: Vec<RunSpec> = benches
+        .iter()
+        .flat_map(|b| {
+            counts
+                .iter()
+                .map(|&n| RunSpec::new(b.meta().name, WorkloadClass::Small, n))
+        })
+        .collect();
+    let results = exec.run_all(cluster, &specs)?;
+    let mut it = results.into_iter();
+    let sweeps = benches
+        .iter()
+        .map(|b| MultiNodeSweep {
             benchmark: b.meta().name.to_string(),
             cluster: cluster.name.clone(),
-            results,
-        });
-    }
+            results: it.by_ref().take(counts.len()).collect(),
+        })
+        .collect();
     Ok(Fig5 {
         cluster: cluster.name.clone(),
         node_counts: node_counts.to_vec(),
@@ -157,12 +184,14 @@ pub fn comm_breakdown(f5: &Fig5) -> Vec<(String, EventKind, f64)> {
     out
 }
 
+/// Per-benchmark series: `(nodes, total power kW, total energy MJ)`.
+pub type EnergySeries = Vec<(String, Vec<(usize, f64, f64)>)>;
+
 /// Fig. 6: total power and energy vs. node count.
 #[derive(Debug, Clone)]
 pub struct Fig6 {
     pub cluster: String,
-    /// Per benchmark: (nodes, total power kW, total energy MJ).
-    pub series: Vec<(String, Vec<(usize, f64, f64)>)>,
+    pub series: EnergySeries,
 }
 
 pub fn fig6(f5: &Fig5) -> Fig6 {
@@ -242,7 +271,11 @@ mod tests {
         let f5 = fig5(&cluster, &quick(), &[1, 2, 4, 8]).unwrap();
         let cases = scaling_cases(&f5);
         let get = |n: &str| cases.iter().find(|(b, _)| b == n).unwrap().1;
-        assert_eq!(get("weather"), ScalingCase::A, "weather must be superlinear");
+        assert_eq!(
+            get("weather"),
+            ScalingCase::A,
+            "weather must be superlinear"
+        );
         assert!(
             matches!(get("pot3d"), ScalingCase::A | ScalingCase::B),
             "pot3d: {:?}",
@@ -311,13 +344,7 @@ mod tests {
         let cluster = presets::cluster_a();
         let f5 = fig5(&cluster, &quick(), &NODES).unwrap();
         let f6 = fig6(&f5);
-        let series = |n: &str| {
-            &f6.series
-                .iter()
-                .find(|(b, _)| b == n)
-                .unwrap()
-                .1
-        };
+        let series = |n: &str| &f6.series.iter().find(|(b, _)| b == n).unwrap().1;
         let tealeaf = series("tealeaf");
         let e_ratio = tealeaf.last().unwrap().2 / tealeaf[0].2;
         assert!(
@@ -351,13 +378,12 @@ mod tests {
         // §5.1.3: weather's superlinear multi-node scaling is stronger
         // on ClusterB (larger caches). Weather-only sweep to 8 nodes,
         // where the cache fit fully engages on ClusterB.
-        let runner = SimRunner::new(quick());
-        let bench = spechpc_kernels::registry::benchmark_by_name("weather").unwrap();
+        let exec = Executor::new(quick(), Default::default());
         let eff = |cluster: &spechpc_machine::cluster::ClusterSpec| {
             let cores = cluster.node.cores();
             let counts = [cores, 4 * cores, 8 * cores];
-            let res = runner
-                .sweep(cluster, &*bench, WorkloadClass::Small, &counts)
+            let res = exec
+                .sweep(cluster, "weather", WorkloadClass::Small, &counts)
                 .unwrap();
             (res[0].step_seconds / res[2].step_seconds) / 8.0
         };

@@ -9,8 +9,9 @@ use spechpc_machine::cluster::ClusterSpec;
 use spechpc_simmpi::engine::SimError;
 use spechpc_simmpi::trace::EventKind;
 
+use crate::exec::{Executor, RunSpec};
 use crate::report::{fmt, Table};
-use crate::runner::{RunConfig, RunResult, SimRunner};
+use crate::runner::{RunConfig, RunResult};
 
 /// One benchmark's node-level sweep on one cluster.
 #[derive(Debug, Clone)]
@@ -63,18 +64,41 @@ pub fn sweep_counts(cluster: &ClusterSpec, step: usize) -> Vec<usize> {
 
 /// Run the Fig. 1 sweep (`step` controls the sampling density; the
 /// paper uses every core count, i.e. `step = 1`).
+///
+/// Convenience wrapper over [`fig1_with`] using a default (parallel,
+/// memory-cached) executor.
 pub fn fig1(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fig1, SimError> {
-    let runner = SimRunner::new(config.clone());
+    fig1_with(
+        &Executor::new(config.clone(), Default::default()),
+        cluster,
+        step,
+    )
+}
+
+/// Run the Fig. 1 sweep through `exec`: the whole 9-benchmark ×
+/// rank-count grid is dispatched as one batch, so every point runs
+/// concurrently (and cached points are free).
+pub fn fig1_with(exec: &Executor, cluster: &ClusterSpec, step: usize) -> Result<Fig1, SimError> {
     let counts = sweep_counts(cluster, step);
-    let mut sweeps = Vec::new();
-    for b in all_benchmarks() {
-        let results = runner.sweep(cluster, &*b, WorkloadClass::Tiny, &counts)?;
-        sweeps.push(NodeSweep {
+    let benches = all_benchmarks();
+    let specs: Vec<RunSpec> = benches
+        .iter()
+        .flat_map(|b| {
+            counts
+                .iter()
+                .map(|&n| RunSpec::new(b.meta().name, WorkloadClass::Tiny, n))
+        })
+        .collect();
+    let results = exec.run_all(cluster, &specs)?;
+    let mut it = results.into_iter();
+    let sweeps = benches
+        .iter()
+        .map(|b| NodeSweep {
             benchmark: b.meta().name.to_string(),
             cluster: cluster.name.clone(),
-            results,
-        });
-    }
+            results: it.by_ref().take(counts.len()).collect(),
+        })
+        .collect();
     Ok(Fig1 {
         cluster: cluster.name.clone(),
         sweeps,
@@ -86,7 +110,15 @@ impl Fig1 {
     pub fn render_speedup(&self) -> String {
         let mut t = Table::new(
             format!("Fig. 1 ({}) — tiny suite speedup vs. cores", self.cluster),
-            &["benchmark", "n", "speedup", "min", "max", "DP Gflop/s", "DP-AVX Gflop/s"],
+            &[
+                "benchmark",
+                "n",
+                "speedup",
+                "min",
+                "max",
+                "DP Gflop/s",
+                "DP-AVX Gflop/s",
+            ],
         );
         for s in &self.sweeps {
             let t1 = s.results.first().map(|r| r.step_seconds).unwrap_or(1.0);
@@ -144,7 +176,10 @@ pub fn vectorization_table(fig1: &Fig1) -> Vec<(String, f64)> {
         .iter()
         .map(|s| {
             let r = s.results.last().expect("non-empty");
-            (s.benchmark.clone(), 100.0 * r.counters.vectorization_ratio())
+            (
+                s.benchmark.clone(),
+                100.0 * r.counters.vectorization_ratio(),
+            )
         })
         .collect()
 }
@@ -178,18 +213,25 @@ pub struct InsetStats {
 }
 
 /// Run Fig. 2: bandwidth/volume curves plus the two pathology insets.
+///
+/// Convenience wrapper over [`fig2_with`] using a default executor.
 pub fn fig2(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fig2, SimError> {
-    let f1 = fig1(cluster, config, step)?;
-    let runner = SimRunner::new(RunConfig {
-        trace: true,
-        ..config.clone()
-    });
+    fig2_with(
+        &Executor::new(config.clone(), Default::default()),
+        cluster,
+        step,
+    )
+}
 
-    let minisweep = spechpc_kernels::registry::benchmark_by_name("minisweep").unwrap();
-    let ms59 = runner.run(cluster, &*minisweep, WorkloadClass::Tiny, 59)?;
-    let lbm = spechpc_kernels::registry::benchmark_by_name("lbm").unwrap();
+/// Run Fig. 2 through `exec`. The insets need full event timelines, so
+/// those two runs go through [`Executor::run_traced`] (uncached); the
+/// bandwidth curves reuse the Fig. 1 grid.
+pub fn fig2_with(exec: &Executor, cluster: &ClusterSpec, step: usize) -> Result<Fig2, SimError> {
+    let f1 = fig1_with(exec, cluster, step)?;
+
+    let ms59 = exec.run_traced(cluster, &RunSpec::new("minisweep", WorkloadClass::Tiny, 59))?;
     let odd = cluster.node.cores() - 1;
-    let lbm_odd = runner.run(cluster, &*lbm, WorkloadClass::Tiny, odd)?;
+    let lbm_odd = exec.run_traced(cluster, &RunSpec::new("lbm", WorkloadClass::Tiny, odd))?;
 
     let stats = |r: &RunResult| InsetStats {
         nranks: r.nranks,

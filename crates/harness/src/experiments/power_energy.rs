@@ -7,20 +7,26 @@ use spechpc_machine::node::NodeSpec;
 use spechpc_power::zplot::{ZPlot, ZPoint};
 use spechpc_simmpi::engine::SimError;
 
-use crate::experiments::node_level::{fig1, Fig1};
+use crate::exec::Executor;
+use crate::experiments::node_level::{fig1_with, Fig1};
 use crate::report::{fmt, Table};
 use crate::runner::RunConfig;
+
+/// Per-benchmark domain series: `(n, speedup, package W, DRAM W)` for
+/// n within the first ccNUMA domain.
+pub type DomainPowerSeries = Vec<(String, Vec<(usize, f64, f64, f64)>)>;
+
+/// Per-benchmark node series: `(n, package W, DRAM W)` across the full
+/// node.
+pub type NodePowerSeries = Vec<(String, Vec<(usize, f64, f64)>)>;
 
 /// Fig. 3 data: power vs. speedup on one ccNUMA domain (a/c) and power
 /// vs. process count on the full node (b/d).
 #[derive(Debug, Clone)]
 pub struct Fig3 {
     pub cluster: String,
-    /// Per benchmark: (n, speedup, package W, DRAM W) for n within the
-    /// first ccNUMA domain.
-    pub domain_series: Vec<(String, Vec<(usize, f64, f64, f64)>)>,
-    /// Per benchmark: (n, package W, DRAM W) across the full node.
-    pub node_series: Vec<(String, Vec<(usize, f64, f64)>)>,
+    pub domain_series: DomainPowerSeries,
+    pub node_series: NodePowerSeries,
     /// Zero-core extrapolated baseline per socket (the dotted line of
     /// Fig. 3 a/c).
     pub extrapolated_baseline_w: f64,
@@ -141,12 +147,30 @@ pub fn baseline_table(nodes: &[&NodeSpec]) -> Table {
 }
 
 /// Run the full tiny-suite power/energy pipeline for one cluster.
+///
+/// Convenience wrapper over [`run_power_energy_with`] using a default
+/// (parallel, memory-cached) executor.
 pub fn run_power_energy(
     cluster: &ClusterSpec,
     config: &RunConfig,
     step: usize,
 ) -> Result<(Fig1, Fig3, Fig4), SimError> {
-    let f1 = fig1(cluster, config, step)?;
+    run_power_energy_with(
+        &Executor::new(config.clone(), Default::default()),
+        cluster,
+        step,
+    )
+}
+
+/// Run the power/energy pipeline through `exec`; Fig. 3 and Fig. 4 are
+/// pure derivations, so one Fig. 1 grid feeds all three artifacts (and
+/// a warm cache makes the grid itself free).
+pub fn run_power_energy_with(
+    exec: &Executor,
+    cluster: &ClusterSpec,
+    step: usize,
+) -> Result<(Fig1, Fig3, Fig4), SimError> {
+    let f1 = fig1_with(exec, cluster, step)?;
     let f3 = fig3(&f1, cluster);
     let f4 = fig4(&f1);
     Ok((f1, f3, f4))
@@ -155,6 +179,7 @@ pub fn run_power_energy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::node_level::fig1;
     use spechpc_machine::presets;
     use spechpc_power::rapl::RaplModel;
 
@@ -187,11 +212,7 @@ mod tests {
         let cluster = presets::cluster_a();
         let f1 = fig1(&cluster, &quick(), 17).unwrap();
         let f3 = fig3(&f1, &cluster);
-        let (_, series) = f3
-            .node_series
-            .iter()
-            .find(|(b, _)| b == "sph-exa")
-            .unwrap();
+        let (_, series) = f3.node_series.iter().find(|(b, _)| b == "sph-exa").unwrap();
         let p36 = series.iter().find(|(n, _, _)| *n == 36).unwrap().1;
         let p72 = series.iter().find(|(n, _, _)| *n == 72).unwrap().1;
         let rapl = RaplModel::new(&cluster);
@@ -215,7 +236,11 @@ mod tests {
                 continue; // erratic codes: minima track the dips
             }
             let sep = z.min_separation_steps().unwrap();
-            assert!(sep <= 1, "{}: E/EDP minima separated by {sep} steps", z.label);
+            assert!(
+                sep <= 1,
+                "{}: E/EDP minima separated by {sep} steps",
+                z.label
+            );
         }
     }
 
@@ -246,6 +271,9 @@ mod tests {
         assert!(text.contains("8360Y"));
         assert!(text.contains("E5-2680"));
         // Sandy Bridge <20 %, Ice Lake ~39 %, SPR ~51 %.
-        assert!(text.contains("18.3"), "Sandy Bridge fraction missing: {text}");
+        assert!(
+            text.contains("18.3"),
+            "Sandy Bridge fraction missing: {text}"
+        );
     }
 }

@@ -10,7 +10,15 @@ use crate::report::{fmt, Table};
 pub fn table1() -> Table {
     let mut t = Table::new(
         "Table 1 — key attributes of SPEChpc 2021 parallel benchmarks",
-        &["name", "B", "language", "LOC", "collective", "tiny", "small"],
+        &[
+            "name",
+            "B",
+            "language",
+            "LOC",
+            "collective",
+            "tiny",
+            "small",
+        ],
     );
     for b in all_benchmarks() {
         let m = b.meta();

@@ -11,11 +11,20 @@
 //! [`experiments`] holds one driver per table/figure of the paper — the
 //! per-experiment index lives in `DESIGN.md` and the measured-vs-paper
 //! comparison in `EXPERIMENTS.md`.
+//!
+//! All drivers execute through the [`exec::Executor`]: runs are
+//! memoized content-addressed by their [`cache::RunKey`] and experiment
+//! grids are spread across host cores with deterministic (byte-stable)
+//! result assembly. See `docs/ARCHITECTURE.md` for the full data flow.
 
+pub mod cache;
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod suite;
 
+pub use cache::{RunCache, RunKey};
+pub use exec::{ExecConfig, Executor, RunSpec};
 pub use runner::{RunConfig, RunResult, SimRunner};
 pub use suite::{Suite, SuiteReport};

@@ -96,11 +96,7 @@ mod tests {
         assert!(s.contains("## demo"));
         assert!(s.contains("| tealeaf | 1.0   |"));
         // All data lines have the same width.
-        let widths: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.chars().count())
-            .collect();
+        let widths: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]));
     }
 

@@ -1,8 +1,6 @@
 //! The simulation runner: one benchmark × one cluster × one process
 //! count → runtime, counters, MPI breakdown, power and energy.
 
-use serde::{Deserialize, Serialize};
-
 use spechpc_analysis::counters::CounterSample;
 use spechpc_kernels::common::benchmark::Benchmark;
 use spechpc_kernels::common::config::WorkloadClass;
@@ -46,7 +44,7 @@ impl Default for RunConfig {
 }
 
 /// The outcome of one simulated benchmark run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     pub benchmark: String,
     pub cluster: String,
@@ -69,7 +67,6 @@ pub struct RunResult {
     /// Energy of the full workload.
     pub energy: EnergyBreakdown,
     /// Timeline of the measured region (empty unless tracing enabled).
-    #[serde(skip)]
     pub timeline: Timeline,
 }
 
@@ -156,8 +153,7 @@ impl SimRunner {
             trace: self.config.trace,
         };
         let net_warm = NetModel::compact(cluster, nranks);
-        let warm_result =
-            Engine::new(SimConfig { trace: false }, net_warm, warm).run()?;
+        let warm_result = Engine::new(SimConfig { trace: false }, net_warm, warm).run()?;
         let net_full = NetModel::compact(cluster, nranks);
         let full_result = Engine::new(sim_cfg, net_full, full).run()?;
 
@@ -197,8 +193,8 @@ impl SimRunner {
         for r in 0..nranks {
             let t_comp = ct.per_rank[r].min(step_mean);
             let t_mpi = (step_mean - t_comp).max(0.0);
-            let u = (t_comp * ct.utilization[r] + t_mpi * MPI_SPIN_UTILIZATION)
-                / step_mean.max(1e-30);
+            let u =
+                (t_comp * ct.utilization[r] + t_mpi * MPI_SPIN_UTILIZATION) / step_mean.max(1e-30);
             util.push(u.clamp(0.0, 1.0));
         }
         let dram = model.dram_utilization(&ct, step_mean);

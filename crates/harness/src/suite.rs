@@ -5,8 +5,9 @@ use spechpc_kernels::registry::all_benchmarks;
 use spechpc_machine::cluster::ClusterSpec;
 use spechpc_simmpi::engine::SimError;
 
+use crate::exec::{Executor, RunSpec};
 use crate::report::{fmt, Table};
-use crate::runner::{RunConfig, RunResult, SimRunner};
+use crate::runner::{RunConfig, RunResult};
 
 /// One suite execution: a workload class at one process count.
 #[derive(Debug, Clone)]
@@ -27,23 +28,32 @@ impl Suite {
 
     /// Run every benchmark of the suite (skipping those that do not
     /// ship the requested workload class).
+    ///
+    /// Convenience wrapper over [`Suite::run_with`] using a default
+    /// (parallel, memory-cached) executor.
     pub fn run(&self, cluster: &ClusterSpec, config: RunConfig) -> Result<SuiteReport, SimError> {
-        let runner = SimRunner::new(config);
-        let mut results = Vec::new();
-        for b in all_benchmarks() {
-            let supported = match self.class {
+        self.run_with(&Executor::new(config, Default::default()), cluster)
+    }
+
+    /// Run the suite through `exec`: all nine benchmarks execute as one
+    /// concurrent batch, in Table 1 order.
+    pub fn run_with(
+        &self,
+        exec: &Executor,
+        cluster: &ClusterSpec,
+    ) -> Result<SuiteReport, SimError> {
+        let specs: Vec<RunSpec> = all_benchmarks()
+            .iter()
+            .filter(|b| match self.class {
                 WorkloadClass::Medium | WorkloadClass::Large => b.meta().supports_medium_large,
                 _ => true,
-            };
-            if !supported {
-                continue;
-            }
-            results.push(runner.run(cluster, &*b, self.class, self.nranks)?);
-        }
+            })
+            .map(|b| RunSpec::new(b.meta().name, self.class, self.nranks))
+            .collect();
         Ok(SuiteReport {
             cluster: cluster.name.clone(),
             class: self.class,
-            results,
+            results: exec.run_all(cluster, &specs)?,
         })
     }
 }

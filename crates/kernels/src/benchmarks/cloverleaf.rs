@@ -99,10 +99,7 @@ impl Benchmark for Cloverleaf {
                     "Physical mesh size (Xmin,Ymin,Xmax,Ymax)",
                     "{0,0,10,10}".into(),
                 ),
-                (
-                    "Timestep (initial, rise, max)",
-                    "{0.04, 1.5, 0.04}".into(),
-                ),
+                ("Timestep (initial, rise, max)", "{0.04, 1.5, 0.04}".into()),
                 (
                     "Simulation end times (end time, end step)",
                     format!("{{0.5, {}}}", p.steps),
@@ -154,9 +151,7 @@ impl Benchmark for Cloverleaf {
                     ] {
                         let tag = round * 4 + dir;
                         match (to, from) {
-                            (Some(to), Some(from)) => {
-                                prog.push(Op::sendrecv(to, bytes, from, tag))
-                            }
+                            (Some(to), Some(from)) => prog.push(Op::sendrecv(to, bytes, from, tag)),
                             (Some(to), None) => prog.push(Op::send(to, tag, bytes)),
                             (None, Some(from)) => prog.push(Op::recv(from, tag)),
                             (None, None) => {}
@@ -213,8 +208,7 @@ impl CloverKernel {
             for x in 0..lx {
                 let gx = x0 + x;
                 let gy = y0 + y;
-                let inside =
-                    gx < p.nx / 2 && gy < p.ny / 2;
+                let inside = gx < p.nx / 2 && gy < p.ny / 2;
                 let (rho, e) = if inside { (1.0, 2.5) } else { (0.2, 1.0) };
                 let i = (y + 1) * stride + x + 1;
                 q[0][i] = rho;

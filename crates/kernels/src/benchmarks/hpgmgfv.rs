@@ -99,7 +99,10 @@ impl Benchmark for Hpgmgfv {
         BenchConfig {
             params: vec![
                 ("Log to base 2 of the box dimension", p.log2_box.to_string()),
-                ("Log to base 2 of the grid dimension", p.log2_grid.to_string()),
+                (
+                    "Log to base 2 of the grid dimension",
+                    p.log2_grid.to_string(),
+                ),
                 ("Number of time-steps", p.steps.to_string()),
             ],
             steps: p.steps,
@@ -156,8 +159,7 @@ impl Benchmark for Hpgmgfv {
                             ((y1 - y0) / shrink).max(1),
                             ((z1 - z0) / shrink).max(1),
                         );
-                        let faces =
-                            [ly * lz, ly * lz, lx * lz, lx * lz, lx * ly, lx * ly];
+                        let faces = [ly * lz, ly * lz, lx * lz, lx * lz, lx * ly, lx * ly];
                         // HPGMG exchanges ghost zones *per box*
                         // (2^log2_box cells across): each face is
                         // fragmented into one message per box face,
@@ -188,12 +190,8 @@ impl Benchmark for Hpgmgfv {
                                         (Some(to), Some(from)) => {
                                             prog.push(Op::sendrecv(to, bytes, from, tag))
                                         }
-                                        (Some(to), None) => {
-                                            prog.push(Op::send(to, tag, bytes))
-                                        }
-                                        (None, Some(from)) => {
-                                            prog.push(Op::recv(from, tag))
-                                        }
+                                        (Some(to), None) => prog.push(Op::send(to, tag, bytes)),
+                                        (None, Some(from)) => prog.push(Op::recv(from, tag)),
                                         (None, None) => {}
                                     }
                                 }
@@ -274,9 +272,7 @@ impl HpgmgKernel {
                 // mean is computed redundantly on every rank — cheap at
                 // executable scale and communication-free.
                 let rhs = |x: usize, y: usize, gz: usize| -> f64 {
-                    ((x as f64 * 0.7).sin()
-                        * (y as f64 * 0.5).cos()
-                        * (gz as f64 * 0.3).sin())
+                    ((x as f64 * 0.7).sin() * (y as f64 * 0.5).cos() * (gz as f64 * 0.3).sin())
                         * 2.0
                 };
                 let mut mean = 0.0;
@@ -429,9 +425,7 @@ impl Kernel for HpgmgKernel {
                         for dz in 0..2 {
                             for dy in 0..2 {
                                 for dx in 0..2 {
-                                    let i = ((2 * z + dz + 1) * df + 2 * y + dy) * df
-                                        + 2 * x
-                                        + dx;
+                                    let i = ((2 * z + dz + 1) * df + 2 * y + dy) * df + 2 * x + dx;
                                     s += r[i];
                                 }
                             }
@@ -462,9 +456,7 @@ impl Kernel for HpgmgKernel {
                         for dz in 0..2 {
                             for dy in 0..2 {
                                 for dx in 0..2 {
-                                    let i = ((2 * z + dz + 1) * df + 2 * y + dy) * df
-                                        + 2 * x
-                                        + dx;
+                                    let i = ((2 * z + dz + 1) * df + 2 * y + dy) * df + 2 * x + dx;
                                     fine.u[i] += c;
                                 }
                             }

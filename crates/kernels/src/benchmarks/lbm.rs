@@ -121,10 +121,7 @@ pub fn params(class: WorkloadClass) -> LbmParams {
 /// exchange: `Σ_{cx>0} cx` over the velocity set (= 26; same in y by
 /// symmetry).
 fn crossing_columns() -> usize {
-    velocities()
-        .iter()
-        .map(|&(cx, _)| cx.max(0) as usize)
-        .sum()
+    velocities().iter().map(|&(cx, _)| cx.max(0) as usize).sum()
 }
 
 /// The lbm suite member.
@@ -149,7 +146,10 @@ impl Benchmark for Lbm {
         let p = params(class);
         BenchConfig {
             params: vec![
-                ("{X,Y}-dimension of lattice", format!("{{{},{}}}", p.nx, p.ny)),
+                (
+                    "{X,Y}-dimension of lattice",
+                    format!("{{{},{}}}", p.nx, p.ny),
+                ),
                 ("Number of iterations", p.steps.to_string()),
                 ("Seed for random number generator", p.seed.to_string()),
             ],
@@ -324,8 +324,7 @@ impl LbmKernel {
                 let gx = (x0 + x) as f64;
                 let gy = (y0 + y) as f64;
                 let h = seed as f64 * 1e-4;
-                let rho = 1.0
-                    + 0.05 * ((gx * 0.37 + h).sin() * (gy * 0.23 + h).cos());
+                let rho = 1.0 + 0.05 * ((gx * 0.37 + h).sin() * (gy * 0.23 + h).cos());
                 let idx = (y + HALO) * stride + x + HALO;
                 for q in 0..37 {
                     f[q][idx] = w[q] * rho;
@@ -516,8 +515,7 @@ impl Kernel for LbmKernel {
                 for q in 0..37 {
                     let (cx, cy) = self.vel[q];
                     let cu = (cx as f64 * ux + cy as f64 * uy) / cs2;
-                    let feq =
-                        self.w[q] * rho * (1.0 + cu + 0.5 * cu * cu - 0.5 * usq / cs2);
+                    let feq = self.w[q] * rho * (1.0 + cu + 0.5 * cu * cu - 0.5 * usq / cs2);
                     self.fnew[q][idx] += self.omega * (feq - self.fnew[q][idx]);
                 }
             }
@@ -578,9 +576,21 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-14);
         assert!(cs2 > 0.0);
         // Isotropy: Σ w cx² = Σ w cy², Σ w cx·cy = 0.
-        let sxx: f64 = w.iter().zip(&v).map(|(w, &(x, _))| w * (x * x) as f64).sum();
-        let syy: f64 = w.iter().zip(&v).map(|(w, &(_, y))| w * (y * y) as f64).sum();
-        let sxy: f64 = w.iter().zip(&v).map(|(w, &(x, y))| w * (x * y) as f64).sum();
+        let sxx: f64 = w
+            .iter()
+            .zip(&v)
+            .map(|(w, &(x, _))| w * (x * x) as f64)
+            .sum();
+        let syy: f64 = w
+            .iter()
+            .zip(&v)
+            .map(|(w, &(_, y))| w * (y * y) as f64)
+            .sum();
+        let sxy: f64 = w
+            .iter()
+            .zip(&v)
+            .map(|(w, &(x, y))| w * (x * y) as f64)
+            .sum();
         assert!((sxx - syy).abs() < 1e-14);
         assert!(sxy.abs() < 1e-15);
         assert!((cs2 - sxx).abs() < 1e-14);
@@ -614,8 +624,9 @@ mod tests {
             let mut mx = f64::NEG_INFINITY;
             for y in 0..k.ly {
                 for x in 0..k.lx {
-                    let rho: f64 =
-                        (0..37).map(|q| k.f[q][(y + HALO) * stride + x + HALO]).sum();
+                    let rho: f64 = (0..37)
+                        .map(|q| k.f[q][(y + HALO) * stride + x + HALO])
+                        .sum();
                     mn = mn.min(rho);
                     mx = mx.max(rho);
                 }
@@ -673,10 +684,16 @@ mod tests {
     #[test]
     fn config_matches_table_1() {
         let cfg = Lbm.config(WorkloadClass::Tiny);
-        assert_eq!(cfg.param("{X,Y}-dimension of lattice"), Some("{4096,16384}"));
+        assert_eq!(
+            cfg.param("{X,Y}-dimension of lattice"),
+            Some("{4096,16384}")
+        );
         assert_eq!(cfg.steps, 600);
         let cfg = Lbm.config(WorkloadClass::Small);
-        assert_eq!(cfg.param("{X,Y}-dimension of lattice"), Some("{12000,48000}"));
+        assert_eq!(
+            cfg.param("{X,Y}-dimension of lattice"),
+            Some("{12000,48000}")
+        );
         assert_eq!(cfg.steps, 500);
     }
 

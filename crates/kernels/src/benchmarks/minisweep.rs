@@ -113,8 +113,14 @@ impl Benchmark for Minisweep {
                     format!("{{{},{},{}}}", p.nx, p.ny, p.nz),
                 ),
                 ("Total number of energy groups", p.groups.to_string()),
-                ("Number of angles for each octant direction", p.angles.to_string()),
-                ("Number of sweep blocks used to tile the Z-dimension", p.zblocks.to_string()),
+                (
+                    "Number of angles for each octant direction",
+                    p.angles.to_string(),
+                ),
+                (
+                    "Number of sweep blocks used to tile the Z-dimension",
+                    p.zblocks.to_string(),
+                ),
             ],
             steps: p.steps,
         }
@@ -261,12 +267,7 @@ impl SweepKernel {
     /// Sweep one octant: receive upwind faces, solve the upwind
     /// discretization cell by cell in sweep order, send downwind faces.
     #[allow(clippy::too_many_arguments)]
-    fn sweep_octant(
-        &mut self,
-        comm: &mut dyn Comm,
-        octant: u32,
-        psi_acc: &mut [f64],
-    ) {
+    fn sweep_octant(&mut self, comm: &mut dyn Comm, octant: u32, psi_acc: &mut [f64]) {
         let (lx, ly, nz) = (self.lx, self.ly, self.nz);
         let [wn, en, sn, nn] = self.grid.neighbors(self.rank);
         let pos_x = octant & 1 == 0;
@@ -287,9 +288,21 @@ impl SweepKernel {
         }
 
         // Sweep order per direction sign.
-        let xs: Vec<usize> = if pos_x { (0..lx).collect() } else { (0..lx).rev().collect() };
-        let ys: Vec<usize> = if pos_y { (0..ly).collect() } else { (0..ly).rev().collect() };
-        let zs: Vec<usize> = if pos_z { (0..nz).collect() } else { (0..nz).rev().collect() };
+        let xs: Vec<usize> = if pos_x {
+            (0..lx).collect()
+        } else {
+            (0..lx).rev().collect()
+        };
+        let ys: Vec<usize> = if pos_y {
+            (0..ly).collect()
+        } else {
+            (0..ly).rev().collect()
+        };
+        let zs: Vec<usize> = if pos_z {
+            (0..nz).collect()
+        } else {
+            (0..nz).rev().collect()
+        };
 
         // ψ on the current wavefront: face storage updated in place.
         // face_x[y, z] = ψ entering the next cell along x, etc.
@@ -367,7 +380,9 @@ impl Kernel for SweepKernel {
                 return Err(format!("negative flux {v} at {i}"));
             }
             if v > bound {
-                return Err(format!("flux {v} exceeds the infinite-medium bound {bound}"));
+                return Err(format!(
+                    "flux {v} exceeds the infinite-medium bound {bound}"
+                ));
             }
         }
         Ok(())
@@ -406,10 +421,7 @@ mod tests {
             k.step(&mut comm);
         }
         let c2 = k.last_change();
-        assert!(
-            c2 <= c1,
-            "sweep must converge: change {c1} then {c2}"
-        );
+        assert!(c2 <= c1, "sweep must converge: change {c1} then {c2}");
     }
 
     #[test]
@@ -474,7 +486,10 @@ mod tests {
         let (_, ly) = grid.tile_size(0);
         let bz = p.nz / p.zblocks;
         let face_x = ly * bz * p.groups * p.angles * 8;
-        assert!(face_x > 64 * 1024, "face {face_x} B must exceed the eager threshold");
+        assert!(
+            face_x > 64 * 1024,
+            "face {face_x} B must exceed the eager threshold"
+        );
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl Benchmark for Pot3d {
                     let bytes = faces[dir] * 8;
                     let tag = dir as u32;
                     match (to, from) {
-                        (Some(to), Some(from)) => {
-                            prog.push(Op::sendrecv(to, bytes, from, tag))
-                        }
+                        (Some(to), Some(from)) => prog.push(Op::sendrecv(to, bytes, from, tag)),
                         (Some(to), None) => prog.push(Op::send(to, tag, bytes)),
                         (None, Some(from)) => prog.push(Op::recv(from, tag)),
                         (None, None) => {}
@@ -293,7 +291,11 @@ impl Pot3dKernel {
         };
 
         // (axis, send-low layer, send-high layer, low halo, high halo)
-        let planes = [(0usize, 1usize, lx, 0usize, lx + 1), (1, 1, ly, 0, ly + 1), (2, 1, lz, 0, lz + 1)];
+        let planes = [
+            (0usize, 1usize, lx, 0usize, lx + 1),
+            (1, 1, ly, 0, ly + 1),
+            (2, 1, lz, 0, lz + 1),
+        ];
         for (axis, send_lo, send_hi, halo_lo, halo_hi) in planes {
             let lo_nb = nb[2 * axis];
             let hi_nb = nb[2 * axis + 1];

@@ -18,15 +18,13 @@
 //! acceptance driven by a deterministic per-rank RNG, local density-grid
 //! accumulation, and the global density `MPI_Allreduce` every step.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use spechpc_simmpi::comm::{Comm, ReduceOp};
 use spechpc_simmpi::program::{Op, Program};
 
 use crate::common::benchmark::{BenchConfig, BenchMeta, Benchmark, Kernel};
 use crate::common::config::WorkloadClass;
 use crate::common::model::ComputeTimes;
+use crate::common::rng::Rng;
 use crate::common::signature::WorkloadSignature;
 
 /// Beads per polymer chain (SOMA's default coarse-graining).
@@ -99,7 +97,10 @@ impl Benchmark for Soma {
         let p = params(class);
         BenchConfig {
             params: vec![
-                ("Initial seed for the random number generator", p.seed.to_string()),
+                (
+                    "Initial seed for the random number generator",
+                    p.seed.to_string(),
+                ),
                 ("Number of simulated time steps", p.steps.to_string()),
                 ("Number of simulated polymers", p.polymers.to_string()),
             ],
@@ -179,7 +180,7 @@ pub struct SomaKernel {
     /// Replicated density grid (global state after the allreduce).
     pub density: Vec<f64>,
     grid: usize,
-    rng: StdRng,
+    rng: Rng,
     /// Accepted / attempted moves of the last step.
     pub accepted: u64,
     pub attempted: u64,
@@ -197,19 +198,19 @@ impl SomaKernel {
         let chains = crate::common::decomp::block_range(total, nranks, rank);
         let chains = chains.1 - chains.0;
         let boxl = 32.0;
-        let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = Rng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let mut pos = Vec::with_capacity(chains * BEADS);
         for _ in 0..chains {
             // Random-walk chain growth from a random start.
             let mut at = [
-                rng.gen::<f64>() * boxl,
-                rng.gen::<f64>() * boxl,
-                rng.gen::<f64>() * boxl,
+                rng.next_f64() * boxl,
+                rng.next_f64() * boxl,
+                rng.next_f64() * boxl,
             ];
             for _ in 0..BEADS {
                 pos.push(at);
                 for d in 0..3 {
-                    at[d] = (at[d] + rng.gen::<f64>() - 0.5).rem_euclid(boxl);
+                    at[d] = (at[d] + rng.next_f64() - 0.5).rem_euclid(boxl);
                 }
             }
         }
@@ -284,13 +285,13 @@ impl Kernel for SomaKernel {
             let old = self.pos[i];
             let mut new = old;
             for d in 0..3 {
-                new[d] = (new[d] + (self.rng.gen::<f64>() - 0.5) * 0.5).rem_euclid(self.boxl);
+                new[d] = (new[d] + (self.rng.next_f64() - 0.5) * 0.5).rem_euclid(self.boxl);
             }
             let de = self.bond_energy(i, new) + self.field_energy(new)
                 - self.bond_energy(i, old)
                 - self.field_energy(old);
             att += 1;
-            if de <= 0.0 || self.rng.gen::<f64>() < (-de).exp() {
+            if de <= 0.0 || self.rng.next_f64() < (-de).exp() {
                 self.pos[i] = new;
                 acc += 1;
             }
@@ -429,9 +430,10 @@ mod tests {
         for p in &progs {
             assert_eq!(p.collective_count(), 2);
             // The density reduction moves the full replica.
-            let big = p.ops.iter().any(
-                |o| matches!(o, Op::Allreduce { bytes } if *bytes > 10 << 20),
-            );
+            let big = p
+                .ops
+                .iter()
+                .any(|o| matches!(o, Op::Allreduce { bytes } if *bytes > 10 << 20));
             assert!(big, "the density Allreduce must be tens of MiB");
         }
     }

@@ -400,8 +400,7 @@ impl Kernel for SphKernel {
                     let rho_j = if j < n { self.density[j] } else { rho0 };
                     let pj = pressure(rho_j);
                     let coeff = -self.mass
-                        * (pi / (self.density[i] * self.density[i])
-                            + pj / (rho_j * rho_j))
+                        * (pi / (self.density[i] * self.density[i]) + pj / (rho_j * rho_j))
                         * dw_cubic(r, self.h);
                     for dd in 0..3 {
                         acc[i][dd] += coeff * d[dd] / r;
@@ -433,8 +432,7 @@ impl Kernel for SphKernel {
                 self.vel[i][d] += self.dt * acc[i][d];
             }
             for d in 0..3 {
-                self.pos[i][d] = (self.pos[i][d] + self.dt * self.vel[i][d])
-                    .rem_euclid(self.boxl);
+                self.pos[i][d] = (self.pos[i][d] + self.dt * self.vel[i][d]).rem_euclid(self.boxl);
             }
         }
         self.steps_done += 1;
@@ -455,8 +453,7 @@ impl Kernel for SphKernel {
     }
 
     fn checksum(&self) -> f64 {
-        self.pos.iter().map(|p| p[0] + p[1] + p[2]).sum::<f64>()
-            + self.density.iter().sum::<f64>()
+        self.pos.iter().map(|p| p[0] + p[1] + p[2]).sum::<f64>() + self.density.iter().sum::<f64>()
     }
 }
 
@@ -490,7 +487,10 @@ mod tests {
         // On a near-uniform lattice, densities are near-uniform.
         let mean = k.density.iter().sum::<f64>() / k.density.len() as f64;
         for &rho in &k.density {
-            assert!((rho - mean).abs() / mean < 0.5, "wild density {rho} vs {mean}");
+            assert!(
+                (rho - mean).abs() / mean < 0.5,
+                "wild density {rho} vs {mean}"
+            );
         }
     }
 

@@ -98,8 +98,14 @@ impl Benchmark for Tealeaf {
         let p = params(class);
         BenchConfig {
             params: vec![
-                ("Cell count for {X,Y}-direction", format!("{{{},{}}}", p.nx, p.ny)),
-                ("Method to solve the linear system", "Conjugate Gradient".into()),
+                (
+                    "Cell count for {X,Y}-direction",
+                    format!("{{{},{}}}", p.nx, p.ny),
+                ),
+                (
+                    "Method to solve the linear system",
+                    "Conjugate Gradient".into(),
+                ),
                 ("Solver convergence threshold", "1.0e-15".into()),
                 ("Upper iterations limit per step", "5000".into()),
                 ("Initial time-step", "0.004".into()),
@@ -153,9 +159,7 @@ impl Benchmark for Tealeaf {
                     (n, s, lx * 8, 3),
                 ] {
                     match (to, from) {
-                        (Some(to), Some(from)) => {
-                            prog.push(Op::sendrecv(to, bytes, from, tag))
-                        }
+                        (Some(to), Some(from)) => prog.push(Op::sendrecv(to, bytes, from, tag)),
                         (Some(to), None) => prog.push(Op::send(to, tag, bytes)),
                         (None, Some(from)) => prog.push(Op::recv(from, tag)),
                         (None, None) => {}
@@ -211,10 +215,7 @@ impl TealeafKernel {
             for x in 0..lx {
                 let gx = x0 + x;
                 let gy = y0 + y;
-                let hot = gx > p.nx / 3
-                    && gx < 2 * p.nx / 3
-                    && gy > p.ny / 3
-                    && gy < 2 * p.ny / 3;
+                let hot = gx > p.nx / 3 && gx < 2 * p.nx / 3 && gy > p.ny / 3 && gy < 2 * p.ny / 3;
                 u[(y + 1) * stride + x + 1] = if hot { 100.0 } else { 0.1 };
             }
         }
@@ -278,9 +279,8 @@ impl TealeafKernel {
         set_col(v, lx + 1, &east_in);
 
         // Y direction.
-        let row = |v: &[f64], y: usize| -> Vec<f64> {
-            v[y * stride + 1..y * stride + 1 + lx].to_vec()
-        };
+        let row =
+            |v: &[f64], y: usize| -> Vec<f64> { v[y * stride + 1..y * stride + 1 + lx].to_vec() };
         let set_row = |v: &mut [f64], y: usize, data: &[f64]| {
             v[y * stride + 1..y * stride + 1 + lx].copy_from_slice(data);
         };

@@ -367,8 +367,7 @@ impl Kernel for WeatherKernel {
                             w * self.q[v][x * nz + zf]
                         }
                     };
-                    let div = (upwind_x(x) - upwind_x(x - 1))
-                        + (upwind_z(z + 1) - upwind_z(z));
+                    let div = (upwind_x(x) - upwind_x(x - 1)) + (upwind_z(z + 1) - upwind_z(z));
                     self.qn[v][i] = self.q[v][i] - dt * div;
                 }
             }

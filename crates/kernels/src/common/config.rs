@@ -6,10 +6,8 @@
 //! a *test* class: a miniature configuration for executing the real
 //! kernels natively in unit/integration tests.
 
-use serde::{Deserialize, Serialize};
-
 /// Workload size class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// Miniature, for native test execution (not part of SPEChpc).
     Test,

@@ -9,8 +9,6 @@
 //! decomposition with maximal dependency length (minisweep, §4.1.5) and
 //! extreme aspect ratios (lbm, §4.1.6).
 
-use serde::{Deserialize, Serialize};
-
 /// Factor `p` into `(px, py)` with `px × py = p`, as square as possible,
 /// `px ≤ py` (the `MPI_Dims_create` convention).
 pub fn factor_2d(p: usize) -> (usize, usize) {
@@ -72,7 +70,7 @@ pub fn block_range(n: usize, p: usize, i: usize) -> (usize, usize) {
 }
 
 /// A 2-D process grid with block decomposition of an `nx × ny` domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid2d {
     pub nx: usize,
     pub ny: usize,
@@ -140,7 +138,7 @@ impl Grid2d {
 }
 
 /// A 3-D process grid with block decomposition of `nx × ny × nz`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grid3d {
     pub nx: usize,
     pub ny: usize,
@@ -255,10 +253,12 @@ mod tests {
 
     #[test]
     fn block_sizes_differ_by_at_most_one() {
-        let sizes: Vec<usize> = (0..7).map(|i| {
-            let (lo, hi) = block_range(100, 7, i);
-            hi - lo
-        }).collect();
+        let sizes: Vec<usize> = (0..7)
+            .map(|i| {
+                let (lo, hi) = block_range(100, 7, i);
+                hi - lo
+            })
+            .collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         assert!(max - min <= 1);

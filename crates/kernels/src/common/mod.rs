@@ -4,4 +4,5 @@ pub mod benchmark;
 pub mod config;
 pub mod decomp;
 pub mod model;
+pub mod rng;
 pub mod signature;

@@ -178,8 +178,7 @@ impl NodeModel {
             let n_active = active[p.node][p.domain].max(1);
             let dom_bw = node.domain_memory.saturation.bandwidth(n_active) * 1e9;
             let share = dom_bw / n_active as f64;
-            let mem_rank =
-                (mem_rank_nominal + sig.mem_bytes_per_rank) * node_scale[p.node];
+            let mem_rank = (mem_rank_nominal + sig.mem_bytes_per_rank) * node_scale[p.node];
             effective_mem_total += mem_rank;
 
             let t_flops = flops_rank / rate;

@@ -8,10 +8,8 @@
 //! §3). A [`WorkloadSignature`] captures exactly those quantities for
 //! one simulated time step of one benchmark at one workload class.
 
-use serde::{Deserialize, Serialize};
-
 /// Resource footprint of one benchmark step, aggregated over all ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSignature {
     /// Double-precision floating-point operations per step (total).
     pub flops: f64,
@@ -100,10 +98,7 @@ impl WorkloadSignature {
                 self.l2_bytes >= self.mem_bytes,
                 "L2 traffic cannot be below memory traffic",
             ),
-            (
-                self.working_set_bytes > 0.0,
-                "working set must be positive",
-            ),
+            (self.working_set_bytes > 0.0, "working set must be positive"),
             (
                 (0.0..=1.0).contains(&self.replicated_fraction),
                 "replicated_fraction must be in [0,1]",

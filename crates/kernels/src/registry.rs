@@ -32,9 +32,7 @@ pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
 
 /// Look up one suite member by its Table 1 name.
 pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
-    all_benchmarks()
-        .into_iter()
-        .find(|b| b.meta().name == name)
+    all_benchmarks().into_iter().find(|b| b.meta().name == name)
 }
 
 #[cfg(test)]

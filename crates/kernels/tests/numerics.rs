@@ -7,8 +7,8 @@ use spechpc_kernels::benchmarks::hpgmgfv::HpgmgKernel;
 use spechpc_kernels::benchmarks::lbm::{weights_and_cs2, LbmKernel};
 use spechpc_kernels::benchmarks::minisweep::SweepKernel;
 use spechpc_kernels::benchmarks::pot3d::Pot3dKernel;
-use spechpc_kernels::benchmarks::sph_exa::SphKernel;
 use spechpc_kernels::benchmarks::soma::SomaKernel;
+use spechpc_kernels::benchmarks::sph_exa::SphKernel;
 use spechpc_kernels::benchmarks::tealeaf::TealeafKernel;
 use spechpc_kernels::benchmarks::weather::WeatherKernel;
 use spechpc_kernels::benchmarks::{
@@ -58,12 +58,16 @@ fn lbm_perturbation_decays_despite_acoustic_oscillation() {
     let s1 = k.density_spread();
     // Sound waves slosh, but the envelope must decay and never blow up.
     assert!(s1 < 0.7 * s0, "perturbation barely decayed: {s0} → {s1}");
-    assert!(peak < 1.6 * s0, "acoustic amplification: peak {peak} vs {s0}");
+    assert!(
+        peak < 1.6 * s0,
+        "acoustic amplification: peak {peak} vs {s0}"
+    );
 }
 
 // ------------------------------------------------------------- tealeaf
 
 #[test]
+#[allow(clippy::needless_range_loop)] // dense Gaussian elimination
 fn tealeaf_matches_dense_direct_solve() {
     // One implicit step on a miniature grid vs. a dense Gauss solve of
     // the same (I − λ∇²) system with mirrored (Neumann) boundaries.
@@ -330,8 +334,10 @@ fn weather_constant_state_is_well_balanced() {
         k.step(&mut comm);
     }
     let (mn, mx) = k.field_range(0); // density stays exactly 1
-    assert!((mn - 1.0).abs() < 1e-9 && (mx - 1.0).abs() < 1e-9,
-        "density must stay constant: [{mn}, {mx}]");
+    assert!(
+        (mn - 1.0).abs() < 1e-9 && (mx - 1.0).abs() < 1e-9,
+        "density must stay constant: [{mn}, {mx}]"
+    );
 }
 
 #[test]

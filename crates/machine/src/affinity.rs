@@ -5,12 +5,10 @@
 //! provided for ablation experiments: scattering changes when the
 //! per-domain memory-bandwidth bottleneck is hit.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cluster::ClusterSpec;
 
 /// Pinning policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PinningPolicy {
     /// Consecutive ranks on consecutive cores, filling domain after
     /// domain (the paper's setup).
@@ -21,7 +19,7 @@ pub enum PinningPolicy {
 }
 
 /// The placement of one rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     pub rank: usize,
     pub node: usize,
@@ -32,7 +30,7 @@ pub struct Placement {
 }
 
 /// A full pinning of `nprocs` ranks onto a cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pinning {
     pub policy: PinningPolicy,
     pub placements: Vec<Placement>,

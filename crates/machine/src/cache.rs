@@ -7,12 +7,10 @@
 //! additional traffic coming *down* from L2, which is why the paper
 //! observes a higher L3 than L2 bandwidth for `pot3d` (§4.1.4).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Bytes, GBps};
 
 /// The sharing scope of a cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheScope {
     /// Private to one core (L1, L2 on both studied CPUs).
     Core,
@@ -24,7 +22,7 @@ pub enum CacheScope {
 }
 
 /// One level of the cache hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheLevel {
     /// 1, 2 or 3.
     pub level: u8,
@@ -39,7 +37,7 @@ pub struct CacheLevel {
 }
 
 /// A full private+shared cache hierarchy, ordered L1 → LLC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheHierarchy {
     pub levels: Vec<CacheLevel>,
 }

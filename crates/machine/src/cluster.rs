@@ -5,13 +5,11 @@
 //! interconnects are identical, so no communication-performance
 //! differences are expected between the clusters (§5.1.3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeSpec;
 use crate::GBps;
 
 /// Interconnect topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Full-bisection fat-tree (both studied clusters).
     FatTree,
@@ -20,7 +18,7 @@ pub enum Topology {
 }
 
 /// Network parameters, LogGP-style.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterconnectSpec {
     /// Human-readable name, e.g. "HDR100 InfiniBand".
     pub name: String,
@@ -59,7 +57,7 @@ impl InterconnectSpec {
 }
 
 /// A homogeneous cluster of identical nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Cluster name ("ClusterA", "ClusterB").
     pub name: String,

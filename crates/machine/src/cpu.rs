@@ -2,8 +2,6 @@
 //! RAPL-relevant power envelope (TDP, extrapolated zero-core baseline
 //! power, per-core dynamic power range).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{GFlops, Watts};
 
 /// Specification of one CPU socket.
@@ -15,7 +13,7 @@ use crate::{GFlops, Watts};
 /// `[core_power_cool_w, core_power_hot_w]`, calibrated such that "hot"
 /// codes (sph-exa) reach 97–98 % of TDP and "cool" codes (soma) 85–89 %
 /// with all cores active (paper §4.2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     /// Marketing name, e.g. "Xeon Platinum 8360Y (Ice Lake)".
     pub model: String,
@@ -123,9 +121,8 @@ mod tests {
     fn scalar_rate_is_simd_rate_divided_by_lanes() {
         let cpu = icelake();
         assert!(
-            (cpu.scalar_flops_per_core() * cpu.simd_dp_lanes as f64
-                - cpu.peak_flops_per_core())
-            .abs()
+            (cpu.scalar_flops_per_core() * cpu.simd_dp_lanes as f64 - cpu.peak_flops_per_core())
+                .abs()
                 < 1e-9
         );
     }

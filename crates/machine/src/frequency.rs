@@ -5,12 +5,10 @@
 //! `likwid-perfctr`. This module models that policy plus a turbo mode
 //! used in ablation experiments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpu::CpuSpec;
 
 /// How the core clock is governed during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FrequencyPolicy {
     /// Pinned to the CPU's base clock (the study's setting).
     Base,

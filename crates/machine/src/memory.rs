@@ -7,14 +7,12 @@
 //! domain on Ice Lake, 58–62 GB/s on Sapphire Rapids). [`SaturationCurve`]
 //! captures exactly that behaviour.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{GBps, Watts};
 
 /// DRAM technology generation; relevant for the power model (paper
 /// §4.2.3: DDR5 achieves the same transfer rate at half the clock and a
 /// lower voltage, hence dissipates measurably less power than DDR4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemoryTech {
     Ddr3,
     Ddr4,
@@ -31,7 +29,7 @@ pub enum MemoryTech {
 /// well before the domain is full (§4.1.4), with a rounded knee because
 /// the outstanding cache misses per core only gradually cover the
 /// memory latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaturationCurve {
     /// Bandwidth achieved by a single core in GB/s.
     pub single_core: GBps,
@@ -65,7 +63,7 @@ impl SaturationCurve {
 }
 
 /// Memory attached to one ccNUMA domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySpec {
     pub tech: MemoryTech,
     /// Transfer rate in MT/s (e.g. 3200 for DDR4-3200).
@@ -158,7 +156,7 @@ mod tests {
         // On Ice Lake the paper observes saturation well inside the
         // 18-core domain for the strongly memory-bound codes.
         let n = curve().saturation_point(0.9, 18);
-        assert!(n >= 4 && n <= 18, "saturation point {n} out of range");
+        assert!((4..=18).contains(&n), "saturation point {n} out of range");
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Node specification: sockets, SNC layout, caches, and derived metrics
 //! (peak performance, saturated node bandwidth, machine balance).
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::CacheHierarchy;
 use crate::cpu::CpuSpec;
 use crate::memory::MemorySpec;
@@ -10,7 +8,7 @@ use crate::numa::{self, NumaDomain};
 use crate::{GBps, GFlops, Watts};
 
 /// Specification of one compute node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Short name, e.g. "ClusterA node".
     pub name: String,

@@ -5,10 +5,8 @@
 //! unit* of the paper's node-level analysis: 18 cores (half a socket) on
 //! ClusterA, 13 cores (a quarter socket) on ClusterB.
 
-use serde::{Deserialize, Serialize};
-
 /// One ccNUMA domain: a set of cores with local memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NumaDomain {
     /// Index of the domain within the node (0-based, consecutive).
     pub id: usize,
@@ -95,7 +93,7 @@ mod tests {
     #[test]
     fn domains_partition_all_cores_exactly() {
         let d = layout(2, 52, 4);
-        let mut covered = vec![false; 104];
+        let mut covered = [false; 104];
         for dom in &d {
             for c in dom.core_range() {
                 assert!(!covered[c], "core {c} covered twice");

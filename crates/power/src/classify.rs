@@ -4,11 +4,10 @@
 //! low per-CPU power dissipation. The hot benchmarks come close to the
 //! TDP of both systems."
 
-use serde::{Deserialize, Serialize};
 use spechpc_machine::cpu::CpuSpec;
 
 /// Power class of a code on a given CPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HeatClass {
     /// ≥ 95 % of socket TDP with all cores busy.
     Hot,

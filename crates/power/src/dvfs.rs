@@ -9,7 +9,6 @@
 //! runtime costs baseline energy that the dynamic-power reduction can
 //! no longer buy back. This module quantifies the trade.
 
-use serde::{Deserialize, Serialize};
 use spechpc_machine::cpu::CpuSpec;
 
 /// DVFS dynamic-power exponent: `P_dyn ∝ (f/f₀)^α`. Near the base
@@ -18,7 +17,7 @@ use spechpc_machine::cpu::CpuSpec;
 pub const DVFS_EXPONENT: f64 = 1.8;
 
 /// One point of a frequency sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsPoint {
     pub clock_ghz: f64,
     pub runtime_s: f64,
@@ -27,7 +26,7 @@ pub struct DvfsPoint {
 }
 
 /// Result of the sweep analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsAnalysis {
     /// Energy-optimal clock in GHz.
     pub optimal_clock_ghz: f64,
@@ -47,8 +46,7 @@ pub fn package_power_at(
     utilization: f64,
     clock_ghz: f64,
 ) -> f64 {
-    let base_dynamic =
-        cpu.package_power(active, heat, utilization) - cpu.baseline_power_w;
+    let base_dynamic = cpu.package_power(active, heat, utilization) - cpu.baseline_power_w;
     let scale = (clock_ghz / cpu.base_clock_ghz).powf(DVFS_EXPONENT);
     cpu.baseline_power_w + base_dynamic * scale
 }
@@ -122,10 +120,7 @@ mod tests {
         // With α > 1 even compute-bound codes have a formal energy
         // optimum slightly below nominal, but the saving is negligible
         // and the optimum sits within ~10 % of base clock.
-        for node in [
-            presets::cluster_a().node,
-            presets::cluster_b().node,
-        ] {
+        for node in [presets::cluster_a().node, presets::cluster_b().node] {
             let s = sweep(&node.cpu, 10.0, 0.5);
             let a = analyze(&s).unwrap();
             assert!(

@@ -1,11 +1,9 @@
 //! Energy to solution and energy-delay product.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rapl::JobPower;
 
 /// Energy of one run, split by component (J).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     pub cpu_j: f64,
     pub dram_j: f64,
@@ -90,10 +88,7 @@ mod tests {
 
     #[test]
     fn profile_integration_matches_piecewise_sum() {
-        let e = integrate_profile(&[
-            (power(100.0, 10.0), 2.0),
-            (power(300.0, 20.0), 1.0),
-        ]);
+        let e = integrate_profile(&[(power(100.0, 10.0), 2.0), (power(300.0, 20.0), 1.0)]);
         assert_eq!(e.cpu_j, 500.0);
         assert_eq!(e.dram_j, 40.0);
         assert_eq!(e.runtime_s, 3.0);

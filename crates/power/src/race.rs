@@ -7,13 +7,12 @@
 //! faster (code race-to-idle) is now the primary means of energy
 //! reduction". This module quantifies that argument for any CPU model.
 
-use serde::{Deserialize, Serialize};
 use spechpc_machine::cpu::CpuSpec;
 
 use crate::zplot::{ZPlot, ZPoint};
 
 /// Outcome of the strategy analysis for one CPU and one scaling curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StrategyAnalysis {
     /// Core count minimizing energy to solution.
     pub energy_optimal_cores: usize,
@@ -137,8 +136,14 @@ mod tests {
             presets::cluster_a().node.cpu,
             presets::sandy_bridge_node().cpu,
         ] {
-            let z =
-                concurrency_sweep(&cpu, cpu.cores_per_socket, 0.9, 100.0, |n| n as f64, |_| 1.0);
+            let z = concurrency_sweep(
+                &cpu,
+                cpu.cores_per_socket,
+                0.9,
+                100.0,
+                |n| n as f64,
+                |_| 1.0,
+            );
             let a = analyze(&z).unwrap();
             assert_eq!(a.energy_optimal_cores, cpu.cores_per_socket);
             assert!(a.race_to_idle_is_optimal);

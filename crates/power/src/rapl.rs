@@ -8,12 +8,11 @@
 //! [`spechpc_machine::cpu::CpuSpec`] and
 //! [`spechpc_machine::memory::MemorySpec`].
 
-use serde::{Deserialize, Serialize};
 use spechpc_machine::affinity::Pinning;
 use spechpc_machine::cluster::ClusterSpec;
 
 /// Snapshot of one job's execution state, as the power model sees it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerState {
     /// Code heat in `[0, 1]` (0 = coolest code of the suite, soma;
     /// 1 = hottest, sph-exa).
@@ -25,7 +24,7 @@ pub struct PowerState {
 }
 
 /// Power of one job, split by component.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JobPower {
     /// Total package power over all *allocated* sockets, W.
     pub package_w: f64,

@@ -7,10 +7,8 @@
 //! modern Intel CPUs the minimum-energy and minimum-EDP operating
 //! points nearly coincide (§4.3.1).
 
-use serde::{Deserialize, Serialize};
-
 /// One operating point of a scaling sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZPoint {
     /// Resources used (number of cores or nodes).
     pub resources: usize,
@@ -29,14 +27,14 @@ impl ZPoint {
 }
 
 /// An identified optimal operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     pub resources: usize,
     pub value: f64,
 }
 
 /// A full Z-plot data set (one benchmark, one machine).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ZPlot {
     pub label: String,
     pub points: Vec<ZPoint>,
@@ -90,11 +88,7 @@ impl ZPlot {
     /// all resources (the old "concurrency throttling" gain, §4.3.1).
     pub fn throttling_gain(&self) -> Option<f64> {
         let e_min = self.energy_minimum()?.value;
-        let full = self
-            .points
-            .iter()
-            .max_by_key(|p| p.resources)?
-            .energy_j;
+        let full = self.points.iter().max_by_key(|p| p.resources)?.energy_j;
         Some((full - e_min) / full)
     }
 
@@ -111,7 +105,10 @@ impl ZPlot {
             let y = height - ((p.energy_j / emax) * height as f64).round() as usize;
             rows[y.min(height)][x.min(width)] = 'o';
         }
-        let mut out = format!("{} (x: speedup 0..{smax:.1}, y: energy 0..{emax:.0} J)\n", self.label);
+        let mut out = format!(
+            "{} (x: speedup 0..{smax:.1}, y: energy 0..{emax:.0} J)\n",
+            self.label
+        );
         for row in rows {
             out.push('|');
             out.extend(row);
@@ -174,7 +171,10 @@ mod tests {
     #[test]
     fn modern_minima_coincide() {
         let z = modern_sweep();
-        assert!(z.min_separation_steps().unwrap() <= 1, "E and EDP minima must nearly coincide");
+        assert!(
+            z.min_separation_steps().unwrap() <= 1,
+            "E and EDP minima must nearly coincide"
+        );
     }
 
     #[test]

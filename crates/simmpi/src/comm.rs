@@ -98,7 +98,10 @@ impl Comm for SelfComm {
     }
     fn send(&mut self, to: usize, tag: Tag, data: &[f64]) {
         assert_eq!(to, 0, "SelfComm can only send to rank 0");
-        self.pending.entry(tag).or_default().push_back(data.to_vec());
+        self.pending
+            .entry(tag)
+            .or_default()
+            .push_back(data.to_vec());
     }
     fn recv(&mut self, from: usize, tag: Tag, buf: &mut [f64]) {
         assert_eq!(from, 0, "SelfComm can only receive from rank 0");

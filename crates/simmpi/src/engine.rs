@@ -112,7 +112,7 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    /// Aggregate [`Breakdown`] over all ranks from the online counters.
+    /// Aggregate [`Breakdown`](crate::trace::Breakdown) over all ranks from the online counters.
     pub fn breakdown(&self) -> crate::trace::Breakdown {
         let mut b = crate::trace::Breakdown::default();
         for rank in &self.per_rank_breakdown {
@@ -254,10 +254,7 @@ impl Engine {
                 };
                 if let Some(p) = peer {
                     if p >= nranks {
-                        return Err(SimError::RankOutOfRange {
-                            rank: p,
-                            op_index,
-                        });
+                        return Err(SimError::RankOutOfRange { rank: p, op_index });
                     }
                 }
             }
@@ -278,8 +275,7 @@ impl Engine {
         let mut collectives: Vec<CollectiveEntry> = Vec::new();
         let mut timeline = Timeline::new(nranks);
         // Online per-rank breakdown (kept even when full tracing is off).
-        let mut breakdown: Vec<[f64; EventKind::COUNT]> =
-            vec![[0.0; EventKind::COUNT]; nranks];
+        let mut breakdown: Vec<[f64; EventKind::COUNT]> = vec![[0.0; EventKind::COUNT]; nranks];
         let mut p2p_bytes: u64 = 0;
         let mut internode_bytes: u64 = 0;
 
@@ -299,9 +295,7 @@ impl Engine {
                                     let mut all_done = true;
                                     for &ireq in reqs {
                                         match ranks[r].ireqs[ireq] {
-                                            ReqState::Completed(t) => {
-                                                resume = resume.max(t)
-                                            }
+                                            ReqState::Completed(t) => resume = resume.max(t),
                                             ReqState::Pending => {
                                                 all_done = false;
                                                 break;
@@ -372,9 +366,8 @@ impl Engine {
                             if self.net.is_eager(bytes) {
                                 // Eager sends complete locally after the
                                 // sender overhead, receiver or not.
-                                ranks[r].ireqs[ireq] = ReqState::Completed(
-                                    clock + self.net.send_overhead,
-                                );
+                                ranks[r].ireqs[ireq] =
+                                    ReqState::Completed(clock + self.net.send_overhead);
                             }
                             ranks[r].blocked = Some(Blocked::Reqs {
                                 reqs: vec![ireq],
@@ -416,9 +409,8 @@ impl Engine {
                             touched[0] = Some((r, to, tag));
                             touched[1] = Some((from, r, tag));
                             if self.net.is_eager(send_bytes) {
-                                ranks[r].ireqs[s] = ReqState::Completed(
-                                    clock + self.net.send_overhead,
-                                );
+                                ranks[r].ireqs[s] =
+                                    ReqState::Completed(clock + self.net.send_overhead);
                             }
                             ranks[r].blocked = Some(Blocked::Reqs {
                                 reqs: vec![s, v],
@@ -447,9 +439,8 @@ impl Engine {
                             );
                             touched[0] = Some((r, to, tag));
                             if self.net.is_eager(bytes) {
-                                ranks[r].ireqs[ireq] = ReqState::Completed(
-                                    clock + self.net.send_overhead,
-                                );
+                                ranks[r].ireqs[ireq] =
+                                    ReqState::Completed(clock + self.net.send_overhead);
                             }
                             ranks[r].user_reqs.insert(req, ireq);
                             ranks[r].pc += 1;
@@ -662,11 +653,7 @@ impl Engine {
         entry.bytes = entry.bytes.max(bytes);
         entry.entries.push((rank, time));
         if entry.entries.len() == nranks {
-            let max_entry = entry
-                .entries
-                .iter()
-                .map(|&(_, t)| t)
-                .fold(0.0, f64::max);
+            let max_entry = entry.entries.iter().map(|&(_, t)| t).fold(0.0, f64::max);
             let cost = match entry.event_kind {
                 EventKind::Barrier => net.barrier_cost(nranks),
                 EventKind::Allreduce => net.allreduce_cost(nranks, entry.bytes),
@@ -721,7 +708,11 @@ mod tests {
         p1.push(Op::compute(5.0));
         p1.push(Op::recv(0, 0));
         let r = run(vec![p0, p1]);
-        assert!(r.finish_times[0] < 1.1, "eager sender delayed: {:?}", r.finish_times);
+        assert!(
+            r.finish_times[0] < 1.1,
+            "eager sender delayed: {:?}",
+            r.finish_times
+        );
         assert!(r.finish_times[1] >= 5.0);
     }
 
@@ -735,7 +726,11 @@ mod tests {
         p1.push(Op::recv(0, 0));
         let r = run(vec![p0, p1]);
         // Sender cannot finish before the receiver posts at t=3.
-        assert!(r.finish_times[0] >= 3.0, "rendezvous not enforced: {:?}", r.finish_times);
+        assert!(
+            r.finish_times[0] >= 3.0,
+            "rendezvous not enforced: {:?}",
+            r.finish_times
+        );
     }
 
     #[test]
@@ -895,10 +890,7 @@ mod tests {
         };
         let t4 = chain(4);
         let t16 = chain(16);
-        assert!(
-            t16 > 3.0 * t4,
-            "serialization missing: t4={t4} t16={t16}"
-        );
+        assert!(t16 > 3.0 * t4, "serialization missing: t4={t4} t16={t16}");
     }
 
     #[test]

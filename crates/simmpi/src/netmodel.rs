@@ -21,7 +21,10 @@ pub struct NetModel {
 impl NetModel {
     /// Build a model for `nprocs` compactly pinned ranks.
     pub fn compact(cluster: &ClusterSpec, nprocs: usize) -> Self {
-        Self::with_pinning(cluster, Pinning::new(cluster, nprocs, PinningPolicy::Compact))
+        Self::with_pinning(
+            cluster,
+            Pinning::new(cluster, nprocs, PinningPolicy::Compact),
+        )
     }
 
     /// Build a model from an explicit pinning.

@@ -6,8 +6,6 @@
 //! model); communication operations carry only message metadata — exactly
 //! the information a time-accurate MPI replay needs.
 
-use serde::{Deserialize, Serialize};
-
 /// MPI message tag.
 pub type Tag = u32;
 
@@ -15,7 +13,7 @@ pub type Tag = u32;
 pub type ReqId = u32;
 
 /// One operation of a rank's program.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Local computation for `seconds` of wall-clock time.
     Compute { seconds: f64 },
@@ -116,7 +114,7 @@ impl Op {
 }
 
 /// The ordered list of operations one rank executes.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     pub ops: Vec<Op>,
 }
@@ -191,14 +189,12 @@ impl Program {
         let mut open: BTreeSet<ReqId> = BTreeSet::new();
         for op in &self.ops {
             match op {
-                Op::Isend { req, .. } | Op::Irecv { req, .. }
-                    if !open.insert(*req) => {
-                        return Err(format!("request {req} created while still open"));
-                    }
-                Op::Wait { req }
-                    if !open.remove(req) => {
-                        return Err(format!("wait on request {req} which is not open"));
-                    }
+                Op::Isend { req, .. } | Op::Irecv { req, .. } if !open.insert(*req) => {
+                    return Err(format!("request {req} created while still open"));
+                }
+                Op::Wait { req } if !open.remove(req) => {
+                    return Err(format!("wait on request {req} which is not open"));
+                }
                 _ => {}
             }
         }

@@ -8,9 +8,7 @@
 //! comes from the simulator, not from here.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::comm::{Comm, ReduceOp};
 use crate::program::Tag;
@@ -115,7 +113,7 @@ impl ThreadComm {
         if n == 1 {
             return;
         }
-        let mut st = self.shared.coll.lock();
+        let mut st = self.shared.coll.lock().expect("collective lock poisoned");
         let gen = st.generation;
         if st.arrived == 0 {
             st.acc = data.to_vec();
@@ -148,7 +146,11 @@ impl ThreadComm {
                     }
                     break;
                 }
-                self.shared.coll_done.wait(&mut st);
+                st = self
+                    .shared
+                    .coll_done
+                    .wait(st)
+                    .expect("collective lock poisoned");
             }
         }
     }
@@ -165,7 +167,12 @@ impl Comm for ThreadComm {
 
     fn send(&mut self, to: usize, tag: Tag, data: &[f64]) {
         assert!(to < self.shared.n, "send to out-of-range rank {to}");
-        let mut boxes = self.shared.mail.boxes.lock();
+        let mut boxes = self
+            .shared
+            .mail
+            .boxes
+            .lock()
+            .expect("mailbox lock poisoned");
         boxes
             .entry((self.rank, to, tag))
             .or_default()
@@ -177,7 +184,12 @@ impl Comm for ThreadComm {
     fn recv(&mut self, from: usize, tag: Tag, buf: &mut [f64]) {
         assert!(from < self.shared.n, "recv from out-of-range rank {from}");
         let key = (from, self.rank, tag);
-        let mut boxes = self.shared.mail.boxes.lock();
+        let mut boxes = self
+            .shared
+            .mail
+            .boxes
+            .lock()
+            .expect("mailbox lock poisoned");
         loop {
             if let Some(msg) = boxes.get_mut(&key).and_then(|q| q.pop_front()) {
                 assert_eq!(
@@ -190,7 +202,12 @@ impl Comm for ThreadComm {
                 buf.copy_from_slice(&msg);
                 return;
             }
-            self.shared.mail.available.wait(&mut boxes);
+            boxes = self
+                .shared
+                .mail
+                .available
+                .wait(boxes)
+                .expect("mailbox lock poisoned");
         }
     }
 
@@ -222,13 +239,7 @@ mod tests {
             let mut token = [rank as f64];
             for _ in 0..n {
                 let mut incoming = [0.0];
-                comm.sendrecv(
-                    (rank + 1) % n,
-                    &token,
-                    (rank + n - 1) % n,
-                    &mut incoming,
-                    0,
-                );
+                comm.sendrecv((rank + 1) % n, &token, (rank + n - 1) % n, &mut incoming, 0);
                 token = incoming;
                 acc += token[0];
             }
@@ -322,7 +333,11 @@ mod tests {
     #[test]
     fn bcast_distributes_the_root_buffer() {
         let results = ThreadWorld::run(5, |rank, comm| {
-            let mut data = if rank == 2 { vec![3.5, -1.25] } else { vec![9.9, 9.9] };
+            let mut data = if rank == 2 {
+                vec![3.5, -1.25]
+            } else {
+                vec![9.9, 9.9]
+            };
             comm.bcast(2, &mut data);
             data
         });

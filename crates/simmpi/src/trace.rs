@@ -9,10 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// The category of a timeline interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     Compute,
     Send,
@@ -91,7 +89,7 @@ impl std::fmt::Display for EventKind {
 }
 
 /// One interval on one rank's timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     pub rank: usize,
     pub start: f64,
@@ -106,7 +104,7 @@ impl TraceEvent {
 }
 
 /// Runtime fractions per event kind.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Breakdown {
     /// Seconds per kind.
     pub seconds: BTreeMap<EventKind, f64>,
@@ -147,7 +145,7 @@ impl Breakdown {
 }
 
 /// All events of a simulated run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
     pub nranks: usize,
     pub events: Vec<TraceEvent>,

@@ -1,0 +1,119 @@
+//! Calibration probe: prints the model's headline numbers next to the
+//! targets from the paper, so drift is visible after touching any of
+//! the machine, kernel or power parameters.
+//!
+//! Three sections (formerly three separate probes):
+//!
+//! 1. node-level efficiency/acceleration (§4.1.1–§4.1.2 targets),
+//! 2. minisweep's serialization collapse and the §4.2.1 per-socket
+//!    power table,
+//! 3. multi-node small-suite scaling evidence (§5.1).
+//!
+//! Everything funnels through the harness's parallel, cached
+//! [`Executor`], so a rerun after an unrelated edit replays from cache
+//! in milliseconds:
+//!
+//! ```text
+//! cargo run --release --example calibrate
+//! ```
+
+use spechpc::harness::experiments::multi_node::{fig5_with, scaling_cases};
+use spechpc::prelude::*;
+
+fn main() {
+    let a = presets::cluster_a();
+    let b = presets::cluster_b();
+    let exec = Executor::new(
+        RunConfig {
+            repetitions: 1,
+            trace: false,
+            ..RunConfig::default()
+        },
+        ExecConfig::default(),
+    );
+
+    // -- 1. node level: one ccNUMA domain vs. the full node -----------
+    println!("== §4.1.1 parallel efficiency (domain -> node) & §4.1.2 acceleration B/A ==");
+    for bench in all_benchmarks() {
+        let name = bench.meta().name;
+        let run = |cl: &ClusterSpec, n| {
+            exec.run_one(cl, &RunSpec::new(name, WorkloadClass::Tiny, n))
+                .unwrap()
+        };
+        let (ra_dom, ra_node) = (run(&a, 18), run(&a, 72));
+        let (rb_dom, rb_node) = (run(&b, 13), run(&b, 104));
+        let eff_a = 100.0 * (ra_dom.step_seconds / ra_node.step_seconds) / 4.0;
+        let eff_b = 100.0 * (rb_dom.step_seconds / rb_node.step_seconds) / 8.0;
+        let accel = ra_node.step_seconds / rb_node.step_seconds;
+        println!(
+            "{name:11} effA {eff_a:6.1}%  effB {eff_b:6.1}%  accel B/A {accel:5.2}  \
+             bwA_node {:6.1} GB/s  mpiA {:4.1}%",
+            ra_node.counters.mem_bandwidth(),
+            ra_node.breakdown.mpi_fraction() * 100.0
+        );
+    }
+
+    // -- 2. minisweep collapse + per-socket power ---------------------
+    println!();
+    println!("== §4.1.5 minisweep serialization (58 -> 59 collapse) ==");
+    for (cl, n) in [(&a, 58), (&a, 59), (&a, 72), (&b, 104)] {
+        let r = exec
+            .run_one(cl, &RunSpec::new("minisweep", WorkloadClass::Tiny, n))
+            .unwrap();
+        println!(
+            "minisweep {} n={n}: step {:.4} s  mpi {:.1}%  dominant {:?}",
+            r.cluster,
+            r.step_seconds,
+            r.breakdown.mpi_fraction() * 100.0,
+            r.breakdown.dominant_mpi()
+        );
+    }
+    println!();
+    println!("== §4.2.1 power at full node (paper: sph-exa 244/333 W/socket, soma 222/298) ==");
+    for name in ["sph-exa", "soma", "pot3d", "tealeaf", "lbm", "minisweep"] {
+        let ra = exec
+            .run_one(&a, &RunSpec::new(name, WorkloadClass::Tiny, 72))
+            .unwrap();
+        let rb = exec
+            .run_one(&b, &RunSpec::new(name, WorkloadClass::Tiny, 104))
+            .unwrap();
+        println!(
+            "{name:10} A pkg/socket {:5.1} W dram/dom {:4.1} W | \
+             B pkg/socket {:5.1} W dram/dom {:4.1} W | mpiA {:4.1}%",
+            ra.power.package_w / 2.0,
+            ra.power.dram_w / 4.0,
+            rb.power.package_w / 2.0,
+            rb.power.dram_w / 8.0,
+            ra.breakdown.mpi_fraction() * 100.0
+        );
+    }
+
+    // -- 3. multi-node small suite ------------------------------------
+    println!();
+    for cluster in [&a, &b] {
+        println!("== {} small suite, nodes 1/2/4/8 ==", cluster.name);
+        let f5 = fig5_with(&exec, cluster, &[1, 2, 4, 8]).unwrap();
+        for s in &f5.sweeps {
+            let e = s.evidence();
+            let v = s.mem_volume();
+            let vol_growth = v.last().unwrap().1 / v[0].1;
+            let bw1 = s.results[0].mem_bandwidth_per_node();
+            let bwn = s.results.last().unwrap().mem_bandwidth_per_node();
+            println!(
+                "{:11} eff {:5.2}  cache_gain {:5.2}  comm {:4.1}%  volx {:4.2}  \
+                 bw/node {:5.0}->{:5.0}",
+                s.benchmark,
+                e.efficiency(),
+                e.cache_gain(),
+                e.comm_fraction * 100.0,
+                vol_growth,
+                bw1,
+                bwn
+            );
+        }
+        for (bench, case) in scaling_cases(&f5) {
+            print!("{bench}:{case:?} ");
+        }
+        println!("\n");
+    }
+}

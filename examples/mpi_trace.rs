@@ -24,10 +24,7 @@ fn main() {
             .expect("simulation failed");
 
         println!("=== {name} @ {nranks} ranks on {} ===", cluster.name);
-        println!(
-            "step time {:.4} s; MPI breakdown:",
-            r.step_seconds
-        );
+        println!("step time {:.4} s; MPI breakdown:", r.step_seconds);
         for kind in EventKind::ALL {
             let f = r.breakdown.fraction(kind);
             if f > 0.001 {
@@ -41,7 +38,10 @@ fn main() {
         }
 
         println!("\nlikwid-perfctr-style report:");
-        print!("{}", perfctr::render_all(&r.counters, &format!("{name}_tiny")));
+        print!(
+            "{}",
+            perfctr::render_all(&r.counters, &format!("{name}_tiny"))
+        );
 
         let path = format!("{outdir}/{name}_{nranks}.trace.csv");
         let csv = export::to_csv(&r.timeline);

@@ -19,7 +19,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
 
-    println!("native execution: {ranks} ranks on host threads, {steps} steps each, test-scale configs\n");
+    println!(
+        "native execution: {ranks} ranks on host threads, {steps} steps each, test-scale configs\n"
+    );
     println!(
         "{:<12} {:>12} {:>14} {:>10}",
         "benchmark", "wall [ms]", "checksum", "invariants"

@@ -23,8 +23,13 @@ fn main() {
 
     let a = presets::cluster_a();
     let b = presets::cluster_b();
-    println!("running the tiny suite across 1..{} cores of {} and 1..{} cores of {} (stride {step})…",
-        a.node.cores(), a.name, b.node.cores(), b.name);
+    println!(
+        "running the tiny suite across 1..{} cores of {} and 1..{} cores of {} (stride {step})…",
+        a.node.cores(),
+        a.name,
+        b.node.cores(),
+        b.name
+    );
     let f1a = fig1(&a, &config, step).expect("ClusterA sweep failed");
     let f1b = fig1(&b, &config, step).expect("ClusterB sweep failed");
 
@@ -46,7 +51,10 @@ fn main() {
         println!("{name:<12} {v:>6.1}");
     }
 
-    println!("\n== Fig. 2 insets — the two node-level pathologies on {} ==", a.name);
+    println!(
+        "\n== Fig. 2 insets — the two node-level pathologies on {} ==",
+        a.name
+    );
     let f2 = fig2(&a, &config, a.node.cores()).expect("fig2 failed");
     let ms = f2.minisweep_59;
     println!(

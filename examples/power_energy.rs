@@ -68,7 +68,10 @@ fn main() {
     let sb = presets::sandy_bridge_node();
     print!("{}", baseline_table(&[&a.node, &b.node, &sb]).render());
 
-    println!("\n== Fig. 4 — Z-plot (energy vs. speedup) for pot3d on {} ==", a.name);
+    println!(
+        "\n== Fig. 4 — Z-plot (energy vs. speedup) for pot3d on {} ==",
+        a.name
+    );
     let f4 = fig4(&f1a);
     let z = f4
         .zplots
@@ -88,8 +91,18 @@ fn main() {
 
     println!("\n== §4.3.1 race-to-idle vs. concurrency throttling ==");
     for (label, cpu, domain, s_max) in [
-        ("Ice Lake (ClusterA)", &a.node.cpu, a.node.cores_per_domain(), 6.0),
-        ("Sapphire Rapids (ClusterB)", &b.node.cpu, b.node.cores_per_domain(), 6.0),
+        (
+            "Ice Lake (ClusterA)",
+            &a.node.cpu,
+            a.node.cores_per_domain(),
+            6.0,
+        ),
+        (
+            "Sapphire Rapids (ClusterB)",
+            &b.node.cpu,
+            b.node.cores_per_domain(),
+            6.0,
+        ),
         ("Sandy Bridge (2012)", &sb.cpu, sb.cores(), 3.5),
     ] {
         let sweep = concurrency_sweep(

@@ -1,2 +1,12 @@
-//! Workspace root crate; see the `spechpc` facade.
+//! # spechpc-sim — workspace root
+//!
+//! This package carries the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the framework
+//! itself lives in the `crates/` members and is re-exported wholesale
+//! here via the [`spechpc`] facade.
+//!
+//! Start with the facade's crate docs for the layer map
+//! (machine → simmpi → kernels → power → analysis → harness), or with
+//! `docs/ARCHITECTURE.md` for the prose version including the parallel,
+//! cached execution layer.
 pub use spechpc::*;

@@ -6,11 +6,7 @@ use spechpc::prelude::*;
 
 /// Run one kernel natively and return per-rank (checksum-before,
 /// checksum-after, validation).
-fn run_native(
-    name: &str,
-    ranks: usize,
-    steps: usize,
-) -> Vec<(f64, f64, Result<(), String>)> {
+fn run_native(name: &str, ranks: usize, steps: usize) -> Vec<(f64, f64, Result<(), String>)> {
     let bench = benchmark_by_name(name).expect("known benchmark");
     ThreadWorld::run(ranks, |rank, comm| {
         let mut k = bench.make_kernel(WorkloadClass::Test, rank, ranks, 42);

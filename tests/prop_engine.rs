@@ -1,8 +1,13 @@
-//! Property-based tests of the discrete-event MPI engine: determinism,
+//! Property-style tests of the discrete-event MPI engine: determinism,
 //! causality, and semantic bounds over randomly generated (but
 //! well-formed) communication patterns.
+//!
+//! Cases are drawn from the in-tree deterministic RNG
+//! (`spechpc::kernels::common::rng::Rng`) with fixed seeds, so every
+//! run explores the same parameter sample — failures are reproducible
+//! by construction.
 
-use proptest::prelude::*;
+use spechpc::kernels::common::rng::Rng;
 use spechpc::machine::presets;
 use spechpc::simmpi::engine::{Engine, SimConfig};
 use spechpc::simmpi::netmodel::NetModel;
@@ -49,89 +54,113 @@ fn run(progs: Vec<Program>) -> spechpc::simmpi::engine::SimResult {
         .expect("well-formed pattern must not deadlock")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Draw `len` compute durations in `[lo, hi)` milliseconds-ish units.
+fn draw_compute(rng: &mut Rng, lo: u8, hi: u8, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| rng.range(lo as f64, hi as f64) as u8)
+        .collect()
+}
 
-    /// The engine is deterministic: identical inputs give identical
-    /// finish times.
-    #[test]
-    fn determinism(
-        nranks in 1usize..24,
-        steps in 1usize..6,
-        compute in prop::collection::vec(0u8..100, 4..16),
-        bytes in 1usize..262_144,
-        coll in any::<bool>(),
-    ) {
+/// The engine is deterministic: identical inputs give identical
+/// finish times.
+#[test]
+fn determinism() {
+    let mut rng = Rng::seed_from_u64(0xE1);
+    for _ in 0..48 {
+        let nranks = rng.range(1.0, 24.0) as usize;
+        let steps = rng.range(1.0, 6.0) as usize;
+        let len = 4 + rng.range(0.0, 12.0) as usize;
+        let compute = draw_compute(&mut rng, 0, 100, len);
+        let bytes = rng.range(1.0, 262_144.0) as usize;
+        let coll = rng.next_f64() < 0.5;
         let a = run(ring_programs(nranks, steps, &compute, bytes, coll));
         let b = run(ring_programs(nranks, steps, &compute, bytes, coll));
-        prop_assert_eq!(a.finish_times, b.finish_times);
-        prop_assert_eq!(a.p2p_bytes, b.p2p_bytes);
+        assert_eq!(a.finish_times, b.finish_times);
+        assert_eq!(a.p2p_bytes, b.p2p_bytes);
     }
+}
 
-    /// Causality: the makespan is at least the largest per-rank compute
-    /// total, and at least the critical compute path per rank.
-    #[test]
-    fn makespan_bounds(
-        nranks in 1usize..24,
-        steps in 1usize..6,
-        compute in prop::collection::vec(0u8..100, 4..16),
-        bytes in 1usize..65_536,
-    ) {
+/// Causality: the makespan is at least the largest per-rank compute
+/// total, and finish times stay within [0, makespan].
+#[test]
+fn makespan_bounds() {
+    let mut rng = Rng::seed_from_u64(0xE2);
+    for _ in 0..48 {
+        let nranks = rng.range(1.0, 24.0) as usize;
+        let steps = rng.range(1.0, 6.0) as usize;
+        let len = 4 + rng.range(0.0, 12.0) as usize;
+        let compute = draw_compute(&mut rng, 0, 100, len);
+        let bytes = rng.range(1.0, 65_536.0) as usize;
         let progs = ring_programs(nranks, steps, &compute, bytes, true);
         let max_compute = progs
             .iter()
             .map(|p| p.compute_seconds())
             .fold(0.0, f64::max);
         let r = run(progs);
-        prop_assert!(r.makespan >= max_compute - 1e-12,
-            "makespan {} below compute bound {}", r.makespan, max_compute);
-        // Finish times are non-negative and bounded by the makespan.
+        assert!(
+            r.makespan >= max_compute - 1e-12,
+            "makespan {} below compute bound {}",
+            r.makespan,
+            max_compute
+        );
         for t in &r.finish_times {
-            prop_assert!(*t >= 0.0 && *t <= r.makespan + 1e-12);
+            assert!(*t >= 0.0 && *t <= r.makespan + 1e-12);
         }
     }
+}
 
-    /// Per-rank timeline events never overlap and never run backwards.
-    #[test]
-    fn timeline_is_well_ordered(
-        nranks in 2usize..12,
-        steps in 1usize..5,
-        compute in prop::collection::vec(1u8..50, 4..8),
-    ) {
+/// Per-rank timeline events never overlap and never run backwards.
+#[test]
+fn timeline_is_well_ordered() {
+    let mut rng = Rng::seed_from_u64(0xE3);
+    for _ in 0..40 {
+        let nranks = rng.range(2.0, 12.0) as usize;
+        let steps = rng.range(1.0, 5.0) as usize;
+        let len = 4 + rng.range(0.0, 4.0) as usize;
+        let compute = draw_compute(&mut rng, 1, 50, len);
         let r = run(ring_programs(nranks, steps, &compute, 4096, true));
         for rank in 0..nranks {
             let events = r.timeline.rank_events(rank);
             for w in events.windows(2) {
-                prop_assert!(w[0].end <= w[1].start + 1e-12,
-                    "rank {rank}: overlapping events {:?} {:?}", w[0], w[1]);
+                assert!(
+                    w[0].end <= w[1].start + 1e-12,
+                    "rank {rank}: overlapping events {:?} {:?}",
+                    w[0],
+                    w[1]
+                );
             }
             for e in &events {
-                prop_assert!(e.end >= e.start);
+                assert!(e.end >= e.start);
             }
         }
     }
+}
 
-    /// Byte accounting: p2p payload equals exactly what the programs
-    /// declare, and internode bytes never exceed the total.
-    #[test]
-    fn byte_accounting(
-        nranks in 2usize..100,
-        bytes in 1usize..1_000_000,
-    ) {
+/// Byte accounting: p2p payload equals exactly what the programs
+/// declare, and internode bytes never exceed the total.
+#[test]
+fn byte_accounting() {
+    let mut rng = Rng::seed_from_u64(0xE4);
+    for _ in 0..48 {
+        let nranks = rng.range(2.0, 100.0) as usize;
+        let bytes = rng.range(1.0, 1_000_000.0) as usize;
         let progs = ring_programs(nranks, 1, &[10], bytes, false);
         let declared: usize = progs.iter().map(|p| p.bytes_sent()).sum();
         let r = run(progs);
-        prop_assert_eq!(r.p2p_bytes, declared as u64);
-        prop_assert!(r.internode_bytes <= r.p2p_bytes);
+        assert_eq!(r.p2p_bytes, declared as u64);
+        assert!(r.internode_bytes <= r.p2p_bytes);
     }
+}
 
-    /// Adding a barrier at the end synchronizes every rank to a common
-    /// finish time that is no earlier than anyone's previous finish.
-    #[test]
-    fn barrier_synchronizes(
-        nranks in 2usize..16,
-        compute in prop::collection::vec(0u8..200, 2..8),
-    ) {
+/// Adding a barrier at the end synchronizes every rank to a common
+/// finish time that is no earlier than anyone's previous finish.
+#[test]
+fn barrier_synchronizes() {
+    let mut rng = Rng::seed_from_u64(0xE5);
+    for _ in 0..40 {
+        let nranks = rng.range(2.0, 16.0) as usize;
+        let len = 2 + rng.range(0.0, 6.0) as usize;
+        let compute = draw_compute(&mut rng, 0, 200, len);
         let mut progs = ring_programs(nranks, 1, &compute, 1024, false);
         let before = run(progs.clone());
         for p in &mut progs {
@@ -140,21 +169,30 @@ proptest! {
         let after = run(progs);
         let t0 = after.finish_times[0];
         for (i, t) in after.finish_times.iter().enumerate() {
-            prop_assert!((t - t0).abs() < 1e-12, "rank {i} left the barrier at {t} != {t0}");
-            prop_assert!(*t >= before.finish_times[i] - 1e-12);
+            assert!(
+                (t - t0).abs() < 1e-12,
+                "rank {i} left the barrier at {t} != {t0}"
+            );
+            assert!(*t >= before.finish_times[i] - 1e-12);
         }
     }
+}
 
-    /// Growing a message can never make the run finish earlier.
-    #[test]
-    fn monotone_in_message_size(
-        nranks in 2usize..16,
-        small in 1usize..10_000,
-        extra in 1usize..500_000,
-    ) {
+/// Growing a message can never make the run finish earlier.
+#[test]
+fn monotone_in_message_size() {
+    let mut rng = Rng::seed_from_u64(0xE6);
+    for _ in 0..48 {
+        let nranks = rng.range(2.0, 16.0) as usize;
+        let small = rng.range(1.0, 10_000.0) as usize;
+        let extra = rng.range(1.0, 500_000.0) as usize;
         let a = run(ring_programs(nranks, 2, &[5, 9], small, false));
         let b = run(ring_programs(nranks, 2, &[5, 9], small + extra, false));
-        prop_assert!(b.makespan >= a.makespan - 1e-12,
-            "bigger messages finished earlier: {} vs {}", a.makespan, b.makespan);
+        assert!(
+            b.makespan >= a.makespan - 1e-12,
+            "bigger messages finished earlier: {} vs {}",
+            a.makespan,
+            b.makespan
+        );
     }
 }

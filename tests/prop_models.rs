@@ -1,9 +1,13 @@
-//! Property-based tests of the analytic models: bandwidth saturation,
+//! Property-style tests of the analytic models: bandwidth saturation,
 //! pinning, the node performance model, power/energy identities, and
 //! the decomposition helpers.
+//!
+//! Parameter points are sampled with the in-tree deterministic RNG
+//! (fixed seeds), so each test exercises the same reproducible sweep on
+//! every run.
 
-use proptest::prelude::*;
 use spechpc::kernels::common::model::NodeModel;
+use spechpc::kernels::common::rng::Rng;
 use spechpc::kernels::{block_range, factor_2d, factor_3d, Grid2d, WorkloadSignature};
 use spechpc::machine::affinity::{Pinning, PinningPolicy};
 use spechpc::machine::memory::SaturationCurve;
@@ -12,180 +16,222 @@ use spechpc::power::energy::energy_to_solution;
 use spechpc::power::rapl::JobPower;
 use spechpc::prelude::WorkloadClass;
 
-fn arb_signature() -> impl Strategy<Value = WorkloadSignature> {
-    (
-        1e9..1e14f64,          // flops
-        0.0..=1.0f64,          // simd
-        0.05..=1.0f64,         // core_efficiency
-        1e8..1e13f64,          // mem bytes
-        0.0..1e9f64,           // per-rank bytes
-        1e8..1e12f64,          // working set
-        0.5..4.0f64,           // cache exponent
-        0.0..=1.0f64,          // replicated fraction
-        0.0..=1.0f64,          // heat
-    )
-        .prop_map(
-            |(flops, simd, eff, mem, per_rank, ws, gamma, repl, heat)| WorkloadSignature {
-                flops,
-                simd_fraction: simd,
-                core_efficiency: eff,
-                mem_bytes: mem,
-                mem_bytes_per_rank: per_rank,
-                l2_bytes: mem * 1.5,
-                l3_bytes: mem * 1.2,
-                working_set_bytes: ws,
-                cache_exponent: gamma,
-                replicated_fraction: repl,
-                heat,
-                steps: 10,
-            },
-        )
+/// Draw a random (but always valid) workload signature.
+fn draw_signature(rng: &mut Rng) -> WorkloadSignature {
+    let mem = 10f64.powf(rng.range(8.0, 13.0));
+    WorkloadSignature {
+        flops: 10f64.powf(rng.range(9.0, 14.0)),
+        simd_fraction: rng.next_f64(),
+        core_efficiency: rng.range(0.05, 1.0),
+        mem_bytes: mem,
+        mem_bytes_per_rank: rng.range(0.0, 1e9),
+        l2_bytes: mem * 1.5,
+        l3_bytes: mem * 1.2,
+        working_set_bytes: 10f64.powf(rng.range(8.0, 12.0)),
+        cache_exponent: rng.range(0.5, 4.0),
+        replicated_fraction: rng.next_f64(),
+        heat: rng.next_f64(),
+        steps: 10,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Saturation curves are monotone and bounded by the plateau.
-    #[test]
-    fn saturation_monotone_bounded(
-        single in 1.0..50.0f64,
-        headroom in 1.1..20.0f64,
-        n in 0usize..64,
-    ) {
-        let c = SaturationCurve { single_core: single, plateau: single * headroom };
+/// Saturation curves are monotone and bounded by the plateau.
+#[test]
+fn saturation_monotone_bounded() {
+    let mut rng = Rng::seed_from_u64(0xA1);
+    for _ in 0..64 {
+        let single = rng.range(1.0, 50.0);
+        let headroom = rng.range(1.1, 20.0);
+        let n = rng.range(0.0, 64.0) as usize;
+        let c = SaturationCurve {
+            single_core: single,
+            plateau: single * headroom,
+        };
         let bw_n = c.bandwidth(n);
         let bw_n1 = c.bandwidth(n + 1);
-        prop_assert!(bw_n1 >= bw_n - 1e-12);
-        prop_assert!(bw_n1 <= c.plateau + 1e-9);
+        assert!(bw_n1 >= bw_n - 1e-12);
+        assert!(bw_n1 <= c.plateau + 1e-9);
     }
+}
 
-    /// Compact pinning partitions ranks over distinct cores, and the
-    /// per-domain active counts sum to the rank count.
-    #[test]
-    fn pinning_partitions(nranks in 1usize..2304, scatter in any::<bool>()) {
-        let cluster = presets::cluster_a();
-        prop_assume!(nranks <= cluster.total_cores());
-        let policy = if scatter { PinningPolicy::Scatter } else { PinningPolicy::Compact };
+/// Compact and scatter pinning partition ranks over distinct cores, and
+/// the per-domain active counts sum to the rank count.
+#[test]
+fn pinning_partitions() {
+    let cluster = presets::cluster_a();
+    let mut rng = Rng::seed_from_u64(0xA2);
+    for case in 0..64 {
+        let nranks = 1 + rng.range(0.0, cluster.total_cores() as f64) as usize;
+        let policy = if case % 2 == 0 {
+            PinningPolicy::Scatter
+        } else {
+            PinningPolicy::Compact
+        };
         let p = Pinning::new(&cluster, nranks, policy);
         let mut seen = std::collections::HashSet::new();
         for pl in &p.placements {
-            prop_assert!(seen.insert((pl.node, pl.core)), "double booking");
+            assert!(seen.insert((pl.node, pl.core)), "double booking");
         }
         let total: usize = p
             .active_per_domain(cluster.node.numa_domains())
             .iter()
             .flatten()
             .sum();
-        prop_assert_eq!(total, nranks);
+        assert_eq!(total, nranks);
     }
+}
 
-    /// The node model: more ranks never increase the aggregate-work
-    /// critical path by more than the penalty-free single-rank time,
-    /// and utilization stays in [0, 1].
-    #[test]
-    fn node_model_sanity(sig in arb_signature(), nranks in 1usize..208) {
-        let cluster = presets::cluster_b();
-        prop_assume!(nranks <= cluster.total_cores());
+/// The node model returns finite, non-negative per-rank times with
+/// utilization in [0, 1], and never inflates memory traffic beyond the
+/// nominal total (the victim L3 absorbs whatever was dropped).
+#[test]
+fn node_model_sanity() {
+    let cluster = presets::cluster_b();
+    let mut rng = Rng::seed_from_u64(0xA3);
+    for _ in 0..64 {
+        let sig = draw_signature(&mut rng);
+        let nranks = (1 + rng.range(0.0, 207.0) as usize).min(cluster.total_cores());
         let model = NodeModel::new(&cluster, nranks);
         let ct = model.compute_times(&sig, &[]);
-        prop_assert_eq!(ct.per_rank.len(), nranks);
+        assert_eq!(ct.per_rank.len(), nranks);
         for (i, &t) in ct.per_rank.iter().enumerate() {
-            prop_assert!(t.is_finite() && t >= 0.0, "rank {i} time {t}");
-            prop_assert!((0.0..=1.0).contains(&ct.utilization[i]));
+            assert!(t.is_finite() && t >= 0.0, "rank {i} time {t}");
+            assert!((0.0..=1.0).contains(&ct.utilization[i]));
         }
-        // Effective traffic never exceeds nominal (+ per-rank terms).
         let nominal = sig.mem_bytes + sig.mem_bytes_per_rank * nranks as f64;
-        prop_assert!(ct.effective_mem_bytes <= nominal * (1.0 + 1e-9));
-        // The victim L3 absorbs whatever memory traffic was dropped.
-        prop_assert!(ct.effective_l3_bytes >= sig.l3_bytes - 1e-9);
+        assert!(ct.effective_mem_bytes <= nominal * (1.0 + 1e-9));
+        assert!(ct.effective_l3_bytes >= sig.l3_bytes - 1e-9);
     }
+}
 
-    /// Strong scaling in the model: the slowest rank's compute time
-    /// never grows when adding ranks (penalty-free, fixed problem).
-    #[test]
-    fn node_model_monotone_scaling(sig in arb_signature()) {
+/// Strong scaling in the model: the slowest rank's compute time never
+/// grows when adding ranks (penalty-free, fixed problem size).
+#[test]
+fn node_model_monotone_scaling() {
+    let cluster = presets::cluster_a();
+    let mut rng = Rng::seed_from_u64(0xA4);
+    for _ in 0..64 {
         // Per-rank replicated traffic breaks strong scaling by design
         // (soma!); restrict to distributed workloads here.
-        let mut sig = sig;
+        let mut sig = draw_signature(&mut rng);
         sig.mem_bytes_per_rank = 0.0;
         sig.replicated_fraction = 0.0;
-        let cluster = presets::cluster_a();
         let t: Vec<f64> = [1usize, 2, 4, 9, 18, 36, 72]
             .iter()
-            .map(|&n| NodeModel::new(&cluster, n).compute_times(&sig, &[]).max_seconds())
+            .map(|&n| {
+                NodeModel::new(&cluster, n)
+                    .compute_times(&sig, &[])
+                    .max_seconds()
+            })
             .collect();
         for w in t.windows(2) {
-            prop_assert!(w[1] <= w[0] * 1.001, "scaling reversed: {:?}", t);
+            assert!(w[1] <= w[0] * 1.001, "scaling reversed: {t:?}");
         }
     }
+}
 
-    /// Energy identities: total = cpu + dram; EDP = E·t; scaling time
-    /// scales energy linearly.
-    #[test]
-    fn energy_identities(pkg in 0.0..2000.0f64, dram in 0.0..500.0f64, t in 0.0..1e5f64) {
-        let p = JobPower { package_w: pkg, dram_w: dram };
+/// Energy identities: total = cpu + dram; EDP = E·t; scaling time
+/// scales energy linearly.
+#[test]
+fn energy_identities() {
+    let mut rng = Rng::seed_from_u64(0xA5);
+    for _ in 0..64 {
+        let pkg = rng.range(0.0, 2000.0);
+        let dram = rng.range(0.0, 500.0);
+        let t = rng.range(0.0, 1e5);
+        let p = JobPower {
+            package_w: pkg,
+            dram_w: dram,
+        };
         let e = energy_to_solution(p, t);
-        prop_assert!((e.total_j() - (pkg + dram) * t).abs() < 1e-6 * e.total_j().max(1.0));
-        prop_assert!((e.edp() - e.total_j() * t).abs() < 1e-6 * e.edp().max(1.0));
+        assert!((e.total_j() - (pkg + dram) * t).abs() < 1e-6 * e.total_j().max(1.0));
+        assert!((e.edp() - e.total_j() * t).abs() < 1e-6 * e.edp().max(1.0));
         let e2 = energy_to_solution(p, 2.0 * t);
-        prop_assert!((e2.total_j() - 2.0 * e.total_j()).abs() < 1e-6 * e2.total_j().max(1.0));
+        assert!((e2.total_j() - 2.0 * e.total_j()).abs() < 1e-6 * e2.total_j().max(1.0));
     }
+}
 
-    /// block_range partitions exactly, with sizes differing by ≤ 1.
-    #[test]
-    fn block_range_partitions(n in 1usize..100_000, p in 1usize..512) {
+/// block_range partitions exactly, with sizes differing by at most 1.
+#[test]
+fn block_range_partitions() {
+    let mut rng = Rng::seed_from_u64(0xA6);
+    for _ in 0..64 {
+        let n = 1 + rng.range(0.0, 99_999.0) as usize;
+        let p = 1 + rng.range(0.0, 511.0) as usize;
         let mut next = 0;
         let mut min = usize::MAX;
         let mut max = 0;
         for i in 0..p {
             let (lo, hi) = block_range(n, p, i);
-            prop_assert_eq!(lo, next);
+            assert_eq!(lo, next);
             next = hi;
             let len = hi - lo;
             min = min.min(len);
             max = max.max(len);
         }
-        prop_assert_eq!(next, n);
-        prop_assert!(max - min <= 1);
+        assert_eq!(next, n);
+        assert!(max - min <= 1);
     }
+}
 
-    /// factor_2d/3d factorizations multiply back and are ordered.
-    #[test]
-    fn factorizations(p in 1usize..5000) {
+/// factor_2d/3d factorizations multiply back and are ordered.
+#[test]
+fn factorizations() {
+    let mut rng = Rng::seed_from_u64(0xA7);
+    for case in 0..64 {
+        // Always include the small corner cases in the sweep.
+        let p = if case < 8 {
+            case + 1
+        } else {
+            1 + rng.range(0.0, 4999.0) as usize
+        };
         let (a, b) = factor_2d(p);
-        prop_assert_eq!(a * b, p);
-        prop_assert!(a <= b);
+        assert_eq!(a * b, p);
+        assert!(a <= b);
         let (x, y, z) = factor_3d(p);
-        prop_assert_eq!(x * y * z, p);
-        prop_assert!(x <= y && y <= z);
+        assert_eq!(x * y * z, p);
+        assert!(x <= y && y <= z);
     }
+}
 
-    /// Grid2d tiles cover the domain exactly for arbitrary shapes.
-    #[test]
-    fn grid2d_covers(nx in 1usize..300, ny in 1usize..300, p in 1usize..64) {
-        prop_assume!(p <= nx * ny);
+/// Grid2d tiles cover the domain exactly for arbitrary shapes.
+#[test]
+fn grid2d_covers() {
+    let mut rng = Rng::seed_from_u64(0xA8);
+    for _ in 0..64 {
+        let nx = 1 + rng.range(0.0, 299.0) as usize;
+        let ny = 1 + rng.range(0.0, 299.0) as usize;
+        let p = (1 + rng.range(0.0, 63.0) as usize).min(nx * ny);
         let g = Grid2d::new(nx, ny, p);
         let mut count = 0usize;
         for r in 0..g.nranks() {
             let (x0, x1, y0, y1) = g.tile(r);
-            prop_assert!(x1 <= nx && y1 <= ny);
+            assert!(x1 <= nx && y1 <= ny);
             count += (x1 - x0) * (y1 - y0);
         }
-        prop_assert_eq!(count, nx * ny);
+        assert_eq!(count, nx * ny);
     }
+}
 
-    /// Every benchmark's signature validates for every workload class.
-    #[test]
-    fn signatures_always_validate(idx in 0usize..9, class_idx in 0usize..5) {
-        let classes = [
-            WorkloadClass::Test,
-            WorkloadClass::Tiny,
-            WorkloadClass::Small,
-            WorkloadClass::Medium,
-            WorkloadClass::Large,
-        ];
-        let b = &spechpc::kernels::all_benchmarks()[idx];
-        let sig = b.signature(classes[class_idx]);
-        prop_assert!(sig.validate().is_ok());
+/// Every benchmark's signature validates for every workload class.
+#[test]
+fn signatures_always_validate() {
+    let classes = [
+        WorkloadClass::Test,
+        WorkloadClass::Tiny,
+        WorkloadClass::Small,
+        WorkloadClass::Medium,
+        WorkloadClass::Large,
+    ];
+    for b in spechpc::kernels::all_benchmarks() {
+        for class in classes {
+            let sig = b.signature(class);
+            assert!(
+                sig.validate().is_ok(),
+                "{} @ {class:?}: {:?}",
+                b.meta().name,
+                sig.validate()
+            );
+        }
     }
 }

@@ -1,10 +1,15 @@
-//! Property tests over the benchmarks' generated MPI programs: for any
-//! rank count, every benchmark must produce programs that validate,
-//! agree on the collective sequence across ranks, respect the node
-//! model's compute budget, and replay deadlock-free in the engine.
+//! Property-style tests over the benchmarks' generated MPI programs:
+//! for a sweep of rank counts, every benchmark must produce programs
+//! that validate, agree on the collective sequence across ranks,
+//! respect the node model's compute budget, and replay deadlock-free in
+//! the engine.
+//!
+//! Rank counts are sampled with the in-tree deterministic RNG (fixed
+//! seeds) plus a hand-picked set of awkward values (primes, 1), so the
+//! sweep is identical on every run.
 
-use proptest::prelude::*;
 use spechpc::kernels::common::model::NodeModel;
+use spechpc::kernels::common::rng::Rng;
 use spechpc::prelude::*;
 use spechpc::simmpi::engine::{Engine, SimConfig};
 use spechpc::simmpi::netmodel::NetModel;
@@ -27,94 +32,97 @@ fn collective_fingerprint(ops: &[Op]) -> Vec<&'static str> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Structural properties of the step programs for every benchmark
-    /// at arbitrary rank counts on both clusters.
-    #[test]
-    fn step_programs_are_well_formed(
-        bench_idx in 0usize..9,
-        nranks in 1usize..160,
-        cluster_b in any::<bool>(),
-    ) {
-        let cluster = if cluster_b {
-            presets::cluster_b()
-        } else {
+/// Structural properties of the step programs for every benchmark at a
+/// sweep of rank counts on both clusters.
+#[test]
+fn step_programs_are_well_formed() {
+    let mut rng = Rng::seed_from_u64(0xB1);
+    for case in 0..40 {
+        let cluster = if case % 2 == 0 {
             presets::cluster_a()
+        } else {
+            presets::cluster_b()
         };
-        prop_assume!(nranks <= cluster.total_cores());
-        let bench = &all_benchmarks()[bench_idx];
-        let sig = bench.signature(WorkloadClass::Tiny);
-        let model = NodeModel::new(&cluster, nranks);
-        let penalties = bench.penalties(WorkloadClass::Tiny, nranks);
-        let ct = model.compute_times(&sig, &penalties);
-        let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
+        let nranks = (1 + rng.range(0.0, 159.0) as usize).min(cluster.total_cores());
+        for bench in all_benchmarks() {
+            let sig = bench.signature(WorkloadClass::Tiny);
+            let model = NodeModel::new(&cluster, nranks);
+            let penalties = bench.penalties(WorkloadClass::Tiny, nranks);
+            let ct = model.compute_times(&sig, &penalties);
+            let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
 
-        prop_assert_eq!(progs.len(), nranks);
-        let fp0 = collective_fingerprint(&progs[0].ops);
-        for (r, p) in progs.iter().enumerate() {
-            p.validate()
-                .map_err(|e| TestCaseError::fail(format!(
-                    "{} rank {r}: {e}", bench.meta().name)))?;
-            // Identical collective sequences across ranks.
-            let fp = collective_fingerprint(&p.ops);
-            prop_assert!(
-                fp == fp0,
-                "{} rank {}: collective sequence differs",
+            assert_eq!(progs.len(), nranks);
+            let fp0 = collective_fingerprint(&progs[0].ops);
+            for (r, p) in progs.iter().enumerate() {
+                if let Err(e) = p.validate() {
+                    panic!("{} rank {r}: {e}", bench.meta().name);
+                }
+                // Identical collective sequences across ranks.
+                let fp = collective_fingerprint(&p.ops);
+                assert!(
+                    fp == fp0,
+                    "{} rank {r}: collective sequence differs",
+                    bench.meta().name,
+                );
+                // The program's compute budget equals the node model's
+                // per-rank compute time.
+                let budget = p.compute_seconds();
+                assert!(
+                    (budget - ct.per_rank[r]).abs() < 1e-9 * ct.per_rank[r].max(1e-12),
+                    "{} rank {r}: compute budget {budget} vs model {}",
+                    bench.meta().name,
+                    ct.per_rank[r]
+                );
+            }
+        }
+    }
+}
+
+/// The engine replays one step of every benchmark without deadlock at
+/// small, awkward rank counts (primes included), and the step time is
+/// at least the slowest rank's compute time.
+#[test]
+fn one_step_replays_deadlock_free() {
+    let cluster = presets::cluster_a();
+    for nranks in [1usize, 2, 3, 5, 7, 9, 11, 13, 17, 18, 19, 23, 29, 36] {
+        for bench in all_benchmarks() {
+            let sig = bench.signature(WorkloadClass::Tiny);
+            let model = NodeModel::new(&cluster, nranks);
+            let ct = model.compute_times(&sig, &bench.penalties(WorkloadClass::Tiny, nranks));
+            let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
+            let net = NetModel::compact(&cluster, nranks);
+            let result = match Engine::new(SimConfig { trace: false }, net, progs).run() {
+                Ok(r) => r,
+                Err(e) => panic!("{} @ {nranks}: {e}", bench.meta().name),
+            };
+            let floor = ct.max_seconds();
+            assert!(
+                result.makespan >= floor - 1e-12,
+                "{} @ {nranks}: makespan {} below compute floor {floor}",
                 bench.meta().name,
-                r
-            );
-            // The program's compute budget equals the node model's
-            // per-rank compute time.
-            let budget = p.compute_seconds();
-            prop_assert!(
-                (budget - ct.per_rank[r]).abs() < 1e-9 * ct.per_rank[r].max(1e-12),
-                "{} rank {r}: compute budget {budget} vs model {}",
-                bench.meta().name,
-                ct.per_rank[r]
+                result.makespan
             );
         }
     }
+}
 
-    /// The engine replays one step of every benchmark without deadlock
-    /// at small, awkward rank counts (primes included), and the step
-    /// time is at least the slowest rank's compute time.
-    #[test]
-    fn one_step_replays_deadlock_free(
-        bench_idx in 0usize..9,
-        nranks in prop::sample::select(vec![1usize, 2, 3, 5, 7, 9, 11, 13, 17, 18, 19, 23, 29, 36]),
-    ) {
-        let cluster = presets::cluster_a();
-        let bench = &all_benchmarks()[bench_idx];
-        let sig = bench.signature(WorkloadClass::Tiny);
-        let model = NodeModel::new(&cluster, nranks);
-        let ct = model.compute_times(&sig, &bench.penalties(WorkloadClass::Tiny, nranks));
-        let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
-        let net = NetModel::compact(&cluster, nranks);
-        let result = Engine::new(SimConfig { trace: false }, net, progs)
-            .run()
-            .map_err(|e| TestCaseError::fail(format!(
-                "{} @ {nranks}: {e}", bench.meta().name)))?;
-        let floor = ct.max_seconds();
-        prop_assert!(
-            result.makespan >= floor - 1e-12,
-            "{} @ {nranks}: makespan {} below compute floor {floor}",
-            bench.meta().name,
-            result.makespan
-        );
-    }
-
-    /// Penalty vectors are sane: empty or one entry ≥ 1 per rank.
-    #[test]
-    fn penalties_are_sane(bench_idx in 0usize..9, nranks in 1usize..120) {
-        let bench = &all_benchmarks()[bench_idx];
-        for class in [WorkloadClass::Tiny, WorkloadClass::Small] {
-            let p = bench.penalties(class, nranks);
-            prop_assert!(p.is_empty() || p.len() == nranks);
-            for (r, &x) in p.iter().enumerate() {
-                prop_assert!(x >= 1.0 && x < 3.0 && x.is_finite(),
-                    "{} rank {r}: penalty {x}", bench.meta().name);
+/// Penalty vectors are sane: empty or one entry ≥ 1 per rank.
+#[test]
+fn penalties_are_sane() {
+    let mut rng = Rng::seed_from_u64(0xB3);
+    for _ in 0..40 {
+        let nranks = 1 + rng.range(0.0, 119.0) as usize;
+        for bench in all_benchmarks() {
+            for class in [WorkloadClass::Tiny, WorkloadClass::Small] {
+                let p = bench.penalties(class, nranks);
+                assert!(p.is_empty() || p.len() == nranks);
+                for (r, &x) in p.iter().enumerate() {
+                    assert!(
+                        (1.0..3.0).contains(&x) && x.is_finite(),
+                        "{} rank {r}: penalty {x}",
+                        bench.meta().name
+                    );
+                }
             }
         }
     }
