@@ -47,14 +47,19 @@ impl RunStats {
     }
 
     /// Whether a deviation from another stats set is *statistically
-    /// significant*: the means differ by more than `k` pooled standard
-    /// deviations (the paper reports only significant deviations).
+    /// significant*: the means differ by more than `k` Welch standard
+    /// errors, `SE = sqrt(s1²/n1 + s2²/n2)` (the paper reports only
+    /// significant deviations). Unlike pooling the raw standard
+    /// deviations, the standard error shrinks with the sample counts,
+    /// so more repetitions tighten the test.
     pub fn significantly_differs(&self, other: &RunStats, k: f64) -> bool {
-        let pooled = (self.stddev.powi(2) + other.stddev.powi(2)).sqrt();
-        if pooled == 0.0 {
+        let se = (self.stddev.powi(2) / self.samples as f64
+            + other.stddev.powi(2) / other.samples as f64)
+            .sqrt();
+        if se == 0.0 {
             return self.mean != other.mean;
         }
-        (self.mean - other.mean).abs() > k * pooled
+        (self.mean - other.mean).abs() > k * se
     }
 }
 
@@ -88,6 +93,23 @@ mod tests {
         let noisy_a = RunStats::from_samples(&[10.0, 14.0, 6.0]);
         let noisy_b = RunStats::from_samples(&[12.0, 16.0, 8.0]);
         assert!(!noisy_a.significantly_differs(&noisy_b, 3.0));
+    }
+
+    #[test]
+    fn significance_tightens_with_more_samples() {
+        // Same per-sample noise and the same 2.0 mean gap: with 3
+        // repetitions the gap drowns in the standard error, with 12 it
+        // does not. The old pooled-stddev formula ignored `samples` and
+        // returned the same verdict for both.
+        let few_a = RunStats::from_samples(&[10.0, 11.0, 9.0]);
+        let few_b = RunStats::from_samples(&[12.0, 13.0, 11.0]);
+        assert!(!few_a.significantly_differs(&few_b, 3.0));
+
+        let many: Vec<f64> = [10.0, 11.0, 9.0].repeat(4);
+        let many_shifted: Vec<f64> = many.iter().map(|x| x + 2.0).collect();
+        let many_a = RunStats::from_samples(&many);
+        let many_b = RunStats::from_samples(&many_shifted);
+        assert!(many_a.significantly_differs(&many_b, 3.0));
     }
 
     #[test]

@@ -143,7 +143,7 @@ fn ablation_lbm_barrier(c: &mut Criterion) {
             })
             .collect();
         let net = NetModel::compact(&cluster, n);
-        Engine::new(SimConfig { trace: false }, net, repeated)
+        Engine::new(SimConfig::default(), net, repeated)
             .run()
             .unwrap()
             .makespan

@@ -31,9 +31,7 @@ fn engine_throughput(c: &mut Criterion) {
     c.bench_function("engine_ring_allreduce_256r", |b| {
         b.iter(|| {
             let net = NetModel::compact(&cluster, n);
-            Engine::new(SimConfig { trace: false }, net, mk())
-                .run()
-                .unwrap()
+            Engine::new(SimConfig::default(), net, mk()).run().unwrap()
         })
     });
 }

@@ -34,7 +34,8 @@ pub fn parse_class(s: &str) -> Result<WorkloadClass, String> {
 }
 
 /// Execution-layer options shared by the simulating commands: worker
-/// count and run-cache policy (see `spechpc_harness::exec`).
+/// count, run-cache policy and metrics reporting (see
+/// `spechpc_harness::exec`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecOpts {
     /// `--jobs N`: worker threads (`None` = one per host core).
@@ -42,6 +43,9 @@ pub struct ExecOpts {
     /// `--no-cache`: re-simulate everything, and do not touch
     /// `results/cache/`.
     pub no_cache: bool,
+    /// `--metrics`: print executor/cache counters after the command and
+    /// write them as CSV under `results/metrics/`.
+    pub metrics: bool,
 }
 
 /// The parsed command.
@@ -57,6 +61,13 @@ pub enum Command {
         exec: ExecOpts,
     },
     Suite {
+        cluster: ClusterChoice,
+        class: WorkloadClass,
+        nranks: Option<usize>,
+        exec: ExecOpts,
+    },
+    Profile {
+        benchmark: String,
         cluster: ClusterChoice,
         class: WorkloadClass,
         nranks: Option<usize>,
@@ -92,6 +103,10 @@ COMMANDS:
         --trace FILE.csv         write the ITAC-style trace as CSV
     suite                        run the whole suite
         --cluster a|b  --class C  -n N
+    profile <benchmark>          Fig.-2-style MPI time breakdown (per-rank
+                                 phases, message histograms, comm matrix)
+                                 without tracing; CSV under results/profile/
+        --cluster a|b  --class C  -n N
     score                        SPEC-style score of ClusterB vs ClusterA
         --class C                                           [default: tiny]
     figures <fig1|fig2|fig3|fig4|fig5|fig6|tables|all>
@@ -100,9 +115,11 @@ COMMANDS:
         --cluster a|b
     help                         show this message
 
-EXECUTION (run/suite/score/figures):
+EXECUTION (run/suite/score/figures/profile):
     --jobs N                     worker threads             [default: all cores]
     --no-cache                   re-simulate; skip results/cache/
+    --metrics                    report executor/cache counters; CSV under
+                                 results/metrics/
 ";
 
 /// Parse the argument vector (without `argv[0]`).
@@ -114,7 +131,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     // Collect options (--key value / -n value), valueless flags, and
     // positionals.
-    const FLAGS: [&str; 1] = ["no-cache"];
+    const FLAGS: [&str; 2] = ["no-cache", "metrics"];
     let mut positional = Vec::new();
     let mut options = std::collections::BTreeMap::new();
     let mut flags = std::collections::BTreeSet::new();
@@ -161,6 +178,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             None => None,
         },
         no_cache: flags.contains("no-cache"),
+        metrics: flags.contains("metrics"),
     };
 
     match cmd.as_str() {
@@ -185,6 +203,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             nranks,
             exec,
         }),
+        "profile" => {
+            let benchmark = positional
+                .first()
+                .ok_or("profile: which benchmark? (try `spechpc list`)")?
+                .clone();
+            Ok(Command::Profile {
+                benchmark,
+                cluster,
+                class,
+                nranks,
+                exec,
+            })
+        }
         "score" => Ok(Command::Score { class, exec }),
         "figures" => Ok(Command::Figures {
             which: positional.first().cloned().unwrap_or_else(|| "all".into()),
@@ -223,6 +254,7 @@ mod tests {
             "--jobs",
             "4",
             "--no-cache",
+            "--metrics",
         ]))
         .unwrap();
         assert_eq!(
@@ -236,9 +268,26 @@ mod tests {
                 exec: ExecOpts {
                     jobs: Some(4),
                     no_cache: true,
+                    metrics: true,
                 },
             }
         );
+    }
+
+    #[test]
+    fn parses_profile() {
+        let c = parse(&v(&["profile", "minisweep", "--cluster", "b", "-n", "59"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                benchmark: "minisweep".into(),
+                cluster: ClusterChoice::B,
+                class: WorkloadClass::Tiny,
+                nranks: Some(59),
+                exec: ExecOpts::default(),
+            }
+        );
+        assert!(parse(&v(&["profile"])).is_err());
     }
 
     #[test]
@@ -269,6 +318,7 @@ mod tests {
                 exec: ExecOpts {
                     jobs: Some(16),
                     no_cache: false,
+                    metrics: false,
                 },
                 ..
             }
@@ -320,6 +370,7 @@ mod tests {
                 exec: ExecOpts {
                     jobs: None,
                     no_cache: true,
+                    metrics: false,
                 },
             }
         );

@@ -12,6 +12,7 @@ mod args;
 
 use args::{ClusterChoice, Command, ExecOpts, USAGE};
 use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
+use spechpc::harness::obs;
 use spechpc::power::dvfs;
 use spechpc::prelude::*;
 
@@ -33,6 +34,23 @@ fn executor_of(config: RunConfig, opts: ExecOpts) -> Executor {
             no_cache: opts.no_cache,
         },
     )
+}
+
+/// With `--metrics`: print the executor/cache counters and write them
+/// as `results/metrics/<stem>.csv`.
+fn maybe_metrics(executor: &Executor, stem: &str, opts: ExecOpts) -> Result<(), String> {
+    if !opts.metrics {
+        return Ok(());
+    }
+    let m = executor.metrics();
+    println!(
+        "{}",
+        obs::metrics_table("executor/cache metrics", &m).render()
+    );
+    let path = obs::write_metrics_csv(std::path::Path::new("results/metrics"), stem, &m)
+        .map_err(|e| format!("writing metrics CSV: {e}"))?;
+    println!("metrics: written to {}", path.display());
+    Ok(())
 }
 
 fn main() {
@@ -150,6 +168,11 @@ fn run(cmd: Command) -> Result<(), String> {
                 std::fs::write(&path, csv).map_err(|e| format!("writing {path}: {e}"))?;
                 println!("  trace          written to {path}");
             }
+            maybe_metrics(
+                &executor,
+                &format!("run_{benchmark}_{class}_{}_{n}", cl.name),
+                exec,
+            )?;
             Ok(())
         }
         Command::Suite {
@@ -170,6 +193,50 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             let report = suite.run_with(&executor, &cl).map_err(|e| e.to_string())?;
             println!("{}", report.render());
+            maybe_metrics(&executor, &format!("suite_{class}_{}", cl.name), exec)?;
+            Ok(())
+        }
+        Command::Profile {
+            benchmark,
+            cluster,
+            class,
+            nranks,
+            exec,
+        } => {
+            let cl = cluster_of(cluster);
+            benchmark_by_name(&benchmark)
+                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
+            let n = nranks.unwrap_or_else(|| cl.node.cores());
+            // The profile is computed incrementally by the engine, so no
+            // tracing is needed: this goes through (and warms) the cache.
+            let executor = executor_of(RunConfig::default(), exec);
+            let spec = RunSpec::new(benchmark.as_str(), class, n);
+            let r = executor.run_one(&cl, &spec).map_err(|e| e.to_string())?;
+            let title = format!(
+                "{benchmark} {class} on {} with {n} ranks — per-rank MPI phase split [s]",
+                cl.name
+            );
+            println!("{}", obs::profile_rank_table(&title, &r.profile).render());
+            println!(
+                "{}",
+                obs::profile_histogram_table(
+                    "message-size histogram (per protocol regime)",
+                    &r.profile
+                )
+                .render()
+            );
+            println!(
+                "{}",
+                obs::profile_matrix_table("heaviest rank→rank traffic", &r.profile, 16).render()
+            );
+            let stem = format!("{benchmark}_{class}_{}_{n}", cl.name);
+            let written =
+                obs::write_profile_csvs(std::path::Path::new("results/profile"), &stem, &r.profile)
+                    .map_err(|e| format!("writing profile CSVs: {e}"))?;
+            for p in &written {
+                println!("profile: written to {}", p.display());
+            }
+            maybe_metrics(&executor, &format!("profile_{stem}"), exec)?;
             Ok(())
         }
         Command::Score { class, exec } => {
@@ -194,6 +261,7 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("SPEC-style {class} score (reference = ClusterA full node):");
             println!("  ClusterA: {:.3}", ra.spec_score(&ra).unwrap_or(0.0));
             println!("  ClusterB: {:.3}", rb.spec_score(&ra).unwrap_or(0.0));
+            maybe_metrics(&executor, &format!("score_{class}"), exec)?;
             Ok(())
         }
         Command::Figures { which, exec } => figures(&which, exec),
@@ -336,5 +404,6 @@ fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
             "unknown figure '{which}' (use tables|fig1|fig2|fig3|fig4|fig5|fig6|all)"
         ));
     }
+    maybe_metrics(&executor, &format!("figures_{which}"), exec)?;
     Ok(())
 }

@@ -20,18 +20,23 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use spechpc_analysis::counters::CounterSample;
 use spechpc_power::energy::EnergyBreakdown;
 use spechpc_power::rapl::JobPower;
+use spechpc_simmpi::profile::{Profile, RankPhases, SizeBucket};
 use spechpc_simmpi::trace::{Breakdown, EventKind, Timeline};
 
 use crate::runner::{RunConfig, RunResult};
 
 /// Bump whenever the on-disk layout or the simulation semantics change;
 /// entries with a different schema are ignored.
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: entries carry the observability [`Profile`] of the measured
+/// region (per-rank phases, regime histograms, communication matrix).
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
 
 /// Everything that determines a run's outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -97,6 +102,56 @@ impl RunKey {
     }
 }
 
+/// Counters describing how a [`RunCache`] behaved — the LIKWID-counter
+/// analog for the execution layer. Snapshot via [`RunCache::metrics`].
+///
+/// Every lookup increments exactly one of `hits_mem`, `hits_disk`,
+/// `misses` or `corrupt`; lookups that previously vanished into
+/// `.ok()?` now show up as `corrupt` entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups served from the in-memory map.
+    pub hits_mem: u64,
+    /// Lookups served by decoding an on-disk entry.
+    pub hits_disk: u64,
+    /// Lookups that found no entry (no directory, or no file).
+    pub misses: u64,
+    /// Lookups that found a file but could not use it: unreadable,
+    /// unparsable, wrong schema version, or a canonical-key mismatch
+    /// (hash collision / stale layout).
+    pub corrupt: u64,
+    /// Results stored (both fresh runs and disk-hit promotions write to
+    /// the in-memory map; only fresh runs count here).
+    pub stores: u64,
+}
+
+impl CacheMetrics {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits_mem + self.hits_disk + self.misses + self.corrupt
+    }
+
+    /// Hit fraction over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            (self.hits_mem + self.hits_disk) as f64 / n as f64
+        }
+    }
+}
+
+/// Lock-free counter cell backing [`CacheMetrics`].
+#[derive(Default)]
+struct MetricCells {
+    hits_mem: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stores: AtomicU64,
+}
+
 /// Memoized store of [`RunResult`]s, shared across executor workers.
 ///
 /// Lookups hit the in-memory map first, then (when a directory is
@@ -104,6 +159,7 @@ impl RunKey {
 pub struct RunCache {
     mem: Mutex<HashMap<String, RunResult>>,
     dir: Option<PathBuf>,
+    metrics: MetricCells,
 }
 
 impl RunCache {
@@ -112,6 +168,7 @@ impl RunCache {
         RunCache {
             mem: Mutex::new(HashMap::new()),
             dir: None,
+            metrics: MetricCells::default(),
         }
     }
 
@@ -120,6 +177,7 @@ impl RunCache {
         RunCache {
             mem: Mutex::new(HashMap::new()),
             dir: Some(dir.into()),
+            metrics: MetricCells::default(),
         }
     }
 
@@ -143,11 +201,27 @@ impl RunCache {
             .expect("cache lock poisoned")
             .get(&canonical)
         {
+            self.metrics.hits_mem.fetch_add(1, Ordering::Relaxed);
             return Some(hit.clone());
         }
-        let path = self.path_of(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let result = decode_entry(&text, &canonical)?;
+        let Some(path) = self.path_of(key) else {
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if !path.exists() {
+            self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // From here on the entry exists: any failure is a corrupt (or
+        // stale) entry, counted rather than silently swallowed.
+        let decoded = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| decode_entry(&text, &canonical));
+        let Some(result) = decoded else {
+            self.metrics.corrupt.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.metrics.hits_disk.fetch_add(1, Ordering::Relaxed);
         self.mem
             .lock()
             .expect("cache lock poisoned")
@@ -159,6 +233,7 @@ impl RunCache {
     /// configured. I/O failures are swallowed: the cache is an
     /// accelerator, never a correctness dependency.
     pub fn put(&self, key: &RunKey, result: &RunResult) {
+        self.metrics.stores.fetch_add(1, Ordering::Relaxed);
         let canonical = key.canonical();
         self.mem
             .lock()
@@ -175,6 +250,17 @@ impl RunCache {
     /// Number of entries resident in memory (test/diagnostic hook).
     pub fn len_in_memory(&self) -> usize {
         self.mem.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Snapshot of the behaviour counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits_mem: self.metrics.hits_mem.load(Ordering::Relaxed),
+            hits_disk: self.metrics.hits_disk.load(Ordering::Relaxed),
+            misses: self.metrics.misses.load(Ordering::Relaxed),
+            corrupt: self.metrics.corrupt.load(Ordering::Relaxed),
+            stores: self.metrics.stores.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -260,6 +346,7 @@ pub fn encode_entry(canonical_key: &str, r: &RunResult) -> String {
         s.push_str(&format!("[{}, {}]", jstr(&kind.to_string()), jf(*secs)));
     }
     s.push_str("] },\n");
+    s.push_str(&encode_profile(&r.profile));
     s.push_str(&format!(
         "    \"power\": {{ \"package_w\": {}, \"dram_w\": {} }},\n",
         jf(r.power.package_w),
@@ -272,6 +359,65 @@ pub fn encode_entry(canonical_key: &str, r: &RunResult) -> String {
         jf(r.energy.runtime_s),
     ));
     s.push_str("  }\n}\n");
+    s
+}
+
+/// Serialize the observability profile: dense per-rank phase rows,
+/// sparse (non-zero only) histogram and matrix entries.
+fn encode_profile(p: &Profile) -> String {
+    let mut s = String::with_capacity(256);
+    s.push_str(&format!(
+        "    \"profile\": {{ \"nranks\": {}, \"per_rank\": [",
+        p.nranks
+    ));
+    for (i, r) in p.per_rank.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "[{}, {}, {}, {}, {}]",
+            jf(r.compute_s),
+            jf(r.eager_send_s),
+            jf(r.rendezvous_stall_s),
+            jf(r.recv_wait_s),
+            jf(r.collective_wait_s),
+        ));
+    }
+    s.push_str("], ");
+    for (name, hist) in [
+        ("eager_hist", &p.eager_hist),
+        ("rendezvous_hist", &p.rendezvous_hist),
+    ] {
+        s.push_str(&format!("\"{name}\": ["));
+        let mut first = true;
+        for (bucket, b) in hist.iter().enumerate() {
+            if b.count == 0 && b.bytes == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("[{}, {}, {}]", bucket, b.count, b.bytes));
+        }
+        s.push_str("], ");
+    }
+    s.push_str("\"comm_matrix\": [");
+    let mut first = true;
+    for from in 0..p.nranks {
+        for to in 0..p.nranks {
+            let bytes = p.comm_matrix[from * p.nranks + to];
+            if bytes == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("[{from}, {to}, {bytes}]"));
+        }
+    }
+    s.push_str("] },\n");
     s
 }
 
@@ -490,6 +636,68 @@ fn event_kind_from_name(name: &str) -> Option<EventKind> {
     EventKind::ALL.into_iter().find(|k| k.to_string() == name)
 }
 
+/// Inverse of [`encode_profile`]. A `nranks` of zero reconstructs the
+/// disabled-profile [`Profile::default`]; anything else rebuilds the
+/// dense structure exactly.
+fn decode_profile(v: &Json) -> Option<Profile> {
+    let nranks = v.usize_of("nranks")?;
+    if nranks == 0 {
+        return Some(Profile::default());
+    }
+    let mut p = Profile::new(nranks);
+    let Json::Arr(rows) = v.get("per_rank")? else {
+        return None;
+    };
+    if rows.len() != nranks {
+        return None;
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let Json::Arr(cols) = row else { return None };
+        if cols.len() != 5 {
+            return None;
+        }
+        p.per_rank[i] = RankPhases {
+            compute_s: cols[0].num()?,
+            eager_send_s: cols[1].num()?,
+            rendezvous_stall_s: cols[2].num()?,
+            recv_wait_s: cols[3].num()?,
+            collective_wait_s: cols[4].num()?,
+        };
+    }
+    for (name, hist) in [
+        ("eager_hist", &mut p.eager_hist),
+        ("rendezvous_hist", &mut p.rendezvous_hist),
+    ] {
+        let Json::Arr(rows) = v.get(name)? else {
+            return None;
+        };
+        for row in rows {
+            let Json::Arr(cols) = row else { return None };
+            let bucket = cols.first()?.num()? as usize;
+            if bucket >= hist.len() {
+                return None;
+            }
+            hist[bucket] = SizeBucket {
+                count: cols.get(1)?.num()? as u64,
+                bytes: cols.get(2)?.num()? as u64,
+            };
+        }
+    }
+    let Json::Arr(rows) = v.get("comm_matrix")? else {
+        return None;
+    };
+    for row in rows {
+        let Json::Arr(cols) = row else { return None };
+        let from = cols.first()?.num()? as usize;
+        let to = cols.get(1)?.num()? as usize;
+        if from >= nranks || to >= nranks {
+            return None;
+        }
+        p.comm_matrix[from * nranks + to] = cols.get(2)?.num()? as u64;
+    }
+    Some(p)
+}
+
 /// Decode one cache entry, verifying schema and the embedded canonical
 /// key (which guards against both hash collisions and stale layouts).
 pub fn decode_entry(text: &str, expected_key: &str) -> Option<RunResult> {
@@ -526,6 +734,7 @@ pub fn decode_entry(text: &str, expected_key: &str) -> Option<RunResult> {
         breakdown.seconds.insert(kind, kv.get(1)?.num()?);
     }
 
+    let profile = decode_profile(r.get("profile")?)?;
     let p = r.get("power")?;
     let e = r.get("energy")?;
     let nranks = r.usize_of("nranks")?;
@@ -553,12 +762,26 @@ pub fn decode_entry(text: &str, expected_key: &str) -> Option<RunResult> {
         // Cached runs are always untraced: an empty timeline sized
         // like the one the untraced simulation produced.
         timeline: Timeline::new(nranks),
+        profile,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_profile() -> Profile {
+        use spechpc_simmpi::profile::{bucket_of, Regime};
+        let mut p = Profile::new(3);
+        p.record_phase(0, spechpc_simmpi::profile::Phase::Compute, 0.1 + 0.2);
+        p.record_phase(1, spechpc_simmpi::profile::Phase::RecvWait, 1e-17);
+        p.record_phase(2, spechpc_simmpi::profile::Phase::RendezvousStall, 3.25);
+        p.record_message(0, 1, 8, Regime::Eager);
+        p.record_message(1, 2, 1 << 20, Regime::Rendezvous);
+        p.record_message(2, 2, 0, Regime::Eager);
+        assert!(p.eager_hist[bucket_of(8)].count > 0);
+        p
+    }
 
     fn sample_result() -> RunResult {
         let mut breakdown = Breakdown::default();
@@ -594,6 +817,7 @@ mod tests {
                 runtime_s: 1234.5678901234567,
             },
             timeline: Timeline::default(),
+            profile: sample_profile(),
         }
     }
 
@@ -612,12 +836,13 @@ mod tests {
             && a.power == b.power
             && a.energy.cpu_j.to_bits() == b.energy.cpu_j.to_bits()
             && a.energy.dram_j.to_bits() == b.energy.dram_j.to_bits()
+            && a.profile == b.profile
     }
 
     #[test]
     fn json_round_trip_is_bit_exact() {
         let r = sample_result();
-        let key = "v1|minisweep|ClusterA|tiny|n=59|w=2|m=3|r=3";
+        let key = "v2|minisweep|ClusterA|tiny|n=59|w=2|m=3|r=3";
         let text = encode_entry(key, &r);
         let back = decode_entry(&text, key).expect("decodes");
         assert!(results_equal(&r, &back));
@@ -641,7 +866,7 @@ mod tests {
     fn key_canonical_and_hash_are_stable() {
         let cfg = RunConfig::default();
         let key = RunKey::new("ClusterA", "tealeaf", "tiny", 72, &cfg);
-        assert_eq!(key.canonical(), "v1|tealeaf|ClusterA|tiny|n=72|w=2|m=3|r=3");
+        assert_eq!(key.canonical(), "v2|tealeaf|ClusterA|tiny|n=72|w=2|m=3|r=3");
         // Pin the hash: silently changing it would orphan every
         // existing cache entry.
         assert_eq!(key.hash_hex(), key.hash_hex());
@@ -713,5 +938,66 @@ mod tests {
         let hit = cache.get(&key).expect("hit");
         assert!(results_equal(&r, &hit));
         assert_eq!(cache.len_in_memory(), 1);
+    }
+
+    #[test]
+    fn disabled_profile_round_trips() {
+        let mut r = sample_result();
+        r.profile = Profile::default();
+        let key = "k";
+        let back = decode_entry(&encode_entry(key, &r), key).unwrap();
+        assert_eq!(back.profile, Profile::default());
+        assert!(!back.profile.is_enabled());
+    }
+
+    #[test]
+    fn metrics_classify_every_lookup() {
+        let cache = RunCache::in_memory();
+        let cfg = RunConfig::default();
+        let key = RunKey::new("ClusterA", "lbm", "tiny", 8, &cfg);
+        assert!(cache.get(&key).is_none()); // miss
+        cache.put(&key, &sample_result()); // store
+        cache.get(&key).unwrap(); // memory hit
+        let m = cache.metrics();
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.hits_mem, 1);
+        assert_eq!(m.hits_disk, 0);
+        assert_eq!(m.corrupt, 0);
+        assert_eq!(m.lookups(), 2);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_counted_not_swallowed() {
+        let dir = std::env::temp_dir().join(format!("spechpc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig::default();
+        let key = RunKey::new("ClusterA", "soma", "tiny", 12, &cfg);
+
+        // First process writes a valid entry…
+        {
+            let cache = RunCache::on_disk(&dir);
+            cache.put(&key, &sample_result());
+        }
+        // …a fresh cache (cold memory) reads it back from disk.
+        {
+            let cache = RunCache::on_disk(&dir);
+            assert!(cache.get(&key).is_some());
+            let m = cache.metrics();
+            assert_eq!(m.hits_disk, 1);
+            assert_eq!(m.corrupt, 0);
+        }
+        // Truncate the file: the entry now exists but cannot decode.
+        let path = dir.join(format!("{}.json", key.hash_hex()));
+        std::fs::write(&path, "{ \"schema\": ").unwrap();
+        {
+            let cache = RunCache::on_disk(&dir);
+            assert!(cache.get(&key).is_none());
+            let m = cache.metrics();
+            assert_eq!(m.corrupt, 1);
+            assert_eq!(m.misses, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,8 +18,9 @@
 //! Traced runs ([`Executor::run_traced`]) bypass the cache: timelines
 //! are large and only the Fig. 2 insets and CSV export want them.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use spechpc_kernels::common::benchmark::Benchmark;
 use spechpc_kernels::common::config::WorkloadClass;
@@ -27,7 +28,7 @@ use spechpc_kernels::registry::benchmark_by_name;
 use spechpc_machine::cluster::ClusterSpec;
 use spechpc_simmpi::engine::SimError;
 
-use crate::cache::{RunCache, RunKey};
+use crate::cache::{CacheMetrics, RunCache, RunKey};
 use crate::runner::{RunConfig, RunResult, SimRunner};
 
 /// How the executor schedules and memoizes runs.
@@ -77,11 +78,44 @@ impl RunSpec {
     }
 }
 
+/// Observability snapshot of an [`Executor`] — what actually happened
+/// behind the scenes of an experiment (the execution-layer analog of
+/// the LIKWID counters the paper's §4.2 methodology leans on).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Simulations actually constructed and run (cache hits excluded).
+    pub runs_executed: u64,
+    /// Cache behaviour; all-zero when the executor runs uncached.
+    pub cache: CacheMetrics,
+    /// Grid points completed per worker slot during `run_all`
+    /// (index = worker id; sums over the executor's lifetime).
+    pub per_worker_runs: Vec<u64>,
+    /// Wall-clock seconds per completed grid point, in completion
+    /// order, labelled `benchmark/class/nranks@cluster`.
+    pub point_wall_s: Vec<(String, f64)>,
+}
+
+impl ExecMetrics {
+    /// Total wall seconds across all timed grid points.
+    pub fn total_wall_s(&self) -> f64 {
+        self.point_wall_s.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Interior-mutable counters behind [`ExecMetrics`].
+#[derive(Default)]
+struct ExecCounters {
+    runs_executed: AtomicU64,
+    per_worker: Mutex<Vec<u64>>,
+    point_wall: Mutex<Vec<(String, f64)>>,
+}
+
 /// Parallel, memoizing run executor (see the module docs).
 pub struct Executor {
     runner: SimRunner,
     jobs: usize,
     cache: Option<RunCache>,
+    counters: ExecCounters,
 }
 
 impl Executor {
@@ -98,6 +132,7 @@ impl Executor {
             jobs: exec.effective_jobs(),
             runner: SimRunner::new(run_config),
             cache,
+            counters: ExecCounters::default(),
         }
     }
 
@@ -128,9 +163,32 @@ impl Executor {
         )
     }
 
+    /// `benchmark/class/nranks@cluster` — the label metrics rows carry.
+    fn label_of(cluster: &ClusterSpec, spec: &RunSpec) -> String {
+        format!(
+            "{}/{}/{}@{}",
+            spec.benchmark, spec.class, spec.nranks, cluster.name
+        )
+    }
+
     /// Execute one grid point, consulting the cache first. Traced
     /// configurations always re-simulate (timelines are not cached).
     pub fn run_one(&self, cluster: &ClusterSpec, spec: &RunSpec) -> Result<RunResult, SimError> {
+        let t0 = Instant::now();
+        let outcome = self.run_one_untimed(cluster, spec);
+        self.counters
+            .point_wall
+            .lock()
+            .expect("metrics lock poisoned")
+            .push((Self::label_of(cluster, spec), t0.elapsed().as_secs_f64()));
+        outcome
+    }
+
+    fn run_one_untimed(
+        &self,
+        cluster: &ClusterSpec,
+        spec: &RunSpec,
+    ) -> Result<RunResult, SimError> {
         let cacheable = !self.runner.config.trace;
         if cacheable {
             if let Some(cache) = &self.cache {
@@ -141,6 +199,7 @@ impl Executor {
         }
         let bench = resolve(&spec.benchmark);
         let result = self.runner.run(cluster, &*bench, spec.class, spec.nranks)?;
+        self.counters.runs_executed.fetch_add(1, Ordering::Relaxed);
         if cacheable {
             if let Some(cache) = &self.cache {
                 cache.put(&self.key_of(cluster, spec), &result);
@@ -157,7 +216,48 @@ impl Executor {
             ..self.runner.config.clone()
         });
         let bench = resolve(&spec.benchmark);
-        traced.run(cluster, &*bench, spec.class, spec.nranks)
+        let t0 = Instant::now();
+        let outcome = traced.run(cluster, &*bench, spec.class, spec.nranks);
+        self.counters.runs_executed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .point_wall
+            .lock()
+            .expect("metrics lock poisoned")
+            .push((Self::label_of(cluster, spec), t0.elapsed().as_secs_f64()));
+        outcome
+    }
+
+    /// Snapshot of the execution-layer counters accumulated so far.
+    pub fn metrics(&self) -> ExecMetrics {
+        ExecMetrics {
+            runs_executed: self.counters.runs_executed.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|c| c.metrics()).unwrap_or_default(),
+            per_worker_runs: self
+                .counters
+                .per_worker
+                .lock()
+                .expect("metrics lock poisoned")
+                .clone(),
+            point_wall_s: self
+                .counters
+                .point_wall
+                .lock()
+                .expect("metrics lock poisoned")
+                .clone(),
+        }
+    }
+
+    /// Credit one completed grid point to `worker`.
+    fn credit_worker(&self, worker: usize) {
+        let mut per = self
+            .counters
+            .per_worker
+            .lock()
+            .expect("metrics lock poisoned");
+        if per.len() <= worker {
+            per.resize(worker + 1, 0);
+        }
+        per[worker] += 1;
     }
 
     /// Execute a whole grid concurrently across `jobs` workers.
@@ -179,7 +279,14 @@ impl Executor {
         }
         let workers = self.jobs.min(specs.len()).max(1);
         if workers == 1 {
-            return specs.iter().map(|s| self.run_one(cluster, s)).collect();
+            return specs
+                .iter()
+                .map(|s| {
+                    let r = self.run_one(cluster, s);
+                    self.credit_worker(0);
+                    r
+                })
+                .collect();
         }
 
         let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
@@ -188,14 +295,16 @@ impl Executor {
         let failed = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for w in 0..workers {
+                let (slots, cursor, failed) = (&slots, &cursor, &failed);
+                scope.spawn(move || loop {
                     if failed.load(Ordering::Relaxed) {
                         return;
                     }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { return };
                     let outcome = self.run_one(cluster, spec);
+                    self.credit_worker(w);
                     if outcome.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -365,5 +474,45 @@ mod tests {
         let cluster = presets::cluster_a();
         let exec = Executor::serial(quick());
         let _ = exec.run_all(&cluster, &[RunSpec::new("hpl", WorkloadClass::Tiny, 1)]);
+    }
+
+    #[test]
+    fn metrics_track_runs_hits_and_wall_time() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::serial(quick());
+        let spec = RunSpec::new("lbm", WorkloadClass::Tiny, 4);
+        exec.run_one(&cluster, &spec).unwrap();
+        exec.run_one(&cluster, &spec).unwrap(); // memory hit
+        let m = exec.metrics();
+        assert_eq!(m.runs_executed, 1);
+        assert_eq!(m.cache.hits_mem, 1);
+        assert_eq!(m.cache.misses, 1);
+        assert_eq!(m.point_wall_s.len(), 2);
+        assert_eq!(m.point_wall_s[0].0, "lbm/tiny/4@ClusterA");
+        assert!(m.total_wall_s() >= 0.0);
+    }
+
+    #[test]
+    fn metrics_attribute_grid_points_to_workers() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 3,
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        let specs = grid();
+        exec.run_all(&cluster, &specs).unwrap();
+        let m = exec.metrics();
+        assert_eq!(m.runs_executed, specs.len() as u64);
+        assert_eq!(
+            m.per_worker_runs.iter().sum::<u64>(),
+            specs.len() as u64,
+            "every grid point must be credited to exactly one worker"
+        );
+        // Uncached executor: the cache counters stay zero.
+        assert_eq!(m.cache, CacheMetrics::default());
     }
 }

@@ -20,11 +20,12 @@
 pub mod cache;
 pub mod exec;
 pub mod experiments;
+pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod suite;
 
-pub use cache::{RunCache, RunKey};
-pub use exec::{ExecConfig, Executor, RunSpec};
+pub use cache::{CacheMetrics, RunCache, RunKey};
+pub use exec::{ExecConfig, ExecMetrics, Executor, RunSpec};
 pub use runner::{RunConfig, RunResult, SimRunner};
 pub use suite::{Suite, SuiteReport};

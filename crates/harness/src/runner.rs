@@ -10,6 +10,7 @@ use spechpc_power::energy::{energy_to_solution, EnergyBreakdown};
 use spechpc_power::rapl::{JobPower, PowerState, RaplModel};
 use spechpc_simmpi::engine::{Engine, SimConfig, SimError};
 use spechpc_simmpi::netmodel::NetModel;
+use spechpc_simmpi::profile::Profile;
 use spechpc_simmpi::program::Program;
 use spechpc_simmpi::trace::{Breakdown, Timeline};
 
@@ -28,7 +29,9 @@ pub struct RunConfig {
     pub measured_steps: usize,
     /// Repetitions for min/max/avg statistics.
     pub repetitions: usize,
-    /// Record the full event timeline of the measured region.
+    /// Record the full event timeline of the measured region. Off by
+    /// default (timelines dominate memory on large sweeps); the Fig.-2
+    /// inset and CSV-export paths request tracing explicitly.
     pub trace: bool,
 }
 
@@ -38,7 +41,7 @@ impl Default for RunConfig {
             warmup_steps: 2,
             measured_steps: 3,
             repetitions: 3,
-            trace: true,
+            trace: false,
         }
     }
 }
@@ -68,6 +71,10 @@ pub struct RunResult {
     pub energy: EnergyBreakdown,
     /// Timeline of the measured region (empty unless tracing enabled).
     pub timeline: Timeline,
+    /// Observability profile of the measured region (warm-up prefix
+    /// subtracted out) — the Fig.-2 ITAC analog, available without
+    /// tracing.
+    pub profile: Profile,
 }
 
 impl RunResult {
@@ -151,9 +158,14 @@ impl SimRunner {
 
         let sim_cfg = SimConfig {
             trace: self.config.trace,
+            profile: true,
         };
         let net_warm = NetModel::compact(cluster, nranks);
-        let warm_result = Engine::new(SimConfig { trace: false }, net_warm, warm).run()?;
+        let warm_cfg = SimConfig {
+            trace: false,
+            profile: true,
+        };
+        let warm_result = Engine::new(warm_cfg, net_warm, warm).run()?;
         let net_full = NetModel::compact(cluster, nranks);
         let full_result = Engine::new(sim_cfg, net_full, full).run()?;
 
@@ -185,6 +197,9 @@ impl SimRunner {
         // full run is identical (deterministic) to the warm-only run, so
         // its per-kind times subtract out exactly.
         let breakdown = subtract_breakdown(&full_result.breakdown(), &warm_result.breakdown());
+        // Same subtraction for the online profile: isolate the measured
+        // region's phase split, histograms and communication matrix.
+        let profile = full_result.profile.saturating_sub(&warm_result.profile);
 
         // Power: compute-phase utilization from the node model, MPI
         // phases busy-wait at MPI_SPIN_UTILIZATION.
@@ -222,6 +237,7 @@ impl SimRunner {
             power,
             energy,
             timeline: full_result.timeline,
+            profile,
         })
     }
 

@@ -27,19 +27,30 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::netmodel::NetModel;
+use crate::profile::{Phase, Profile, Regime};
 use crate::program::{Op, Program, ReqId};
 use crate::trace::{EventKind, Timeline};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Record a full event timeline (disable for very large sweeps).
+    /// Record a full event timeline. Off by default — timelines hold
+    /// one entry per executed op and dominate memory on large sweeps;
+    /// the Fig. 2 insets and CSV export request tracing explicitly.
     pub trace: bool,
+    /// Accumulate the online [`Profile`] (per-rank phase split,
+    /// message-size histograms, rank×rank communication matrix). Cheap
+    /// (O(ranks²) memory, O(1) per op) and on by default; works
+    /// independently of `trace`.
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { trace: true }
+        SimConfig {
+            trace: false,
+            profile: true,
+        }
     }
 }
 
@@ -109,6 +120,8 @@ pub struct SimResult {
     /// Per-rank time per event kind (indexed by [`EventKind::ALL`]
     /// order), accumulated online — available even without tracing.
     pub per_rank_breakdown: Vec<[f64; EventKind::COUNT]>,
+    /// Online observability profile (empty if profiling was disabled).
+    pub profile: Profile,
 }
 
 impl SimResult {
@@ -149,6 +162,24 @@ type IReq = usize;
 enum ReqState {
     Pending,
     Completed(f64),
+}
+
+/// What an internal request stands for — used to attribute blocked time
+/// to a [`Phase`] in the online profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqClass {
+    EagerSend,
+    RdvSend,
+    Recv,
+}
+
+/// Map the eager-protocol decision onto the profile's [`Regime`].
+fn regime_of(eager: bool) -> Regime {
+    if eager {
+        Regime::Eager
+    } else {
+        Regime::Rendezvous
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -193,6 +224,8 @@ struct RankState {
     done: bool,
     /// Internal request states.
     ireqs: Vec<ReqState>,
+    /// Classification of each internal request, parallel to `ireqs`.
+    ireq_class: Vec<ReqClass>,
     /// User request id → internal request id.
     user_reqs: HashMap<ReqId, IReq>,
     /// Rank-local collective sequence number.
@@ -267,6 +300,7 @@ impl Engine {
                 blocked: None,
                 done: false,
                 ireqs: Vec::new(),
+                ireq_class: Vec::new(),
                 user_reqs: HashMap::new(),
                 coll_seq: 0,
             })
@@ -276,6 +310,12 @@ impl Engine {
         let mut timeline = Timeline::new(nranks);
         // Online per-rank breakdown (kept even when full tracing is off).
         let mut breakdown: Vec<[f64; EventKind::COUNT]> = vec![[0.0; EventKind::COUNT]; nranks];
+        // Online observability profile (also trace-independent).
+        let mut profile = if self.config.profile {
+            Profile::new(nranks)
+        } else {
+            Profile::default()
+        };
         let mut p2p_bytes: u64 = 0;
         let mut internode_bytes: u64 = 0;
 
@@ -288,7 +328,7 @@ impl Engine {
                     // every re-check, which dominates at scale).
                     if ranks[r].blocked.is_some() {
                         // Phase 1: decide.
-                        let decision: Option<(f64, f64, EventKind, bool)> =
+                        let decision: Option<(f64, f64, EventKind, bool, Phase)> =
                             match ranks[r].blocked.as_ref().expect("checked") {
                                 Blocked::Reqs { reqs, kind, start } => {
                                     let mut resume = *start;
@@ -302,15 +342,35 @@ impl Engine {
                                             }
                                         }
                                     }
-                                    all_done.then_some((*start, resume, *kind, false))
+                                    // Attribute the blocked time: a
+                                    // rendezvous send in the set means a
+                                    // hand-shake stall; otherwise an
+                                    // unfinished receive dominates (eager
+                                    // sends complete in `o`).
+                                    let phase = if reqs
+                                        .iter()
+                                        .any(|&q| ranks[r].ireq_class[q] == ReqClass::RdvSend)
+                                    {
+                                        Phase::RendezvousStall
+                                    } else if reqs
+                                        .iter()
+                                        .any(|&q| ranks[r].ireq_class[q] == ReqClass::Recv)
+                                    {
+                                        Phase::RecvWait
+                                    } else {
+                                        Phase::EagerSend
+                                    };
+                                    all_done.then_some((*start, resume, *kind, false, phase))
                                 }
                                 Blocked::Collective { start } => {
                                     let entry = &collectives[ranks[r].coll_seq];
-                                    entry.finish.map(|t| (*start, t, entry.event_kind, true))
+                                    entry.finish.map(|t| {
+                                        (*start, t, entry.event_kind, true, Phase::CollectiveWait)
+                                    })
                                 }
                             };
                         // Phase 2: apply or stay blocked.
-                        let Some((start, resume, kind, is_collective)) = decision else {
+                        let Some((start, resume, kind, is_collective, phase)) = decision else {
                             break;
                         };
                         if self.config.trace {
@@ -318,6 +378,9 @@ impl Engine {
                         }
                         if resume > start {
                             breakdown_add(&mut breakdown, r, kind, resume - start);
+                            if self.config.profile {
+                                profile.record_phase(r, phase, resume - start);
+                            }
                         }
                         ranks[r].clock = resume;
                         ranks[r].blocked = None;
@@ -349,10 +412,14 @@ impl Engine {
                                 timeline.record(r, clock, clock + seconds, EventKind::Compute);
                             }
                             breakdown_add(&mut breakdown, r, EventKind::Compute, seconds);
+                            if self.config.profile {
+                                profile.record_phase(r, Phase::Compute, seconds);
+                            }
                             ranks[r].clock += seconds;
                             ranks[r].pc += 1;
                         }
                         Op::Send { to, tag, bytes } => {
+                            let eager = self.net.is_eager(bytes);
                             let ireq = Self::post_send(
                                 &mut ranks[r],
                                 &mut channels,
@@ -361,9 +428,10 @@ impl Engine {
                                 tag,
                                 bytes,
                                 clock,
+                                eager,
                             );
                             touched[0] = Some((r, to, tag));
-                            if self.net.is_eager(bytes) {
+                            if eager {
                                 // Eager sends complete locally after the
                                 // sender overhead, receiver or not.
                                 ranks[r].ireqs[ireq] =
@@ -374,6 +442,9 @@ impl Engine {
                                 kind: EventKind::Send,
                                 start: clock,
                             });
+                            if self.config.profile {
+                                profile.record_message(r, to, bytes, regime_of(eager));
+                            }
                             p2p_bytes += bytes as u64;
                             if !self.net.pinning().same_node(r, to) {
                                 internode_bytes += bytes as u64;
@@ -395,6 +466,7 @@ impl Engine {
                             from,
                             tag,
                         } => {
+                            let eager = self.net.is_eager(send_bytes);
                             let s = Self::post_send(
                                 &mut ranks[r],
                                 &mut channels,
@@ -403,12 +475,13 @@ impl Engine {
                                 tag,
                                 send_bytes,
                                 clock,
+                                eager,
                             );
                             let v =
                                 Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
                             touched[0] = Some((r, to, tag));
                             touched[1] = Some((from, r, tag));
-                            if self.net.is_eager(send_bytes) {
+                            if eager {
                                 ranks[r].ireqs[s] =
                                     ReqState::Completed(clock + self.net.send_overhead);
                             }
@@ -417,6 +490,9 @@ impl Engine {
                                 kind: EventKind::Sendrecv,
                                 start: clock,
                             });
+                            if self.config.profile {
+                                profile.record_message(r, to, send_bytes, regime_of(eager));
+                            }
                             p2p_bytes += send_bytes as u64;
                             if !self.net.pinning().same_node(r, to) {
                                 internode_bytes += send_bytes as u64;
@@ -428,6 +504,7 @@ impl Engine {
                             bytes,
                             req,
                         } => {
+                            let eager = self.net.is_eager(bytes);
                             let ireq = Self::post_send(
                                 &mut ranks[r],
                                 &mut channels,
@@ -436,14 +513,18 @@ impl Engine {
                                 tag,
                                 bytes,
                                 clock,
+                                eager,
                             );
                             touched[0] = Some((r, to, tag));
-                            if self.net.is_eager(bytes) {
+                            if eager {
                                 ranks[r].ireqs[ireq] =
                                     ReqState::Completed(clock + self.net.send_overhead);
                             }
                             ranks[r].user_reqs.insert(req, ireq);
                             ranks[r].pc += 1;
+                            if self.config.profile {
+                                profile.record_message(r, to, bytes, regime_of(eager));
+                            }
                             p2p_bytes += bytes as u64;
                             if !self.net.pinning().same_node(r, to) {
                                 internode_bytes += bytes as u64;
@@ -535,9 +616,11 @@ impl Engine {
             p2p_bytes,
             internode_bytes,
             per_rank_breakdown: breakdown,
+            profile,
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn post_send(
         rank: &mut RankState,
         channels: &mut HashMap<(usize, usize, u32), Channel>,
@@ -546,9 +629,15 @@ impl Engine {
         tag: u32,
         bytes: usize,
         time: f64,
+        eager: bool,
     ) -> IReq {
         let ireq = rank.ireqs.len();
         rank.ireqs.push(ReqState::Pending);
+        rank.ireq_class.push(if eager {
+            ReqClass::EagerSend
+        } else {
+            ReqClass::RdvSend
+        });
         channels
             .entry((from, to, tag))
             .or_default()
@@ -572,6 +661,7 @@ impl Engine {
     ) -> IReq {
         let ireq = rank.ireqs.len();
         rank.ireqs.push(ReqState::Pending);
+        rank.ireq_class.push(ReqClass::Recv);
         channels
             .entry((from, to, tag))
             .or_default()
@@ -902,7 +992,14 @@ mod tests {
         let mut p1 = Program::new();
         p1.push(Op::recv(0, 0));
         p1.push(Op::compute(0.1));
-        let r = run(vec![p0, p1]);
+        let progs = vec![p0, p1];
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, progs.len());
+        let cfg = SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        };
+        let r = Engine::new(cfg, net, progs).run().unwrap();
         let b = r.timeline.rank_breakdown(1);
         assert_eq!(b.dominant_mpi(), Some(EventKind::Recv));
         assert!(b.fraction(EventKind::Recv) > 0.9);
@@ -955,7 +1052,7 @@ mod tests {
         let a = run(mk());
         let b = run(mk());
         assert_eq!(a.finish_times, b.finish_times);
-        assert_eq!(a.timeline.events.len(), b.timeline.events.len());
+        assert_eq!(a.profile, b.profile);
     }
 
     #[test]
@@ -969,5 +1066,195 @@ mod tests {
         p1.push(Op::recv(0, 7));
         let r = run(vec![p0, p1]);
         assert!(r.makespan > 0.0);
+    }
+
+    // ---------------------------------------------------------------
+    // Online profile (the Fig.-2 / ITAC analog)
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn profile_populated_without_tracing() {
+        // Default config: trace off, profile on.
+        let mut p0 = Program::new();
+        p0.push(Op::compute(10.0));
+        p0.push(Op::send(1, 0, 8));
+        let mut p1 = Program::new();
+        p1.push(Op::recv(0, 0));
+        let r = run(vec![p0, p1]);
+        assert!(r.timeline.events.is_empty(), "tracing must default off");
+        let prof = &r.profile;
+        assert!(prof.is_enabled());
+        // Rank 0: 10 s compute plus the eager send overhead.
+        assert!((prof.per_rank[0].compute_s - 10.0).abs() < 1e-12);
+        // Rank 1 waited ~10 s for the late message.
+        assert!(prof.per_rank[1].recv_wait_s > 9.0);
+        assert!(prof.per_rank[1].comm_fraction() > 0.9);
+        // The 8-byte message is in the eager histogram and the matrix.
+        let eager = prof.regime_totals(Regime::Eager);
+        let rdv = prof.regime_totals(Regime::Rendezvous);
+        assert_eq!(eager.count, 1);
+        assert_eq!(eager.bytes, 8);
+        assert_eq!(rdv.count, 0);
+        assert_eq!(prof.bytes_between(0, 1), 8);
+        assert_eq!(prof.bytes_between(1, 0), 0);
+    }
+
+    #[test]
+    fn profile_disabled_yields_empty() {
+        let mut p0 = Program::new();
+        p0.push(Op::compute(1.0));
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, 1);
+        let cfg = SimConfig {
+            trace: false,
+            profile: false,
+        };
+        let r = Engine::new(cfg, net, vec![p0]).run().unwrap();
+        assert!(!r.profile.is_enabled());
+        assert_eq!(r.profile, Profile::default());
+    }
+
+    #[test]
+    fn profile_distinguishes_rendezvous_stall_from_recv_wait() {
+        // Rank 0 posts a 1 MiB rendezvous send immediately; rank 1 only
+        // posts the receive after 5 s of compute. The sender's blocked
+        // time is a rendezvous stall, not a receive wait.
+        let mut p0 = Program::new();
+        p0.push(Op::send(1, 0, 1 << 20));
+        let mut p1 = Program::new();
+        p1.push(Op::compute(5.0));
+        p1.push(Op::recv(0, 0));
+        let r = run(vec![p0, p1]);
+        let prof = &r.profile;
+        assert!(prof.per_rank[0].rendezvous_stall_s > 4.0);
+        assert_eq!(prof.per_rank[0].recv_wait_s, 0.0);
+        assert_eq!(prof.per_rank[1].rendezvous_stall_s, 0.0);
+        let eager = prof.regime_totals(Regime::Eager);
+        let rdv = prof.regime_totals(Regime::Rendezvous);
+        assert_eq!(eager.count, 0);
+        assert_eq!(rdv.count, 1);
+        assert_eq!(rdv.bytes, 1 << 20);
+    }
+
+    #[test]
+    fn profile_attributes_collective_wait() {
+        // Rank 0 arrives 3 s late at the barrier; rank 1's wait shows up
+        // as collective time.
+        let mut p0 = Program::new();
+        p0.push(Op::compute(3.0));
+        p0.push(Op::Barrier);
+        let mut p1 = Program::new();
+        p1.push(Op::Barrier);
+        let r = run(vec![p0, p1]);
+        assert!(r.profile.per_rank[1].collective_wait_s > 2.9);
+        assert!(r.profile.per_rank[0].collective_wait_s < 0.5);
+    }
+
+    #[test]
+    fn profile_agrees_with_trace_breakdown() {
+        // The online recv-wait total must match what the full timeline
+        // reports for the same run.
+        let mut p0 = Program::new();
+        p0.push(Op::compute(2.0));
+        p0.push(Op::send(1, 0, 64));
+        let mut p1 = Program::new();
+        p1.push(Op::recv(0, 0));
+        let progs = vec![p0, p1];
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, progs.len());
+        let cfg = SimConfig {
+            trace: true,
+            profile: true,
+        };
+        let r = Engine::new(cfg, net, progs).run().unwrap();
+        let traced = r
+            .timeline
+            .rank_breakdown(1)
+            .seconds
+            .get(&EventKind::Recv)
+            .copied()
+            .unwrap_or(0.0);
+        assert!((r.profile.per_rank[1].recv_wait_s - traced).abs() < 1e-12);
+    }
+
+    // ---------------------------------------------------------------
+    // Edge cases: zero-byte messages, self-sends, odd rank counts
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn zero_byte_messages_deliver_and_profile() {
+        let mut p0 = Program::new();
+        p0.push(Op::send(1, 0, 0));
+        let mut p1 = Program::new();
+        p1.push(Op::recv(0, 0));
+        let r = run(vec![p0, p1]);
+        assert!(r.makespan > 0.0, "latency still applies to empty payloads");
+        let eager = r.profile.regime_totals(Regime::Eager);
+        assert_eq!(eager.count, 1);
+        assert_eq!(eager.bytes, 0);
+        assert_eq!(r.profile.bytes_between(0, 1), 0);
+        assert_eq!(r.p2p_bytes, 0);
+    }
+
+    #[test]
+    fn eager_self_send_completes() {
+        // MPI allows a rank to message itself; with an eager-sized
+        // payload the blocking send completes locally and the receive
+        // matches the queued message.
+        let mut p0 = Program::new();
+        p0.push(Op::send(0, 3, 128));
+        p0.push(Op::recv(0, 3));
+        p0.push(Op::compute(0.5));
+        let r = run(vec![p0]);
+        assert!(r.makespan >= 0.5);
+        assert_eq!(r.profile.bytes_between(0, 0), 128);
+        assert_eq!(r.internode_bytes, 0);
+    }
+
+    #[test]
+    fn rendezvous_self_send_via_irecv() {
+        // A rendezvous-sized self-send needs the receive pre-posted
+        // (exactly like real MPI): irecv + send + wait.
+        let mut p0 = Program::new();
+        p0.push(Op::irecv(0, 0, 1));
+        p0.push(Op::send(0, 0, 1 << 20));
+        p0.push(Op::wait(1));
+        let r = run(vec![p0]);
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.profile.bytes_between(0, 0), 1 << 20);
+    }
+
+    #[test]
+    fn collectives_at_non_power_of_two_ranks() {
+        // p = 3, 6, 100: every collective must synchronize and finish.
+        for &p in &[3usize, 6, 100] {
+            let progs: Vec<Program> = (0..p)
+                .map(|r| {
+                    let mut prog = Program::new();
+                    prog.push(Op::compute(0.001 * (r + 1) as f64));
+                    prog.push(Op::Barrier);
+                    prog.push(Op::allreduce(4096));
+                    prog.push(Op::bcast(0, 1 << 16));
+                    prog.push(Op::reduce(p - 1, 1 << 16));
+                    prog.push(Op::allgather(512));
+                    prog.push(Op::alltoall(256));
+                    prog
+                })
+                .collect();
+            let cluster = presets::cluster_a();
+            let net = NetModel::compact(&cluster, p);
+            let r = Engine::new(SimConfig::default(), net, progs)
+                .run()
+                .unwrap_or_else(|e| panic!("p={p}: {e:?}"));
+            assert!(r.makespan.is_finite() && r.makespan > 0.0, "p={p}");
+            // Everyone but the slowest entrant logged collective wait.
+            let waits = r
+                .profile
+                .per_rank
+                .iter()
+                .filter(|ph| ph.collective_wait_s > 0.0)
+                .count();
+            assert!(waits >= p - 1, "p={p}: waits={waits}");
+        }
     }
 }

@@ -19,6 +19,9 @@
 //!   detection,
 //! * [`trace`] — per-rank timelines (the ITAC analog) with breakdowns and
 //!   an ASCII timeline renderer used for the paper's Fig. 2 insets,
+//! * [`profile`] — an *online* observability profile (per-rank phase split,
+//!   protocol/size histograms, rank×rank communication matrix) computed
+//!   incrementally by the engine even with `trace: false`,
 //! * [`comm`] / [`threadcomm`] — a real, in-process message-passing layer
 //!   with the same interface, used to execute the mini-kernels natively on
 //!   host threads (data actually moves; collectives actually reduce).
@@ -51,6 +54,7 @@ pub mod comm;
 pub mod engine;
 pub mod export;
 pub mod netmodel;
+pub mod profile;
 pub mod program;
 pub mod threadcomm;
 pub mod trace;
@@ -58,5 +62,6 @@ pub mod trace;
 pub use comm::Comm;
 pub use engine::{Engine, SimConfig, SimError, SimResult};
 pub use netmodel::NetModel;
+pub use profile::{Phase, Profile, RankPhases, Regime, SizeBucket};
 pub use program::{Op, Program, ReqId, Tag};
 pub use trace::{EventKind, Timeline, TraceEvent};

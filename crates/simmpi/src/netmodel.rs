@@ -125,9 +125,26 @@ impl NetModel {
         }
     }
 
-    /// Reduce-to-root cost: same algorithms as broadcast, reversed.
+    /// Reduce-to-root cost: binomial tree, `⌈log2 p⌉ · (L + n·G)`, for
+    /// small buffers; Rabenseifner reduce-scatter + binomial gather,
+    /// `2·log2(p)·L + 2·(p−1)/p·n·G`, for large ones.
+    ///
+    /// Unlike broadcast's scatter + allgather (which pays `log2(p)·L`),
+    /// Rabenseifner reduce traverses the tree twice, so the latency
+    /// term is `2·log2(p)·L` — the same as allreduce's, while moving
+    /// the same `2·(p−1)/p·n` bytes as broadcast.
     pub fn reduce_cost(&self, p: usize, bytes: usize) -> f64 {
-        self.bcast_cost(p, bytes)
+        if p <= 1 {
+            return 0.0;
+        }
+        let l = self.collective_latency();
+        let g = self.collective_byte_time();
+        let rounds = (p as f64).log2().ceil();
+        if self.is_eager(bytes) {
+            rounds * (l + bytes as f64 * g)
+        } else {
+            2.0 * rounds * l + 2.0 * (p as f64 - 1.0) / p as f64 * bytes as f64 * g
+        }
     }
 
     /// All-gather cost: ring algorithm, `(p−1) · (L + n·G)` with `n`
@@ -219,7 +236,38 @@ mod tests {
         let m = model(64);
         let n = 4 << 20;
         assert!(m.bcast_cost(64, n) < m.allreduce_cost(64, n));
-        assert!(m.reduce_cost(64, n) <= m.bcast_cost(64, n) + 1e-12);
+    }
+
+    #[test]
+    fn large_message_collective_ordering_bcast_reduce_allreduce() {
+        // Large buffers: broadcast (scatter + allgather) pays log2(p)·L,
+        // Rabenseifner reduce pays 2·log2(p)·L — strictly more — and
+        // allreduce is never cheaper than reduce. All three move the
+        // same 2·(p−1)/p·n bytes.
+        for p in [3usize, 6, 64, 100] {
+            let m = model(p.max(64));
+            let n = 4 << 20;
+            let bcast = m.bcast_cost(p, n);
+            let reduce = m.reduce_cost(p, n);
+            let allreduce = m.allreduce_cost(p, n);
+            assert!(bcast < reduce, "p={p}: bcast {bcast} !< reduce {reduce}");
+            assert!(
+                reduce <= allreduce + 1e-15,
+                "p={p}: reduce {reduce} !<= allreduce {allreduce}"
+            );
+            // The reduce-vs-bcast gap is pure latency (one extra
+            // log2(p)·L leg), so it must not depend on the buffer size.
+            let gap_4m = reduce - bcast;
+            let gap_8m = m.reduce_cost(p, 2 * n) - m.bcast_cost(p, 2 * n);
+            assert!(
+                (gap_4m - gap_8m).abs() < 1e-12,
+                "p={p}: gap changed with size: {gap_4m} vs {gap_8m}"
+            );
+        }
+        // Small (eager) buffers: binomial tree for both directions —
+        // reduce and bcast agree.
+        let m = model(64);
+        assert!((m.reduce_cost(64, 256) - m.bcast_cost(64, 256)).abs() < 1e-18);
     }
 
     #[test]
@@ -240,5 +288,36 @@ mod tests {
         let m = model(4);
         assert!(m.is_eager(8));
         assert!(!m.is_eager(1 << 20));
+    }
+
+    #[test]
+    fn non_power_of_two_ranks_round_up_to_next_power() {
+        // ⌈log2⌉ rounds: p = 3 behaves like p = 4, p = 6 like p = 8.
+        let m = model(64);
+        assert_eq!(m.barrier_cost(3), m.barrier_cost(4));
+        assert_eq!(m.barrier_cost(6), m.barrier_cost(8));
+        assert!(m.barrier_cost(100) > m.barrier_cost(64));
+        assert_eq!(m.allreduce_cost(3, 8), m.allreduce_cost(4, 8));
+        // Bandwidth terms carry the exact (p−1)/p factor, so large
+        // buffers do distinguish 3 from 4.
+        assert!(m.allreduce_cost(3, 4 << 20) < m.allreduce_cost(4, 4 << 20));
+    }
+
+    #[test]
+    fn zero_byte_collectives_cost_latency_only() {
+        let m = model(8);
+        let ar = m.allreduce_cost(8, 0);
+        assert!(ar > 0.0, "latency still applies");
+        assert_eq!(m.bcast_cost(8, 0), m.reduce_cost(8, 0));
+        // Adding payload can only increase cost.
+        assert!(m.allreduce_cost(8, 4096) > ar);
+    }
+
+    #[test]
+    fn zero_byte_p2p_costs_latency_only() {
+        let m = model(100);
+        let t0 = m.p2p_time(0, 80, 0);
+        assert!(t0 > 0.0);
+        assert!(m.p2p_time(0, 80, 1 << 20) > t0);
     }
 }

@@ -15,7 +15,11 @@ fn main() {
     std::fs::create_dir_all(&outdir).expect("create output directory");
 
     let cluster = presets::cluster_a();
-    let runner = SimRunner::new(RunConfig::default());
+    // Tracing is off by default; this study is *about* the timelines.
+    let runner = SimRunner::new(RunConfig {
+        trace: true,
+        ..RunConfig::default()
+    });
 
     for (name, nranks) in [("minisweep", 59usize), ("lbm", cluster.node.cores() - 1)] {
         let bench = benchmark_by_name(name).unwrap();

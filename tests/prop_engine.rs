@@ -49,9 +49,16 @@ fn ring_programs(
 fn run(progs: Vec<Program>) -> spechpc::simmpi::engine::SimResult {
     let cluster = presets::cluster_a();
     let net = NetModel::compact(&cluster, progs.len());
-    Engine::new(SimConfig { trace: true }, net, progs)
-        .run()
-        .expect("well-formed pattern must not deadlock")
+    Engine::new(
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        },
+        net,
+        progs,
+    )
+    .run()
+    .expect("well-formed pattern must not deadlock")
 }
 
 /// Draw `len` compute durations in `[lo, hi)` milliseconds-ish units.

@@ -91,7 +91,7 @@ fn one_step_replays_deadlock_free() {
             let ct = model.compute_times(&sig, &bench.penalties(WorkloadClass::Tiny, nranks));
             let progs = bench.step_programs(WorkloadClass::Tiny, &ct);
             let net = NetModel::compact(&cluster, nranks);
-            let result = match Engine::new(SimConfig { trace: false }, net, progs).run() {
+            let result = match Engine::new(SimConfig::default(), net, progs).run() {
                 Ok(r) => r,
                 Err(e) => panic!("{} @ {nranks}: {e}", bench.meta().name),
             };
