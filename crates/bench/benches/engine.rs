@@ -10,28 +10,46 @@ use spechpc::simmpi::program::{Op, Program};
 use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 /// Ring sendrecv + allreduce across 256 ranks, 20 steps.
+///
+/// The programs are built once and cloned per iteration, so the
+/// measurement is engine throughput, not `Program` construction (the
+/// clone is the cost of handing the engine owned programs).
 fn engine_throughput(c: &mut Criterion) {
     let cluster = presets::cluster_a();
     let n = 256;
-    let mk = || -> Vec<Program> {
-        (0..n)
-            .map(|r| {
-                let mut p = Program::new();
-                for _ in 0..20 {
-                    p.push(Op::compute(1e-3));
-                    p.push(Op::sendrecv((r + 1) % n, 8192, (r + n - 1) % n, 0));
-                    p.push(Op::allreduce(8));
-                }
-                p
-            })
-            .collect()
-    };
-    let ops: usize = mk().iter().map(|p| p.ops.len()).sum();
+    let template: Vec<Program> = (0..n)
+        .map(|r| {
+            let mut p = Program::new();
+            for _ in 0..20 {
+                p.push(Op::compute(1e-3));
+                p.push(Op::sendrecv((r + 1) % n, 8192, (r + n - 1) % n, 0));
+                p.push(Op::allreduce(8));
+            }
+            p
+        })
+        .collect();
+    let ops: usize = template.iter().map(|p| p.ops.len()).sum();
     println!("engine throughput bench: {ops} ops over {n} ranks per iteration");
     c.bench_function("engine_ring_allreduce_256r", |b| {
         b.iter(|| {
             let net = NetModel::compact(&cluster, n);
-            Engine::new(SimConfig::default(), net, mk()).run().unwrap()
+            Engine::new(SimConfig::default(), net, template.clone())
+                .run()
+                .unwrap()
+        })
+    });
+    // Same workload against the no-op profile recorder: the gap between
+    // this and the default-config bench above is the full cost of the
+    // online profile (the profile=false path is monomorphized, so it
+    // must carry zero profile overhead).
+    c.bench_function("engine_ring_allreduce_256r_noprofile", |b| {
+        b.iter(|| {
+            let net = NetModel::compact(&cluster, n);
+            let cfg = SimConfig {
+                trace: false,
+                profile: false,
+            };
+            Engine::new(cfg, net, template.clone()).run().unwrap()
         })
     });
 }

@@ -85,6 +85,14 @@ pub enum Command {
         benchmark: String,
         cluster: ClusterChoice,
     },
+    BenchSnapshot {
+        /// Fewer iterations (CI smoke mode).
+        quick: bool,
+        /// Compare against a committed snapshot instead of writing.
+        check: Option<String>,
+        /// Output path (default `BENCH_engine.json`).
+        out: Option<String>,
+    },
     Help,
 }
 
@@ -113,6 +121,12 @@ COMMANDS:
                                  regenerate the paper's artifacts
     dvfs <benchmark>             frequency-scaling energy analysis
         --cluster a|b
+    bench-snapshot               measure engine throughput + suite wall time
+                                 and write the perf-trajectory file
+        --out FILE               snapshot path        [default: BENCH_engine.json]
+        --check FILE             compare against FILE instead of writing;
+                                 non-zero exit on >30% normalized regression
+        --quick                  fewer iterations (CI smoke mode)
     help                         show this message
 
 EXECUTION (run/suite/score/figures/profile):
@@ -131,7 +145,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     // Collect options (--key value / -n value), valueless flags, and
     // positionals.
-    const FLAGS: [&str; 2] = ["no-cache", "metrics"];
+    const FLAGS: [&str; 3] = ["no-cache", "metrics", "quick"];
     let mut positional = Vec::new();
     let mut options = std::collections::BTreeMap::new();
     let mut flags = std::collections::BTreeSet::new();
@@ -225,6 +239,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let benchmark = positional.first().ok_or("dvfs: which benchmark?")?.clone();
             Ok(Command::Dvfs { benchmark, cluster })
         }
+        "bench-snapshot" => Ok(Command::BenchSnapshot {
+            quick: flags.contains("quick"),
+            check: options.get("check").cloned(),
+            out: options.get("out").cloned(),
+        }),
         "help" | "-h" | "--help" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -352,6 +371,40 @@ mod tests {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
         assert_eq!(parse(&v(&["-h"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_bench_snapshot() {
+        assert_eq!(
+            parse(&v(&["bench-snapshot"])).unwrap(),
+            Command::BenchSnapshot {
+                quick: false,
+                check: None,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "bench-snapshot",
+                "--quick",
+                "--check",
+                "BENCH_engine.json"
+            ]))
+            .unwrap(),
+            Command::BenchSnapshot {
+                quick: true,
+                check: Some("BENCH_engine.json".into()),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["bench-snapshot", "--out", "snap.json"])).unwrap(),
+            Command::BenchSnapshot {
+                quick: false,
+                check: None,
+                out: Some("snap.json".into()),
+            }
+        );
     }
 
     #[test]

@@ -425,9 +425,10 @@ fn encode_profile(p: &Profile) -> String {
 // Decoding
 // ---------------------------------------------------------------------------
 
-/// Minimal JSON value — just enough for the cache entries above.
+/// Minimal JSON value — just enough for the cache entries above and
+/// the perf-trajectory snapshot (`crate::snapshot`).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -437,14 +438,14 @@ enum Json {
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn num(&self) -> Option<f64> {
+    pub(crate) fn num(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
             Json::Null => Some(f64::NAN),
@@ -452,7 +453,7 @@ impl Json {
         }
     }
 
-    fn str(&self) -> Option<&str> {
+    pub(crate) fn str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -463,11 +464,11 @@ impl Json {
         Some(self.get(key)?.num()? as usize)
     }
 
-    fn f64_of(&self, key: &str) -> Option<f64> {
+    pub(crate) fn f64_of(&self, key: &str) -> Option<f64> {
         self.get(key)?.num()
     }
 
-    fn str_of(&self, key: &str) -> Option<String> {
+    pub(crate) fn str_of(&self, key: &str) -> Option<String> {
         Some(self.get(key)?.str()?.to_string())
     }
 }
@@ -624,7 +625,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse_json(text: &str) -> Option<Json> {
+pub(crate) fn parse_json(text: &str) -> Option<Json> {
     let mut p = Parser::new(text);
     let v = p.value()?;
     p.skip_ws();

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod obs;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod suite;
 
 pub use cache::{CacheMetrics, RunCache, RunKey};

@@ -1,0 +1,423 @@
+//! Perf-trajectory snapshots (`BENCH_engine.json`).
+//!
+//! The discrete-event engine is the substrate every experiment funnels
+//! through, so its throughput is tracked as a committed artifact: a
+//! snapshot measures engine ops/s on a fixed reference workload plus
+//! the tiny-suite wall time, stamps the git revision, and writes
+//! `BENCH_engine.json` at the repository root. CI re-measures in quick
+//! mode and fails when throughput regresses more than
+//! [`DEFAULT_TOLERANCE`] against the committed file.
+//!
+//! Raw ops/s is machine-dependent, so every snapshot also records a
+//! *calibration score* — a fixed scalar workload measured on the same
+//! host, in the same process, right before the engine. Comparisons use
+//! the ratio `engine ops/s ÷ calibration score`, which cancels the
+//! host's overall speed and leaves (mostly) the engine's efficiency.
+
+use std::time::Instant;
+
+use spechpc_kernels::common::config::WorkloadClass;
+use spechpc_machine::presets;
+use spechpc_simmpi::engine::{Engine, SimConfig};
+use spechpc_simmpi::netmodel::NetModel;
+use spechpc_simmpi::program::{Op, Program};
+
+use crate::cache::parse_json;
+use crate::exec::{ExecConfig, Executor};
+use crate::runner::RunConfig;
+use crate::suite::Suite;
+
+/// Relative throughput loss CI tolerates before failing.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// One engine-throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Simulated MPI operations per engine run.
+    pub ops_per_iter: usize,
+    /// Timed engine runs.
+    pub iters: usize,
+    /// Fastest single run (seconds) — the minimum is the
+    /// noise-resistant statistic.
+    pub wall_s: f64,
+    /// `ops_per_iter / wall_s`.
+    pub ops_per_s: f64,
+}
+
+/// The numbers a snapshot preserves from before a rewrite, so the file
+/// documents the trajectory (the acceptance bar of the event-driven
+/// scheduler was ≥3× against this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    pub git_rev: String,
+    pub engine_ops_per_s: f64,
+    pub note: String,
+}
+
+/// A complete perf snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub git_rev: String,
+    pub engine: Measurement,
+    /// Wall seconds of one uncached tiny-class suite run (ClusterA,
+    /// full node).
+    pub suite_wall_s: f64,
+    /// Host-speed calibration (arbitrary units; see module docs).
+    pub calibration_score: f64,
+    /// Pre-rewrite numbers, carried over from the committed file.
+    pub baseline: Option<Baseline>,
+}
+
+impl Snapshot {
+    /// Engine throughput with the host's overall speed divided out.
+    pub fn normalized_throughput(&self) -> f64 {
+        self.engine.ops_per_s / self.calibration_score
+    }
+}
+
+/// The reference workload: the `engine_ring_allreduce_256r` shape from
+/// `crates/bench` — 256 ranks × 20 steps of compute + ring sendrecv +
+/// allreduce. Kept in sync with the bench so the two numbers are
+/// comparable.
+pub fn reference_programs() -> Vec<Program> {
+    let n = 256;
+    (0..n)
+        .map(|r| {
+            let mut p = Program::new();
+            for _ in 0..20 {
+                p.push(Op::compute(1e-3));
+                p.push(Op::sendrecv((r + 1) % n, 8192, (r + n - 1) % n, 0));
+                p.push(Op::allreduce(8));
+            }
+            p
+        })
+        .collect()
+}
+
+/// Measure engine throughput over `iters` runs (min wall time, after
+/// two untimed warm-up runs — the first runs also fault in the
+/// allocator arenas and instruction cache).
+fn measure_engine(iters: usize) -> Measurement {
+    let cluster = presets::cluster_a();
+    let template = reference_programs();
+    let n = template.len();
+    let ops_per_iter: usize = template.iter().map(|p| p.ops.len()).sum();
+    for _ in 0..2 {
+        let net = NetModel::compact(&cluster, n);
+        let r = Engine::new(SimConfig::default(), net, template.clone())
+            .run()
+            .expect("reference workload simulates");
+        std::hint::black_box(r.makespan);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let net = NetModel::compact(&cluster, n);
+        let programs = template.clone();
+        let t0 = Instant::now();
+        let r = Engine::new(SimConfig::default(), net, programs)
+            .run()
+            .expect("reference workload simulates");
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(r.makespan);
+        best = best.min(dt);
+    }
+    Measurement {
+        ops_per_iter,
+        iters,
+        wall_s: best,
+        ops_per_s: ops_per_iter as f64 / best,
+    }
+}
+
+/// Fixed scalar workload whose throughput tracks the host's speed: a
+/// xorshift stream folded into a checksum. Independent of the engine,
+/// so engine regressions do not cancel out of the normalized ratio.
+fn calibration_score(iters: usize) -> f64 {
+    const STEPS: usize = 2_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut sum = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            sum = sum.wrapping_add(x);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(sum);
+        best = best.min(dt);
+    }
+    STEPS as f64 / best
+}
+
+/// One uncached tiny-class suite run on a full ClusterA node.
+fn measure_suite() -> Result<f64, String> {
+    let cluster = presets::cluster_a();
+    let executor = Executor::new(
+        RunConfig {
+            trace: false,
+            ..RunConfig::default()
+        },
+        ExecConfig {
+            jobs: 0,
+            cache_dir: None,
+            no_cache: true,
+        },
+    );
+    let suite = Suite {
+        class: WorkloadClass::Tiny,
+        nranks: cluster.node.cores(),
+    };
+    let t0 = Instant::now();
+    suite
+        .run_with(&executor, &cluster)
+        .map_err(|e| format!("suite run failed: {e}"))?;
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+/// The current git revision (short), or `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Take a snapshot. Quick mode (CI) uses fewer engine iterations;
+/// both modes use minimum-of-N wall times, so quick mode is noisier
+/// but unbiased.
+pub fn measure(quick: bool) -> Result<Snapshot, String> {
+    let iters = if quick { 15 } else { 40 };
+    let calibration = calibration_score(if quick { 5 } else { 10 });
+    let engine = measure_engine(iters);
+    let suite_wall_s = measure_suite()?;
+    Ok(Snapshot {
+        git_rev: git_rev(),
+        engine,
+        suite_wall_s,
+        calibration_score: calibration,
+        baseline: None,
+    })
+}
+
+/// Compare a fresh measurement against a committed snapshot.
+/// `Err` describes the regression when the normalized throughput fell
+/// by more than `tolerance` (a relative fraction).
+pub fn check(current: &Snapshot, committed: &Snapshot, tolerance: f64) -> Result<(), String> {
+    let cur = current.normalized_throughput();
+    let old = committed.normalized_throughput();
+    if !(cur.is_finite() && old.is_finite() && old > 0.0) {
+        return Err(format!(
+            "cannot compare snapshots: normalized throughputs {cur} vs {old}"
+        ));
+    }
+    if cur < old * (1.0 - tolerance) {
+        return Err(format!(
+            "engine throughput regressed: {:.3e} ops/s normalized {:.4} vs committed {:.4} \
+             ({} @ {}) — more than {:.0}% below",
+            current.engine.ops_per_s,
+            cur,
+            old,
+            committed.engine.ops_per_s,
+            committed.git_rev,
+            tolerance * 100.0
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Encoding / decoding
+// ---------------------------------------------------------------------------
+
+pub fn to_json(s: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", s.git_rev));
+    out.push_str(&format!(
+        "  \"engine\": {{ \"ops_per_iter\": {}, \"iters\": {}, \"wall_s\": {:.6e}, \"ops_per_s\": {:.6e} }},\n",
+        s.engine.ops_per_iter, s.engine.iters, s.engine.wall_s, s.engine.ops_per_s
+    ));
+    out.push_str(&format!("  \"suite_wall_s\": {:.6e},\n", s.suite_wall_s));
+    out.push_str(&format!(
+        "  \"calibration_score\": {:.6e}",
+        s.calibration_score
+    ));
+    if let Some(b) = &s.baseline {
+        out.push_str(&format!(
+            ",\n  \"baseline\": {{ \"git_rev\": \"{}\", \"engine_ops_per_s\": {:.6e}, \"note\": \"{}\" }}",
+            b.git_rev, b.engine_ops_per_s, b.note
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+pub fn from_json(text: &str) -> Option<Snapshot> {
+    let j = parse_json(text)?;
+    let e = j.get("engine")?;
+    let baseline = j.get("baseline").map(|b| Baseline {
+        git_rev: b.str_of("git_rev").unwrap_or_else(|| "unknown".into()),
+        engine_ops_per_s: b.f64_of("engine_ops_per_s").unwrap_or(f64::NAN),
+        note: b.str_of("note").unwrap_or_default(),
+    });
+    Some(Snapshot {
+        git_rev: j.str_of("git_rev")?,
+        engine: Measurement {
+            ops_per_iter: e.f64_of("ops_per_iter")? as usize,
+            iters: e.f64_of("iters")? as usize,
+            wall_s: e.f64_of("wall_s")?,
+            ops_per_s: e.f64_of("ops_per_s")?,
+        },
+        suite_wall_s: j.f64_of("suite_wall_s")?,
+        calibration_score: j.f64_of("calibration_score")?,
+        baseline,
+    })
+}
+
+pub fn read(path: &std::path::Path) -> Result<Snapshot, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    from_json(&text).ok_or_else(|| format!("{} is not a snapshot file", path.display()))
+}
+
+pub fn write(path: &std::path::Path, s: &Snapshot) -> Result<(), String> {
+    std::fs::write(path, to_json(s)).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// One-line human summary.
+pub fn render(s: &Snapshot) -> String {
+    let mut line = format!(
+        "engine {:.2e} ops/s ({} ops × {} iters, best {:.3} ms) · suite {:.2} s · \
+         calibration {:.2e} · normalized {:.4} · rev {}",
+        s.engine.ops_per_s,
+        s.engine.ops_per_iter,
+        s.engine.iters,
+        s.engine.wall_s * 1e3,
+        s.suite_wall_s,
+        s.calibration_score,
+        s.normalized_throughput(),
+        s.git_rev
+    );
+    if let Some(b) = &s.baseline {
+        line.push_str(&format!(
+            "\nbaseline {:.2e} ops/s ({}) — speedup ×{:.2} [{}]",
+            b.engine_ops_per_s,
+            b.git_rev,
+            s.engine.ops_per_s / b.engine_ops_per_s,
+            b.note
+        ));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            git_rev: "abc1234".into(),
+            engine: Measurement {
+                ops_per_iter: 15360,
+                iters: 20,
+                wall_s: 3.6e-4,
+                ops_per_s: 4.27e7,
+            },
+            suite_wall_s: 0.21,
+            calibration_score: 1.9e9,
+            baseline: Some(Baseline {
+                git_rev: "6ee02c6".into(),
+                engine_ops_per_s: 1.3e7,
+                note: "polling scheduler".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let parsed = from_json(&to_json(&s)).expect("round trip");
+        assert_eq!(parsed.git_rev, s.git_rev);
+        assert_eq!(parsed.engine.ops_per_iter, s.engine.ops_per_iter);
+        assert!((parsed.engine.ops_per_s - s.engine.ops_per_s).abs() < 1.0);
+        assert!((parsed.suite_wall_s - s.suite_wall_s).abs() < 1e-9);
+        let b = parsed.baseline.expect("baseline survives");
+        assert_eq!(b.git_rev, "6ee02c6");
+        assert!((b.engine_ops_per_s - 1.3e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn round_trip_without_baseline() {
+        let s = Snapshot {
+            baseline: None,
+            ..sample()
+        };
+        let parsed = from_json(&to_json(&s)).expect("round trip");
+        assert!(parsed.baseline.is_none());
+    }
+
+    #[test]
+    fn check_passes_within_tolerance_and_across_hosts() {
+        let committed = sample();
+        // Same efficiency on a host 4× slower: both numbers scale, the
+        // normalized ratio is unchanged — no false positive.
+        let slower_host = Snapshot {
+            engine: Measurement {
+                ops_per_s: committed.engine.ops_per_s / 4.0,
+                ..committed.engine
+            },
+            calibration_score: committed.calibration_score / 4.0,
+            ..committed.clone()
+        };
+        assert!(check(&slower_host, &committed, DEFAULT_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn check_fails_on_regression() {
+        let committed = sample();
+        let regressed = Snapshot {
+            engine: Measurement {
+                ops_per_s: committed.engine.ops_per_s / 2.0,
+                ..committed.engine
+            },
+            ..committed.clone()
+        };
+        let err = check(&regressed, &committed, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("regressed"), "got: {err}");
+    }
+
+    #[test]
+    fn reference_workload_matches_bench_shape() {
+        let ps = reference_programs();
+        assert_eq!(ps.len(), 256);
+        let ops: usize = ps.iter().map(|p| p.ops.len()).sum();
+        assert_eq!(ops, 256 * 20 * 3);
+    }
+
+    #[test]
+    fn quick_snapshot_measures_and_checks_against_itself() {
+        // End-to-end: measure (few iterations), round-trip through
+        // JSON, self-check never regresses.
+        let snap = {
+            let engine = measure_engine(1);
+            Snapshot {
+                git_rev: git_rev(),
+                engine,
+                suite_wall_s: 0.0,
+                calibration_score: calibration_score(1),
+                baseline: None,
+            }
+        };
+        assert!(snap.engine.ops_per_s > 0.0);
+        assert!(snap.calibration_score > 0.0);
+        let parsed = from_json(&to_json(&snap)).expect("round trip");
+        assert!(check(&parsed, &snap, DEFAULT_TOLERANCE).is_ok());
+    }
+}

@@ -21,10 +21,27 @@
 //!   detected: when no rank can make progress and not all are done, the
 //!   engine reports which rank is stuck on which operation.
 //!
+//! ## Scheduling
+//!
+//! The engine is **event-driven**: runnable ranks live on a ready
+//! queue, and a blocked rank is re-examined only when something it
+//! waits on completes — a message match delivers a wake to the owning
+//! rank(s), the last entrant of a collective wakes all participants.
+//! Total scheduler work is `O(ops + messages)`; blocked ranks are never
+//! polled. Results are *visiting-order independent*: completion times
+//! are computed from posted timestamps alone (FIFO matching within a
+//! channel involves exactly two ranks, whose postings are already in
+//! program order; collective finishes are max-reductions over entry
+//! times), so the ready-queue engine reproduces the earlier
+//! polling-sweep engine bit for bit. `tests/prop_engine.rs` pins this
+//! equivalence with golden fingerprints captured from the polling
+//! implementation.
+//!
 //! The engine is deterministic: completion times depend only on the
 //! programs and the network model, never on host scheduling.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
 
 use crate::netmodel::NetModel;
 use crate::profile::{Phase, Profile, Regime};
@@ -41,7 +58,9 @@ pub struct SimConfig {
     /// Accumulate the online [`Profile`] (per-rank phase split,
     /// message-size histograms, rank×rank communication matrix). Cheap
     /// (O(ranks²) memory, O(1) per op) and on by default; works
-    /// independently of `trace`.
+    /// independently of `trace`. When off, the run is monomorphized
+    /// against a no-op recorder, so the hot path carries no profile
+    /// branches at all.
     pub profile: bool,
 }
 
@@ -80,6 +99,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock: {} rank(s) blocked", blocked.len())?;
                 for (r, pc, op) in blocked.iter().take(8) {
                     write!(f, "; rank {r} at op {pc} ({op:?})")?;
+                }
+                if blocked.len() > 8 {
+                    write!(f, "; … and {} more blocked ranks", blocked.len() - 8)?;
                 }
                 Ok(())
             }
@@ -140,29 +162,150 @@ impl SimResult {
     }
 }
 
-/// Accumulate one interval into the online per-rank breakdown.
-#[inline]
-fn breakdown_add(
-    breakdown: &mut [[f64; EventKind::COUNT]],
-    rank: usize,
-    kind: EventKind,
-    dur: f64,
-) {
-    let idx = EventKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .expect("kind in ALL");
-    breakdown[rank][idx] += dur;
+// ---------------------------------------------------------------------------
+// Profile recording strategy (monomorphized; see `SimConfig::profile`)
+// ---------------------------------------------------------------------------
+
+/// Profile-recording strategy the run loop is monomorphized over: the
+/// profile-on instantiation records into a live [`Profile`], the
+/// profile-off one compiles to nothing (no per-op branch, no dead
+/// `Profile` allocation, and blocked-phase attribution is skipped
+/// entirely).
+trait ProfileSink {
+    /// Whether phase attribution needs to be computed at all.
+    const ENABLED: bool;
+    fn phase(&mut self, rank: usize, phase: Phase, secs: f64);
+    fn message(&mut self, from: usize, to: usize, bytes: usize, regime: Regime);
+    fn finish(self) -> Profile;
+}
+
+struct LiveProfile(Profile);
+
+impl ProfileSink for LiveProfile {
+    const ENABLED: bool = true;
+    #[inline]
+    fn phase(&mut self, rank: usize, phase: Phase, secs: f64) {
+        self.0.record_phase(rank, phase, secs);
+    }
+    #[inline]
+    fn message(&mut self, from: usize, to: usize, bytes: usize, regime: Regime) {
+        self.0.record_message(from, to, bytes, regime);
+    }
+    fn finish(self) -> Profile {
+        self.0
+    }
+}
+
+struct NoProfile;
+
+impl ProfileSink for NoProfile {
+    const ENABLED: bool = false;
+    #[inline]
+    fn phase(&mut self, _rank: usize, _phase: Phase, _secs: f64) {}
+    #[inline]
+    fn message(&mut self, _from: usize, _to: usize, _bytes: usize, _regime: Regime) {}
+    fn finish(self) -> Profile {
+        Profile::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path data structures
+// ---------------------------------------------------------------------------
+
+/// Multiply-rotate hasher (FxHash-style) for the channel map: the keys
+/// are small integer tuples, for which the default SipHash dominates
+/// the per-op cost at scale.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `(from, to, tag)` channel key.
+type ChannelKey = (usize, usize, u32);
+
+/// Channel storage: a dense slab plus a hash index resolving keys to
+/// slab slots. The hash index is consulted only on a rank's memo miss
+/// (see [`ChanMemo`]); steady-state communication patterns (rings,
+/// halos) hit the memo and never hash.
+#[derive(Default)]
+struct Channels {
+    store: Vec<Channel>,
+    index: HashMap<ChannelKey, u32, BuildHasherDefault<FxHasher>>,
+}
+
+impl Channels {
+    /// Slot of channel `(from, to, tag)`, creating it on first use.
+    fn slot(&mut self, np: &NetParams, from: usize, to: usize, tag: u32) -> u32 {
+        use std::collections::hash_map::Entry;
+        match self.index.entry((from, to, tag)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let idx = self.store.len() as u32;
+                self.store.push(Channel::new(np, from, to));
+                e.insert(idx);
+                idx
+            }
+        }
+    }
+}
+
+/// One-slot memo of the channel a rank last used on each side. MPI
+/// programs repeat their communication pattern across iterations, so
+/// the memo turns almost every channel lookup into two integer
+/// compares.
+#[derive(Debug, Clone, Copy)]
+struct ChanMemo {
+    peer: usize,
+    tag: u32,
+    idx: u32,
+}
+
+impl ChanMemo {
+    const EMPTY: ChanMemo = ChanMemo {
+        peer: usize::MAX,
+        tag: 0,
+        idx: 0,
+    };
 }
 
 /// Internal request id (separate namespace from user [`ReqId`]s).
 type IReq = usize;
 
-#[derive(Debug, Clone, Copy)]
-enum ReqState {
-    Pending,
-    Completed(f64),
-}
+/// Sentinel for an unoccupied user-request slot.
+const NO_REQ: IReq = usize::MAX;
 
 /// What an internal request stands for — used to attribute blocked time
 /// to a [`Phase`] in the online profile.
@@ -171,6 +314,16 @@ enum ReqClass {
     EagerSend,
     RdvSend,
     Recv,
+}
+
+/// One internal request: pending until `done`, then complete at
+/// `done_at`. State and classification live in one table so a post
+/// touches a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    done_at: f64,
+    class: ReqClass,
+    done: bool,
 }
 
 /// Map the eager-protocol decision onto the profile's [`Regime`].
@@ -182,38 +335,197 @@ fn regime_of(eager: bool) -> Regime {
     }
 }
 
+/// Network parameters the hot path needs, flattened out of
+/// [`NetModel`]: the per-message cost is `lat + bytes / denom`, chosen
+/// by node placement, exactly as
+/// [`InterconnectSpec::wire_time`](spechpc_machine::cluster::InterconnectSpec::wire_time)
+/// computes it (the `bandwidth * 1e9` product is hoisted, the division
+/// is not — keeping results bit-identical).
+struct NetParams {
+    send_overhead: f64,
+    eager_threshold: usize,
+    lat_intra: f64,
+    denom_intra: f64,
+    lat_inter: f64,
+    denom_inter: f64,
+    /// Node id per rank (dense copy of the pinning).
+    node_of: Vec<u32>,
+}
+
+impl NetParams {
+    fn of(net: &NetModel, nranks: usize) -> Self {
+        let ic = net.interconnect();
+        NetParams {
+            send_overhead: net.send_overhead,
+            eager_threshold: ic.eager_threshold,
+            lat_intra: ic.intranode_latency_s,
+            denom_intra: ic.intranode_bandwidth * 1e9,
+            lat_inter: ic.latency_s,
+            denom_inter: ic.effective_bandwidth * 1e9,
+            node_of: (0..nranks)
+                .map(|r| net.pinning().placement(r).node as u32)
+                .collect(),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SendPost {
     time: f64,
     bytes: usize,
     ireq: IReq,
-    sender: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct RecvPost {
     time: f64,
     ireq: IReq,
-    receiver: usize,
 }
 
-#[derive(Debug, Default)]
+/// FIFO with two inline slots and a heap spill area. A channel's
+/// backlog spans only the current rendezvous window, so the steady
+/// state of every point-to-point pattern fits inline and a run's
+/// channels never heap-allocate; deeper backlogs (bursts of
+/// non-blocking posts) spill to a `Vec` in push order. Inline entries
+/// are always older than spilled ones, so popping inline-first
+/// preserves FIFO order.
+#[derive(Debug)]
+struct Fifo<T> {
+    inline: [Option<T>; 2],
+    head: u8,
+    len: u8,
+    spill: Vec<T>,
+    spill_head: usize,
+}
+
+impl<T> Default for Fifo<T> {
+    fn default() -> Self {
+        Fifo {
+            inline: [None, None],
+            head: 0,
+            len: 0,
+            spill: Vec::new(),
+            spill_head: 0,
+        }
+    }
+}
+
+impl<T: Copy> Fifo<T> {
+    #[inline]
+    fn spill_pending(&self) -> bool {
+        self.spill_head < self.spill.len()
+    }
+    #[inline]
+    fn push(&mut self, t: T) {
+        // Once anything has spilled, newer items must follow it there
+        // until the spill drains, or they would overtake it.
+        if self.len < 2 && !self.spill_pending() {
+            self.inline[((self.head + self.len) & 1) as usize] = Some(t);
+            self.len += 1;
+        } else {
+            self.spill.push(t);
+        }
+    }
+    #[inline]
+    fn pop(&mut self) -> T {
+        if self.len > 0 {
+            let t = self.inline[self.head as usize]
+                .take()
+                .expect("occupied slot");
+            self.head = (self.head + 1) & 1;
+            self.len -= 1;
+            t
+        } else {
+            let t = self.spill[self.spill_head];
+            self.spill_head += 1;
+            if self.spill_head == self.spill.len() {
+                self.spill.clear();
+                self.spill_head = 0;
+            }
+            t
+        }
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0 && !self.spill_pending()
+    }
+}
+
+/// One `(from, to, tag)` message channel. The wire parameters of the
+/// rank pair are resolved once at channel creation, so matching never
+/// consults the pinning tables.
+#[derive(Debug)]
 struct Channel {
-    sends: VecDeque<SendPost>,
-    recvs: VecDeque<RecvPost>,
+    sends: Fifo<SendPost>,
+    recvs: Fifo<RecvPost>,
+    wire_lat: f64,
+    wire_denom: f64,
+    same_node: bool,
+}
+
+impl Channel {
+    fn new(np: &NetParams, from: usize, to: usize) -> Self {
+        let same_node = np.node_of[from] == np.node_of[to];
+        Channel {
+            sends: Fifo::default(),
+            recvs: Fifo::default(),
+            wire_lat: if same_node {
+                np.lat_intra
+            } else {
+                np.lat_inter
+            },
+            wire_denom: if same_node {
+                np.denom_intra
+            } else {
+                np.denom_inter
+            },
+            same_node,
+        }
+    }
+}
+
+/// Inline set of the internal requests one blocking op waits on.
+/// `Sendrecv` is the maximum arity (2), so no blocking op ever
+/// heap-allocates its request list.
+#[derive(Debug, Clone, Copy)]
+struct ReqSet {
+    reqs: [IReq; 2],
+    len: u8,
+}
+
+impl ReqSet {
+    #[inline]
+    fn one(a: IReq) -> Self {
+        ReqSet {
+            reqs: [a, a],
+            len: 1,
+        }
+    }
+    #[inline]
+    fn two(a: IReq, b: IReq) -> Self {
+        ReqSet {
+            reqs: [a, b],
+            len: 2,
+        }
+    }
+    #[inline]
+    fn as_slice(&self) -> &[IReq] {
+        &self.reqs[..self.len as usize]
+    }
 }
 
 /// What a rank is currently blocked on.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Blocked {
     /// Waiting for a set of internal requests; resumes at the max of
     /// their completion times (and not before `start`).
     Reqs {
-        reqs: Vec<IReq>,
+        reqs: ReqSet,
         kind: EventKind,
         start: f64,
     },
-    /// Waiting inside collective number `seq`.
+    /// Waiting inside the collective at the rank's current sequence
+    /// number.
     Collective { start: f64 },
 }
 
@@ -222,12 +534,19 @@ struct RankState {
     clock: f64,
     blocked: Option<Blocked>,
     done: bool,
-    /// Internal request states.
-    ireqs: Vec<ReqState>,
-    /// Classification of each internal request, parallel to `ireqs`.
-    ireq_class: Vec<ReqClass>,
-    /// User request id → internal request id.
-    user_reqs: HashMap<ReqId, IReq>,
+    /// Next free slot in the rank's range of the shared request arena.
+    req_next: usize,
+    /// One past the last slot of that range (bounds the posts the
+    /// validation prepass counted for this rank).
+    req_end: usize,
+    /// Memo of the last send-side channel (`(to, tag)` → slot).
+    send_memo: ChanMemo,
+    /// Memo of the last receive-side channel (`(from, tag)` → slot).
+    recv_memo: ChanMemo,
+    /// User request id → internal request id, as a slot vector indexed
+    /// by [`ReqId`] (program validation guarantees every `Wait` follows
+    /// its creation, so a `Wait` always finds its slot occupied).
+    user_reqs: Vec<IReq>,
     /// Rank-local collective sequence number.
     coll_seq: usize,
 }
@@ -235,9 +554,56 @@ struct RankState {
 struct CollectiveEntry {
     event_kind: EventKind,
     bytes: usize,
-    entries: Vec<(usize, f64)>,
+    /// Ranks entered so far.
+    entered: usize,
+    /// Running max of the entry times (same accumulation order as the
+    /// entries arrive, so the result is bit-identical to a fold over a
+    /// stored entry list).
+    max_entry: f64,
     /// Completion time once all ranks have entered.
     finish: Option<f64>,
+}
+
+/// The scheduler's wake-list: ranks that may be able to make progress.
+///
+/// Invariants:
+/// * a rank is on the queue at most once (`queued` flags),
+/// * every request completion delivered to a rank enqueues that rank
+///   (unless it is the rank currently executing, which re-examines its
+///   own blocked state inline before yielding),
+/// * a popped rank that is still blocked simply stays off the queue —
+///   the next completion delivered to it re-enqueues it.
+///
+/// Together these guarantee no lost wakeups: a rank blocks only on
+/// requests/collectives that complete exactly once, and each completion
+/// produces a wake.
+struct ReadyQueue {
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+}
+
+impl ReadyQueue {
+    fn with_all(nranks: usize) -> Self {
+        ReadyQueue {
+            queue: (0..nranks).collect(),
+            queued: vec![true; nranks],
+        }
+    }
+
+    #[inline]
+    fn wake(&mut self, rank: usize, running: usize) {
+        if rank != running && !self.queued[rank] {
+            self.queued[rank] = true;
+            self.queue.push_back(rank);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<usize> {
+        let r = self.queue.pop_front()?;
+        self.queued[r] = false;
+        Some(r)
+    }
 }
 
 /// The discrete-event engine. See the module docs for semantics.
@@ -266,17 +632,56 @@ impl Engine {
     /// Execute the programs to completion.
     pub fn run(self) -> Result<SimResult, SimError> {
         let nranks = self.programs.len();
+        // Single validation prepass per rank: the structural checks of
+        // [`Program::validate`] (same rules, same messages), the peer
+        // range checks, and the point-to-point op count (to size the
+        // request tables exactly once) fused into one walk. Precedence
+        // matches running `validate()` first: a structural error on a
+        // rank wins over any range error on that rank, regardless of op
+        // order, so range errors are buffered until the walk finishes.
+        let mut p2p_ops: Vec<usize> = vec![0; nranks];
+        let mut open: std::collections::BTreeSet<ReqId> = std::collections::BTreeSet::new();
         for (rank, p) in self.programs.iter().enumerate() {
-            p.validate()
-                .map_err(|reason| SimError::InvalidProgram { rank, reason })?;
+            open.clear();
+            let invalid = |reason: String| SimError::InvalidProgram { rank, reason };
+            let mut range_err: Option<SimError> = None;
             for (op_index, op) in p.ops.iter().enumerate() {
                 let peer = match op {
-                    Op::Send { to, .. } | Op::Isend { to, .. } => Some(*to),
-                    Op::Recv { from, .. } | Op::Irecv { from, .. } => Some(*from),
+                    Op::Send { to, .. } => {
+                        p2p_ops[rank] += 1;
+                        Some(*to)
+                    }
+                    Op::Isend { to, req, .. } => {
+                        p2p_ops[rank] += 1;
+                        if !open.insert(*req) {
+                            return Err(invalid(format!("request {req} created while still open")));
+                        }
+                        Some(*to)
+                    }
+                    Op::Recv { from, .. } => {
+                        p2p_ops[rank] += 1;
+                        Some(*from)
+                    }
+                    Op::Irecv { from, req, .. } => {
+                        p2p_ops[rank] += 1;
+                        if !open.insert(*req) {
+                            return Err(invalid(format!("request {req} created while still open")));
+                        }
+                        Some(*from)
+                    }
+                    Op::Wait { req } => {
+                        if !open.remove(req) {
+                            return Err(invalid(format!(
+                                "wait on request {req} which is not open"
+                            )));
+                        }
+                        None
+                    }
                     Op::Bcast { root, .. } | Op::Reduce { root, .. } => Some(*root),
                     Op::Sendrecv { to, from, .. } => {
-                        if *to >= nranks {
-                            return Err(SimError::RankOutOfRange {
+                        p2p_ops[rank] += 2;
+                        if *to >= nranks && range_err.is_none() {
+                            range_err = Some(SimError::RankOutOfRange {
                                 rank: *to,
                                 op_index,
                             });
@@ -286,325 +691,399 @@ impl Engine {
                     _ => None,
                 };
                 if let Some(p) = peer {
-                    if p >= nranks {
-                        return Err(SimError::RankOutOfRange { rank: p, op_index });
+                    if p >= nranks && range_err.is_none() {
+                        range_err = Some(SimError::RankOutOfRange { rank: p, op_index });
+                    }
+                }
+            }
+            if let Some(req) = open.iter().next() {
+                return Err(invalid(format!("request {req} never waited on")));
+            }
+            if let Some(e) = range_err {
+                return Err(e);
+            }
+        }
+
+        match (self.config.profile, self.config.trace) {
+            (true, false) => self.run_with::<_, false>(LiveProfile(Profile::new(nranks)), &p2p_ops),
+            (true, true) => self.run_with::<_, true>(LiveProfile(Profile::new(nranks)), &p2p_ops),
+            (false, false) => self.run_with::<_, false>(NoProfile, &p2p_ops),
+            (false, true) => self.run_with::<_, true>(NoProfile, &p2p_ops),
+        }
+    }
+
+    /// The event-driven scheduler, monomorphized over the profile
+    /// recording strategy and the tracing flag. Programs are already
+    /// validated.
+    fn run_with<P: ProfileSink, const TRACE: bool>(
+        self,
+        mut profile: P,
+        p2p_ops: &[usize],
+    ) -> Result<SimResult, SimError> {
+        let nranks = self.programs.len();
+        let np = NetParams::of(&self.net, nranks);
+        // All internal requests live in one flat arena; each rank owns
+        // the contiguous range sized by its prepass post count (one
+        // allocation and dense locality instead of a table per rank).
+        let mut base = 0usize;
+        let mut ranks: Vec<RankState> = (0..nranks)
+            .map(|r| {
+                let start = base;
+                base += p2p_ops[r];
+                RankState {
+                    pc: 0,
+                    clock: 0.0,
+                    blocked: None,
+                    done: false,
+                    req_next: start,
+                    req_end: base,
+                    send_memo: ChanMemo::EMPTY,
+                    recv_memo: ChanMemo::EMPTY,
+                    user_reqs: Vec::new(),
+                    coll_seq: 0,
+                }
+            })
+            .collect();
+        let mut reqs: Vec<Req> = vec![
+            Req {
+                done_at: 0.0,
+                class: ReqClass::Recv,
+                done: false,
+            };
+            base
+        ];
+        let mut channels = Channels::default();
+        let mut collectives: Vec<CollectiveEntry> = Vec::new();
+        let mut timeline = Timeline::new(nranks);
+        // Online per-rank breakdown (kept even when full tracing is off).
+        let mut breakdown: Vec<[f64; EventKind::COUNT]> = vec![[0.0; EventKind::COUNT]; nranks];
+        let mut p2p_bytes: u64 = 0;
+        let mut internode_bytes: u64 = 0;
+        let mut ready = ReadyQueue::with_all(nranks);
+
+        while let Some(r) = ready.pop() {
+            if ranks[r].done {
+                continue; // woken spuriously after finishing
+            }
+            loop {
+                // Re-examine the blocked state first: a popped rank was
+                // woken by a completion that may end its blocked op.
+                // (Blocking ops that can finish immediately never store
+                // a `Blocked` at all — they unblock inline below.)
+                match ranks[r].blocked {
+                    Some(Blocked::Reqs {
+                        reqs: set,
+                        kind,
+                        start,
+                    }) => {
+                        if !Self::try_unblock_reqs::<P, TRACE>(
+                            r,
+                            set,
+                            kind,
+                            start,
+                            &mut ranks,
+                            &reqs,
+                            &mut timeline,
+                            &mut breakdown,
+                            &mut profile,
+                        ) {
+                            // Still pending; the next completion
+                            // delivered to this rank re-enqueues it.
+                            break;
+                        }
+                        continue;
+                    }
+                    Some(Blocked::Collective { start }) => {
+                        let entry = &collectives[ranks[r].coll_seq];
+                        let Some(finish) = entry.finish else {
+                            break;
+                        };
+                        Self::unblock_collective::<P, TRACE>(
+                            r,
+                            start,
+                            finish,
+                            entry.event_kind,
+                            &mut ranks,
+                            &mut timeline,
+                            &mut breakdown,
+                            &mut profile,
+                        );
+                        continue;
+                    }
+                    None => {}
+                }
+
+                if ranks[r].pc >= self.programs[r].ops.len() {
+                    ranks[r].done = true;
+                    break;
+                }
+
+                let op = self.programs[r].ops[ranks[r].pc];
+                let clock = ranks[r].clock;
+                match op {
+                    Op::Compute { seconds } => {
+                        if TRACE {
+                            timeline.record(r, clock, clock + seconds, EventKind::Compute);
+                        }
+                        breakdown[r][EventKind::Compute.index()] += seconds;
+                        profile.phase(r, Phase::Compute, seconds);
+                        ranks[r].clock += seconds;
+                        ranks[r].pc += 1;
+                    }
+                    Op::Send { to, tag, bytes } => {
+                        let eager = bytes < np.eager_threshold;
+                        let (ireq, same_node) = Self::post_send(
+                            &np,
+                            &mut ranks,
+                            &mut reqs,
+                            &mut channels,
+                            &mut ready,
+                            r,
+                            to,
+                            tag,
+                            bytes,
+                            clock,
+                            eager,
+                        );
+                        profile.message(r, to, bytes, regime_of(eager));
+                        p2p_bytes += bytes as u64;
+                        if !same_node {
+                            internode_bytes += bytes as u64;
+                        }
+                        let set = ReqSet::one(ireq);
+                        if !Self::try_unblock_reqs::<P, TRACE>(
+                            r,
+                            set,
+                            EventKind::Send,
+                            clock,
+                            &mut ranks,
+                            &reqs,
+                            &mut timeline,
+                            &mut breakdown,
+                            &mut profile,
+                        ) {
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: set,
+                                kind: EventKind::Send,
+                                start: clock,
+                            });
+                            break;
+                        }
+                    }
+                    Op::Recv { from, tag } => {
+                        let ireq = Self::post_recv(
+                            &np,
+                            &mut ranks,
+                            &mut reqs,
+                            &mut channels,
+                            &mut ready,
+                            from,
+                            r,
+                            tag,
+                            clock,
+                        );
+                        let set = ReqSet::one(ireq);
+                        if !Self::try_unblock_reqs::<P, TRACE>(
+                            r,
+                            set,
+                            EventKind::Recv,
+                            clock,
+                            &mut ranks,
+                            &reqs,
+                            &mut timeline,
+                            &mut breakdown,
+                            &mut profile,
+                        ) {
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: set,
+                                kind: EventKind::Recv,
+                                start: clock,
+                            });
+                            break;
+                        }
+                    }
+                    Op::Sendrecv {
+                        to,
+                        send_bytes,
+                        from,
+                        tag,
+                    } => {
+                        let eager = send_bytes < np.eager_threshold;
+                        let (s, same_node) = Self::post_send(
+                            &np,
+                            &mut ranks,
+                            &mut reqs,
+                            &mut channels,
+                            &mut ready,
+                            r,
+                            to,
+                            tag,
+                            send_bytes,
+                            clock,
+                            eager,
+                        );
+                        let v = Self::post_recv(
+                            &np,
+                            &mut ranks,
+                            &mut reqs,
+                            &mut channels,
+                            &mut ready,
+                            from,
+                            r,
+                            tag,
+                            clock,
+                        );
+                        profile.message(r, to, send_bytes, regime_of(eager));
+                        p2p_bytes += send_bytes as u64;
+                        if !same_node {
+                            internode_bytes += send_bytes as u64;
+                        }
+                        let set = ReqSet::two(s, v);
+                        if !Self::try_unblock_reqs::<P, TRACE>(
+                            r,
+                            set,
+                            EventKind::Sendrecv,
+                            clock,
+                            &mut ranks,
+                            &reqs,
+                            &mut timeline,
+                            &mut breakdown,
+                            &mut profile,
+                        ) {
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: set,
+                                kind: EventKind::Sendrecv,
+                                start: clock,
+                            });
+                            break;
+                        }
+                    }
+                    Op::Isend {
+                        to,
+                        tag,
+                        bytes,
+                        req,
+                    } => {
+                        let eager = bytes < np.eager_threshold;
+                        let (ireq, same_node) = Self::post_send(
+                            &np,
+                            &mut ranks,
+                            &mut reqs,
+                            &mut channels,
+                            &mut ready,
+                            r,
+                            to,
+                            tag,
+                            bytes,
+                            clock,
+                            eager,
+                        );
+                        Self::set_user_req(&mut ranks[r].user_reqs, req, ireq);
+                        ranks[r].pc += 1;
+                        profile.message(r, to, bytes, regime_of(eager));
+                        p2p_bytes += bytes as u64;
+                        if !same_node {
+                            internode_bytes += bytes as u64;
+                        }
+                    }
+                    Op::Irecv { from, tag, req } => {
+                        let ireq = Self::post_recv(
+                            &np,
+                            &mut ranks,
+                            &mut reqs,
+                            &mut channels,
+                            &mut ready,
+                            from,
+                            r,
+                            tag,
+                            clock,
+                        );
+                        Self::set_user_req(&mut ranks[r].user_reqs, req, ireq);
+                        ranks[r].pc += 1;
+                    }
+                    Op::Wait { req } => {
+                        let ireq = ranks[r].user_reqs[req as usize];
+                        debug_assert_ne!(ireq, NO_REQ, "validated: wait follows creation");
+                        let set = ReqSet::one(ireq);
+                        if !Self::try_unblock_reqs::<P, TRACE>(
+                            r,
+                            set,
+                            EventKind::Wait,
+                            clock,
+                            &mut ranks,
+                            &reqs,
+                            &mut timeline,
+                            &mut breakdown,
+                            &mut profile,
+                        ) {
+                            ranks[r].blocked = Some(Blocked::Reqs {
+                                reqs: set,
+                                kind: EventKind::Wait,
+                                start: clock,
+                            });
+                            break;
+                        }
+                    }
+                    Op::Allreduce { .. }
+                    | Op::Barrier
+                    | Op::Bcast { .. }
+                    | Op::Reduce { .. }
+                    | Op::Allgather { .. }
+                    | Op::Alltoall { .. } => {
+                        let (kind, bytes) = match op {
+                            Op::Allreduce { bytes } => (EventKind::Allreduce, bytes),
+                            Op::Barrier => (EventKind::Barrier, 0),
+                            Op::Bcast { bytes, .. } => (EventKind::Bcast, bytes),
+                            Op::Reduce { bytes, .. } => (EventKind::Reduce, bytes),
+                            Op::Allgather { bytes } => (EventKind::Allgather, bytes),
+                            Op::Alltoall { bytes } => (EventKind::Alltoall, bytes),
+                            _ => unreachable!(),
+                        };
+                        let seq = ranks[r].coll_seq;
+                        Self::enter_collective(
+                            &mut collectives,
+                            &mut ready,
+                            seq,
+                            kind,
+                            bytes,
+                            r,
+                            clock,
+                            nranks,
+                            &self.net,
+                        )?;
+                        // The last entrant finishes the collective and
+                        // unblocks inline; everyone else parks.
+                        if let Some(finish) = collectives[seq].finish {
+                            Self::unblock_collective::<P, TRACE>(
+                                r,
+                                clock,
+                                finish,
+                                kind,
+                                &mut ranks,
+                                &mut timeline,
+                                &mut breakdown,
+                                &mut profile,
+                            );
+                        } else {
+                            ranks[r].blocked = Some(Blocked::Collective { start: clock });
+                            break;
+                        }
                     }
                 }
             }
         }
 
-        let mut ranks: Vec<RankState> = (0..nranks)
-            .map(|_| RankState {
-                pc: 0,
-                clock: 0.0,
-                blocked: None,
-                done: false,
-                ireqs: Vec::new(),
-                ireq_class: Vec::new(),
-                user_reqs: HashMap::new(),
-                coll_seq: 0,
-            })
-            .collect();
-        let mut channels: HashMap<(usize, usize, u32), Channel> = HashMap::new();
-        let mut collectives: Vec<CollectiveEntry> = Vec::new();
-        let mut timeline = Timeline::new(nranks);
-        // Online per-rank breakdown (kept even when full tracing is off).
-        let mut breakdown: Vec<[f64; EventKind::COUNT]> = vec![[0.0; EventKind::COUNT]; nranks];
-        // Online observability profile (also trace-independent).
-        let mut profile = if self.config.profile {
-            Profile::new(nranks)
-        } else {
-            Profile::default()
-        };
-        let mut p2p_bytes: u64 = 0;
-        let mut internode_bytes: u64 = 0;
-
-        loop {
-            let mut progressed = false;
-            for r in 0..nranks {
-                loop {
-                    // Try to unblock (two-phase: immutable check first,
-                    // then apply — avoids cloning the blocked state on
-                    // every re-check, which dominates at scale).
-                    if ranks[r].blocked.is_some() {
-                        // Phase 1: decide.
-                        let decision: Option<(f64, f64, EventKind, bool, Phase)> =
-                            match ranks[r].blocked.as_ref().expect("checked") {
-                                Blocked::Reqs { reqs, kind, start } => {
-                                    let mut resume = *start;
-                                    let mut all_done = true;
-                                    for &ireq in reqs {
-                                        match ranks[r].ireqs[ireq] {
-                                            ReqState::Completed(t) => resume = resume.max(t),
-                                            ReqState::Pending => {
-                                                all_done = false;
-                                                break;
-                                            }
-                                        }
-                                    }
-                                    // Attribute the blocked time: a
-                                    // rendezvous send in the set means a
-                                    // hand-shake stall; otherwise an
-                                    // unfinished receive dominates (eager
-                                    // sends complete in `o`).
-                                    let phase = if reqs
-                                        .iter()
-                                        .any(|&q| ranks[r].ireq_class[q] == ReqClass::RdvSend)
-                                    {
-                                        Phase::RendezvousStall
-                                    } else if reqs
-                                        .iter()
-                                        .any(|&q| ranks[r].ireq_class[q] == ReqClass::Recv)
-                                    {
-                                        Phase::RecvWait
-                                    } else {
-                                        Phase::EagerSend
-                                    };
-                                    all_done.then_some((*start, resume, *kind, false, phase))
-                                }
-                                Blocked::Collective { start } => {
-                                    let entry = &collectives[ranks[r].coll_seq];
-                                    entry.finish.map(|t| {
-                                        (*start, t, entry.event_kind, true, Phase::CollectiveWait)
-                                    })
-                                }
-                            };
-                        // Phase 2: apply or stay blocked.
-                        let Some((start, resume, kind, is_collective, phase)) = decision else {
-                            break;
-                        };
-                        if self.config.trace {
-                            timeline.record(r, start, resume, kind);
-                        }
-                        if resume > start {
-                            breakdown_add(&mut breakdown, r, kind, resume - start);
-                            if self.config.profile {
-                                profile.record_phase(r, phase, resume - start);
-                            }
-                        }
-                        ranks[r].clock = resume;
-                        ranks[r].blocked = None;
-                        if is_collective {
-                            ranks[r].coll_seq += 1;
-                        }
-                        ranks[r].pc += 1;
-                        progressed = true;
-                        continue;
-                    }
-
-                    if ranks[r].done {
-                        break;
-                    }
-                    if ranks[r].pc >= self.programs[r].ops.len() {
-                        ranks[r].done = true;
-                        progressed = true;
-                        break;
-                    }
-
-                    let op = self.programs[r].ops[ranks[r].pc];
-                    let clock = ranks[r].clock;
-                    // Channel touched by this op, if any; only that
-                    // channel can produce new matches.
-                    let mut touched: [Option<(usize, usize, u32)>; 2] = [None, None];
-                    match op {
-                        Op::Compute { seconds } => {
-                            if self.config.trace {
-                                timeline.record(r, clock, clock + seconds, EventKind::Compute);
-                            }
-                            breakdown_add(&mut breakdown, r, EventKind::Compute, seconds);
-                            if self.config.profile {
-                                profile.record_phase(r, Phase::Compute, seconds);
-                            }
-                            ranks[r].clock += seconds;
-                            ranks[r].pc += 1;
-                        }
-                        Op::Send { to, tag, bytes } => {
-                            let eager = self.net.is_eager(bytes);
-                            let ireq = Self::post_send(
-                                &mut ranks[r],
-                                &mut channels,
-                                r,
-                                to,
-                                tag,
-                                bytes,
-                                clock,
-                                eager,
-                            );
-                            touched[0] = Some((r, to, tag));
-                            if eager {
-                                // Eager sends complete locally after the
-                                // sender overhead, receiver or not.
-                                ranks[r].ireqs[ireq] =
-                                    ReqState::Completed(clock + self.net.send_overhead);
-                            }
-                            ranks[r].blocked = Some(Blocked::Reqs {
-                                reqs: vec![ireq],
-                                kind: EventKind::Send,
-                                start: clock,
-                            });
-                            if self.config.profile {
-                                profile.record_message(r, to, bytes, regime_of(eager));
-                            }
-                            p2p_bytes += bytes as u64;
-                            if !self.net.pinning().same_node(r, to) {
-                                internode_bytes += bytes as u64;
-                            }
-                        }
-                        Op::Recv { from, tag } => {
-                            let ireq =
-                                Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
-                            touched[0] = Some((from, r, tag));
-                            ranks[r].blocked = Some(Blocked::Reqs {
-                                reqs: vec![ireq],
-                                kind: EventKind::Recv,
-                                start: clock,
-                            });
-                        }
-                        Op::Sendrecv {
-                            to,
-                            send_bytes,
-                            from,
-                            tag,
-                        } => {
-                            let eager = self.net.is_eager(send_bytes);
-                            let s = Self::post_send(
-                                &mut ranks[r],
-                                &mut channels,
-                                r,
-                                to,
-                                tag,
-                                send_bytes,
-                                clock,
-                                eager,
-                            );
-                            let v =
-                                Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
-                            touched[0] = Some((r, to, tag));
-                            touched[1] = Some((from, r, tag));
-                            if eager {
-                                ranks[r].ireqs[s] =
-                                    ReqState::Completed(clock + self.net.send_overhead);
-                            }
-                            ranks[r].blocked = Some(Blocked::Reqs {
-                                reqs: vec![s, v],
-                                kind: EventKind::Sendrecv,
-                                start: clock,
-                            });
-                            if self.config.profile {
-                                profile.record_message(r, to, send_bytes, regime_of(eager));
-                            }
-                            p2p_bytes += send_bytes as u64;
-                            if !self.net.pinning().same_node(r, to) {
-                                internode_bytes += send_bytes as u64;
-                            }
-                        }
-                        Op::Isend {
-                            to,
-                            tag,
-                            bytes,
-                            req,
-                        } => {
-                            let eager = self.net.is_eager(bytes);
-                            let ireq = Self::post_send(
-                                &mut ranks[r],
-                                &mut channels,
-                                r,
-                                to,
-                                tag,
-                                bytes,
-                                clock,
-                                eager,
-                            );
-                            touched[0] = Some((r, to, tag));
-                            if eager {
-                                ranks[r].ireqs[ireq] =
-                                    ReqState::Completed(clock + self.net.send_overhead);
-                            }
-                            ranks[r].user_reqs.insert(req, ireq);
-                            ranks[r].pc += 1;
-                            if self.config.profile {
-                                profile.record_message(r, to, bytes, regime_of(eager));
-                            }
-                            p2p_bytes += bytes as u64;
-                            if !self.net.pinning().same_node(r, to) {
-                                internode_bytes += bytes as u64;
-                            }
-                        }
-                        Op::Irecv { from, tag, req } => {
-                            let ireq =
-                                Self::post_recv(&mut ranks[r], &mut channels, from, r, tag, clock);
-                            touched[0] = Some((from, r, tag));
-                            ranks[r].user_reqs.insert(req, ireq);
-                            ranks[r].pc += 1;
-                        }
-                        Op::Wait { req } => {
-                            let ireq = *ranks[r]
-                                .user_reqs
-                                .get(&req)
-                                .expect("validated: wait follows creation");
-                            ranks[r].blocked = Some(Blocked::Reqs {
-                                reqs: vec![ireq],
-                                kind: EventKind::Wait,
-                                start: clock,
-                            });
-                        }
-                        Op::Allreduce { .. }
-                        | Op::Barrier
-                        | Op::Bcast { .. }
-                        | Op::Reduce { .. }
-                        | Op::Allgather { .. }
-                        | Op::Alltoall { .. } => {
-                            let (kind, bytes) = match op {
-                                Op::Allreduce { bytes } => (EventKind::Allreduce, bytes),
-                                Op::Barrier => (EventKind::Barrier, 0),
-                                Op::Bcast { bytes, .. } => (EventKind::Bcast, bytes),
-                                Op::Reduce { bytes, .. } => (EventKind::Reduce, bytes),
-                                Op::Allgather { bytes } => (EventKind::Allgather, bytes),
-                                Op::Alltoall { bytes } => (EventKind::Alltoall, bytes),
-                                _ => unreachable!(),
-                            };
-                            let seq = ranks[r].coll_seq;
-                            Self::enter_collective(
-                                &mut collectives,
-                                seq,
-                                kind,
-                                bytes,
-                                r,
-                                clock,
-                                nranks,
-                                &self.net,
-                            )?;
-                            ranks[r].blocked = Some(Blocked::Collective { start: clock });
-                        }
-                    }
-
-                    // Resolve any matches the op enabled on the touched
-                    // channels; completions are delivered directly into
-                    // the owning ranks' request tables.
-                    for key in touched.into_iter().flatten() {
-                        if let Some(ch) = channels.get_mut(&key) {
-                            self.match_channel(ch, &mut ranks);
-                        }
-                    }
-                    progressed = true;
-                }
-            }
-
-            if ranks.iter().all(|s| s.done) {
-                break;
-            }
-            if !progressed {
-                let blocked = ranks
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| !s.done)
-                    .map(|(r, s)| {
-                        let pc = s.pc.min(self.programs[r].ops.len().saturating_sub(1));
-                        (r, s.pc, self.programs[r].ops[pc])
-                    })
-                    .collect();
-                return Err(SimError::Deadlock(blocked));
-            }
+        if ranks.iter().any(|s| !s.done) {
+            let blocked = ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done)
+                .map(|(r, s)| {
+                    let pc = s.pc.min(self.programs[r].ops.len().saturating_sub(1));
+                    (r, s.pc, self.programs[r].ops[pc])
+                })
+                .collect();
+            return Err(SimError::Deadlock(blocked));
         }
 
         let finish_times: Vec<f64> = ranks.iter().map(|s| s.clock).collect();
@@ -616,85 +1095,238 @@ impl Engine {
             p2p_bytes,
             internode_bytes,
             per_rank_breakdown: breakdown,
-            profile,
+            profile: profile.finish(),
         })
     }
 
+    /// If every request in `reqs` has completed, perform the full
+    /// unblock bookkeeping (trace, breakdown, profile phase, clock,
+    /// program counter) and return `true`; otherwise leave the rank
+    /// untouched. Shared by the inline fast path (blocking op completes
+    /// at post time) and the wake path (rank re-examined off the ready
+    /// queue).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn try_unblock_reqs<P: ProfileSink, const TRACE: bool>(
+        r: usize,
+        set: ReqSet,
+        kind: EventKind,
+        start: f64,
+        ranks: &mut [RankState],
+        reqs: &[Req],
+        timeline: &mut Timeline,
+        breakdown: &mut [[f64; EventKind::COUNT]],
+        profile: &mut P,
+    ) -> bool {
+        let mut resume = start;
+        for &ireq in set.as_slice() {
+            let q = reqs[ireq];
+            if !q.done {
+                return false;
+            }
+            resume = resume.max(q.done_at);
+        }
+        // Attribute the blocked time: a rendezvous send in the set
+        // means a hand-shake stall; otherwise an unfinished receive
+        // dominates (eager sends complete in `o`). Skipped entirely
+        // when profiling is off.
+        let phase = if !P::ENABLED {
+            Phase::Compute // unused
+        } else if set
+            .as_slice()
+            .iter()
+            .any(|&q| reqs[q].class == ReqClass::RdvSend)
+        {
+            Phase::RendezvousStall
+        } else if set
+            .as_slice()
+            .iter()
+            .any(|&q| reqs[q].class == ReqClass::Recv)
+        {
+            Phase::RecvWait
+        } else {
+            Phase::EagerSend
+        };
+        if TRACE {
+            timeline.record(r, start, resume, kind);
+        }
+        if resume > start {
+            breakdown[r][kind.index()] += resume - start;
+            profile.phase(r, phase, resume - start);
+        }
+        let state = &mut ranks[r];
+        state.clock = resume;
+        state.blocked = None;
+        state.pc += 1;
+        true
+    }
+
+    /// Unblock bookkeeping for a finished collective: the rank leaves
+    /// at the common `finish` time and advances to its next collective
+    /// sequence number.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn unblock_collective<P: ProfileSink, const TRACE: bool>(
+        r: usize,
+        start: f64,
+        finish: f64,
+        kind: EventKind,
+        ranks: &mut [RankState],
+        timeline: &mut Timeline,
+        breakdown: &mut [[f64; EventKind::COUNT]],
+        profile: &mut P,
+    ) {
+        if TRACE {
+            timeline.record(r, start, finish, kind);
+        }
+        if finish > start {
+            breakdown[r][kind.index()] += finish - start;
+            profile.phase(r, Phase::CollectiveWait, finish - start);
+        }
+        let state = &mut ranks[r];
+        state.clock = finish;
+        state.blocked = None;
+        state.coll_seq += 1;
+        state.pc += 1;
+    }
+
+    /// Record `user req id → ireq` in the slot vector, growing it on
+    /// first use of a new id (ids may be reused after their `Wait`).
+    #[inline]
+    fn set_user_req(user_reqs: &mut Vec<IReq>, req: ReqId, ireq: IReq) {
+        let slot = req as usize;
+        if user_reqs.len() <= slot {
+            user_reqs.resize(slot + 1, NO_REQ);
+        }
+        user_reqs[slot] = ireq;
+    }
+
+    /// Create the internal request for a send, append the posting to
+    /// its channel (completing it locally right away if eager), and
+    /// resolve any matches this enables. Returns the request and
+    /// whether the pair shares a node.
     #[allow(clippy::too_many_arguments)]
     fn post_send(
-        rank: &mut RankState,
-        channels: &mut HashMap<(usize, usize, u32), Channel>,
+        np: &NetParams,
+        ranks: &mut [RankState],
+        reqs: &mut [Req],
+        channels: &mut Channels,
+        ready: &mut ReadyQueue,
         from: usize,
         to: usize,
         tag: u32,
         bytes: usize,
         time: f64,
         eager: bool,
-    ) -> IReq {
-        let ireq = rank.ireqs.len();
-        rank.ireqs.push(ReqState::Pending);
-        rank.ireq_class.push(if eager {
-            ReqClass::EagerSend
+    ) -> (IReq, bool) {
+        let rank = &mut ranks[from];
+        let ireq = rank.req_next;
+        debug_assert!(ireq < rank.req_end, "prepass under-counted posts");
+        rank.req_next += 1;
+        // Eager sends complete locally after the sender overhead,
+        // receiver or not.
+        reqs[ireq] = Req {
+            done_at: if eager { time + np.send_overhead } else { 0.0 },
+            class: if eager {
+                ReqClass::EagerSend
+            } else {
+                ReqClass::RdvSend
+            },
+            done: eager,
+        };
+        let memo = rank.send_memo;
+        let slot = if memo.peer == to && memo.tag == tag {
+            memo.idx
         } else {
-            ReqClass::RdvSend
-        });
-        channels
-            .entry((from, to, tag))
-            .or_default()
-            .sends
-            .push_back(SendPost {
-                time,
-                bytes,
-                ireq,
-                sender: from,
-            });
-        ireq
+            let idx = channels.slot(np, from, to, tag);
+            rank.send_memo = ChanMemo { peer: to, tag, idx };
+            idx
+        };
+        let ch = &mut channels.store[slot as usize];
+        ch.sends.push(SendPost { time, bytes, ireq });
+        let same_node = ch.same_node;
+        Self::match_channel(np.eager_threshold, ch, from, to, reqs, ready, from);
+        (ireq, same_node)
     }
 
+    /// Create the internal request for a receive, append the posting to
+    /// its channel, and resolve any matches this enables.
+    #[allow(clippy::too_many_arguments)]
     fn post_recv(
-        rank: &mut RankState,
-        channels: &mut HashMap<(usize, usize, u32), Channel>,
+        np: &NetParams,
+        ranks: &mut [RankState],
+        reqs: &mut [Req],
+        channels: &mut Channels,
+        ready: &mut ReadyQueue,
         from: usize,
         to: usize,
         tag: u32,
         time: f64,
     ) -> IReq {
-        let ireq = rank.ireqs.len();
-        rank.ireqs.push(ReqState::Pending);
-        rank.ireq_class.push(ReqClass::Recv);
-        channels
-            .entry((from, to, tag))
-            .or_default()
-            .recvs
-            .push_back(RecvPost {
-                time,
-                ireq,
-                receiver: to,
-            });
+        let rank = &mut ranks[to];
+        let ireq = rank.req_next;
+        debug_assert!(ireq < rank.req_end, "prepass under-counted posts");
+        rank.req_next += 1;
+        // The arena slot is pre-initialized to a pending `Recv`, which
+        // is exactly this request's state.
+        let memo = rank.recv_memo;
+        let slot = if memo.peer == from && memo.tag == tag {
+            memo.idx
+        } else {
+            let idx = channels.slot(np, from, to, tag);
+            rank.recv_memo = ChanMemo {
+                peer: from,
+                tag,
+                idx,
+            };
+            idx
+        };
+        let ch = &mut channels.store[slot as usize];
+        ch.recvs.push(RecvPost { time, ireq });
+        Self::match_channel(np.eager_threshold, ch, from, to, reqs, ready, to);
         ireq
     }
 
-    /// Match pending send/recv pairs in one channel, delivering
-    /// completions straight into the owning ranks' request tables.
-    /// FIFO per channel preserves MPI's non-overtaking rule.
-    fn match_channel(&self, ch: &mut Channel, ranks: &mut [RankState]) {
+    /// Match pending send/recv pairs in one channel (`from → to`),
+    /// delivering completions straight into the owning ranks' request
+    /// tables and waking those ranks (the currently executing rank
+    /// `running` re-examines its own state inline instead). FIFO per
+    /// channel preserves MPI's non-overtaking rule.
+    fn match_channel(
+        eager_threshold: usize,
+        ch: &mut Channel,
+        from: usize,
+        to: usize,
+        reqs: &mut [Req],
+        ready: &mut ReadyQueue,
+        running: usize,
+    ) {
         while !ch.sends.is_empty() && !ch.recvs.is_empty() {
-            let s = ch.sends.pop_front().expect("non-empty");
-            let v = ch.recvs.pop_front().expect("non-empty");
-            let wire = self.net.p2p_time(s.sender, v.receiver, s.bytes);
-            if self.net.is_eager(s.bytes) {
+            let s = ch.sends.pop();
+            let v = ch.recvs.pop();
+            let wire = ch.wire_lat + s.bytes as f64 / ch.wire_denom;
+            if s.bytes < eager_threshold {
                 // The sender's completion was already issued at post time
                 // (eager sends complete locally); only the receive side
                 // completes here, at message arrival.
                 let arrival = s.time + wire;
                 let recv_done = v.time.max(arrival);
-                ranks[v.receiver].ireqs[v.ireq] = ReqState::Completed(recv_done);
+                let rq = &mut reqs[v.ireq];
+                rq.done_at = recv_done;
+                rq.done = true;
+                ready.wake(to, running);
             } else {
                 // Rendezvous: transfer starts when both are ready.
                 let start = s.time.max(v.time);
                 let done = start + wire;
-                ranks[s.sender].ireqs[s.ireq] = ReqState::Completed(done);
-                ranks[v.receiver].ireqs[v.ireq] = ReqState::Completed(done);
+                let sq = &mut reqs[s.ireq];
+                sq.done_at = done;
+                sq.done = true;
+                let rq = &mut reqs[v.ireq];
+                rq.done_at = done;
+                rq.done = true;
+                ready.wake(from, running);
+                ready.wake(to, running);
             }
         }
     }
@@ -712,9 +1344,14 @@ impl Engine {
         }
     }
 
+    /// Enter rank `rank` into the collective at sequence `seq`; the
+    /// last entrant computes the common finish time and wakes every
+    /// participant (except the entrant itself, which re-examines its
+    /// state inline).
     #[allow(clippy::too_many_arguments)]
     fn enter_collective(
         collectives: &mut Vec<CollectiveEntry>,
+        ready: &mut ReadyQueue,
         seq: usize,
         kind: EventKind,
         bytes: usize,
@@ -727,7 +1364,8 @@ impl Engine {
             collectives.push(CollectiveEntry {
                 event_kind: kind,
                 bytes,
-                entries: Vec::with_capacity(nranks),
+                entered: 0,
+                max_entry: 0.0,
                 finish: None,
             });
         }
@@ -741,9 +1379,10 @@ impl Engine {
             });
         }
         entry.bytes = entry.bytes.max(bytes);
-        entry.entries.push((rank, time));
-        if entry.entries.len() == nranks {
-            let max_entry = entry.entries.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        entry.entered += 1;
+        entry.max_entry = entry.max_entry.max(time);
+        if entry.entered == nranks {
+            let max_entry = entry.max_entry;
             let cost = match entry.event_kind {
                 EventKind::Barrier => net.barrier_cost(nranks),
                 EventKind::Allreduce => net.allreduce_cost(nranks, entry.bytes),
@@ -754,6 +1393,11 @@ impl Engine {
                 _ => 0.0,
             };
             entry.finish = Some(max_entry + cost);
+            // Every rank participates in every collective, so the wake
+            // targets are simply all ranks.
+            for er in 0..nranks {
+                ready.wake(er, rank);
+            }
         }
         Ok(())
     }
@@ -859,6 +1503,35 @@ mod tests {
         };
         let err = engine_for(vec![mk(1), mk(0)]).run().unwrap_err();
         assert!(matches!(err, SimError::Deadlock(_)));
+    }
+
+    #[test]
+    fn deadlock_display_reports_all_blocked_ranks() {
+        // An 11-rank cyclic rendezvous deadlock: the Display form
+        // details the first 8 ranks and must say how many more are
+        // blocked instead of silently truncating.
+        let n = 11;
+        let progs: Vec<Program> = (0..n)
+            .map(|r| {
+                let mut p = Program::new();
+                p.push(Op::send((r + 1) % n, 0, 1 << 20));
+                p.push(Op::recv((r + n - 1) % n, 0));
+                p
+            })
+            .collect();
+        let err = engine_for(progs).run().unwrap_err();
+        let SimError::Deadlock(ref blocked) = err else {
+            panic!("expected deadlock, got {err:?}");
+        };
+        assert_eq!(blocked.len(), n);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("and 3 more blocked ranks"),
+            "truncated ranks not reported: {msg}"
+        );
+        // All 11 are still present in the payload, only the rendering
+        // is summarized.
+        assert!(msg.starts_with("deadlock: 11 rank(s) blocked"));
     }
 
     #[test]
@@ -1068,6 +1741,19 @@ mod tests {
         assert!(r.makespan > 0.0);
     }
 
+    #[test]
+    fn user_request_ids_may_be_sparse() {
+        // The slot-vector request table must cope with non-contiguous
+        // user request ids.
+        let mut p0 = Program::new();
+        p0.push(Op::irecv(1, 0, 1000));
+        p0.push(Op::wait(1000));
+        let mut p1 = Program::new();
+        p1.push(Op::send(0, 0, 64));
+        let r = run(vec![p0, p1]);
+        assert!(r.makespan > 0.0);
+    }
+
     // ---------------------------------------------------------------
     // Online profile (the Fig.-2 / ITAC analog)
     // ---------------------------------------------------------------
@@ -1112,6 +1798,48 @@ mod tests {
         let r = Engine::new(cfg, net, vec![p0]).run().unwrap();
         assert!(!r.profile.is_enabled());
         assert_eq!(r.profile, Profile::default());
+    }
+
+    #[test]
+    fn profile_off_leaves_results_bit_identical() {
+        // The no-op recorder instantiation must not perturb any other
+        // output: timings, breakdowns and byte counters match the
+        // profile-on run exactly.
+        let mk = || {
+            let mut progs = Vec::new();
+            for r in 0..12usize {
+                let mut p = Program::new();
+                p.push(Op::compute(0.002 * (r + 1) as f64));
+                p.push(Op::sendrecv((r + 1) % 12, 1 << 17, (r + 11) % 12, 0));
+                p.push(Op::send((r + 3) % 12, 1, 128));
+                p.push(Op::recv((r + 9) % 12, 1));
+                p.push(Op::allreduce(256));
+                progs.push(p);
+            }
+            progs
+        };
+        let cluster = presets::cluster_a();
+        let run_cfg = |profile: bool| {
+            let net = NetModel::compact(&cluster, 12);
+            Engine::new(
+                SimConfig {
+                    trace: false,
+                    profile,
+                },
+                net,
+                mk(),
+            )
+            .run()
+            .unwrap()
+        };
+        let on = run_cfg(true);
+        let off = run_cfg(false);
+        assert_eq!(on.finish_times, off.finish_times);
+        assert_eq!(on.per_rank_breakdown, off.per_rank_breakdown);
+        assert_eq!(on.p2p_bytes, off.p2p_bytes);
+        assert_eq!(on.internode_bytes, off.internode_bytes);
+        assert!(on.profile.is_enabled());
+        assert!(!off.profile.is_enabled());
     }
 
     #[test]

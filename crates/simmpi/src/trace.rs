@@ -67,6 +67,15 @@ impl EventKind {
 
     /// Number of event kinds (array dimension for per-kind counters).
     pub const COUNT: usize = Self::ALL.len();
+
+    /// Index of this kind in [`EventKind::ALL`]. The engine's hot path
+    /// indexes its per-kind counters with this instead of scanning
+    /// `ALL`; `ALL` is declared in discriminant order, which a unit
+    /// test (`all_order_matches_discriminants`) pins.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl std::fmt::Display for EventKind {
@@ -245,6 +254,15 @@ impl Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_order_matches_discriminants() {
+        // `EventKind::index` relies on `ALL` listing the kinds in
+        // declaration (discriminant) order.
+        for (i, &k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "ALL out of discriminant order at {i}");
+        }
+    }
 
     fn sample() -> Timeline {
         let mut t = Timeline::new(2);

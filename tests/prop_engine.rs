@@ -9,7 +9,7 @@
 
 use spechpc::kernels::common::rng::Rng;
 use spechpc::machine::presets;
-use spechpc::simmpi::engine::{Engine, SimConfig};
+use spechpc::simmpi::engine::{Engine, SimConfig, SimResult};
 use spechpc::simmpi::netmodel::NetModel;
 use spechpc::simmpi::program::{Op, Program};
 
@@ -183,6 +183,223 @@ fn barrier_synchronizes() {
             assert!(*t >= before.finish_times[i] - 1e-12);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler equivalence: golden vectors pinned from the polling engine
+// ---------------------------------------------------------------------
+//
+// The fingerprints below were captured from the pre-ready-queue
+// (polling-sweep) engine. Any scheduler or data-structure change must
+// reproduce them bit for bit: `SimResult` is defined to be independent
+// of the order in which runnable ranks are visited.
+
+/// FNV-1a accumulation over raw bytes.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// Bit-exact digest of everything `SimResult` promises to keep stable:
+/// finish times, the online per-rank breakdown, byte counters, and the
+/// full observability profile. Timeline events are digested per rank
+/// (their global interleaving is scheduler-visiting-order and is *not*
+/// part of the contract).
+fn fingerprint(r: &SimResult) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for t in &r.finish_times {
+        fnv(&mut h, &t.to_bits().to_le_bytes());
+    }
+    for row in &r.per_rank_breakdown {
+        for v in row {
+            fnv(&mut h, &v.to_bits().to_le_bytes());
+        }
+    }
+    fnv(&mut h, &r.p2p_bytes.to_le_bytes());
+    fnv(&mut h, &r.internode_bytes.to_le_bytes());
+    let p = &r.profile;
+    fnv(&mut h, &(p.nranks as u64).to_le_bytes());
+    for ph in &p.per_rank {
+        for v in [
+            ph.compute_s,
+            ph.eager_send_s,
+            ph.rendezvous_stall_s,
+            ph.recv_wait_s,
+            ph.collective_wait_s,
+        ] {
+            fnv(&mut h, &v.to_bits().to_le_bytes());
+        }
+    }
+    for hist in [&p.eager_hist, &p.rendezvous_hist] {
+        for b in hist.iter() {
+            fnv(&mut h, &b.count.to_le_bytes());
+            fnv(&mut h, &b.bytes.to_le_bytes());
+        }
+    }
+    for v in &p.comm_matrix {
+        fnv(&mut h, &v.to_le_bytes());
+    }
+    for rank in 0..r.timeline.nranks {
+        for e in r.timeline.rank_events(rank) {
+            fnv(&mut h, &(e.rank as u64).to_le_bytes());
+            fnv(&mut h, &e.start.to_bits().to_le_bytes());
+            fnv(&mut h, &e.end.to_bits().to_le_bytes());
+            fnv(&mut h, &[e.kind.glyph() as u8]);
+        }
+    }
+    h
+}
+
+/// Randomized but deadlock-free workload mixing every scheduling shape
+/// the engine supports: eager and rendezvous point-to-point, blocking
+/// sendrecv rings, non-blocking exchanges with reordered waits, and all
+/// six collectives, with per-rank compute skew in between.
+fn mixed_programs(rng: &mut Rng, nranks: usize, steps: usize) -> Vec<Program> {
+    let mut progs: Vec<Program> = (0..nranks).map(|_| Program::new()).collect();
+    for step in 0..steps {
+        let tag = step as u32;
+        for (r, p) in progs.iter_mut().enumerate() {
+            let skew = rng.range(0.0, 2.0) * 1e-4 * ((r % 7) + 1) as f64;
+            p.push(Op::compute(skew));
+        }
+        let next = |r: usize| (r + 1) % nranks;
+        let prev = |r: usize| (r + nranks - 1) % nranks;
+        match rng.range(0.0, 5.0) as usize {
+            0 if nranks > 1 => {
+                // Blocking sendrecv ring, eager or rendezvous payloads.
+                let bytes = rng.range(1.0, 300_000.0) as usize;
+                for (r, p) in progs.iter_mut().enumerate() {
+                    p.push(Op::sendrecv(next(r), bytes, prev(r), tag));
+                }
+            }
+            1 if nranks > 1 => {
+                // Eager-only ring of blocking sends: safe because the
+                // payload stays below the protocol threshold, so sends
+                // complete locally before the matching receive posts.
+                let bytes = rng.range(0.0, 16_384.0) as usize;
+                for (r, p) in progs.iter_mut().enumerate() {
+                    p.push(Op::send(next(r), tag, bytes));
+                }
+                for (r, p) in progs.iter_mut().enumerate() {
+                    p.push(Op::recv(prev(r), tag));
+                }
+            }
+            2 if nranks > 1 => {
+                // Non-blocking exchange; half the time the waits are
+                // issued in the reverse order of the posts.
+                let bytes = rng.range(1.0, 500_000.0) as usize;
+                let reorder = rng.next_f64() < 0.5;
+                for (r, p) in progs.iter_mut().enumerate() {
+                    p.push(Op::irecv(prev(r), tag, 0));
+                    p.push(Op::isend(next(r), tag, bytes, 1));
+                    p.push(Op::compute(1e-4));
+                    let (first, second) = if reorder { (1, 0) } else { (0, 1) };
+                    p.push(Op::wait(first));
+                    p.push(Op::wait(second));
+                }
+            }
+            3 => {
+                let bytes = rng.range(1.0, 100_000.0) as usize;
+                let root = rng.range(0.0, nranks as f64) as usize % nranks;
+                let op = match rng.range(0.0, 6.0) as usize {
+                    0 => Op::allreduce(bytes),
+                    1 => Op::Barrier,
+                    2 => Op::bcast(root, bytes),
+                    3 => Op::reduce(root, bytes),
+                    4 => Op::allgather(bytes.min(4096)),
+                    _ => Op::alltoall(bytes.min(2048)),
+                };
+                for p in &mut progs {
+                    p.push(op);
+                }
+            }
+            _ => {} // compute-only step
+        }
+    }
+    progs
+}
+
+/// Run one golden case: `trace` exercises the timeline path, `profile`
+/// off exercises the no-op recorder path.
+fn golden_case(seed: u64) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let nranks = 2 + rng.range(0.0, 30.0) as usize;
+    let steps = 1 + rng.range(0.0, 7.0) as usize;
+    let trace = rng.next_f64() < 0.3;
+    let profile = rng.next_f64() < 0.8;
+    let progs = mixed_programs(&mut rng, nranks, steps);
+    let cluster = presets::cluster_a();
+    let net = NetModel::compact(&cluster, nranks);
+    let r = Engine::new(SimConfig { trace, profile }, net, progs)
+        .run()
+        .expect("well-formed golden case must not deadlock");
+    fingerprint(&r)
+}
+
+/// Pinned from the pre-rewrite polling engine (see module note above).
+const GOLDEN: [u64; 24] = [
+    0xf8e02a51d3285e96,
+    0x559334651cc55837,
+    0x7495f6a1630b87cc,
+    0xed1ec5837bb154dd,
+    0x12c59472c6e04af5,
+    0xb44f49ade1b87109,
+    0x33e8028dad38434d,
+    0xe53ae00f0a76c644,
+    0xd766250d1eefe3f7,
+    0xde02b3f345b4429b,
+    0x542225f392ce9fd3,
+    0x8e8644a9152f56a3,
+    0x18a411296cf15c63,
+    0x74a2413a439edf0e,
+    0x16f6c6769f1d97cf,
+    0x2e0a063f010ac896,
+    0xf70efac7f0e27013,
+    0x57786eb26675187e,
+    0x6e7be5479ebc7e98,
+    0x409f4fc51b671387,
+    0x1c5f04ce967e1ea3,
+    0x2e8d1ced7e25bc79,
+    0xb658fce9a578dc43,
+    0xe6076a4057ad3bf9,
+];
+
+#[test]
+fn scheduler_matches_golden_vectors() {
+    let got: Vec<u64> = (0..GOLDEN.len())
+        .map(|i| golden_case(0xD00D + i as u64))
+        .collect();
+    let want: Vec<u64> = GOLDEN.to_vec();
+    if got != want {
+        let rendered: Vec<String> = got.iter().map(|v| format!("0x{v:016x}")).collect();
+        panic!(
+            "scheduler diverged from the pinned polling-engine results.\n\
+             computed fingerprints: [{}]",
+            rendered.join(", ")
+        );
+    }
+}
+
+/// One larger case than the pinned set: the scheduler must stay
+/// deterministic under a 128-rank mixed workload (the golden vectors
+/// already pin the small/medium shapes bit-exactly).
+#[test]
+fn mixed_workload_large_case_deterministic() {
+    let run_once = || {
+        let mut rng = Rng::seed_from_u64(0xBEEF);
+        let progs = mixed_programs(&mut rng, 128, 4);
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, 128);
+        Engine::new(SimConfig::default(), net, progs)
+            .run()
+            .expect("no deadlock")
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(a.makespan > 0.0);
 }
 
 /// Growing a message can never make the run finish earlier.
