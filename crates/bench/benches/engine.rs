@@ -48,6 +48,7 @@ fn engine_throughput(c: &mut Criterion) {
             let cfg = SimConfig {
                 trace: false,
                 profile: false,
+                ..SimConfig::default()
             };
             Engine::new(cfg, net, template.clone()).run().unwrap()
         })

@@ -48,6 +48,16 @@ pub struct ExecOpts {
     pub metrics: bool,
 }
 
+/// Fault-injection options shared by the simulating commands (see
+/// `spechpc_harness::faultcfg` for the plan format).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultOpts {
+    /// `--faults plan.toml`: inject this fault plan into every run.
+    pub plan: Option<String>,
+    /// `--fault-seed N`: override the plan's seed.
+    pub seed: Option<u64>,
+}
+
 /// The parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -59,12 +69,14 @@ pub enum Command {
         nranks: Option<usize>,
         trace_csv: Option<String>,
         exec: ExecOpts,
+        faults: FaultOpts,
     },
     Suite {
         cluster: ClusterChoice,
         class: WorkloadClass,
         nranks: Option<usize>,
         exec: ExecOpts,
+        faults: FaultOpts,
     },
     Profile {
         benchmark: String,
@@ -72,6 +84,11 @@ pub enum Command {
         class: WorkloadClass,
         nranks: Option<usize>,
         exec: ExecOpts,
+        faults: FaultOpts,
+    },
+    /// Validate and describe a fault plan without running anything.
+    Faults {
+        plan: String,
     },
     Score {
         class: WorkloadClass,
@@ -109,12 +126,15 @@ COMMANDS:
         --class tiny|small|...   workload class             [default: tiny]
         -n, --ranks N            MPI ranks                  [default: full node]
         --trace FILE.csv         write the ITAC-style trace as CSV
-    suite                        run the whole suite
+    suite                        run the whole suite; with faults injected a
+                                 partial run reports failures and exits 3
         --cluster a|b  --class C  -n N
     profile <benchmark>          Fig.-2-style MPI time breakdown (per-rank
-                                 phases, message histograms, comm matrix)
-                                 without tracing; CSV under results/profile/
+                                 phases incl. fault stall, message histograms,
+                                 comm matrix) without tracing; CSV under
+                                 results/profile/
         --cluster a|b  --class C  -n N
+    faults <plan.toml>           validate a fault plan and describe its events
     score                        SPEC-style score of ClusterB vs ClusterA
         --class C                                           [default: tiny]
     figures <fig1|fig2|fig3|fig4|fig5|fig6|tables|all>
@@ -134,6 +154,11 @@ EXECUTION (run/suite/score/figures/profile):
     --no-cache                   re-simulate; skip results/cache/
     --metrics                    report executor/cache counters; CSV under
                                  results/metrics/
+
+FAULT INJECTION (run/suite/profile; see plans/ for examples):
+    --faults plan.toml           inject a deterministic fault plan (os-noise,
+                                 stragglers, flaky links, throttling, crashes)
+    --fault-seed N               override the plan's seed
 ";
 
 /// Parse the argument vector (without `argv[0]`).
@@ -194,6 +219,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         no_cache: flags.contains("no-cache"),
         metrics: flags.contains("metrics"),
     };
+    let faults = FaultOpts {
+        plan: options.get("faults").cloned(),
+        seed: match options.get("fault-seed") {
+            Some(s) => Some(
+                s.parse::<u64>()
+                    .map_err(|e| format!("bad fault seed '{s}': {e}"))?,
+            ),
+            None => None,
+        },
+    };
 
     match cmd.as_str() {
         "list" => Ok(Command::List),
@@ -209,6 +244,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 nranks,
                 trace_csv: options.get("trace").cloned(),
                 exec,
+                faults,
             })
         }
         "suite" => Ok(Command::Suite {
@@ -216,6 +252,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             class,
             nranks,
             exec,
+            faults,
         }),
         "profile" => {
             let benchmark = positional
@@ -228,7 +265,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 class,
                 nranks,
                 exec,
+                faults,
             })
+        }
+        "faults" => {
+            let plan = positional
+                .first()
+                .ok_or("faults: which plan file? (try plans/noisy-node.toml)")?
+                .clone();
+            Ok(Command::Faults { plan })
         }
         "score" => Ok(Command::Score { class, exec }),
         "figures" => Ok(Command::Figures {
@@ -274,6 +319,10 @@ mod tests {
             "4",
             "--no-cache",
             "--metrics",
+            "--faults",
+            "plans/noisy-node.toml",
+            "--fault-seed",
+            "1234",
         ]))
         .unwrap();
         assert_eq!(
@@ -289,8 +338,24 @@ mod tests {
                     no_cache: true,
                     metrics: true,
                 },
+                faults: FaultOpts {
+                    plan: Some("plans/noisy-node.toml".into()),
+                    seed: Some(1234),
+                },
             }
         );
+    }
+
+    #[test]
+    fn parses_faults_subcommand_and_rejects_bad_seeds() {
+        assert_eq!(
+            parse(&v(&["faults", "plans/degraded-fabric.toml"])).unwrap(),
+            Command::Faults {
+                plan: "plans/degraded-fabric.toml".into(),
+            }
+        );
+        assert!(parse(&v(&["faults"])).is_err());
+        assert!(parse(&v(&["suite", "--fault-seed", "minus-one"])).is_err());
     }
 
     #[test]
@@ -304,6 +369,7 @@ mod tests {
                 class: WorkloadClass::Tiny,
                 nranks: Some(59),
                 exec: ExecOpts::default(),
+                faults: FaultOpts::default(),
             }
         );
         assert!(parse(&v(&["profile"])).is_err());
@@ -321,6 +387,7 @@ mod tests {
                 nranks: None,
                 trace_csv: None,
                 exec: ExecOpts::default(),
+                faults: FaultOpts::default(),
             }
         );
     }

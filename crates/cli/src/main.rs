@@ -10,8 +10,9 @@
 
 mod args;
 
-use args::{ClusterChoice, Command, ExecOpts, USAGE};
+use args::{ClusterChoice, Command, ExecOpts, FaultOpts, USAGE};
 use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
+use spechpc::harness::faultcfg;
 use spechpc::harness::obs;
 use spechpc::power::dvfs;
 use spechpc::prelude::*;
@@ -32,8 +33,70 @@ fn executor_of(config: RunConfig, opts: ExecOpts) -> Executor {
             jobs: opts.jobs.unwrap_or(0),
             cache_dir: (!opts.no_cache).then(RunCache::default_dir),
             no_cache: opts.no_cache,
+            ..ExecConfig::default()
         },
     )
+}
+
+/// Resolve `--faults` / `--fault-seed` into a [`FaultPlan`]: no plan
+/// file means the engine's zero-cost fault-free path.
+fn fault_plan_of(opts: &FaultOpts) -> Result<FaultPlan, String> {
+    let mut plan = match &opts.plan {
+        Some(path) => faultcfg::load_plan(std::path::Path::new(path)).map_err(|e| e.to_string())?,
+        None => FaultPlan::none(),
+    };
+    if let Some(seed) = opts.seed {
+        plan.seed = seed;
+    }
+    Ok(plan)
+}
+
+fn describe_ranks(rs: &RankSet) -> String {
+    match rs {
+        RankSet::All => "all ranks".into(),
+        RankSet::One(r) => format!("rank {r}"),
+        RankSet::List(rs) => format!(
+            "ranks {}",
+            rs.iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    }
+}
+
+fn describe_event(e: &FaultEvent) -> String {
+    match e {
+        FaultEvent::OsNoise { ranks, amplitude } => format!(
+            "os-noise     {} — per-op compute inflation in [1, {:.3})",
+            describe_ranks(ranks),
+            1.0 + amplitude
+        ),
+        FaultEvent::Straggler { rank, slowdown } => {
+            format!("straggler    rank {rank} — ×{slowdown:.3} on every compute phase")
+        }
+        FaultEvent::FlakyLink {
+            from,
+            to,
+            drop_prob,
+            retransmit_latency_s,
+        } => format!(
+            "flaky-link   {from} → {to} — retransmit p={drop_prob:.3}, +{:.1} µs each",
+            retransmit_latency_s * 1e6
+        ),
+        FaultEvent::Throttle {
+            ranks,
+            t_start_s,
+            t_end_s,
+            slowdown,
+        } => format!(
+            "throttle     {} — ×{slowdown:.3} inside [{t_start_s:.3} s, {t_end_s:.3} s)",
+            describe_ranks(ranks)
+        ),
+        FaultEvent::Crash { rank, at_s } => {
+            format!("crash        rank {rank} — hard failure at {at_s:.3} s (MPI abort)")
+        }
+    }
 }
 
 /// With `--metrics`: print the executor/cache counters and write them
@@ -104,6 +167,7 @@ fn run(cmd: Command) -> Result<(), String> {
             nranks,
             trace_csv,
             exec,
+            faults,
         } => {
             let cl = cluster_of(cluster);
             benchmark_by_name(&benchmark)
@@ -112,6 +176,7 @@ fn run(cmd: Command) -> Result<(), String> {
             let executor = executor_of(
                 RunConfig {
                     trace: false,
+                    faults: fault_plan_of(&faults)?,
                     ..RunConfig::default()
                 },
                 exec,
@@ -180,6 +245,7 @@ fn run(cmd: Command) -> Result<(), String> {
             class,
             nranks,
             exec,
+            faults,
         } => {
             let cl = cluster_of(cluster);
             let n = nranks.unwrap_or_else(|| cl.node.cores());
@@ -187,13 +253,19 @@ fn run(cmd: Command) -> Result<(), String> {
             let executor = executor_of(
                 RunConfig {
                     trace: false,
+                    faults: fault_plan_of(&faults)?,
                     ..RunConfig::default()
                 },
                 exec,
             );
-            let report = suite.run_with(&executor, &cl).map_err(|e| e.to_string())?;
+            let report = suite.run_with(&executor, &cl);
             println!("{}", report.render());
             maybe_metrics(&executor, &format!("suite_{class}_{}", cl.name), exec)?;
+            // Partial completion (e.g. an injected crash) is a distinct
+            // exit code so scripts can tell it from a hard error.
+            if !report.is_complete() {
+                std::process::exit(3);
+            }
             Ok(())
         }
         Command::Profile {
@@ -202,6 +274,7 @@ fn run(cmd: Command) -> Result<(), String> {
             class,
             nranks,
             exec,
+            faults,
         } => {
             let cl = cluster_of(cluster);
             benchmark_by_name(&benchmark)
@@ -209,7 +282,15 @@ fn run(cmd: Command) -> Result<(), String> {
             let n = nranks.unwrap_or_else(|| cl.node.cores());
             // The profile is computed incrementally by the engine, so no
             // tracing is needed: this goes through (and warms) the cache.
-            let executor = executor_of(RunConfig::default(), exec);
+            // With `--faults` the per-rank table attributes the injected
+            // stall time in its own column.
+            let executor = executor_of(
+                RunConfig {
+                    faults: fault_plan_of(&faults)?,
+                    ..RunConfig::default()
+                },
+                exec,
+            );
             let spec = RunSpec::new(benchmark.as_str(), class, n);
             let r = executor.run_one(&cl, &spec).map_err(|e| e.to_string())?;
             let title = format!(
@@ -256,8 +337,20 @@ fn run(cmd: Command) -> Result<(), String> {
                 class,
                 nranks: b.node.cores(),
             };
-            let ra = suite_a.run_with(&executor, &a).map_err(|e| e.to_string())?;
-            let rb = suite_b.run_with(&executor, &b).map_err(|e| e.to_string())?;
+            let ra = suite_a.run_with(&executor, &a);
+            let rb = suite_b.run_with(&executor, &b);
+            // A score over partial results would silently compare
+            // different benchmark sets — refuse instead.
+            for (r, cl) in [(&ra, &a), (&rb, &b)] {
+                if let Some(f) = r.failures.first() {
+                    return Err(format!(
+                        "suite on {} incomplete ({} failure(s)); first: {}",
+                        cl.name,
+                        r.failures.len(),
+                        f.error
+                    ));
+                }
+            }
             println!("SPEC-style {class} score (reference = ClusterA full node):");
             println!("  ClusterA: {:.3}", ra.spec_score(&ra).unwrap_or(0.0));
             println!("  ClusterB: {:.3}", rb.spec_score(&ra).unwrap_or(0.0));
@@ -265,6 +358,23 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Figures { which, exec } => figures(&which, exec),
+        Command::Faults { plan } => {
+            let p = faultcfg::load_plan(std::path::Path::new(&plan)).map_err(|e| e.to_string())?;
+            if p.is_none() {
+                println!("{plan}: valid — empty plan (fault-free fast path)");
+                return Ok(());
+            }
+            println!(
+                "{plan}: valid — seed {}, {} event(s)",
+                p.seed,
+                p.events.len()
+            );
+            for e in &p.events {
+                println!("  {}", describe_event(e));
+            }
+            println!("cache key digest: {}", p.canonical());
+            Ok(())
+        }
         Command::BenchSnapshot { quick, check, out } => {
             use spechpc::harness::snapshot;
             let mode = if quick { "quick" } else { "full" };

@@ -42,7 +42,8 @@ pub mod prelude {
     pub use spechpc_analysis::speedup::{parallel_efficiency, SpeedupCurve};
     pub use spechpc_analysis::stats::RunStats;
     pub use spechpc_harness::cache::{RunCache, RunKey};
-    pub use spechpc_harness::exec::{ExecConfig, Executor, RunSpec};
+    pub use spechpc_harness::error::HarnessError;
+    pub use spechpc_harness::exec::{ExecConfig, Executor, GridFailure, GridReport, RunSpec};
     pub use spechpc_harness::runner::{RunConfig, RunResult, SimRunner};
     pub use spechpc_harness::suite::{Suite, SuiteReport};
     pub use spechpc_kernels::common::benchmark::{Benchmark, Kernel};
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use spechpc_power::rapl::RaplModel;
     pub use spechpc_power::zplot::{ZPlot, ZPoint};
     pub use spechpc_simmpi::comm::{Comm, ReduceOp};
+    pub use spechpc_simmpi::faults::{FaultEvent, FaultPlan, RankSet};
     pub use spechpc_simmpi::threadcomm::ThreadWorld;
     pub use spechpc_simmpi::trace::EventKind;
 }

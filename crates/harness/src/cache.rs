@@ -36,7 +36,11 @@ use crate::runner::{RunConfig, RunResult};
 ///
 /// v2: entries carry the observability [`Profile`] of the measured
 /// region (per-rank phases, regime histograms, communication matrix).
-pub const CACHE_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: keys carry the canonical fault-plan digest (so faulted runs
+/// replay byte-identically without colliding with clean ones) and
+/// per-rank phase rows gain the `fault_stall_s` column.
+pub const CACHE_SCHEMA_VERSION: u64 = 3;
 
 /// Everything that determines a run's outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -48,6 +52,10 @@ pub struct RunKey {
     pub warmup_steps: usize,
     pub measured_steps: usize,
     pub repetitions: usize,
+    /// Canonical digest of the fault plan
+    /// ([`FaultPlan::canonical`](spechpc_simmpi::faults::FaultPlan::canonical);
+    /// `"none"` for fault-free runs).
+    pub faults: String,
 }
 
 impl RunKey {
@@ -71,6 +79,7 @@ impl RunKey {
             warmup_steps: config.warmup_steps,
             measured_steps: config.measured_steps,
             repetitions: config.repetitions,
+            faults: config.faults.canonical(),
         }
     }
 
@@ -78,7 +87,7 @@ impl RunKey {
     /// stored alongside each entry.
     pub fn canonical(&self) -> String {
         format!(
-            "v{}|{}|{}|{}|n={}|w={}|m={}|r={}",
+            "v{}|{}|{}|{}|n={}|w={}|m={}|r={}|f={}",
             CACHE_SCHEMA_VERSION,
             self.benchmark,
             self.cluster,
@@ -86,7 +95,8 @@ impl RunKey {
             self.nranks,
             self.warmup_steps,
             self.measured_steps,
-            self.repetitions
+            self.repetitions,
+            self.faults
         )
     }
 
@@ -120,6 +130,10 @@ pub struct CacheMetrics {
     /// unparsable, wrong schema version, or a canonical-key mismatch
     /// (hash collision / stale layout).
     pub corrupt: u64,
+    /// Corrupt entries successfully moved aside into the cache's
+    /// `quarantine/` directory (each such lookup also counts under
+    /// `corrupt`); the slot is then free for a clean re-run to refill.
+    pub quarantined: u64,
     /// Results stored (both fresh runs and disk-hit promotions write to
     /// the in-memory map; only fresh runs count here).
     pub stores: u64,
@@ -149,6 +163,7 @@ struct MetricCells {
     hits_disk: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
+    quarantined: AtomicU64,
     stores: AtomicU64,
 }
 
@@ -192,13 +207,16 @@ impl RunCache {
             .map(|d| d.join(format!("{}.json", key.hash_hex())))
     }
 
-    /// Look `key` up, memory first, then disk.
+    /// Look `key` up, memory first, then disk. Corrupt disk entries are
+    /// quarantined (moved aside) so the re-run that follows can refill
+    /// the slot with a clean entry instead of tripping over the same
+    /// bad file forever.
     pub fn get(&self, key: &RunKey) -> Option<RunResult> {
         let canonical = key.canonical();
         if let Some(hit) = self
             .mem
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&canonical)
         {
             self.metrics.hits_mem.fetch_add(1, Ordering::Relaxed);
@@ -214,19 +232,39 @@ impl RunCache {
         }
         // From here on the entry exists: any failure is a corrupt (or
         // stale) entry, counted rather than silently swallowed.
-        let decoded = std::fs::read_to_string(path)
+        let decoded = std::fs::read_to_string(&path)
             .ok()
             .and_then(|text| decode_entry(&text, &canonical));
         let Some(result) = decoded else {
             self.metrics.corrupt.fetch_add(1, Ordering::Relaxed);
+            if self.quarantine(&path).is_ok() {
+                self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+            }
             return None;
         };
         self.metrics.hits_disk.fetch_add(1, Ordering::Relaxed);
         self.mem
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(canonical, result.clone());
         Some(result)
+    }
+
+    /// Move a corrupt entry into `<dir>/quarantine/`, preserving the
+    /// file name, so it can be inspected post-mortem but never hit
+    /// again. Best-effort: a failed move leaves the file in place (the
+    /// lookup still reported a miss-like `None`).
+    fn quarantine(&self, path: &Path) -> std::io::Result<()> {
+        let dir = self
+            .dir
+            .as_ref()
+            .expect("quarantine only reached with a disk-backed cache");
+        let qdir = dir.join("quarantine");
+        std::fs::create_dir_all(&qdir)?;
+        let name = path
+            .file_name()
+            .ok_or_else(|| std::io::Error::other("entry path has no file name"))?;
+        std::fs::rename(path, qdir.join(name))
     }
 
     /// Store `result` under `key`, writing through to disk when
@@ -237,7 +275,7 @@ impl RunCache {
         let canonical = key.canonical();
         self.mem
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(canonical.clone(), result.clone());
         if let Some(path) = self.path_of(key) {
             if let Some(parent) = path.parent() {
@@ -249,7 +287,7 @@ impl RunCache {
 
     /// Number of entries resident in memory (test/diagnostic hook).
     pub fn len_in_memory(&self) -> usize {
-        self.mem.lock().expect("cache lock poisoned").len()
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Snapshot of the behaviour counters.
@@ -259,6 +297,7 @@ impl RunCache {
             hits_disk: self.metrics.hits_disk.load(Ordering::Relaxed),
             misses: self.metrics.misses.load(Ordering::Relaxed),
             corrupt: self.metrics.corrupt.load(Ordering::Relaxed),
+            quarantined: self.metrics.quarantined.load(Ordering::Relaxed),
             stores: self.metrics.stores.load(Ordering::Relaxed),
         }
     }
@@ -375,12 +414,13 @@ fn encode_profile(p: &Profile) -> String {
             s.push_str(", ");
         }
         s.push_str(&format!(
-            "[{}, {}, {}, {}, {}]",
+            "[{}, {}, {}, {}, {}, {}]",
             jf(r.compute_s),
             jf(r.eager_send_s),
             jf(r.rendezvous_stall_s),
             jf(r.recv_wait_s),
             jf(r.collective_wait_s),
+            jf(r.fault_stall_s),
         ));
     }
     s.push_str("], ");
@@ -654,7 +694,7 @@ fn decode_profile(v: &Json) -> Option<Profile> {
     }
     for (i, row) in rows.iter().enumerate() {
         let Json::Arr(cols) = row else { return None };
-        if cols.len() != 5 {
+        if cols.len() != 6 {
             return None;
         }
         p.per_rank[i] = RankPhases {
@@ -663,6 +703,7 @@ fn decode_profile(v: &Json) -> Option<Profile> {
             rendezvous_stall_s: cols[2].num()?,
             recv_wait_s: cols[3].num()?,
             collective_wait_s: cols[4].num()?,
+            fault_stall_s: cols[5].num()?,
         };
     }
     for (name, hist) in [
@@ -843,7 +884,7 @@ mod tests {
     #[test]
     fn json_round_trip_is_bit_exact() {
         let r = sample_result();
-        let key = "v2|minisweep|ClusterA|tiny|n=59|w=2|m=3|r=3";
+        let key = "v3|minisweep|ClusterA|tiny|n=59|w=2|m=3|r=3|f=none";
         let text = encode_entry(key, &r);
         let back = decode_entry(&text, key).expect("decodes");
         assert!(results_equal(&r, &back));
@@ -867,7 +908,10 @@ mod tests {
     fn key_canonical_and_hash_are_stable() {
         let cfg = RunConfig::default();
         let key = RunKey::new("ClusterA", "tealeaf", "tiny", 72, &cfg);
-        assert_eq!(key.canonical(), "v2|tealeaf|ClusterA|tiny|n=72|w=2|m=3|r=3");
+        assert_eq!(
+            key.canonical(),
+            "v3|tealeaf|ClusterA|tiny|n=72|w=2|m=3|r=3|f=none"
+        );
         // Pin the hash: silently changing it would orphan every
         // existing cache entry.
         assert_eq!(key.hash_hex(), key.hash_hex());
@@ -997,8 +1041,67 @@ mod tests {
             assert!(cache.get(&key).is_none());
             let m = cache.metrics();
             assert_eq!(m.corrupt, 1);
+            assert_eq!(m.quarantined, 1);
             assert_eq!(m.misses, 0);
+            // The bad file moved aside, preserving its name for
+            // post-mortem inspection…
+            assert!(!path.exists());
+            let qpath = dir
+                .join("quarantine")
+                .join(format!("{}.json", key.hash_hex()));
+            assert!(qpath.exists());
+            // …so the next lookup is a clean miss and a re-run can
+            // refill the slot.
+            assert!(cache.get(&key).is_none());
+            assert_eq!(cache.metrics().misses, 1);
+            cache.put(&key, &sample_result());
+        }
+        {
+            let cache = RunCache::on_disk(&dir);
+            assert!(cache.get(&key).is_some());
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_fault_plans() {
+        use spechpc_simmpi::faults::{FaultEvent, FaultPlan, RankSet};
+        let clean = RunConfig::default();
+        let faulted = RunConfig {
+            faults: FaultPlan {
+                seed: 7,
+                events: vec![FaultEvent::Straggler {
+                    rank: 3,
+                    slowdown: 1.5,
+                }],
+            },
+            ..RunConfig::default()
+        };
+        let reseeded = RunConfig {
+            faults: FaultPlan {
+                seed: 8,
+                ..faulted.faults.clone()
+            },
+            ..RunConfig::default()
+        };
+        let noisy = RunConfig {
+            faults: FaultPlan {
+                seed: 7,
+                events: vec![FaultEvent::OsNoise {
+                    ranks: RankSet::All,
+                    amplitude: 0.05,
+                }],
+            },
+            ..RunConfig::default()
+        };
+        let keys: Vec<String> = [&clean, &faulted, &reseeded, &noisy]
+            .iter()
+            .map(|cfg| RunKey::new("ClusterA", "lbm", "tiny", 8, cfg).canonical())
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "fault plans must not collide");
+            }
+        }
     }
 }

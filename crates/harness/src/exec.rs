@@ -1,4 +1,4 @@
-//! Parallel, cached execution of experiment grids.
+//! Parallel, cached, fault-tolerant execution of experiment grids.
 //!
 //! The [`Executor`] is the single entry point every experiment driver,
 //! the suite, the CLI and the benches funnel their runs through. It
@@ -13,25 +13,33 @@
 //!   pre-allocated slots, so the output order (and therefore every
 //!   rendered table) is byte-identical to a serial run regardless of
 //!   the job count or scheduling interleavings. The simulation itself
-//!   is pure — a result never depends on *when* it was computed.
+//!   is pure — a result never depends on *when* it was computed;
+//! * **graceful degradation**: a failed grid point (injected rank
+//!   crash, deadlock, worker panic, per-run timeout) never takes the
+//!   grid down. Panics are caught at the run boundary, a per-run
+//!   wall-clock budget cancels runaway simulations cooperatively,
+//!   transient failures retry with bounded backoff, and
+//!   [`Executor::run_all`] always returns a [`GridReport`] carrying
+//!   the completed results plus a per-spec failure report.
 //!
 //! Traced runs ([`Executor::run_traced`]) bypass the cache: timelines
 //! are large and only the Fig. 2 insets and CSV export want them.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use spechpc_kernels::common::benchmark::Benchmark;
 use spechpc_kernels::common::config::WorkloadClass;
 use spechpc_kernels::registry::benchmark_by_name;
 use spechpc_machine::cluster::ClusterSpec;
-use spechpc_simmpi::engine::SimError;
 
 use crate::cache::{CacheMetrics, RunCache, RunKey};
+use crate::error::HarnessError;
 use crate::runner::{RunConfig, RunResult, SimRunner};
 
-/// How the executor schedules and memoizes runs.
+/// How the executor schedules, memoizes and supervises runs.
 #[derive(Debug, Clone, Default)]
 pub struct ExecConfig {
     /// Worker threads for grid execution; `0` means one per available
@@ -43,6 +51,15 @@ pub struct ExecConfig {
     pub cache_dir: Option<std::path::PathBuf>,
     /// Disable memoization entirely (every run re-simulates).
     pub no_cache: bool,
+    /// Per-run wall-clock budget in seconds; `0.0` disables the
+    /// timeout. A run over budget is cancelled cooperatively through
+    /// the engine's cancellation token and reported as
+    /// [`HarnessError::Timeout`].
+    pub timeout_s: f64,
+    /// Bounded retries for transient failures (timeouts — simulation
+    /// errors are deterministic and never retried). Retry `i` backs
+    /// off `10 · 2^(i-1)` ms before re-running.
+    pub retries: u32,
 }
 
 impl ExecConfig {
@@ -78,12 +95,65 @@ impl RunSpec {
     }
 }
 
+/// One failed grid point of a [`GridReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridFailure {
+    /// Index into the spec slice passed to [`Executor::run_all`].
+    pub index: usize,
+    /// `benchmark/class/nranks@cluster`.
+    pub label: String,
+    pub error: HarnessError,
+}
+
+/// Outcome of a grid execution: one result slot per spec (in spec
+/// order; `None` where the point failed) plus the per-spec failure
+/// report. A grid always runs to the end — failures degrade the
+/// report, they never abort the remaining points.
+#[derive(Debug, Clone, Default)]
+pub struct GridReport {
+    pub results: Vec<Option<RunResult>>,
+    /// Failed points in grid order.
+    pub failures: Vec<GridFailure>,
+}
+
+impl GridReport {
+    /// Did every point complete?
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The completed results, in grid order.
+    pub fn completed(&self) -> impl Iterator<Item = &RunResult> {
+        self.results.iter().flatten()
+    }
+
+    /// All-or-nothing view: the full result vector when the grid
+    /// completed, otherwise the first failure (in grid order) — the
+    /// adapter the all-points-required experiment drivers use.
+    pub fn into_results(self) -> Result<Vec<RunResult>, HarnessError> {
+        match self.failures.into_iter().next() {
+            Some(f) => Err(f.error),
+            None => Ok(self.results.into_iter().flatten().collect()),
+        }
+    }
+
+    /// Human-readable failure report, one line per failed point;
+    /// empty for a complete grid.
+    pub fn render_failures(&self) -> String {
+        self.failures
+            .iter()
+            .map(|f| format!("FAILED [{}] {}: {}\n", f.index, f.label, f.error))
+            .collect()
+    }
+}
+
 /// Observability snapshot of an [`Executor`] — what actually happened
 /// behind the scenes of an experiment (the execution-layer analog of
 /// the LIKWID counters the paper's §4.2 methodology leans on).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecMetrics {
-    /// Simulations actually constructed and run (cache hits excluded).
+    /// Simulations actually constructed and run (cache hits excluded;
+    /// retries count each attempt).
     pub runs_executed: u64,
     /// Cache behaviour; all-zero when the executor runs uncached.
     pub cache: CacheMetrics,
@@ -110,10 +180,13 @@ struct ExecCounters {
     point_wall: Mutex<Vec<(String, f64)>>,
 }
 
-/// Parallel, memoizing run executor (see the module docs).
+/// Parallel, memoizing, fault-tolerant run executor (see the module
+/// docs).
 pub struct Executor {
     runner: SimRunner,
     jobs: usize,
+    timeout_s: f64,
+    retries: u32,
     cache: Option<RunCache>,
     counters: ExecCounters,
 }
@@ -130,6 +203,8 @@ impl Executor {
         };
         Executor {
             jobs: exec.effective_jobs(),
+            timeout_s: exec.timeout_s,
+            retries: exec.retries,
             runner: SimRunner::new(run_config),
             cache,
             counters: ExecCounters::default(),
@@ -173,13 +248,17 @@ impl Executor {
 
     /// Execute one grid point, consulting the cache first. Traced
     /// configurations always re-simulate (timelines are not cached).
-    pub fn run_one(&self, cluster: &ClusterSpec, spec: &RunSpec) -> Result<RunResult, SimError> {
+    pub fn run_one(
+        &self,
+        cluster: &ClusterSpec,
+        spec: &RunSpec,
+    ) -> Result<RunResult, HarnessError> {
         let t0 = Instant::now();
         let outcome = self.run_one_untimed(cluster, spec);
         self.counters
             .point_wall
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push((Self::label_of(cluster, spec), t0.elapsed().as_secs_f64()));
         outcome
     }
@@ -188,7 +267,10 @@ impl Executor {
         &self,
         cluster: &ClusterSpec,
         spec: &RunSpec,
-    ) -> Result<RunResult, SimError> {
+    ) -> Result<RunResult, HarnessError> {
+        // Surface bad names as a typed failure before any cache or
+        // simulation work.
+        resolve(&spec.benchmark)?;
         let cacheable = !self.runner.config.trace;
         if cacheable {
             if let Some(cache) = &self.cache {
@@ -197,9 +279,16 @@ impl Executor {
                 }
             }
         }
-        let bench = resolve(&spec.benchmark);
-        let result = self.runner.run(cluster, &*bench, spec.class, spec.nranks)?;
-        self.counters.runs_executed.fetch_add(1, Ordering::Relaxed);
+        let mut attempt: u32 = 0;
+        let result = loop {
+            match self.simulate(cluster, spec) {
+                Err(e) if e.is_transient() && attempt < self.retries => {
+                    attempt += 1;
+                    std::thread::sleep(backoff(attempt));
+                }
+                other => break other,
+            }
+        }?;
         if cacheable {
             if let Some(cache) = &self.cache {
                 cache.put(&self.key_of(cluster, spec), &result);
@@ -208,21 +297,94 @@ impl Executor {
         Ok(result)
     }
 
+    /// One supervised simulation attempt: panics are caught at this
+    /// boundary, and with a timeout configured the run executes on a
+    /// watchdog thread that is cancelled cooperatively when over
+    /// budget.
+    fn simulate(&self, cluster: &ClusterSpec, spec: &RunSpec) -> Result<RunResult, HarnessError> {
+        self.counters.runs_executed.fetch_add(1, Ordering::Relaxed);
+        let label = Self::label_of(cluster, spec);
+        if self.timeout_s > 0.0 {
+            return self.simulate_with_deadline(cluster, spec, label);
+        }
+        let bench = resolve(&spec.benchmark)?;
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.runner
+                .run(cluster, &*bench, spec.class, spec.nranks)
+                .map_err(HarnessError::from)
+        }));
+        outcome.unwrap_or_else(|p| {
+            Err(HarnessError::Panic {
+                label,
+                message: panic_message(p.as_ref()),
+            })
+        })
+    }
+
+    /// Run on a helper thread under the per-run wall-clock budget. On
+    /// timeout the engine's cancellation token is set — the simulation
+    /// observes it at the next op boundary and unwinds — and the
+    /// detached thread's late result is dropped with the channel.
+    fn simulate_with_deadline(
+        &self,
+        cluster: &ClusterSpec,
+        spec: &RunSpec,
+        label: String,
+    ) -> Result<RunResult, HarnessError> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let config = self.runner.config.clone();
+        let cluster = cluster.clone();
+        let spec = spec.clone();
+        let flag = Arc::clone(&cancel);
+        let thread_label = label.clone();
+        std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let bench = resolve(&spec.benchmark)?;
+                SimRunner::new(config)
+                    .run_cancellable(&cluster, &*bench, spec.class, spec.nranks, Some(flag))
+                    .map_err(HarnessError::from)
+            }));
+            let _ = tx.send(outcome.unwrap_or_else(|p| {
+                Err(HarnessError::Panic {
+                    label: thread_label,
+                    message: panic_message(p.as_ref()),
+                })
+            }));
+        });
+        match rx.recv_timeout(Duration::from_secs_f64(self.timeout_s)) {
+            Ok(r) => r,
+            Err(_) => {
+                cancel.store(true, Ordering::Relaxed);
+                Err(HarnessError::Timeout {
+                    label,
+                    limit_s: self.timeout_s,
+                })
+            }
+        }
+    }
+
     /// Run with full event tracing, bypassing the cache — for the
     /// Fig. 2 insets and CSV export.
-    pub fn run_traced(&self, cluster: &ClusterSpec, spec: &RunSpec) -> Result<RunResult, SimError> {
+    pub fn run_traced(
+        &self,
+        cluster: &ClusterSpec,
+        spec: &RunSpec,
+    ) -> Result<RunResult, HarnessError> {
         let traced = SimRunner::new(RunConfig {
             trace: true,
             ..self.runner.config.clone()
         });
-        let bench = resolve(&spec.benchmark);
+        let bench = resolve(&spec.benchmark)?;
         let t0 = Instant::now();
-        let outcome = traced.run(cluster, &*bench, spec.class, spec.nranks);
+        let outcome = traced
+            .run(cluster, &*bench, spec.class, spec.nranks)
+            .map_err(HarnessError::from);
         self.counters.runs_executed.fetch_add(1, Ordering::Relaxed);
         self.counters
             .point_wall
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push((Self::label_of(cluster, spec), t0.elapsed().as_secs_f64()));
         outcome
     }
@@ -236,13 +398,13 @@ impl Executor {
                 .counters
                 .per_worker
                 .lock()
-                .expect("metrics lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .clone(),
             point_wall_s: self
                 .counters
                 .point_wall
                 .lock()
-                .expect("metrics lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .clone(),
         }
     }
@@ -253,7 +415,7 @@ impl Executor {
             .counters
             .per_worker
             .lock()
-            .expect("metrics lock poisoned");
+            .unwrap_or_else(|e| e.into_inner());
         if per.len() <= worker {
             per.resize(worker + 1, 0);
         }
@@ -265,99 +427,120 @@ impl Executor {
     /// Results come back in `specs` order, identical to running the
     /// specs one by one — workers claim points through an atomic cursor
     /// and deposit into the point's own slot, and the simulation is
-    /// deterministic, so scheduling cannot leak into the output. The
-    /// first error (in grid order) is reported; in-flight points finish,
-    /// pending ones are abandoned.
-    pub fn run_all(
-        &self,
-        cluster: &ClusterSpec,
-        specs: &[RunSpec],
-    ) -> Result<Vec<RunResult>, SimError> {
-        // Fail on unknown names before spawning anything.
-        for spec in specs {
-            resolve(&spec.benchmark);
-        }
+    /// deterministic, so scheduling cannot leak into the output.
+    ///
+    /// The grid always runs to completion: a failed point (unknown
+    /// benchmark, injected crash, deadlock, panic, timeout) leaves a
+    /// `None` slot and a [`GridFailure`] entry while every other point
+    /// still executes.
+    pub fn run_all(&self, cluster: &ClusterSpec, specs: &[RunSpec]) -> GridReport {
         let workers = self.jobs.min(specs.len()).max(1);
-        if workers == 1 {
-            return specs
-                .iter()
-                .map(|s| {
-                    let r = self.run_one(cluster, s);
-                    self.credit_worker(0);
-                    r
-                })
-                .collect();
-        }
-
-        let slots: Vec<Mutex<Option<Result<RunResult, SimError>>>> =
+        let slots: Vec<Mutex<Option<Result<RunResult, HarnessError>>>> =
             specs.iter().map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
 
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let (slots, cursor, failed) = (&slots, &cursor, &failed);
-                scope.spawn(move || loop {
-                    if failed.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { return };
-                    let outcome = self.run_one(cluster, spec);
-                    self.credit_worker(w);
-                    if outcome.is_err() {
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                    *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
-                });
+        if workers == 1 {
+            for (i, spec) in specs.iter().enumerate() {
+                let outcome = self.run_one(cluster, spec);
+                self.credit_worker(0);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
             }
-        });
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let (slots, cursor) = (&slots, &cursor);
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { return };
+                        let outcome = self.run_one(cluster, spec);
+                        self.credit_worker(w);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                    });
+                }
+            });
+        }
 
-        // Assemble in grid order. Empty slots can only exist when a
-        // failure stopped the workers early, in which case the error
-        // wins anyway.
-        let mut results = Vec::with_capacity(specs.len());
-        let mut first_err = None;
-        for slot in slots {
-            match slot.into_inner().expect("slot lock poisoned") {
-                Some(Ok(r)) if first_err.is_none() => results.push(r),
-                Some(Err(e)) if first_err.is_none() => first_err = Some(e),
-                _ => {}
+        let mut report = GridReport {
+            results: Vec::with_capacity(specs.len()),
+            failures: Vec::new(),
+        };
+        for (i, slot) in slots.into_iter().enumerate() {
+            let label = Self::label_of(cluster, &specs[i]);
+            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(Ok(r)) => report.results.push(Some(r)),
+                Some(Err(error)) => {
+                    report.results.push(None);
+                    report.failures.push(GridFailure {
+                        index: i,
+                        label,
+                        error,
+                    });
+                }
+                // Unreachable with healthy workers (every claimed slot
+                // is deposited into), but a dead worker must degrade to
+                // a reported failure, not a panic.
+                None => {
+                    report.results.push(None);
+                    report.failures.push(GridFailure {
+                        index: i,
+                        label,
+                        error: HarnessError::Panic {
+                            label: Self::label_of(cluster, &specs[i]),
+                            message: "worker died before depositing a result".into(),
+                        },
+                    });
+                }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(results),
-        }
+        report
     }
 
     /// Strong-scaling sweep of one benchmark over `counts`, executed
-    /// concurrently.
+    /// concurrently. All-or-nothing: the first failure is returned.
     pub fn sweep(
         &self,
         cluster: &ClusterSpec,
         benchmark: &str,
         class: WorkloadClass,
         counts: &[usize],
-    ) -> Result<Vec<RunResult>, SimError> {
+    ) -> Result<Vec<RunResult>, HarnessError> {
         let specs: Vec<RunSpec> = counts
             .iter()
             .map(|&n| RunSpec::new(benchmark, class, n))
             .collect();
-        self.run_all(cluster, &specs)
+        self.run_all(cluster, &specs).into_results()
     }
 }
 
-/// Resolve a registry name; grid specs are constructed from the
-/// registry itself, so a miss is a programming error.
-fn resolve(name: &str) -> Box<dyn Benchmark> {
-    benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark '{name}' in run spec"))
+/// Backoff before transient-failure retry `attempt` (1-based):
+/// `10 · 2^(attempt-1)` ms, capped at 640 ms.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(10u64 << (attempt - 1).min(6))
+}
+
+/// Resolve a registry name to its benchmark, or a typed failure.
+fn resolve(name: &str) -> Result<Box<dyn Benchmark>, HarnessError> {
+    benchmark_by_name(name).ok_or_else(|| HarnessError::UnknownBenchmark {
+        name: name.to_string(),
+    })
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use spechpc_machine::presets;
+    use spechpc_simmpi::faults::{FaultEvent, FaultPlan};
 
     fn quick() -> RunConfig {
         RunConfig {
@@ -412,8 +595,8 @@ mod tests {
                 ..ExecConfig::default()
             },
         );
-        let a = serial.run_all(&cluster, &specs).unwrap();
-        let b = parallel.run_all(&cluster, &specs).unwrap();
+        let a = serial.run_all(&cluster, &specs).into_results().unwrap();
+        let b = parallel.run_all(&cluster, &specs).into_results().unwrap();
         assert_eq!(render(&a), render(&b));
     }
 
@@ -460,7 +643,9 @@ mod tests {
         );
         // All points valid → full result set, order preserved.
         let specs = grid();
-        let out = exec.run_all(&cluster, &specs).unwrap();
+        let report = exec.run_all(&cluster, &specs);
+        assert!(report.is_complete());
+        let out = report.into_results().unwrap();
         assert_eq!(out.len(), specs.len());
         for (r, s) in out.iter().zip(&specs) {
             assert_eq!(r.benchmark, s.benchmark);
@@ -469,11 +654,112 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown benchmark")]
-    fn unknown_benchmark_panics_before_spawning() {
+    fn unknown_benchmark_is_a_typed_failure_not_a_panic() {
         let cluster = presets::cluster_a();
         let exec = Executor::serial(quick());
-        let _ = exec.run_all(&cluster, &[RunSpec::new("hpl", WorkloadClass::Tiny, 1)]);
+        let specs = [
+            RunSpec::new("hpl", WorkloadClass::Tiny, 1),
+            RunSpec::new("lbm", WorkloadClass::Tiny, 4),
+        ];
+        let report = exec.run_all(&cluster, &specs);
+        // The bad point degrades; the good one still runs.
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 0);
+        assert!(matches!(
+            report.failures[0].error,
+            HarnessError::UnknownBenchmark { ref name } if name == "hpl"
+        ));
+        assert!(report.results[0].is_none());
+        assert!(report.results[1].is_some());
+        assert!(report.render_failures().contains("unknown benchmark 'hpl'"));
+        let err = exec
+            .run_one(&cluster, &RunSpec::new("hpl", WorkloadClass::Tiny, 1))
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::UnknownBenchmark { .. }));
+    }
+
+    #[test]
+    fn injected_crash_yields_partial_results_and_a_report() {
+        let cluster = presets::cluster_a();
+        let faulted = RunConfig {
+            faults: FaultPlan {
+                seed: 1,
+                events: vec![FaultEvent::Crash { rank: 2, at_s: 0.0 }],
+            },
+            ..quick()
+        };
+        let exec = Executor::new(
+            faulted,
+            ExecConfig {
+                jobs: 2,
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        // Rank 2 exists only in the larger runs: those crash, the
+        // smaller ones complete.
+        let specs = [
+            RunSpec::new("lbm", WorkloadClass::Tiny, 2),
+            RunSpec::new("lbm", WorkloadClass::Tiny, 8),
+            RunSpec::new("tealeaf", WorkloadClass::Tiny, 2),
+            RunSpec::new("tealeaf", WorkloadClass::Tiny, 8),
+        ];
+        let report = exec.run_all(&cluster, &specs);
+        assert_eq!(report.failures.len(), 2);
+        assert_eq!(report.completed().count(), 2);
+        for f in &report.failures {
+            assert_eq!(f.error.failed_rank(), Some(2), "{}", f.error);
+        }
+        assert!(report.results[0].is_some() && report.results[2].is_some());
+        assert!(report.results[1].is_none() && report.results[3].is_none());
+        let text = report.render_failures();
+        assert!(text.contains("injected crash"), "{text}");
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_per_point() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 2,
+                no_cache: true,
+                ..ExecConfig::default()
+            },
+        );
+        // nranks = 0 trips the runner's assertion — a genuine panic,
+        // caught at the run boundary.
+        let specs = [
+            RunSpec::new("lbm", WorkloadClass::Tiny, 0),
+            RunSpec::new("lbm", WorkloadClass::Tiny, 4),
+        ];
+        let report = exec.run_all(&cluster, &specs);
+        assert_eq!(report.failures.len(), 1);
+        assert!(matches!(
+            report.failures[0].error,
+            HarnessError::Panic { .. }
+        ));
+        assert!(report.results[1].is_some());
+    }
+
+    #[test]
+    fn timeouts_cancel_and_retry_with_bounded_attempts() {
+        let cluster = presets::cluster_a();
+        let exec = Executor::new(
+            quick(),
+            ExecConfig {
+                jobs: 1,
+                no_cache: true,
+                timeout_s: 1e-9, // no simulation finishes in a nanosecond
+                retries: 2,
+                ..ExecConfig::default()
+            },
+        );
+        let spec = RunSpec::new("lbm", WorkloadClass::Tiny, 16);
+        let err = exec.run_one(&cluster, &spec).unwrap_err();
+        assert!(matches!(err, HarnessError::Timeout { .. }), "{err}");
+        // Transient failure: the initial attempt plus both retries ran.
+        assert_eq!(exec.metrics().runs_executed, 3);
     }
 
     #[test]
@@ -504,7 +790,7 @@ mod tests {
             },
         );
         let specs = grid();
-        exec.run_all(&cluster, &specs).unwrap();
+        assert!(exec.run_all(&cluster, &specs).is_complete());
         let m = exec.metrics();
         assert_eq!(m.runs_executed, specs.len() as u64);
         assert_eq!(

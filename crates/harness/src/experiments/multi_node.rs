@@ -4,12 +4,12 @@
 //! the §5.1 scaling-case classification, the §5.1.2 soma anomaly and
 //! the §5.1.3 cluster comparison.
 
+use crate::error::HarnessError;
 use spechpc_analysis::scaling::{classify_scaling, ScalingCase, ScalingEvidence};
 use spechpc_analysis::speedup::SpeedupCurve;
 use spechpc_kernels::common::config::WorkloadClass;
 use spechpc_kernels::registry::all_benchmarks;
 use spechpc_machine::cluster::ClusterSpec;
-use spechpc_simmpi::engine::SimError;
 use spechpc_simmpi::trace::EventKind;
 
 use crate::exec::{Executor, RunSpec};
@@ -78,7 +78,7 @@ pub fn fig5(
     cluster: &ClusterSpec,
     config: &RunConfig,
     node_counts: &[usize],
-) -> Result<Fig5, SimError> {
+) -> Result<Fig5, HarnessError> {
     fig5_with(
         &Executor::new(config.clone(), Default::default()),
         cluster,
@@ -92,7 +92,7 @@ pub fn fig5_with(
     exec: &Executor,
     cluster: &ClusterSpec,
     node_counts: &[usize],
-) -> Result<Fig5, SimError> {
+) -> Result<Fig5, HarnessError> {
     let cores = cluster.node.cores();
     let counts: Vec<usize> = node_counts.iter().map(|n| n * cores).collect();
     let benches = all_benchmarks();
@@ -104,7 +104,7 @@ pub fn fig5_with(
                 .map(|&n| RunSpec::new(b.meta().name, WorkloadClass::Small, n))
         })
         .collect();
-    let results = exec.run_all(cluster, &specs)?;
+    let results = exec.run_all(cluster, &specs).into_results()?;
     let mut it = results.into_iter();
     let sweeps = benches
         .iter()

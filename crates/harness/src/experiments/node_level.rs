@@ -2,11 +2,11 @@
 //! (parallel efficiency), §4.1.2 (acceleration factors) and §4.1.3
 //! (vectorization ratios) tables, using the *tiny* workloads.
 
+use crate::error::HarnessError;
 use spechpc_analysis::speedup::{parallel_efficiency, SpeedupCurve};
 use spechpc_kernels::common::config::WorkloadClass;
 use spechpc_kernels::registry::all_benchmarks;
 use spechpc_machine::cluster::ClusterSpec;
-use spechpc_simmpi::engine::SimError;
 use spechpc_simmpi::trace::EventKind;
 
 use crate::exec::{Executor, RunSpec};
@@ -67,7 +67,7 @@ pub fn sweep_counts(cluster: &ClusterSpec, step: usize) -> Vec<usize> {
 ///
 /// Convenience wrapper over [`fig1_with`] using a default (parallel,
 /// memory-cached) executor.
-pub fn fig1(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fig1, SimError> {
+pub fn fig1(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fig1, HarnessError> {
     fig1_with(
         &Executor::new(config.clone(), Default::default()),
         cluster,
@@ -78,7 +78,11 @@ pub fn fig1(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fi
 /// Run the Fig. 1 sweep through `exec`: the whole 9-benchmark ×
 /// rank-count grid is dispatched as one batch, so every point runs
 /// concurrently (and cached points are free).
-pub fn fig1_with(exec: &Executor, cluster: &ClusterSpec, step: usize) -> Result<Fig1, SimError> {
+pub fn fig1_with(
+    exec: &Executor,
+    cluster: &ClusterSpec,
+    step: usize,
+) -> Result<Fig1, HarnessError> {
     let counts = sweep_counts(cluster, step);
     let benches = all_benchmarks();
     let specs: Vec<RunSpec> = benches
@@ -89,7 +93,7 @@ pub fn fig1_with(exec: &Executor, cluster: &ClusterSpec, step: usize) -> Result<
                 .map(|&n| RunSpec::new(b.meta().name, WorkloadClass::Tiny, n))
         })
         .collect();
-    let results = exec.run_all(cluster, &specs)?;
+    let results = exec.run_all(cluster, &specs).into_results()?;
     let mut it = results.into_iter();
     let sweeps = benches
         .iter()
@@ -215,7 +219,7 @@ pub struct InsetStats {
 /// Run Fig. 2: bandwidth/volume curves plus the two pathology insets.
 ///
 /// Convenience wrapper over [`fig2_with`] using a default executor.
-pub fn fig2(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fig2, SimError> {
+pub fn fig2(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fig2, HarnessError> {
     fig2_with(
         &Executor::new(config.clone(), Default::default()),
         cluster,
@@ -226,7 +230,11 @@ pub fn fig2(cluster: &ClusterSpec, config: &RunConfig, step: usize) -> Result<Fi
 /// Run Fig. 2 through `exec`. The insets need full event timelines, so
 /// those two runs go through [`Executor::run_traced`] (uncached); the
 /// bandwidth curves reuse the Fig. 1 grid.
-pub fn fig2_with(exec: &Executor, cluster: &ClusterSpec, step: usize) -> Result<Fig2, SimError> {
+pub fn fig2_with(
+    exec: &Executor,
+    cluster: &ClusterSpec,
+    step: usize,
+) -> Result<Fig2, HarnessError> {
     let f1 = fig1_with(exec, cluster, step)?;
 
     let ms59 = exec.run_traced(cluster, &RunSpec::new("minisweep", WorkloadClass::Tiny, 59))?;

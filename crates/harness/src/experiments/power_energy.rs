@@ -2,10 +2,10 @@
 //! power), Fig. 4 (Z-plots and total energy), the §4.2.1 hot/cool table
 //! and the §4.2.3 baseline-power comparison — all on the *tiny* suite.
 
+use crate::error::HarnessError;
 use spechpc_machine::cluster::ClusterSpec;
 use spechpc_machine::node::NodeSpec;
 use spechpc_power::zplot::{ZPlot, ZPoint};
-use spechpc_simmpi::engine::SimError;
 
 use crate::exec::Executor;
 use crate::experiments::node_level::{fig1_with, Fig1};
@@ -154,7 +154,7 @@ pub fn run_power_energy(
     cluster: &ClusterSpec,
     config: &RunConfig,
     step: usize,
-) -> Result<(Fig1, Fig3, Fig4), SimError> {
+) -> Result<(Fig1, Fig3, Fig4), HarnessError> {
     run_power_energy_with(
         &Executor::new(config.clone(), Default::default()),
         cluster,
@@ -169,7 +169,7 @@ pub fn run_power_energy_with(
     exec: &Executor,
     cluster: &ClusterSpec,
     step: usize,
-) -> Result<(Fig1, Fig3, Fig4), SimError> {
+) -> Result<(Fig1, Fig3, Fig4), HarnessError> {
     let f1 = fig1_with(exec, cluster, step)?;
     let f3 = fig3(&f1, cluster);
     let f4 = fig4(&f1);

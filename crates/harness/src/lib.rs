@@ -18,8 +18,10 @@
 //! result assembly. See `docs/ARCHITECTURE.md` for the full data flow.
 
 pub mod cache;
+pub mod error;
 pub mod exec;
 pub mod experiments;
+pub mod faultcfg;
 pub mod obs;
 pub mod report;
 pub mod runner;
@@ -27,6 +29,7 @@ pub mod snapshot;
 pub mod suite;
 
 pub use cache::{CacheMetrics, RunCache, RunKey};
-pub use exec::{ExecConfig, ExecMetrics, Executor, RunSpec};
+pub use error::HarnessError;
+pub use exec::{ExecConfig, ExecMetrics, Executor, GridFailure, GridReport, RunSpec};
 pub use runner::{RunConfig, RunResult, SimRunner};
 pub use suite::{Suite, SuiteReport};

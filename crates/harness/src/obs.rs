@@ -28,6 +28,7 @@ pub fn profile_rank_table(title: &str, p: &Profile) -> Table {
             "rdv stall",
             "recv wait",
             "coll wait",
+            "fault stall",
             "comm %",
         ],
     );
@@ -39,6 +40,7 @@ pub fn profile_rank_table(title: &str, p: &Profile) -> Table {
             fmt(ph.rendezvous_stall_s),
             fmt(ph.recv_wait_s),
             fmt(ph.collective_wait_s),
+            fmt(ph.fault_stall_s),
             pct(ph.comm_fraction() * 100.0),
         ]);
     }
@@ -50,6 +52,7 @@ pub fn profile_rank_table(title: &str, p: &Profile) -> Table {
         fmt(tot.rendezvous_stall_s),
         fmt(tot.recv_wait_s),
         fmt(tot.collective_wait_s),
+        fmt(tot.fault_stall_s),
         pct(tot.comm_fraction() * 100.0),
     ]);
     t
@@ -110,6 +113,7 @@ pub fn metrics_table(title: &str, m: &ExecMetrics) -> Table {
     kv("cache hits (disk)", m.cache.hits_disk.to_string());
     kv("cache misses", m.cache.misses.to_string());
     kv("cache corrupt entries", m.cache.corrupt.to_string());
+    kv("cache entries quarantined", m.cache.quarantined.to_string());
     kv("cache stores", m.cache.stores.to_string());
     kv("cache hit rate", pct(m.cache.hit_rate() * 100.0));
     for (w, runs) in m.per_worker_runs.iter().enumerate() {
@@ -129,6 +133,7 @@ pub fn metrics_to_csv(m: &ExecMetrics) -> String {
     out.push_str(&format!("cache_hits_disk,{}\n", m.cache.hits_disk));
     out.push_str(&format!("cache_misses,{}\n", m.cache.misses));
     out.push_str(&format!("cache_corrupt,{}\n", m.cache.corrupt));
+    out.push_str(&format!("cache_quarantined,{}\n", m.cache.quarantined));
     out.push_str(&format!("cache_stores,{}\n", m.cache.stores));
     for (w, runs) in m.per_worker_runs.iter().enumerate() {
         out.push_str(&format!("worker_{w}_runs,{runs}\n"));
@@ -188,7 +193,7 @@ mod tests {
         let t = profile_rank_table("demo", &sample_profile());
         assert_eq!(t.rows.len(), 3); // 2 ranks + TOTAL
         assert_eq!(t.rows[2][0], "TOTAL");
-        assert_eq!(t.rows[1][6], "75%"); // rank 1: 1.5 of 2.0 s in MPI
+        assert_eq!(t.rows[1][7], "75%"); // rank 1: 1.5 of 2.0 s in MPI
     }
 
     #[test]
@@ -218,6 +223,7 @@ mod tests {
                 hits_disk: 1,
                 misses: 3,
                 corrupt: 0,
+                quarantined: 0,
                 stores: 3,
             },
             per_worker_runs: vec![4, 2],

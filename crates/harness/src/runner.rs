@@ -9,6 +9,7 @@ use spechpc_machine::cluster::ClusterSpec;
 use spechpc_power::energy::{energy_to_solution, EnergyBreakdown};
 use spechpc_power::rapl::{JobPower, PowerState, RaplModel};
 use spechpc_simmpi::engine::{Engine, SimConfig, SimError};
+use spechpc_simmpi::faults::FaultPlan;
 use spechpc_simmpi::netmodel::NetModel;
 use spechpc_simmpi::profile::Profile;
 use spechpc_simmpi::program::Program;
@@ -33,6 +34,12 @@ pub struct RunConfig {
     /// default (timelines dominate memory on large sweeps); the Fig.-2
     /// inset and CSV-export paths request tracing explicitly.
     pub trace: bool,
+    /// Seeded fault-injection plan applied to the simulated runs
+    /// ([`FaultPlan::none()`] by default — the engine's zero-cost off
+    /// path). The warm-up and full runs share the plan, so the
+    /// deterministic warm-prefix subtraction still applies; a crash
+    /// inside the warm-up region fails the run like any other crash.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -42,6 +49,7 @@ impl Default for RunConfig {
             measured_steps: 3,
             repetitions: 3,
             trace: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -123,6 +131,21 @@ impl SimRunner {
         class: WorkloadClass,
         nranks: usize,
     ) -> Result<RunResult, SimError> {
+        self.run_cancellable(cluster, benchmark, class, nranks, None)
+    }
+
+    /// [`SimRunner::run`] with an optional cooperative cancellation
+    /// token: when another thread sets the flag, the underlying engine
+    /// aborts with [`SimError::Cancelled`] at the next op boundary.
+    /// The executor's per-run timeout uses this to reclaim workers.
+    pub fn run_cancellable(
+        &self,
+        cluster: &ClusterSpec,
+        benchmark: &dyn Benchmark,
+        class: WorkloadClass,
+        nranks: usize,
+        cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    ) -> Result<RunResult, SimError> {
         assert!(nranks > 0, "need at least one rank");
         let sig = benchmark.signature(class);
         let model = NodeModel::new(cluster, nranks);
@@ -159,15 +182,25 @@ impl SimRunner {
         let sim_cfg = SimConfig {
             trace: self.config.trace,
             profile: true,
+            faults: self.config.faults.clone(),
         };
         let net_warm = NetModel::compact(cluster, nranks);
         let warm_cfg = SimConfig {
             trace: false,
             profile: true,
+            faults: self.config.faults.clone(),
         };
-        let warm_result = Engine::new(warm_cfg, net_warm, warm).run()?;
+        let mut warm_engine = Engine::new(warm_cfg, net_warm, warm);
+        if let Some(c) = &cancel {
+            warm_engine = warm_engine.with_cancel(c.clone());
+        }
+        let warm_result = warm_engine.run()?;
         let net_full = NetModel::compact(cluster, nranks);
-        let full_result = Engine::new(sim_cfg, net_full, full).run()?;
+        let mut full_engine = Engine::new(sim_cfg, net_full, full);
+        if let Some(c) = &cancel {
+            full_engine = full_engine.with_cancel(c.clone());
+        }
+        let full_result = full_engine.run()?;
 
         let measured = (full_result.makespan - warm_result.makespan).max(1e-12);
         let base_step = measured / self.config.measured_steps as f64;

@@ -164,6 +164,7 @@ fn measure_suite() -> Result<f64, String> {
             jobs: 0,
             cache_dir: None,
             no_cache: true,
+            ..ExecConfig::default()
         },
     );
     let suite = Suite {
@@ -171,9 +172,10 @@ fn measure_suite() -> Result<f64, String> {
         nranks: cluster.node.cores(),
     };
     let t0 = Instant::now();
-    suite
-        .run_with(&executor, &cluster)
-        .map_err(|e| format!("suite run failed: {e}"))?;
+    let report = suite.run_with(&executor, &cluster);
+    if !report.is_complete() {
+        return Err(format!("suite run failed: {}", report.failures[0].error));
+    }
     Ok(t0.elapsed().as_secs_f64())
 }
 

@@ -3,9 +3,8 @@
 use spechpc_kernels::common::config::WorkloadClass;
 use spechpc_kernels::registry::all_benchmarks;
 use spechpc_machine::cluster::ClusterSpec;
-use spechpc_simmpi::engine::SimError;
 
-use crate::exec::{Executor, RunSpec};
+use crate::exec::{Executor, GridFailure, RunSpec};
 use crate::report::{fmt, Table};
 use crate::runner::{RunConfig, RunResult};
 
@@ -31,17 +30,17 @@ impl Suite {
     ///
     /// Convenience wrapper over [`Suite::run_with`] using a default
     /// (parallel, memory-cached) executor.
-    pub fn run(&self, cluster: &ClusterSpec, config: RunConfig) -> Result<SuiteReport, SimError> {
+    pub fn run(&self, cluster: &ClusterSpec, config: RunConfig) -> SuiteReport {
         self.run_with(&Executor::new(config, Default::default()), cluster)
     }
 
     /// Run the suite through `exec`: all nine benchmarks execute as one
     /// concurrent batch, in Table 1 order.
-    pub fn run_with(
-        &self,
-        exec: &Executor,
-        cluster: &ClusterSpec,
-    ) -> Result<SuiteReport, SimError> {
+    ///
+    /// The suite always finishes: benchmarks that fail (e.g. under an
+    /// injected fault plan) land in [`SuiteReport::failures`] while the
+    /// survivors fill [`SuiteReport::results`].
+    pub fn run_with(&self, exec: &Executor, cluster: &ClusterSpec) -> SuiteReport {
         let specs: Vec<RunSpec> = all_benchmarks()
             .iter()
             .filter(|b| match self.class {
@@ -50,23 +49,33 @@ impl Suite {
             })
             .map(|b| RunSpec::new(b.meta().name, self.class, self.nranks))
             .collect();
-        Ok(SuiteReport {
+        let grid = exec.run_all(cluster, &specs);
+        SuiteReport {
             cluster: cluster.name.clone(),
             class: self.class,
-            results: exec.run_all(cluster, &specs)?,
-        })
+            results: grid.results.into_iter().flatten().collect(),
+            failures: grid.failures,
+        }
     }
 }
 
-/// Results of a full-suite run.
+/// Results of a full-suite run: the benchmarks that completed, in
+/// Table 1 order, plus the per-benchmark failure report for those that
+/// did not.
 #[derive(Debug, Clone)]
 pub struct SuiteReport {
     pub cluster: String,
     pub class: WorkloadClass,
     pub results: Vec<RunResult>,
+    pub failures: Vec<GridFailure>,
 }
 
 impl SuiteReport {
+    /// Did every benchmark of the suite complete?
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
     pub fn result(&self, benchmark: &str) -> Option<&RunResult> {
         self.results.iter().find(|r| r.benchmark == benchmark)
     }
@@ -117,7 +126,18 @@ impl SuiteReport {
                 fmt(r.energy.total_j() / 1e3),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        if !self.failures.is_empty() {
+            out.push_str(&format!(
+                "\n{} of {} benchmarks failed:\n",
+                self.failures.len(),
+                self.failures.len() + self.results.len()
+            ));
+            for f in &self.failures {
+                out.push_str(&format!("  FAILED {}: {}\n", f.label, f.error));
+            }
+        }
+        out
     }
 }
 
@@ -130,16 +150,15 @@ mod tests {
     fn tiny_suite_runs_all_nine_on_cluster_a() {
         let cluster = presets::cluster_a();
         let suite = Suite::tiny_full_node(&cluster);
-        let report = suite
-            .run(
-                &cluster,
-                RunConfig {
-                    repetitions: 1,
-                    trace: false,
-                    ..RunConfig::default()
-                },
-            )
-            .unwrap();
+        let report = suite.run(
+            &cluster,
+            RunConfig {
+                repetitions: 1,
+                trace: false,
+                ..RunConfig::default()
+            },
+        );
+        assert!(report.is_complete());
         assert_eq!(report.results.len(), 9);
         for r in &report.results {
             assert!(r.runtime_s > 0.0, "{} has zero runtime", r.benchmark);
@@ -148,6 +167,44 @@ mod tests {
         let text = report.render();
         assert!(text.contains("tealeaf"));
         assert!(text.contains("sph-exa"));
+        assert!(!text.contains("FAILED"));
+    }
+
+    #[test]
+    fn suite_degrades_to_partial_results_under_an_injected_crash() {
+        use spechpc_simmpi::faults::{FaultEvent, FaultPlan};
+        let cluster = presets::cluster_a();
+        let suite = Suite::tiny_full_node(&cluster);
+        // Crash a mid-grid rank immediately: every benchmark that
+        // schedules rank 30 aborts with MPI-abort semantics, yet the
+        // suite still renders the survivors and blames the rank.
+        let report = suite.run(
+            &cluster,
+            RunConfig {
+                repetitions: 1,
+                trace: false,
+                faults: FaultPlan {
+                    seed: 11,
+                    events: vec![FaultEvent::Crash {
+                        rank: 30,
+                        at_s: 0.0,
+                    }],
+                },
+                ..RunConfig::default()
+            },
+        );
+        assert!(!report.is_complete());
+        assert_eq!(report.results.len() + report.failures.len(), 9);
+        assert!(
+            !report.failures.is_empty(),
+            "a full-node suite schedules rank 30 somewhere"
+        );
+        for f in &report.failures {
+            assert_eq!(f.error.failed_rank(), Some(30), "{}", f.error);
+        }
+        let text = report.render();
+        assert!(text.contains("FAILED"), "{text}");
+        assert!(text.contains("benchmarks failed"), "{text}");
     }
 
     #[test]
@@ -159,8 +216,8 @@ mod tests {
         };
         let a = presets::cluster_a();
         let b = presets::cluster_b();
-        let ra = Suite::tiny_full_node(&a).run(&a, cfg.clone()).unwrap();
-        let rb = Suite::tiny_full_node(&b).run(&b, cfg).unwrap();
+        let ra = Suite::tiny_full_node(&a).run(&a, cfg.clone());
+        let rb = Suite::tiny_full_node(&b).run(&b, cfg);
         let self_score = ra.spec_score(&ra).unwrap();
         assert!((self_score - 1.0).abs() < 1e-12);
         let b_score = rb.spec_score(&ra).unwrap();
@@ -179,16 +236,14 @@ mod tests {
             class: WorkloadClass::Medium,
             nranks: cluster.node.cores(),
         };
-        let report = suite
-            .run(
-                &cluster,
-                RunConfig {
-                    repetitions: 1,
-                    trace: false,
-                    ..RunConfig::default()
-                },
-            )
-            .unwrap();
+        let report = suite.run(
+            &cluster,
+            RunConfig {
+                repetitions: 1,
+                trace: false,
+                ..RunConfig::default()
+            },
+        );
         // Six of nine ship medium/large workloads.
         assert_eq!(report.results.len(), 6);
         assert!(report.result("minisweep").is_none());

@@ -59,6 +59,27 @@ pub fn runtime_at(t_flops_base: f64, t_mem: f64, base_clock: f64, clock_ghz: f64
     t_flops.max(t_mem) + 0.5 * t_flops.min(t_mem)
 }
 
+/// Runtime stretch imposed by capping the core clock at `cap_ghz`,
+/// for a code whose in-core (frequency-sensitive) share of the
+/// base-clock Roofline profile is `flops_fraction` ∈ [0, 1].
+///
+/// This is the [`runtime_at`] model solved as a ratio: memory-bound
+/// codes (`flops_fraction → 0`) barely notice the cap, compute-bound
+/// codes (`flops_fraction → 1`) stretch by the full clock ratio
+/// `f₀ / f_cap`. The fault-injection layer uses this to translate a
+/// thermal/power-cap event given as a frequency into the `slowdown`
+/// factor its throttle window applies.
+pub fn throttle_slowdown(base_clock_ghz: f64, cap_ghz: f64, flops_fraction: f64) -> f64 {
+    assert!(
+        base_clock_ghz > 0.0 && cap_ghz > 0.0,
+        "clocks must be positive"
+    );
+    let phi = flops_fraction.clamp(0.0, 1.0);
+    let cap = cap_ghz.min(base_clock_ghz);
+    let base = runtime_at(phi, 1.0 - phi, base_clock_ghz, base_clock_ghz);
+    runtime_at(phi, 1.0 - phi, base_clock_ghz, cap) / base
+}
+
 /// Sweep the clock over `[f_min, f_base]` in `steps` points for a
 /// socket-filling job with in-core time `t_flops_base`, memory time
 /// `t_mem` (both at base clock) and the given heat.
@@ -180,6 +201,32 @@ mod tests {
         let dyn_full = p_full - cpu.baseline_power_w;
         let ratio = dyn_full / dyn_half;
         assert!((ratio - 2f64.powf(DVFS_EXPONENT)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttle_slowdown_tracks_the_roofline_split() {
+        // Pure compute stretches by the full clock ratio…
+        assert!((throttle_slowdown(2.4, 1.2, 1.0) - 2.0).abs() < 1e-12);
+        // …pure memory traffic does not notice the cap…
+        assert!((throttle_slowdown(2.4, 1.2, 0.0) - 1.0).abs() < 1e-12);
+        // …and mixed codes land strictly in between.
+        let mixed = throttle_slowdown(2.4, 1.2, 0.5);
+        assert!(mixed > 1.0 && mixed < 2.0, "mixed slowdown {mixed}");
+    }
+
+    #[test]
+    fn throttle_slowdown_is_monotone_and_clamped() {
+        let mut last = f64::INFINITY;
+        for i in 1..=12 {
+            let cap = 2.4 * i as f64 / 12.0;
+            let s = throttle_slowdown(2.4, cap, 0.7);
+            assert!(s <= last + 1e-12, "deeper caps must slow more");
+            assert!(s >= 1.0);
+            last = s;
+        }
+        // A cap at or above base clock is a no-op, never a speed-up.
+        assert!((throttle_slowdown(2.4, 2.4, 0.7) - 1.0).abs() < 1e-12);
+        assert!((throttle_slowdown(2.4, 3.0, 0.7) - 1.0).abs() < 1e-12);
     }
 
     #[test]

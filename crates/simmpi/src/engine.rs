@@ -42,7 +42,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
+use crate::faults::{ActiveFaults, FaultPlan};
 use crate::netmodel::NetModel;
 use crate::profile::{Phase, Profile, Regime};
 use crate::program::{Op, Program, ReqId};
@@ -62,6 +65,12 @@ pub struct SimConfig {
     /// against a no-op recorder, so the hot path carries no profile
     /// branches at all.
     pub profile: bool,
+    /// Seeded fault-injection plan ([`FaultPlan::none()`] by default).
+    /// Like the profile/trace sinks, the run loop is monomorphized over
+    /// the fault hook: an empty plan selects a no-op hook, carries no
+    /// fault branches on the hot path, and keeps [`SimResult`]
+    /// bit-identical to a faults-free build.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -69,6 +78,7 @@ impl Default for SimConfig {
         SimConfig {
             trace: false,
             profile: true,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -90,6 +100,18 @@ pub enum SimError {
     InvalidProgram { rank: usize, reason: String },
     /// An op referenced a rank outside `0..nranks`.
     RankOutOfRange { rank: usize, op_index: usize },
+    /// A rank was hard-killed by an injected
+    /// [`FaultEvent::Crash`](crate::faults::FaultEvent). MPI-abort
+    /// semantics: the whole run aborts, blaming the crashed rank and
+    /// the op it was about to execute.
+    RankFailed {
+        rank: usize,
+        op_index: usize,
+        at_s: f64,
+    },
+    /// The run was cancelled cooperatively (the harness's per-run
+    /// timeout sets the engine's cancellation token).
+    Cancelled,
 }
 
 impl std::fmt::Display for SimError {
@@ -120,6 +142,15 @@ impl std::fmt::Display for SimError {
             SimError::RankOutOfRange { rank, op_index } => {
                 write!(f, "rank {rank} out of range at op {op_index}")
             }
+            SimError::RankFailed {
+                rank,
+                op_index,
+                at_s,
+            } => write!(
+                f,
+                "rank {rank} failed (injected crash) at t={at_s:.6}s before op {op_index}; aborting run"
+            ),
+            SimError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -206,6 +237,72 @@ impl ProfileSink for NoProfile {
     fn message(&mut self, _from: usize, _to: usize, _bytes: usize, _regime: Regime) {}
     fn finish(self) -> Profile {
         Profile::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection strategy (monomorphized; see `SimConfig::faults`)
+// ---------------------------------------------------------------------------
+
+/// Fault-injection strategy the run loop is monomorphized over,
+/// mirroring [`ProfileSink`]: the faults-off instantiation compiles to
+/// nothing (no per-op branch, no crash/cancel polls, no wire-time
+/// perturbation — results stay bit-identical to a faults-free build),
+/// the active one reads the lookup tables an [`ActiveFaults`] compiled
+/// from the plan.
+trait FaultHook {
+    /// Whether any fault logic needs to run at all.
+    const ENABLED: bool;
+    /// Perturbed duration of a compute op (`base` when off).
+    fn compute_seconds(&self, rank: usize, pc: usize, clock: f64, base: f64) -> f64;
+    /// Extra wire latency of the message with sender request `ireq`.
+    fn wire_extra(&self, from: usize, to: usize, ireq: IReq) -> f64;
+    /// Simulated time at which `rank` dies (`INFINITY` = never).
+    fn crash_at(&self, rank: usize) -> f64;
+    /// Whether cooperative cancellation was requested.
+    fn cancelled(&self) -> bool;
+}
+
+/// The zero-cost off path.
+struct NoFaults;
+
+impl FaultHook for NoFaults {
+    const ENABLED: bool = false;
+    #[inline]
+    fn compute_seconds(&self, _rank: usize, _pc: usize, _clock: f64, base: f64) -> f64 {
+        base
+    }
+    #[inline]
+    fn wire_extra(&self, _from: usize, _to: usize, _ireq: IReq) -> f64 {
+        0.0
+    }
+    #[inline]
+    fn crash_at(&self, _rank: usize) -> f64 {
+        f64::INFINITY
+    }
+    #[inline]
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+impl FaultHook for ActiveFaults {
+    const ENABLED: bool = true;
+    #[inline]
+    fn compute_seconds(&self, rank: usize, pc: usize, clock: f64, base: f64) -> f64 {
+        ActiveFaults::compute_seconds(self, rank, pc, clock, base)
+    }
+    #[inline]
+    fn wire_extra(&self, from: usize, to: usize, ireq: IReq) -> f64 {
+        ActiveFaults::wire_extra(self, from, to, ireq)
+    }
+    #[inline]
+    fn crash_at(&self, rank: usize) -> f64 {
+        ActiveFaults::crash_at(self, rank)
+    }
+    #[inline]
+    fn cancelled(&self) -> bool {
+        ActiveFaults::cancelled(self)
     }
 }
 
@@ -611,6 +708,8 @@ pub struct Engine {
     config: SimConfig,
     net: NetModel,
     programs: Vec<Program>,
+    /// Cooperative cancellation token (see [`Engine::with_cancel`]).
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Engine {
@@ -626,7 +725,19 @@ impl Engine {
             config,
             net,
             programs,
+            cancel: None,
         }
+    }
+
+    /// Attach a cooperative cancellation token: when another thread
+    /// sets the flag, the run aborts at the next op boundary with
+    /// [`SimError::Cancelled`]. Attaching a token routes the run
+    /// through the fault-capable instantiation of the scheduler (the
+    /// flag is polled at op granularity), so timing results remain
+    /// identical but the zero-poll fast path is forgone.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Execute the programs to completion.
@@ -704,20 +815,46 @@ impl Engine {
             }
         }
 
-        match (self.config.profile, self.config.trace) {
-            (true, false) => self.run_with::<_, false>(LiveProfile(Profile::new(nranks)), &p2p_ops),
-            (true, true) => self.run_with::<_, true>(LiveProfile(Profile::new(nranks)), &p2p_ops),
-            (false, false) => self.run_with::<_, false>(NoProfile, &p2p_ops),
-            (false, true) => self.run_with::<_, true>(NoProfile, &p2p_ops),
+        // Fault-capable instantiations are selected only when a plan or
+        // a cancellation token is present; otherwise the zero-cost
+        // `NoFaults` hook keeps the hot path free of fault branches.
+        if !self.config.faults.is_none() || self.cancel.is_some() {
+            let hook = ActiveFaults::compile(&self.config.faults, nranks, self.cancel.clone());
+            match (self.config.profile, self.config.trace) {
+                (true, false) => {
+                    self.run_with::<_, _, false>(LiveProfile(Profile::new(nranks)), hook, &p2p_ops)
+                }
+                (true, true) => {
+                    self.run_with::<_, _, true>(LiveProfile(Profile::new(nranks)), hook, &p2p_ops)
+                }
+                (false, false) => self.run_with::<_, _, false>(NoProfile, hook, &p2p_ops),
+                (false, true) => self.run_with::<_, _, true>(NoProfile, hook, &p2p_ops),
+            }
+        } else {
+            match (self.config.profile, self.config.trace) {
+                (true, false) => self.run_with::<_, _, false>(
+                    LiveProfile(Profile::new(nranks)),
+                    NoFaults,
+                    &p2p_ops,
+                ),
+                (true, true) => self.run_with::<_, _, true>(
+                    LiveProfile(Profile::new(nranks)),
+                    NoFaults,
+                    &p2p_ops,
+                ),
+                (false, false) => self.run_with::<_, _, false>(NoProfile, NoFaults, &p2p_ops),
+                (false, true) => self.run_with::<_, _, true>(NoProfile, NoFaults, &p2p_ops),
+            }
         }
     }
 
     /// The event-driven scheduler, monomorphized over the profile
-    /// recording strategy and the tracing flag. Programs are already
-    /// validated.
-    fn run_with<P: ProfileSink, const TRACE: bool>(
+    /// recording strategy, the fault hook and the tracing flag.
+    /// Programs are already validated.
+    fn run_with<P: ProfileSink, F: FaultHook, const TRACE: bool>(
         self,
         mut profile: P,
+        faults: F,
         p2p_ops: &[usize],
     ) -> Result<SimResult, SimError> {
         let nranks = self.programs.len();
@@ -766,6 +903,21 @@ impl Engine {
                 continue; // woken spuriously after finishing
             }
             loop {
+                if F::ENABLED {
+                    // Cooperative cancellation and hard crashes are
+                    // checked at op granularity; both abort the whole
+                    // run (MPI-abort semantics for crashes).
+                    if faults.cancelled() {
+                        return Err(SimError::Cancelled);
+                    }
+                    if ranks[r].clock >= faults.crash_at(r) {
+                        return Err(SimError::RankFailed {
+                            rank: r,
+                            op_index: ranks[r].pc,
+                            at_s: ranks[r].clock,
+                        });
+                    }
+                }
                 // Re-examine the blocked state first: a popped rank was
                 // woken by a completion that may end its blocked op.
                 // (Blocking ops that can finish immediately never store
@@ -822,12 +974,28 @@ impl Engine {
                 let clock = ranks[r].clock;
                 match op {
                     Op::Compute { seconds } => {
+                        // Fault inflation (noise, straggler, throttle)
+                        // stretches the op; the excess over the
+                        // fault-free duration is attributed to
+                        // `Phase::FaultStall` so variability studies
+                        // can read the injected time directly.
+                        let (total, stall) = if F::ENABLED {
+                            let t = faults.compute_seconds(r, ranks[r].pc, clock, seconds);
+                            (t, (t - seconds).max(0.0))
+                        } else {
+                            (seconds, 0.0)
+                        };
                         if TRACE {
-                            timeline.record(r, clock, clock + seconds, EventKind::Compute);
+                            timeline.record(r, clock, clock + total, EventKind::Compute);
                         }
-                        breakdown[r][EventKind::Compute.index()] += seconds;
-                        profile.phase(r, Phase::Compute, seconds);
-                        ranks[r].clock += seconds;
+                        breakdown[r][EventKind::Compute.index()] += total;
+                        if F::ENABLED && stall > 0.0 {
+                            profile.phase(r, Phase::Compute, total - stall);
+                            profile.phase(r, Phase::FaultStall, stall);
+                        } else {
+                            profile.phase(r, Phase::Compute, total);
+                        }
+                        ranks[r].clock += total;
                         ranks[r].pc += 1;
                     }
                     Op::Send { to, tag, bytes } => {
@@ -844,6 +1012,7 @@ impl Engine {
                             bytes,
                             clock,
                             eager,
+                            &faults,
                         );
                         profile.message(r, to, bytes, regime_of(eager));
                         p2p_bytes += bytes as u64;
@@ -881,6 +1050,7 @@ impl Engine {
                             r,
                             tag,
                             clock,
+                            &faults,
                         );
                         let set = ReqSet::one(ireq);
                         if !Self::try_unblock_reqs::<P, TRACE>(
@@ -921,6 +1091,7 @@ impl Engine {
                             send_bytes,
                             clock,
                             eager,
+                            &faults,
                         );
                         let v = Self::post_recv(
                             &np,
@@ -932,6 +1103,7 @@ impl Engine {
                             r,
                             tag,
                             clock,
+                            &faults,
                         );
                         profile.message(r, to, send_bytes, regime_of(eager));
                         p2p_bytes += send_bytes as u64;
@@ -977,6 +1149,7 @@ impl Engine {
                             bytes,
                             clock,
                             eager,
+                            &faults,
                         );
                         Self::set_user_req(&mut ranks[r].user_reqs, req, ireq);
                         ranks[r].pc += 1;
@@ -997,6 +1170,7 @@ impl Engine {
                             r,
                             tag,
                             clock,
+                            &faults,
                         );
                         Self::set_user_req(&mut ranks[r].user_reqs, req, ireq);
                         ranks[r].pc += 1;
@@ -1206,7 +1380,7 @@ impl Engine {
     /// resolve any matches this enables. Returns the request and
     /// whether the pair shares a node.
     #[allow(clippy::too_many_arguments)]
-    fn post_send(
+    fn post_send<F: FaultHook>(
         np: &NetParams,
         ranks: &mut [RankState],
         reqs: &mut [Req],
@@ -1218,6 +1392,7 @@ impl Engine {
         bytes: usize,
         time: f64,
         eager: bool,
+        faults: &F,
     ) -> (IReq, bool) {
         let rank = &mut ranks[from];
         let ireq = rank.req_next;
@@ -1245,14 +1420,14 @@ impl Engine {
         let ch = &mut channels.store[slot as usize];
         ch.sends.push(SendPost { time, bytes, ireq });
         let same_node = ch.same_node;
-        Self::match_channel(np.eager_threshold, ch, from, to, reqs, ready, from);
+        Self::match_channel(np.eager_threshold, ch, from, to, reqs, ready, from, faults);
         (ireq, same_node)
     }
 
     /// Create the internal request for a receive, append the posting to
     /// its channel, and resolve any matches this enables.
     #[allow(clippy::too_many_arguments)]
-    fn post_recv(
+    fn post_recv<F: FaultHook>(
         np: &NetParams,
         ranks: &mut [RankState],
         reqs: &mut [Req],
@@ -1262,6 +1437,7 @@ impl Engine {
         to: usize,
         tag: u32,
         time: f64,
+        faults: &F,
     ) -> IReq {
         let rank = &mut ranks[to];
         let ireq = rank.req_next;
@@ -1283,7 +1459,7 @@ impl Engine {
         };
         let ch = &mut channels.store[slot as usize];
         ch.recvs.push(RecvPost { time, ireq });
-        Self::match_channel(np.eager_threshold, ch, from, to, reqs, ready, to);
+        Self::match_channel(np.eager_threshold, ch, from, to, reqs, ready, to, faults);
         ireq
     }
 
@@ -1292,7 +1468,8 @@ impl Engine {
     /// tables and waking those ranks (the currently executing rank
     /// `running` re-examines its own state inline instead). FIFO per
     /// channel preserves MPI's non-overtaking rule.
-    fn match_channel(
+    #[allow(clippy::too_many_arguments)]
+    fn match_channel<F: FaultHook>(
         eager_threshold: usize,
         ch: &mut Channel,
         from: usize,
@@ -1300,11 +1477,18 @@ impl Engine {
         reqs: &mut [Req],
         ready: &mut ReadyQueue,
         running: usize,
+        faults: &F,
     ) {
         while !ch.sends.is_empty() && !ch.recvs.is_empty() {
             let s = ch.sends.pop();
             let v = ch.recvs.pop();
-            let wire = ch.wire_lat + s.bytes as f64 / ch.wire_denom;
+            let mut wire = ch.wire_lat + s.bytes as f64 / ch.wire_denom;
+            if F::ENABLED {
+                // Degraded-link retransmissions lengthen the transfer;
+                // the draw is keyed by the sender's program-order
+                // request id, keeping it visiting-order independent.
+                wire += faults.wire_extra(from, to, s.ireq);
+            }
             if s.bytes < eager_threshold {
                 // The sender's completion was already issued at post time
                 // (eager sends complete locally); only the receive side
@@ -1794,6 +1978,7 @@ mod tests {
         let cfg = SimConfig {
             trace: false,
             profile: false,
+            ..SimConfig::default()
         };
         let r = Engine::new(cfg, net, vec![p0]).run().unwrap();
         assert!(!r.profile.is_enabled());
@@ -1825,6 +2010,7 @@ mod tests {
                 SimConfig {
                     trace: false,
                     profile,
+                    ..SimConfig::default()
                 },
                 net,
                 mk(),
@@ -1893,6 +2079,7 @@ mod tests {
         let cfg = SimConfig {
             trace: true,
             profile: true,
+            ..SimConfig::default()
         };
         let r = Engine::new(cfg, net, progs).run().unwrap();
         let traced = r
@@ -1984,5 +2171,167 @@ mod tests {
                 .count();
             assert!(waits >= p - 1, "p={p}: waits={waits}");
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection (see `crate::faults`)
+    // ---------------------------------------------------------------
+
+    use crate::faults::FaultEvent;
+
+    fn faulted(progs: Vec<Program>, plan: FaultPlan) -> Result<SimResult, SimError> {
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, progs.len());
+        let cfg = SimConfig {
+            faults: plan,
+            ..SimConfig::default()
+        };
+        Engine::new(cfg, net, progs).run()
+    }
+
+    #[test]
+    fn crash_aborts_run_blaming_rank() {
+        let mut progs = Vec::new();
+        for _ in 0..4 {
+            let mut p = Program::new();
+            for _ in 0..10 {
+                p.push(Op::compute(0.1));
+                p.push(Op::allreduce(64));
+            }
+            progs.push(p);
+        }
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![FaultEvent::Crash {
+                rank: 2,
+                at_s: 0.35,
+            }],
+        };
+        let err = faulted(progs, plan).unwrap_err();
+        let SimError::RankFailed { rank, at_s, .. } = err else {
+            panic!("expected RankFailed, got {err:?}");
+        };
+        assert_eq!(rank, 2);
+        assert!(at_s >= 0.35, "crash reported before its time: {at_s}");
+    }
+
+    #[test]
+    fn crash_after_finish_is_benign() {
+        let mut p0 = Program::new();
+        p0.push(Op::compute(0.5));
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![FaultEvent::Crash {
+                rank: 0,
+                at_s: 100.0,
+            }],
+        };
+        let r = faulted(vec![p0], plan).unwrap();
+        assert!((r.makespan - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_inflates_and_attributes_fault_stall() {
+        let mk = || {
+            let mut p = Program::new();
+            p.push(Op::compute(1.0));
+            p
+        };
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![FaultEvent::Straggler {
+                rank: 0,
+                slowdown: 2.0,
+            }],
+        };
+        let r = faulted(vec![mk(), mk()], plan).unwrap();
+        assert!((r.finish_times[0] - 2.0).abs() < 1e-12);
+        assert!((r.finish_times[1] - 1.0).abs() < 1e-12);
+        // The inflation is visible as fault stall, not as compute.
+        assert!((r.profile.per_rank[0].fault_stall_s - 1.0).abs() < 1e-12);
+        assert!((r.profile.per_rank[0].compute_s - 1.0).abs() < 1e-12);
+        assert_eq!(r.profile.per_rank[1].fault_stall_s, 0.0);
+        // The breakdown carries the full inflated compute time.
+        assert!((r.per_rank_breakdown[0][EventKind::Compute.index()] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flaky_link_delays_messages_one_direction() {
+        let mk = |r: usize| {
+            let mut p = Program::new();
+            if r == 0 {
+                p.push(Op::send(1, 0, 8));
+            } else {
+                p.push(Op::recv(0, 0));
+            }
+            p
+        };
+        let plan = FaultPlan {
+            seed: 3,
+            events: vec![FaultEvent::FlakyLink {
+                from: 0,
+                to: 1,
+                drop_prob: 0.999,
+                retransmit_latency_s: 1.0,
+            }],
+        };
+        let clean = faulted(vec![mk(0), mk(1)], FaultPlan::none()).unwrap();
+        let dirty = faulted(vec![mk(0), mk(1)], plan).unwrap();
+        // With p≈1 the first attempt virtually always retransmits, so
+        // the receive completes at least one retransmit latency later.
+        assert!(
+            dirty.finish_times[1] >= clean.finish_times[1] + 1.0,
+            "no retransmit delay: clean={} dirty={}",
+            clean.finish_times[1],
+            dirty.finish_times[1]
+        );
+        // The eager sender is unaffected (completes locally).
+        assert!((dirty.finish_times[0] - clean.finish_times[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_through_fault_path_is_bit_identical() {
+        // Force the ActiveFaults instantiation with an un-set cancel
+        // token and an empty plan: every result must match the
+        // zero-cost NoFaults path bit for bit.
+        let mk = || {
+            let mut progs = Vec::new();
+            for r in 0..8usize {
+                let mut p = Program::new();
+                p.push(Op::compute(0.01 * (r + 1) as f64));
+                p.push(Op::sendrecv((r + 1) % 8, 1 << 17, (r + 7) % 8, 0));
+                p.push(Op::allreduce(64));
+                progs.push(p);
+            }
+            progs
+        };
+        let cluster = presets::cluster_a();
+        let fast = Engine::new(SimConfig::default(), NetModel::compact(&cluster, 8), mk())
+            .run()
+            .unwrap();
+        let token = Arc::new(AtomicBool::new(false));
+        let slow = Engine::new(SimConfig::default(), NetModel::compact(&cluster, 8), mk())
+            .with_cancel(token)
+            .run()
+            .unwrap();
+        assert_eq!(fast.finish_times, slow.finish_times);
+        assert_eq!(fast.per_rank_breakdown, slow.per_rank_breakdown);
+        assert_eq!(fast.profile, slow.profile);
+        assert_eq!(fast.p2p_bytes, slow.p2p_bytes);
+        assert_eq!(fast.internode_bytes, slow.internode_bytes);
+    }
+
+    #[test]
+    fn pre_set_cancel_token_aborts_immediately() {
+        let mut p0 = Program::new();
+        p0.push(Op::compute(1.0));
+        let cluster = presets::cluster_a();
+        let net = NetModel::compact(&cluster, 1);
+        let token = Arc::new(AtomicBool::new(true));
+        let err = Engine::new(SimConfig::default(), net, vec![p0])
+            .with_cancel(token)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::Cancelled);
     }
 }

@@ -17,6 +17,9 @@
 //!   program per rank with MPI matching semantics (FIFO per channel,
 //!   rendezvous hand-shakes, globally ordered collectives) and deadlock
 //!   detection,
+//! * [`faults`] — seeded, deterministic fault injection (OS noise,
+//!   stragglers, flaky links, power-cap throttling, rank crashes) woven
+//!   through the engine with a zero-cost off path,
 //! * [`trace`] — per-rank timelines (the ITAC analog) with breakdowns and
 //!   an ASCII timeline renderer used for the paper's Fig. 2 insets,
 //! * [`profile`] — an *online* observability profile (per-rank phase split,
@@ -53,6 +56,7 @@
 pub mod comm;
 pub mod engine;
 pub mod export;
+pub mod faults;
 pub mod netmodel;
 pub mod profile;
 pub mod program;

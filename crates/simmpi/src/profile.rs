@@ -13,9 +13,9 @@
 //! Three views are maintained per run:
 //!
 //! * **per-rank phase split** ([`RankPhases`]) — wall-clock seconds in
-//!   computation, eager-send overhead, rendezvous stalls, receive waits
-//!   and collective waits; the compute-vs-communication fractions of
-//!   the paper's Fig. 2 insets,
+//!   computation, eager-send overhead, rendezvous stalls, receive
+//!   waits, collective waits and fault-induced stalls; the
+//!   compute-vs-communication fractions of the paper's Fig. 2 insets,
 //! * **protocol-regime / message-size histograms** — log2-bucketed
 //!   point-to-point message counts and payload bytes, split into the
 //!   eager and rendezvous regimes (the protocol boundary the minisweep
@@ -47,6 +47,11 @@ pub enum Phase {
     RecvWait,
     /// Waiting inside a collective (barrier, allreduce, …).
     CollectiveWait,
+    /// Time lost to injected faults (OS noise, straggler/throttle
+    /// slowdown) — the inflation of a compute phase beyond its
+    /// fault-free duration. Zero unless a
+    /// [`FaultPlan`](crate::faults::FaultPlan) is active.
+    FaultStall,
 }
 
 /// Per-rank wall-clock split over the [`Phase`] categories, seconds.
@@ -57,6 +62,8 @@ pub struct RankPhases {
     pub rendezvous_stall_s: f64,
     pub recv_wait_s: f64,
     pub collective_wait_s: f64,
+    /// Fault-induced compute inflation (zero without fault injection).
+    pub fault_stall_s: f64,
 }
 
 impl RankPhases {
@@ -67,11 +74,12 @@ impl RankPhases {
             + self.rendezvous_stall_s
             + self.recv_wait_s
             + self.collective_wait_s
+            + self.fault_stall_s
     }
 
-    /// Time in any MPI phase.
+    /// Time in any MPI phase (fault stalls are local, not MPI).
     pub fn mpi_s(&self) -> f64 {
-        self.total_s() - self.compute_s
+        self.total_s() - self.compute_s - self.fault_stall_s
     }
 
     /// Fraction of the accounted time spent communicating (0 when no
@@ -92,6 +100,7 @@ impl RankPhases {
             Phase::RendezvousStall => self.rendezvous_stall_s += secs,
             Phase::RecvWait => self.recv_wait_s += secs,
             Phase::CollectiveWait => self.collective_wait_s += secs,
+            Phase::FaultStall => self.fault_stall_s += secs,
         }
     }
 
@@ -105,6 +114,7 @@ impl RankPhases {
             rendezvous_stall_s: d(self.rendezvous_stall_s, other.rendezvous_stall_s),
             recv_wait_s: d(self.recv_wait_s, other.recv_wait_s),
             collective_wait_s: d(self.collective_wait_s, other.collective_wait_s),
+            fault_stall_s: d(self.fault_stall_s, other.fault_stall_s),
         }
     }
 }
@@ -212,6 +222,7 @@ impl Profile {
             t.rendezvous_stall_s += r.rendezvous_stall_s;
             t.recv_wait_s += r.recv_wait_s;
             t.collective_wait_s += r.collective_wait_s;
+            t.fault_stall_s += r.fault_stall_s;
         }
         t
     }
@@ -263,17 +274,18 @@ impl Profile {
     /// Per-rank phase split as CSV.
     pub fn ranks_to_csv(&self) -> String {
         let mut out = String::from(
-            "rank,compute_s,eager_send_s,rendezvous_stall_s,recv_wait_s,collective_wait_s,comm_fraction\n",
+            "rank,compute_s,eager_send_s,rendezvous_stall_s,recv_wait_s,collective_wait_s,fault_stall_s,comm_fraction\n",
         );
         for (rank, p) in self.per_rank.iter().enumerate() {
             out.push_str(&format!(
-                "{},{:.9e},{:.9e},{:.9e},{:.9e},{:.9e},{:.6}\n",
+                "{},{:.9e},{:.9e},{:.9e},{:.9e},{:.9e},{:.9e},{:.6}\n",
                 rank,
                 p.compute_s,
                 p.eager_send_s,
                 p.rendezvous_stall_s,
                 p.recv_wait_s,
                 p.collective_wait_s,
+                p.fault_stall_s,
                 p.comm_fraction()
             ));
         }

@@ -14,6 +14,7 @@ fn quick() -> RunConfig {
         measured_steps: 2,
         repetitions: 1,
         trace: false,
+        ..RunConfig::default()
     }
 }
 
@@ -54,11 +55,12 @@ fn parallel_output_is_byte_identical_to_serial() {
             jobs: 8,
             cache_dir: None,
             no_cache: true,
+            ..ExecConfig::default()
         },
     );
 
-    let rs = serial.run_all(&cluster, &specs).unwrap();
-    let rp = parallel.run_all(&cluster, &specs).unwrap();
+    let rs = serial.run_all(&cluster, &specs).into_results().unwrap();
+    let rp = parallel.run_all(&cluster, &specs).into_results().unwrap();
     assert_eq!(
         render(&rs),
         render(&rp),
@@ -79,9 +81,10 @@ fn disk_cache_round_trips_and_second_run_hits_it() {
             jobs: 4,
             cache_dir: Some(dir.clone()),
             no_cache: false,
+            ..ExecConfig::default()
         },
     );
-    let first = cold.run_all(&cluster, &specs).unwrap();
+    let first = cold.run_all(&cluster, &specs).into_results().unwrap();
 
     // Every untraced run must have landed in the store.
     let entries = std::fs::read_dir(&dir).unwrap().count();
@@ -94,6 +97,7 @@ fn disk_cache_round_trips_and_second_run_hits_it() {
             jobs: 4,
             cache_dir: Some(dir.clone()),
             no_cache: false,
+            ..ExecConfig::default()
         },
     );
     let store = RunCache::on_disk(&dir);
@@ -113,7 +117,7 @@ fn disk_cache_round_trips_and_second_run_hits_it() {
     }
 
     // … and replays the whole grid byte-identically.
-    let second = warm.run_all(&cluster, &specs).unwrap();
+    let second = warm.run_all(&cluster, &specs).into_results().unwrap();
     assert_eq!(render(&first), render(&second));
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -132,6 +136,7 @@ fn cache_invalidates_when_run_key_inputs_change() {
             jobs: 1,
             cache_dir: Some(dir.clone()),
             no_cache: false,
+            ..ExecConfig::default()
         },
     );
     exec.run_one(&cluster, &spec).unwrap();

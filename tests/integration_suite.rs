@@ -16,7 +16,8 @@ fn quick() -> RunConfig {
 fn tiny_suite_full_node_pipeline_consistency() {
     for cluster in [presets::cluster_a(), presets::cluster_b()] {
         let suite = Suite::tiny_full_node(&cluster);
-        let report = suite.run(&cluster, quick()).expect("suite run");
+        let report = suite.run(&cluster, quick());
+        assert!(report.is_complete(), "{}", report.render());
         assert_eq!(report.results.len(), 9);
         let rapl = RaplModel::new(&cluster);
         for r in &report.results {
@@ -82,7 +83,7 @@ fn suite_report_renders_complete_table() {
         class: WorkloadClass::Tiny,
         nranks: 36,
     };
-    let report = suite.run(&cluster, quick()).unwrap();
+    let report = suite.run(&cluster, quick());
     let text = report.render();
     for name in BENCHMARK_NAMES {
         assert!(text.contains(name), "missing {name} in:\n{text}");

@@ -14,6 +14,7 @@ fn quick() -> RunConfig {
         measured_steps: 2,
         repetitions: 1,
         trace: false,
+        ..RunConfig::default()
     }
 }
 
@@ -99,9 +100,10 @@ fn warm_cache_reports_hits_and_preserves_the_profile() {
         jobs,
         cache_dir: Some(dir.clone()),
         no_cache: false,
+        ..ExecConfig::default()
     };
     let cold = Executor::new(quick(), cfg(2));
-    let first = cold.run_all(&cluster, &specs).unwrap();
+    let first = cold.run_all(&cluster, &specs).into_results().unwrap();
     let m = cold.metrics();
     assert_eq!(m.runs_executed, specs.len() as u64);
     assert_eq!(m.cache.misses, specs.len() as u64);
@@ -109,7 +111,7 @@ fn warm_cache_reports_hits_and_preserves_the_profile() {
 
     // Fresh executor, same store: everything replays from disk.
     let warm = Executor::new(quick(), cfg(2));
-    let second = warm.run_all(&cluster, &specs).unwrap();
+    let second = warm.run_all(&cluster, &specs).into_results().unwrap();
     let m = warm.metrics();
     assert_eq!(m.runs_executed, 0, "warm store must not re-simulate");
     assert!(m.cache.hits_disk >= specs.len() as u64);

@@ -332,9 +332,17 @@ fn golden_case(seed: u64) -> u64 {
     let progs = mixed_programs(&mut rng, nranks, steps);
     let cluster = presets::cluster_a();
     let net = NetModel::compact(&cluster, nranks);
-    let r = Engine::new(SimConfig { trace, profile }, net, progs)
-        .run()
-        .expect("well-formed golden case must not deadlock");
+    let r = Engine::new(
+        SimConfig {
+            trace,
+            profile,
+            ..SimConfig::default()
+        },
+        net,
+        progs,
+    )
+    .run()
+    .expect("well-formed golden case must not deadlock");
     fingerprint(&r)
 }
 
