@@ -22,11 +22,7 @@ use spechpc::simmpi::program::Op;
 use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 fn config() -> RunConfig {
-    RunConfig {
-        repetitions: 1,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default().with_repetitions(1).with_trace(false)
 }
 
 /// A1: minisweep at 59 processes with rendezvous (real) vs. an
@@ -46,13 +42,7 @@ fn ablation_eager_rendezvous(c: &mut Criterion) {
     let real = presets::cluster_a();
     // The ablated spec keeps the preset's name, so the run cache (keyed
     // on cluster name) must stay off for these variants.
-    let exec = Executor::new(
-        config(),
-        ExecConfig {
-            no_cache: true,
-            ..ExecConfig::default()
-        },
-    );
+    let exec = Executor::new(config(), ExecConfig::default().with_no_cache(true));
     let spec = RunSpec::new("minisweep", WorkloadClass::Tiny, 59);
 
     let t_real = exec.run_one(&real, &spec).unwrap().step_seconds;
@@ -83,13 +73,7 @@ fn ablation_snc(c: &mut Criterion) {
     snc_off.node.domain_memory.theoretical_bw *= 2.0;
     snc_off.node.domain_memory.capacity_gib *= 2.0;
     snc_off.node.domain_memory.saturation.plateau *= 2.0;
-    let exec = Executor::new(
-        config(),
-        ExecConfig {
-            no_cache: true,
-            ..ExecConfig::default()
-        },
-    );
+    let exec = Executor::new(config(), ExecConfig::default().with_no_cache(true));
     let spec = RunSpec::new("pot3d", WorkloadClass::Tiny, 18);
 
     // With SNC on, 18 cores already saturate their domain; with SNC

@@ -12,11 +12,7 @@ use spechpc_bench::{criterion_group, criterion_main, Criterion};
 const NODES: [usize; 4] = [1, 2, 4, 8];
 
 fn config() -> RunConfig {
-    RunConfig {
-        repetitions: 1,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default().with_repetitions(1).with_trace(false)
 }
 
 fn bench_multi_node(c: &mut Criterion) {
@@ -63,13 +59,7 @@ fn bench_multi_node(c: &mut Criterion) {
     let mut g = c.benchmark_group("multi_node");
     g.sample_size(10);
     g.bench_function("fig5_single_benchmark_4nodes", |bch| {
-        let cold = Executor::new(
-            config(),
-            ExecConfig {
-                no_cache: true,
-                ..ExecConfig::default()
-            },
-        );
+        let cold = Executor::new(config(), ExecConfig::default().with_no_cache(true));
         let spec = RunSpec::new("tealeaf", WorkloadClass::Small, 4 * a.node.cores());
         bch.iter(|| cold.run_one(&a, &spec).unwrap())
     });

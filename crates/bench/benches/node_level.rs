@@ -14,11 +14,7 @@ use spechpc_bench::{criterion_group, criterion_main, Criterion};
 const STEP: usize = 8;
 
 fn config() -> RunConfig {
-    RunConfig {
-        repetitions: 3,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default().with_repetitions(3).with_trace(false)
 }
 
 fn bench_fig1_and_tables(c: &mut Criterion) {
@@ -47,13 +43,7 @@ fn bench_fig1_and_tables(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("cluster_a_sweep_cold", |bch| {
         bch.iter(|| {
-            let cold = Executor::new(
-                config(),
-                ExecConfig {
-                    no_cache: true,
-                    ..ExecConfig::default()
-                },
-            );
+            let cold = Executor::new(config(), ExecConfig::default().with_no_cache(true));
             fig1_with(&cold, &a, STEP).unwrap()
         })
     });

@@ -10,11 +10,7 @@ use spechpc::prelude::*;
 use spechpc_bench::{criterion_group, criterion_main, Criterion};
 
 fn config() -> RunConfig {
-    RunConfig {
-        repetitions: 1,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default().with_repetitions(1).with_trace(false)
 }
 
 fn bench_power_energy(c: &mut Criterion) {

@@ -102,6 +102,21 @@ pub enum Command {
         benchmark: String,
         cluster: ClusterChoice,
     },
+    /// Run the resident simulation-as-a-service daemon.
+    Serve {
+        /// `--addr host:port` (port 0 = ephemeral).
+        addr: String,
+        /// `--workers N`: connection worker threads.
+        workers: Option<usize>,
+        /// `--queue-depth N`: bounded accept queue.
+        queue_depth: Option<usize>,
+        /// `--max-inflight N`: concurrent simulation cap.
+        max_inflight: Option<usize>,
+        /// `--timeout-s S`: per-request simulation budget (cooperative
+        /// cancel; `0` disables).
+        timeout_s: Option<f64>,
+        exec: ExecOpts,
+    },
     BenchSnapshot {
         /// Fewer iterations (CI smoke mode).
         quick: bool,
@@ -141,6 +156,16 @@ COMMANDS:
                                  regenerate the paper's artifacts
     dvfs <benchmark>             frequency-scaling energy analysis
         --cluster a|b
+    serve                        simulation-as-a-service HTTP daemon: POST
+                                 /v1/run and /v1/suite, GET /v1/profile/{b},
+                                 /v1/metrics, /v1/health; graceful drain on
+                                 SIGTERM or POST /v1/shutdown
+        --addr HOST:PORT         listen address        [default: 127.0.0.1:8722]
+        --workers N              connection workers              [default: 8]
+        --queue-depth N          bounded accept queue           [default: 64]
+        --max-inflight N         concurrent simulation cap [default: workers-1]
+        --timeout-s S            per-request simulation budget; requests over
+                                 budget answer 504 (0 disables) [default: 300]
     bench-snapshot               measure engine throughput + suite wall time
                                  and write the perf-trajectory file
         --out FILE               snapshot path        [default: BENCH_engine.json]
@@ -283,6 +308,44 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "dvfs" => {
             let benchmark = positional.first().ok_or("dvfs: which benchmark?")?.clone();
             Ok(Command::Dvfs { benchmark, cluster })
+        }
+        "serve" => {
+            let usize_opt = |key: &str| -> Result<Option<usize>, String> {
+                match options.get(key) {
+                    Some(s) => s
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --{key} '{s}': {e}"))
+                        .and_then(|n| {
+                            (n > 0)
+                                .then_some(Some(n))
+                                .ok_or(format!("--{key} must be ≥ 1"))
+                        }),
+                    None => Ok(None),
+                }
+            };
+            let timeout_s = match options.get("timeout-s") {
+                Some(s) => Some(
+                    s.parse::<f64>()
+                        .map_err(|e| format!("bad --timeout-s '{s}': {e}"))
+                        .and_then(|t| {
+                            (t >= 0.0)
+                                .then_some(t)
+                                .ok_or("--timeout-s must be ≥ 0".to_string())
+                        })?,
+                ),
+                None => None,
+            };
+            Ok(Command::Serve {
+                addr: options
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:8722".into()),
+                workers: usize_opt("workers")?,
+                queue_depth: usize_opt("queue-depth")?,
+                max_inflight: usize_opt("max-inflight")?,
+                timeout_s,
+                exec,
+            })
         }
         "bench-snapshot" => Ok(Command::BenchSnapshot {
             quick: flags.contains("quick"),
@@ -472,6 +535,53 @@ mod tests {
                 out: Some("snap.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&v(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8722".into(),
+                workers: None,
+                queue_depth: None,
+                max_inflight: None,
+                timeout_s: None,
+                exec: ExecOpts::default(),
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:0",
+                "--workers",
+                "4",
+                "--queue-depth",
+                "16",
+                "--max-inflight",
+                "2",
+                "--timeout-s",
+                "1.5",
+                "--no-cache",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:0".into(),
+                workers: Some(4),
+                queue_depth: Some(16),
+                max_inflight: Some(2),
+                timeout_s: Some(1.5),
+                exec: ExecOpts {
+                    jobs: None,
+                    no_cache: true,
+                    metrics: false,
+                },
+            }
+        );
+        assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--queue-depth", "deep"])).is_err());
+        assert!(parse(&v(&["serve", "--timeout-s", "-1"])).is_err());
     }
 
     #[test]

@@ -6,49 +6,64 @@
 //! spechpc score
 //! spechpc figures fig5
 //! spechpc dvfs tealeaf --cluster a
+//! spechpc serve --addr 127.0.0.1:8722
 //! ```
+//!
+//! The simulating subcommands are thin shells over the typed service
+//! API (`spechpc::harness::api`): `run`/`suite`/`profile` build the
+//! same [`RunRequest`]/[`SuiteRequest`] values that `spechpc serve`
+//! decodes off the wire and dispatch them through the same executor
+//! entry points, so CLI and daemon cannot drift apart. Errors follow
+//! the API mapping too: exit 2 for argument parsing, 3 for a partial
+//! suite, 1 for everything else.
 
 mod args;
 
 use args::{ClusterChoice, Command, ExecOpts, FaultOpts, USAGE};
+use spechpc::harness::api;
 use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
 use spechpc::harness::faultcfg;
 use spechpc::harness::obs;
+use spechpc::harness::serve;
 use spechpc::power::dvfs;
 use spechpc::prelude::*;
 
-fn cluster_of(c: ClusterChoice) -> ClusterSpec {
+/// The canonical cluster key the API resolves (`a` | `b`).
+fn cluster_key(c: ClusterChoice) -> &'static str {
     match c {
-        ClusterChoice::A => presets::cluster_a(),
-        ClusterChoice::B => presets::cluster_b(),
+        ClusterChoice::A => "a",
+        ClusterChoice::B => "b",
     }
 }
 
 /// Build the execution layer from the CLI options: all host cores and
 /// the persistent `results/cache/` store unless overridden.
 fn executor_of(config: RunConfig, opts: ExecOpts) -> Executor {
-    Executor::new(
-        config,
-        ExecConfig {
-            jobs: opts.jobs.unwrap_or(0),
-            cache_dir: (!opts.no_cache).then(RunCache::default_dir),
-            no_cache: opts.no_cache,
-            ..ExecConfig::default()
-        },
-    )
+    let mut exec_cfg = ExecConfig::default()
+        .with_jobs(opts.jobs.unwrap_or(0))
+        .with_no_cache(opts.no_cache);
+    if !opts.no_cache {
+        exec_cfg = exec_cfg.with_cache_dir(RunCache::default_dir());
+    }
+    Executor::new(config, exec_cfg)
 }
 
 /// Resolve `--faults` / `--fault-seed` into a [`FaultPlan`]: no plan
 /// file means the engine's zero-cost fault-free path.
-fn fault_plan_of(opts: &FaultOpts) -> Result<FaultPlan, String> {
+fn fault_plan_of(opts: &FaultOpts) -> Result<FaultPlan, ApiError> {
     let mut plan = match &opts.plan {
-        Some(path) => faultcfg::load_plan(std::path::Path::new(path)).map_err(|e| e.to_string())?,
+        Some(path) => faultcfg::load_plan(std::path::Path::new(path))
+            .map_err(|e| ApiError::bad_request(e.to_string()))?,
         None => FaultPlan::none(),
     };
     if let Some(seed) = opts.seed {
         plan.seed = seed;
     }
     Ok(plan)
+}
+
+fn internal(e: impl std::fmt::Display) -> ApiError {
+    ApiError::internal(e.to_string())
 }
 
 fn describe_ranks(rs: &RankSet) -> String {
@@ -101,17 +116,15 @@ fn describe_event(e: &FaultEvent) -> String {
 
 /// With `--metrics`: print the executor/cache counters and write them
 /// as `results/metrics/<stem>.csv`.
-fn maybe_metrics(executor: &Executor, stem: &str, opts: ExecOpts) -> Result<(), String> {
+fn maybe_metrics(executor: &Executor, stem: &str, opts: ExecOpts) -> Result<(), ApiError> {
     if !opts.metrics {
         return Ok(());
     }
     let m = executor.metrics();
-    println!(
-        "{}",
-        obs::metrics_table("executor/cache metrics", &m).render()
-    );
+    let table = obs::metrics_table("executor/cache metrics", &m).map_err(internal)?;
+    println!("{}", table.render());
     let path = obs::write_metrics_csv(std::path::Path::new("results/metrics"), stem, &m)
-        .map_err(|e| format!("writing metrics CSV: {e}"))?;
+        .map_err(|e| ApiError::internal(format!("writing metrics CSV: {e}")))?;
     println!("metrics: written to {}", path.display());
     Ok(())
 }
@@ -127,11 +140,11 @@ fn main() {
     };
     if let Err(e) = run(cmd) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
 }
 
-fn run(cmd: Command) -> Result<(), String> {
+fn run(cmd: Command) -> Result<(), ApiError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -169,73 +182,33 @@ fn run(cmd: Command) -> Result<(), String> {
             exec,
             faults,
         } => {
-            let cl = cluster_of(cluster);
-            benchmark_by_name(&benchmark)
-                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
-            let n = nranks.unwrap_or_else(|| cl.node.cores());
-            let executor = executor_of(
-                RunConfig {
-                    trace: false,
-                    faults: fault_plan_of(&faults)?,
-                    ..RunConfig::default()
-                },
-                exec,
-            );
-            let spec = RunSpec::new(benchmark.as_str(), class, n);
+            let req = RunRequest::new(&benchmark, class, nranks.unwrap_or(0))
+                .with_cluster(cluster_key(cluster))
+                .with_config(
+                    RunConfig::default()
+                        .with_trace(false)
+                        .with_faults(fault_plan_of(&faults)?),
+                );
+            let executor = executor_of(req.config.clone(), exec);
+            let cl = api::resolve_cluster(&req.cluster)?;
             // Only a trace export needs the timeline; everything else
-            // goes through (and populates) the run cache.
+            // goes through (and populates) the run cache via the same
+            // dispatcher the daemon uses.
             let r = if trace_csv.is_some() {
-                executor.run_traced(&cl, &spec)
+                executor.run_traced(&cl, &req.spec(&cl))?
             } else {
-                executor.run_one(&cl, &spec)
-            }
-            .map_err(|e| e.to_string())?;
-            println!(
-                "{} {} on {} with {} ranks ({} node(s)):",
-                benchmark, class, cl.name, n, r.nodes_used
-            );
-            println!(
-                "  runtime        {:>12.2} s  ({:.5} s/step)",
-                r.runtime_s, r.step_seconds
-            );
-            println!(
-                "  performance    {:>12.1} Gflop/s (DP), {:.1} vectorized",
-                r.counters.dp_gflops(),
-                r.counters.dp_avx_gflops()
-            );
-            println!(
-                "  memory BW      {:>12.1} GB/s  (L3 {:.1}, L2 {:.1})",
-                r.counters.mem_bandwidth(),
-                r.counters.l3_bandwidth(),
-                r.counters.l2_bandwidth()
-            );
-            println!(
-                "  MPI share      {:>12.1} %  (dominant: {})",
-                r.breakdown.mpi_fraction() * 100.0,
-                r.breakdown
-                    .dominant_mpi()
-                    .map(|k| k.to_string())
-                    .unwrap_or_else(|| "—".into())
-            );
-            println!(
-                "  power          {:>12.1} W  (package {:.1} + DRAM {:.1})",
-                r.power.total(),
-                r.power.package_w,
-                r.power.dram_w
-            );
-            println!(
-                "  energy         {:>12.1} kJ  (EDP {:.3e} J·s)",
-                r.energy.total_j() / 1e3,
-                r.energy.edp()
-            );
+                api::dispatch_run(&executor, &req)?.result
+            };
+            print!("{}", api::render_run_text(&r));
             if let Some(path) = trace_csv {
                 let csv = spechpc::simmpi::export::to_csv(&r.timeline);
-                std::fs::write(&path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+                std::fs::write(&path, csv)
+                    .map_err(|e| ApiError::internal(format!("writing {path}: {e}")))?;
                 println!("  trace          written to {path}");
             }
             maybe_metrics(
                 &executor,
-                &format!("run_{benchmark}_{class}_{}_{n}", cl.name),
+                &format!("run_{benchmark}_{class}_{}_{}", cl.name, r.nranks),
                 exec,
             )?;
             Ok(())
@@ -247,24 +220,24 @@ fn run(cmd: Command) -> Result<(), String> {
             exec,
             faults,
         } => {
-            let cl = cluster_of(cluster);
-            let n = nranks.unwrap_or_else(|| cl.node.cores());
-            let suite = Suite { class, nranks: n };
-            let executor = executor_of(
-                RunConfig {
-                    trace: false,
-                    faults: fault_plan_of(&faults)?,
-                    ..RunConfig::default()
-                },
+            let req = SuiteRequest::new(class)
+                .with_cluster(cluster_key(cluster))
+                .with_nranks(nranks.unwrap_or(0))
+                .with_config(RunConfig::default().with_trace(false))
+                .with_faults(fault_plan_of(&faults)?);
+            let executor = executor_of(req.config.clone(), exec);
+            let resp = api::dispatch_suite(&executor, &req)?;
+            println!("{}", resp.report.render());
+            maybe_metrics(
+                &executor,
+                &format!("suite_{class}_{}", resp.report.cluster),
                 exec,
-            );
-            let report = suite.run_with(&executor, &cl);
-            println!("{}", report.render());
-            maybe_metrics(&executor, &format!("suite_{class}_{}", cl.name), exec)?;
+            )?;
             // Partial completion (e.g. an injected crash) is a distinct
             // exit code so scripts can tell it from a hard error.
-            if !report.is_complete() {
-                std::process::exit(3);
+            if let Some(partial) = resp.partial_error() {
+                eprintln!("error: {partial}");
+                std::process::exit(partial.exit_code());
             }
             Ok(())
         }
@@ -276,44 +249,46 @@ fn run(cmd: Command) -> Result<(), String> {
             exec,
             faults,
         } => {
-            let cl = cluster_of(cluster);
-            benchmark_by_name(&benchmark)
-                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
-            let n = nranks.unwrap_or_else(|| cl.node.cores());
             // The profile is computed incrementally by the engine, so no
             // tracing is needed: this goes through (and warms) the cache.
             // With `--faults` the per-rank table attributes the injected
             // stall time in its own column.
-            let executor = executor_of(
-                RunConfig {
-                    faults: fault_plan_of(&faults)?,
-                    ..RunConfig::default()
-                },
-                exec,
-            );
-            let spec = RunSpec::new(benchmark.as_str(), class, n);
-            let r = executor.run_one(&cl, &spec).map_err(|e| e.to_string())?;
+            let req = RunRequest::new(&benchmark, class, nranks.unwrap_or(0))
+                .with_cluster(cluster_key(cluster))
+                .with_config(RunConfig::default().with_faults(fault_plan_of(&faults)?));
+            let executor = executor_of(req.config.clone(), exec);
+            let cl = api::resolve_cluster(&req.cluster)?;
+            let r = api::dispatch_run(&executor, &req)?.result;
+            let n = r.nranks;
             let title = format!(
                 "{benchmark} {class} on {} with {n} ranks — per-rank MPI phase split [s]",
                 cl.name
             );
-            println!("{}", obs::profile_rank_table(&title, &r.profile).render());
+            println!(
+                "{}",
+                obs::profile_rank_table(&title, &r.profile)
+                    .map_err(internal)?
+                    .render()
+            );
             println!(
                 "{}",
                 obs::profile_histogram_table(
                     "message-size histogram (per protocol regime)",
                     &r.profile
                 )
+                .map_err(internal)?
                 .render()
             );
             println!(
                 "{}",
-                obs::profile_matrix_table("heaviest rank→rank traffic", &r.profile, 16).render()
+                obs::profile_matrix_table("heaviest rank→rank traffic", &r.profile, 16)
+                    .map_err(internal)?
+                    .render()
             );
             let stem = format!("{benchmark}_{class}_{}_{n}", cl.name);
             let written =
                 obs::write_profile_csvs(std::path::Path::new("results/profile"), &stem, &r.profile)
-                    .map_err(|e| format!("writing profile CSVs: {e}"))?;
+                    .map_err(|e| ApiError::internal(format!("writing profile CSVs: {e}")))?;
             for p in &written {
                 println!("profile: written to {}", p.display());
             }
@@ -323,11 +298,7 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Score { class, exec } => {
             let a = presets::cluster_a();
             let b = presets::cluster_b();
-            let cfg = RunConfig {
-                repetitions: 1,
-                trace: false,
-                ..RunConfig::default()
-            };
+            let cfg = RunConfig::default().with_repetitions(1).with_trace(false);
             let executor = executor_of(cfg, exec);
             let suite_a = Suite {
                 class,
@@ -343,12 +314,12 @@ fn run(cmd: Command) -> Result<(), String> {
             // different benchmark sets — refuse instead.
             for (r, cl) in [(&ra, &a), (&rb, &b)] {
                 if let Some(f) = r.failures.first() {
-                    return Err(format!(
+                    return Err(ApiError::internal(format!(
                         "suite on {} incomplete ({} failure(s)); first: {}",
                         cl.name,
                         r.failures.len(),
                         f.error
-                    ));
+                    )));
                 }
             }
             println!("SPEC-style {class} score (reference = ClusterA full node):");
@@ -359,7 +330,8 @@ fn run(cmd: Command) -> Result<(), String> {
         }
         Command::Figures { which, exec } => figures(&which, exec),
         Command::Faults { plan } => {
-            let p = faultcfg::load_plan(std::path::Path::new(&plan)).map_err(|e| e.to_string())?;
+            let p = faultcfg::load_plan(std::path::Path::new(&plan))
+                .map_err(|e| ApiError::bad_request(e.to_string()))?;
             if p.is_none() {
                 println!("{plan}: valid — empty plan (fault-free fast path)");
                 return Ok(());
@@ -379,18 +351,19 @@ fn run(cmd: Command) -> Result<(), String> {
             use spechpc::harness::snapshot;
             let mode = if quick { "quick" } else { "full" };
             println!("measuring perf snapshot ({mode} mode)…");
-            let mut snap = snapshot::measure(quick)?;
+            let mut snap = snapshot::measure(quick).map_err(internal)?;
             println!("{}", snapshot::render(&snap));
             if let Some(path) = check {
-                let committed = snapshot::read(std::path::Path::new(&path))?;
+                let committed = snapshot::read(std::path::Path::new(&path)).map_err(internal)?;
                 // A loaded CI host can blow a single minimum; re-measure
                 // once (full iterations) before declaring a regression.
                 if let Err(first) = snapshot::check(&snap, &committed, snapshot::DEFAULT_TOLERANCE)
                 {
                     eprintln!("below tolerance, re-measuring: {first}");
-                    let retry = snapshot::measure(false)?;
+                    let retry = snapshot::measure(false).map_err(internal)?;
                     println!("{}", snapshot::render(&retry));
-                    snapshot::check(&retry, &committed, snapshot::DEFAULT_TOLERANCE)?;
+                    snapshot::check(&retry, &committed, snapshot::DEFAULT_TOLERANCE)
+                        .map_err(internal)?;
                 }
                 println!(
                     "ok: within {:.0}% of committed {path}",
@@ -404,15 +377,15 @@ fn run(cmd: Command) -> Result<(), String> {
                 if let Ok(prev) = snapshot::read(path) {
                     snap.baseline = prev.baseline;
                 }
-                snapshot::write(path, &snap)?;
+                snapshot::write(path, &snap).map_err(internal)?;
                 println!("snapshot: written to {}", path.display());
             }
             Ok(())
         }
         Command::Dvfs { benchmark, cluster } => {
-            let cl = cluster_of(cluster);
+            let cl = api::resolve_cluster(cluster_key(cluster))?;
             let bench = benchmark_by_name(&benchmark)
-                .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
+                .ok_or_else(|| ApiError::bad_request(format!("unknown benchmark '{benchmark}'")))?;
             let sig = bench.signature(WorkloadClass::Tiny);
             let n = cl.node.cores();
             let model = NodeModel::new(&cl, n);
@@ -457,17 +430,58 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            max_inflight,
+            timeout_s,
+            exec,
+        } => {
+            // One resident executor for the daemon's whole life: its
+            // run cache and metrics ledger persist across requests.
+            // Unlike one-shot commands, the daemon always runs under a
+            // per-request budget (PR 4's cooperative cancel token) so a
+            // pathological request answers 504 instead of pinning a
+            // worker forever.
+            let mut exec_cfg = ExecConfig::default()
+                .with_jobs(exec.jobs.unwrap_or(0))
+                .with_no_cache(exec.no_cache)
+                .with_timeout_s(timeout_s.unwrap_or(300.0));
+            if !exec.no_cache {
+                exec_cfg = exec_cfg.with_cache_dir(RunCache::default_dir());
+            }
+            let executor = Executor::new(RunConfig::default().with_trace(false), exec_cfg);
+            let mut cfg = ServeConfig::default().with_addr(addr);
+            if let Some(w) = workers {
+                cfg = cfg.with_workers(w);
+            }
+            if let Some(q) = queue_depth {
+                cfg = cfg.with_queue_depth(q);
+            }
+            if let Some(m) = max_inflight {
+                cfg = cfg.with_max_inflight(m);
+            }
+            if exec.metrics {
+                cfg = cfg.with_metrics_dir("results/metrics");
+            }
+            serve::install_signal_handlers();
+            let server = Server::bind(executor, cfg)
+                .map_err(|e| ApiError::internal(format!("bind: {e}")))?;
+            let bound = server.local_addr().map_err(internal)?;
+            eprintln!("[serve] listening on http://{bound} — SIGTERM or POST /v1/shutdown drains");
+            server
+                .serve()
+                .map_err(|e| ApiError::internal(format!("serve: {e}")))?;
+            Ok(())
+        }
     }
 }
 
-fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
+fn figures(which: &str, exec: ExecOpts) -> Result<(), ApiError> {
     let a = presets::cluster_a();
     let b = presets::cluster_b();
-    let cfg = RunConfig {
-        repetitions: 3,
-        trace: false,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::default().with_repetitions(3).with_trace(false);
     // One executor for the whole regeneration: `figures all` shares the
     // fig1 grid between the fig1 and fig3/fig4 sections via the cache,
     // and a second invocation replays entirely from results/cache/.
@@ -483,8 +497,8 @@ fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
     }
     if all || which == "fig1" {
         matched = true;
-        let f1a = node_level::fig1_with(&executor, &a, 8).map_err(|e| e.to_string())?;
-        let f1b = node_level::fig1_with(&executor, &b, 8).map_err(|e| e.to_string())?;
+        let f1a = node_level::fig1_with(&executor, &a, 8)?;
+        let f1b = node_level::fig1_with(&executor, &b, 8)?;
         println!("== §4.1.1 parallel efficiency [%] ==");
         for ((n, x), (_, y)) in node_level::efficiency_table(&f1a, &a)
             .iter()
@@ -503,7 +517,7 @@ fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
     }
     if all || which == "fig2" {
         matched = true;
-        let f2 = node_level::fig2_with(&executor, &a, 24).map_err(|e| e.to_string())?;
+        let f2 = node_level::fig2_with(&executor, &a, 24)?;
         println!(
             "Fig. 2 insets: minisweep@59 Recv {:.0} %, lbm@{} wait+barrier {:.0} %",
             f2.minisweep_59.recv_fraction * 100.0,
@@ -513,7 +527,7 @@ fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
     }
     if all || which == "fig3" || which == "fig4" {
         matched = true;
-        let f1a = node_level::fig1_with(&executor, &a, 8).map_err(|e| e.to_string())?;
+        let f1a = node_level::fig1_with(&executor, &a, 8)?;
         let f3 = power_energy::fig3(&f1a, &a);
         println!(
             "Fig. 3 ({}): extrapolated baseline {:.0} W/socket",
@@ -534,8 +548,7 @@ fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
     if all || which == "fig5" || which == "fig6" {
         matched = true;
         for cl in [&a, &b] {
-            let f5 =
-                multi_node::fig5_with(&executor, cl, &[1, 2, 4, 8]).map_err(|e| e.to_string())?;
+            let f5 = multi_node::fig5_with(&executor, cl, &[1, 2, 4, 8])?;
             println!("{}", f5.render());
             println!("scaling cases ({}):", cl.name);
             for (n, c) in multi_node::scaling_cases(&f5) {
@@ -544,9 +557,9 @@ fn figures(which: &str, exec: ExecOpts) -> Result<(), String> {
         }
     }
     if !matched {
-        return Err(format!(
+        return Err(ApiError::bad_request(format!(
             "unknown figure '{which}' (use tables|fig1|fig2|fig3|fig4|fig5|fig6|all)"
-        ));
+        )));
     }
     maybe_metrics(&executor, &format!("figures_{which}"), exec)?;
     Ok(())

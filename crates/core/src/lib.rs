@@ -17,8 +17,9 @@
 //! use spechpc::prelude::*;
 //!
 //! let cluster = presets::cluster_a();
-//! let runner = SimRunner::new(RunConfig { repetitions: 1, trace: false,
-//!                                          ..RunConfig::default() });
+//! let runner = SimRunner::new(RunConfig::default()
+//!     .with_repetitions(1)
+//!     .with_trace(false));
 //! let bench = benchmark_by_name("tealeaf").unwrap();
 //! let r = runner.run(&cluster, &*bench, WorkloadClass::Tiny, 72).unwrap();
 //! assert!(r.runtime_s > 0.0);
@@ -41,10 +42,15 @@ pub mod prelude {
     pub use spechpc_analysis::scaling::{classify_scaling, ScalingCase, ScalingEvidence};
     pub use spechpc_analysis::speedup::{parallel_efficiency, SpeedupCurve};
     pub use spechpc_analysis::stats::RunStats;
+    pub use spechpc_harness::api::{
+        ApiError, RunRequest, RunResponse, SuiteRequest, SuiteResponse,
+    };
     pub use spechpc_harness::cache::{RunCache, RunKey};
     pub use spechpc_harness::error::HarnessError;
     pub use spechpc_harness::exec::{ExecConfig, Executor, GridFailure, GridReport, RunSpec};
+    pub use spechpc_harness::json::{parse_json, Json};
     pub use spechpc_harness::runner::{RunConfig, RunResult, SimRunner};
+    pub use spechpc_harness::serve::{ServeConfig, Server, ShutdownHandle};
     pub use spechpc_harness::suite::{Suite, SuiteReport};
     pub use spechpc_kernels::common::benchmark::{Benchmark, Kernel};
     pub use spechpc_kernels::common::config::WorkloadClass;

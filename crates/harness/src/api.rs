@@ -1,0 +1,932 @@
+//! The typed request/response vocabulary of the harness — one API for
+//! the CLI, the `spechpc serve` daemon ([`serve`](crate::serve)) and
+//! library users.
+//!
+//! A [`RunRequest`] names one grid point plus its run rules; a
+//! [`SuiteRequest`] names a whole suite execution. Both serialize
+//! through the in-tree [`json`](crate::json) codec, dispatch against a
+//! resident [`Executor`] ([`dispatch_run`] / [`dispatch_suite`]) and
+//! come back as a [`RunResponse`] / [`SuiteResponse`] or a typed
+//! [`ApiError`] carrying an HTTP status and a machine-readable code.
+//!
+//! The run-response payload embeds the *cache encoding* of the result
+//! ([`cache::encode_entry`]'s `"result"` object), so a request answered
+//! from the content-addressed store is byte-identical to the one that
+//! simulated — the service inherits the cache's replay guarantee.
+
+use spechpc_kernels::common::config::WorkloadClass;
+use spechpc_machine::cluster::ClusterSpec;
+use spechpc_machine::presets;
+use spechpc_simmpi::engine::SimError;
+use spechpc_simmpi::faults::{FaultEvent, FaultPlan, RankSet};
+
+use crate::cache;
+use crate::error::HarnessError;
+use crate::exec::{Executor, RunSpec};
+use crate::json::{fmt_f64, parse_json, quote, Json};
+use crate::report::fmt;
+use crate::runner::{RunConfig, RunResult};
+use crate::suite::{Suite, SuiteReport};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A failed API call: HTTP status, stable machine-readable code, and a
+/// human-readable message. This is the *single* error surface clients
+/// see — every [`HarnessError`] maps through [`ApiError::from`], and
+/// the CLI derives its process exit codes from the same mapping
+/// ([`ApiError::exit_code`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ApiError {
+    /// HTTP status the daemon answers with.
+    pub status: u16,
+    /// Stable machine-readable code (`snake_case`), independent of the
+    /// message wording.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    pub fn new(status: u16, code: impl Into<String>, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+
+    /// 400 — the request itself is malformed.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError::new(400, "bad_request", message)
+    }
+
+    /// 404 — no such route or resource.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ApiError::new(404, "not_found", message)
+    }
+
+    /// 429 — the executor is saturated; retry later.
+    pub fn saturated(message: impl Into<String>) -> Self {
+        ApiError::new(429, "saturated", message)
+    }
+
+    /// 503 — the daemon is draining for shutdown.
+    pub fn shutting_down() -> Self {
+        ApiError::new(503, "shutting_down", "server is draining for shutdown")
+    }
+
+    /// 500 — unexpected internal failure.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError::new(500, "internal", message)
+    }
+
+    /// 207 — a suite completed with some failed benchmarks (the
+    /// partial-results analog of Multi-Status).
+    pub fn partial_suite(message: impl Into<String>) -> Self {
+        ApiError::new(207, "partial_suite", message)
+    }
+
+    /// The process exit code a CLI invocation derives from this error:
+    /// partial suites exit 3 (some benchmarks completed), everything
+    /// else exits 1. (Argument-parse errors exit 2 before any `ApiError`
+    /// exists.)
+    pub fn exit_code(&self) -> i32 {
+        if self.code == "partial_suite" {
+            3
+        } else {
+            1
+        }
+    }
+
+    /// Serialize as the error body the daemon sends.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("error".into(), Json::from(self.code.as_str())),
+            ("status".into(), Json::from(self.status as u64)),
+            ("message".into(), Json::from(self.message.as_str())),
+        ])
+        .render()
+    }
+
+    /// Decode an error body (the client half of [`ApiError::to_json`]).
+    pub fn from_json(text: &str) -> Option<ApiError> {
+        let v = parse_json(text)?;
+        Some(ApiError {
+            status: v.f64_of("status")? as u16,
+            code: v.str_of("error")?,
+            message: v.str_of("message")?,
+        })
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}): {}", self.code, self.status, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The single `HarnessError` → wire-error mapping: simulation failures
+/// are the client's fault (422 — the requested program cannot execute),
+/// infrastructure failures are the server's (5xx).
+impl From<HarnessError> for ApiError {
+    fn from(e: HarnessError) -> Self {
+        let message = e.to_string();
+        match e {
+            HarnessError::UnknownBenchmark { .. } => {
+                ApiError::new(400, "unknown_benchmark", message)
+            }
+            HarnessError::Sim(sim) => match sim {
+                SimError::RankFailed { .. } => ApiError::new(422, "rank_failed", message),
+                SimError::Deadlock(_) => ApiError::new(422, "deadlock", message),
+                SimError::CollectiveMismatch { .. }
+                | SimError::InvalidProgram { .. }
+                | SimError::RankOutOfRange { .. } => ApiError::new(422, "invalid_program", message),
+                SimError::Cancelled => ApiError::new(503, "cancelled", message),
+            },
+            HarnessError::Timeout { .. } => ApiError::new(504, "timeout", message),
+            HarnessError::Panic { .. } => ApiError::new(500, "panic", message),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Resolve a cluster name (the CLI's aliases included) to its preset.
+pub fn resolve_cluster(name: &str) -> Result<ClusterSpec, ApiError> {
+    match name.to_ascii_lowercase().as_str() {
+        "a" | "clustera" | "icelake" | "icx" => Ok(presets::cluster_a()),
+        "b" | "clusterb" | "sapphirerapids" | "spr" => Ok(presets::cluster_b()),
+        other => Err(ApiError::bad_request(format!(
+            "unknown cluster '{other}' (use a|b)"
+        ))),
+    }
+}
+
+/// Parse a workload-class name (the CLI's aliases included).
+pub fn parse_class(s: &str) -> Result<WorkloadClass, ApiError> {
+    match s.to_ascii_lowercase().as_str() {
+        "test" => Ok(WorkloadClass::Test),
+        "tiny" | "t" => Ok(WorkloadClass::Tiny),
+        "small" | "s" => Ok(WorkloadClass::Small),
+        "medium" | "m" => Ok(WorkloadClass::Medium),
+        "large" | "l" => Ok(WorkloadClass::Large),
+        other => Err(ApiError::bad_request(format!(
+            "unknown workload class '{other}' (use test|tiny|small|medium|large)"
+        ))),
+    }
+}
+
+/// One simulation request: a grid point plus its run rules.
+///
+/// Built with [`RunRequest::new`] and the `with_*` builders; serialized
+/// with [`RunRequest::to_json`] / [`RunRequest::from_json`]. The same
+/// value drives `spechpc run` locally and `POST /v1/run` remotely.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunRequest {
+    /// Cluster name or alias (`a`, `b`, `icelake`, `spr`, …).
+    pub cluster: String,
+    /// Registry name of the benchmark.
+    pub benchmark: String,
+    pub class: WorkloadClass,
+    /// Rank count; `0` resolves to one full node of the cluster.
+    pub nranks: usize,
+    /// Run rules (repetitions, warm-up, faults, tracing).
+    pub config: RunConfig,
+}
+
+impl RunRequest {
+    pub fn new(benchmark: impl Into<String>, class: WorkloadClass, nranks: usize) -> Self {
+        RunRequest {
+            cluster: "a".to_string(),
+            benchmark: benchmark.into(),
+            class,
+            nranks,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Builder: target cluster (name or alias).
+    pub fn with_cluster(mut self, cluster: impl Into<String>) -> Self {
+        self.cluster = cluster.into();
+        self
+    }
+
+    /// Builder: replace the whole run configuration.
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: seeded fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.config = self.config.with_faults(faults);
+        self
+    }
+
+    /// Builder: record the full event timeline.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.config = self.config.with_trace(trace);
+        self
+    }
+
+    /// Builder: repetitions for min/max/avg statistics.
+    pub fn with_repetitions(mut self, reps: usize) -> Self {
+        self.config = self.config.with_repetitions(reps);
+        self
+    }
+
+    /// The grid point this request names, with `nranks == 0` resolved
+    /// against the cluster's full node.
+    pub fn spec(&self, cluster: &ClusterSpec) -> RunSpec {
+        let nranks = if self.nranks == 0 {
+            cluster.node.cores()
+        } else {
+            self.nranks
+        };
+        RunSpec::new(self.benchmark.clone(), self.class, nranks)
+    }
+
+    /// Serialize as the `POST /v1/run` body.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("cluster".into(), Json::from(self.cluster.as_str())),
+            ("benchmark".into(), Json::from(self.benchmark.as_str())),
+            ("class".into(), Json::from(self.class.to_string())),
+            ("nranks".into(), Json::from(self.nranks)),
+            ("config".into(), config_to_json(&self.config)),
+        ])
+        .render()
+    }
+
+    /// Decode a `POST /v1/run` body. Unknown benchmarks are caught at
+    /// dispatch; malformed shapes are caught here.
+    pub fn from_json(text: &str) -> Result<RunRequest, ApiError> {
+        let v = parse_json(text)
+            .ok_or_else(|| ApiError::bad_request("request body is not valid JSON"))?;
+        let benchmark = v
+            .str_of("benchmark")
+            .ok_or_else(|| ApiError::bad_request("missing field 'benchmark'"))?;
+        let class = parse_class(&v.str_of("class").unwrap_or_else(|| "tiny".to_string()))?;
+        let nranks = v.usize_of("nranks").unwrap_or(0);
+        let cluster = v.str_of("cluster").unwrap_or_else(|| "a".to_string());
+        let config = match v.get("config") {
+            Some(c) => config_from_json(c)?,
+            None => RunConfig::default(),
+        };
+        Ok(RunRequest {
+            cluster,
+            benchmark,
+            class,
+            nranks,
+            config,
+        })
+    }
+}
+
+/// One suite request: a workload class over all nine benchmarks.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SuiteRequest {
+    /// Cluster name or alias.
+    pub cluster: String,
+    pub class: WorkloadClass,
+    /// Rank count; `0` resolves to one full node of the cluster.
+    pub nranks: usize,
+    pub config: RunConfig,
+}
+
+impl SuiteRequest {
+    pub fn new(class: WorkloadClass) -> Self {
+        SuiteRequest {
+            cluster: "a".to_string(),
+            class,
+            nranks: 0,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// Builder: target cluster (name or alias).
+    pub fn with_cluster(mut self, cluster: impl Into<String>) -> Self {
+        self.cluster = cluster.into();
+        self
+    }
+
+    /// Builder: explicit rank count (default: one full node).
+    pub fn with_nranks(mut self, nranks: usize) -> Self {
+        self.nranks = nranks;
+        self
+    }
+
+    /// Builder: replace the whole run configuration.
+    pub fn with_config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder: seeded fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.config = self.config.with_faults(faults);
+        self
+    }
+
+    /// Serialize as the `POST /v1/suite` body.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("cluster".into(), Json::from(self.cluster.as_str())),
+            ("class".into(), Json::from(self.class.to_string())),
+            ("nranks".into(), Json::from(self.nranks)),
+            ("config".into(), config_to_json(&self.config)),
+        ])
+        .render()
+    }
+
+    /// Decode a `POST /v1/suite` body.
+    pub fn from_json(text: &str) -> Result<SuiteRequest, ApiError> {
+        let v = parse_json(text)
+            .ok_or_else(|| ApiError::bad_request("request body is not valid JSON"))?;
+        let class = parse_class(&v.str_of("class").unwrap_or_else(|| "tiny".to_string()))?;
+        let cluster = v.str_of("cluster").unwrap_or_else(|| "a".to_string());
+        let nranks = v.usize_of("nranks").unwrap_or(0);
+        let config = match v.get("config") {
+            Some(c) => config_from_json(c)?,
+            None => RunConfig::default(),
+        };
+        Ok(SuiteRequest {
+            cluster,
+            class,
+            nranks,
+            config,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-config / fault-plan codec
+// ---------------------------------------------------------------------------
+
+/// Encode run rules as the `"config"` object of a request. Only the
+/// non-default fault plan is emitted, keeping default requests small
+/// (and their cache keys stable across client versions).
+fn config_to_json(c: &RunConfig) -> Json {
+    let mut fields = vec![
+        ("warmup_steps".into(), Json::from(c.warmup_steps)),
+        ("measured_steps".into(), Json::from(c.measured_steps)),
+        ("repetitions".into(), Json::from(c.repetitions)),
+        ("trace".into(), Json::from(c.trace)),
+    ];
+    if !c.faults.is_none() {
+        fields.push(("faults".into(), fault_plan_to_json(&c.faults)));
+    }
+    Json::Obj(fields)
+}
+
+/// Decode the `"config"` object; absent fields keep their defaults.
+fn config_from_json(v: &Json) -> Result<RunConfig, ApiError> {
+    let d = RunConfig::default();
+    let mut c = RunConfig::default()
+        .with_warmup_steps(v.usize_of("warmup_steps").unwrap_or(d.warmup_steps))
+        .with_measured_steps(v.usize_of("measured_steps").unwrap_or(d.measured_steps))
+        .with_repetitions(v.usize_of("repetitions").unwrap_or(d.repetitions))
+        .with_trace(v.bool_of("trace").unwrap_or(d.trace));
+    if let Some(f) = v.get("faults") {
+        c = c.with_faults(fault_plan_from_json(f)?);
+    }
+    Ok(c)
+}
+
+fn rank_set_to_json(rs: &RankSet) -> Json {
+    match rs {
+        RankSet::All => Json::from("all"),
+        RankSet::One(r) => Json::Arr(vec![Json::from(*r)]),
+        RankSet::List(rs) => Json::Arr(rs.iter().map(|&r| Json::from(r)).collect()),
+    }
+}
+
+fn rank_set_from_json(v: &Json) -> Result<RankSet, ApiError> {
+    match v {
+        Json::Str(s) if s == "all" => Ok(RankSet::All),
+        Json::Arr(items) => {
+            let ranks: Option<Vec<usize>> =
+                items.iter().map(|i| i.num().map(|x| x as usize)).collect();
+            let ranks = ranks.ok_or_else(|| ApiError::bad_request("rank set must be numeric"))?;
+            Ok(match ranks.as_slice() {
+                [one] => RankSet::One(*one),
+                _ => RankSet::List(ranks),
+            })
+        }
+        _ => Err(ApiError::bad_request(
+            "rank set must be \"all\" or an array",
+        )),
+    }
+}
+
+/// Encode a fault plan as the wire JSON of the `"faults"` field.
+pub fn fault_plan_to_json(plan: &FaultPlan) -> Json {
+    let events = plan
+        .events
+        .iter()
+        .map(|e| match e {
+            FaultEvent::OsNoise { ranks, amplitude } => Json::Obj(vec![
+                ("kind".into(), Json::from("os_noise")),
+                ("ranks".into(), rank_set_to_json(ranks)),
+                ("amplitude".into(), Json::from(*amplitude)),
+            ]),
+            FaultEvent::Straggler { rank, slowdown } => Json::Obj(vec![
+                ("kind".into(), Json::from("straggler")),
+                ("rank".into(), Json::from(*rank)),
+                ("slowdown".into(), Json::from(*slowdown)),
+            ]),
+            FaultEvent::FlakyLink {
+                from,
+                to,
+                drop_prob,
+                retransmit_latency_s,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::from("flaky_link")),
+                ("from".into(), Json::from(*from)),
+                ("to".into(), Json::from(*to)),
+                ("drop_prob".into(), Json::from(*drop_prob)),
+                (
+                    "retransmit_latency_s".into(),
+                    Json::from(*retransmit_latency_s),
+                ),
+            ]),
+            FaultEvent::Throttle {
+                ranks,
+                t_start_s,
+                t_end_s,
+                slowdown,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::from("throttle")),
+                ("ranks".into(), rank_set_to_json(ranks)),
+                ("t_start_s".into(), Json::from(*t_start_s)),
+                ("t_end_s".into(), Json::from(*t_end_s)),
+                ("slowdown".into(), Json::from(*slowdown)),
+            ]),
+            FaultEvent::Crash { rank, at_s } => Json::Obj(vec![
+                ("kind".into(), Json::from("crash")),
+                ("rank".into(), Json::from(*rank)),
+                ("at_s".into(), Json::from(*at_s)),
+            ]),
+        })
+        .collect();
+    Json::Obj(vec![
+        ("seed".into(), Json::from(plan.seed)),
+        ("events".into(), Json::Arr(events)),
+    ])
+}
+
+/// Decode the `"faults"` wire JSON back into a plan.
+pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, ApiError> {
+    let seed = v.f64_of("seed").unwrap_or(0.0) as u64;
+    let events = v
+        .get("events")
+        .and_then(Json::arr)
+        .ok_or_else(|| ApiError::bad_request("fault plan needs an 'events' array"))?;
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let kind = e
+            .str_of("kind")
+            .ok_or_else(|| ApiError::bad_request("fault event needs a 'kind'"))?;
+        let need = |key: &str| -> Result<f64, ApiError> {
+            e.f64_of(key)
+                .ok_or_else(|| ApiError::bad_request(format!("{kind} event needs '{key}'")))
+        };
+        out.push(match kind.as_str() {
+            "os_noise" => FaultEvent::OsNoise {
+                ranks: rank_set_from_json(
+                    e.get("ranks")
+                        .ok_or_else(|| ApiError::bad_request("os_noise event needs 'ranks'"))?,
+                )?,
+                amplitude: need("amplitude")?,
+            },
+            "straggler" => FaultEvent::Straggler {
+                rank: need("rank")? as usize,
+                slowdown: need("slowdown")?,
+            },
+            "flaky_link" => FaultEvent::FlakyLink {
+                from: need("from")? as usize,
+                to: need("to")? as usize,
+                drop_prob: need("drop_prob")?,
+                retransmit_latency_s: need("retransmit_latency_s")?,
+            },
+            "throttle" => FaultEvent::Throttle {
+                ranks: rank_set_from_json(
+                    e.get("ranks")
+                        .ok_or_else(|| ApiError::bad_request("throttle event needs 'ranks'"))?,
+                )?,
+                t_start_s: need("t_start_s")?,
+                t_end_s: need("t_end_s")?,
+                slowdown: need("slowdown")?,
+            },
+            "crash" => FaultEvent::Crash {
+                rank: need("rank")? as usize,
+                at_s: need("at_s")?,
+            },
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown fault event kind '{other}'"
+                )))
+            }
+        });
+    }
+    Ok(FaultPlan { seed, events: out })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// A completed run. The JSON body embeds the cache encoding of the
+/// result, so identical requests serve byte-identical payloads whether
+/// simulated or replayed.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunResponse {
+    pub result: RunResult,
+}
+
+impl RunResponse {
+    /// Serialize as the `POST /v1/run` success body. Deterministic: no
+    /// timestamps, no cache-hit flags — the same request always yields
+    /// the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"result\": ");
+        // The indented cache encoding nests at entry depth; reuse it
+        // verbatim so cached replays cannot drift from fresh runs.
+        s.push_str(&cache::encode_result(&self.result));
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Decode a success body (the client half of
+    /// [`RunResponse::to_json`]).
+    pub fn from_json(text: &str) -> Option<RunResponse> {
+        let v = parse_json(text)?;
+        Some(RunResponse {
+            result: cache::decode_result(v.get("result")?)?,
+        })
+    }
+}
+
+/// A completed suite execution (possibly partial — failed benchmarks
+/// are reported, not fatal).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SuiteResponse {
+    pub report: SuiteReport,
+}
+
+impl SuiteResponse {
+    /// The partial-completion error this suite maps to, if any — the
+    /// daemon sends it as the response status, the CLI exits with
+    /// [`ApiError::exit_code`] (3).
+    pub fn partial_error(&self) -> Option<ApiError> {
+        if self.report.is_complete() {
+            None
+        } else {
+            Some(ApiError::partial_suite(format!(
+                "{} of {} benchmarks failed",
+                self.report.failures.len(),
+                self.report.failures.len() + self.report.results.len()
+            )))
+        }
+    }
+
+    /// Serialize as the `POST /v1/suite` body (status 200 when
+    /// complete, 207 when partial).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"cluster\": {},\n",
+            quote(&self.report.cluster)
+        ));
+        s.push_str(&format!(
+            "  \"class\": {},\n",
+            quote(&self.report.class.to_string())
+        ));
+        s.push_str(&format!("  \"complete\": {},\n", self.report.is_complete()));
+        s.push_str("  \"results\": [");
+        for (i, r) in self.report.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            s.push_str(&cache::encode_result(r));
+        }
+        s.push_str("],\n  \"failures\": [");
+        for (i, f) in self.report.failures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            let e = ApiError::from(f.error.clone());
+            s.push_str(&format!(
+                "    {{ \"label\": {}, \"error\": {}, \"message\": {} }}",
+                quote(&f.label),
+                quote(&e.code),
+                quote(&e.message)
+            ));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Execute one run request against a resident executor. The request's
+/// run rules fork the executor ([`Executor::with_run_config`]), so
+/// arbitrary per-request configurations still share one cache and one
+/// metrics ledger.
+pub fn dispatch_run(exec: &Executor, req: &RunRequest) -> Result<RunResponse, ApiError> {
+    let cluster = resolve_cluster(&req.cluster)?;
+    let spec = req.spec(&cluster);
+    let forked = exec.with_run_config(req.config.clone());
+    let result = forked.run_one(&cluster, &spec)?;
+    Ok(RunResponse { result })
+}
+
+/// Execute one suite request against a resident executor.
+pub fn dispatch_suite(exec: &Executor, req: &SuiteRequest) -> Result<SuiteResponse, ApiError> {
+    let cluster = resolve_cluster(&req.cluster)?;
+    let nranks = if req.nranks == 0 {
+        cluster.node.cores()
+    } else {
+        req.nranks
+    };
+    let forked = exec.with_run_config(req.config.clone());
+    let suite = Suite {
+        class: req.class,
+        nranks,
+    };
+    let report = suite.run_with(&forked, &cluster);
+    Ok(SuiteResponse { report })
+}
+
+// ---------------------------------------------------------------------------
+// Rendering (the CLI's human-readable view of a response)
+// ---------------------------------------------------------------------------
+
+/// The `spechpc run` summary block for one result — shared by the CLI
+/// so the service dispatch path and the local path print identically.
+pub fn render_run_text(r: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} ({}) on {}: {} ranks over {} node(s)\n",
+        r.benchmark, r.class, r.cluster, r.nranks, r.nodes_used
+    ));
+    out.push_str(&format!(
+        "  runtime        {} s  (step {} s, min {} / max {})\n",
+        fmt(r.runtime_s),
+        fmt_f64(r.step_seconds),
+        fmt_f64(r.step_seconds_min),
+        fmt_f64(r.step_seconds_max),
+    ));
+    out.push_str(&format!(
+        "  performance    {} Gflop/s ({} AVX)\n",
+        fmt(r.counters.dp_gflops()),
+        fmt(r.counters.dp_avx_gflops())
+    ));
+    out.push_str(&format!(
+        "  memory BW      {} GB/s\n",
+        fmt(r.counters.mem_bandwidth())
+    ));
+    out.push_str(&format!(
+        "  MPI share      {}\n",
+        crate::report::pct(r.breakdown.mpi_fraction() * 100.0)
+    ));
+    out.push_str(&format!(
+        "  power          {} W package + {} W DRAM\n",
+        fmt(r.power.package_w),
+        fmt(r.power.dram_w)
+    ));
+    out.push_str(&format!(
+        "  energy         {} kJ\n",
+        fmt(r.energy.total_j() / 1e3)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecConfig;
+
+    fn quick() -> RunConfig {
+        RunConfig::default().with_repetitions(1)
+    }
+
+    #[test]
+    fn run_request_round_trips_through_json() {
+        let req = RunRequest::new("lbm", WorkloadClass::Tiny, 8)
+            .with_cluster("b")
+            .with_repetitions(2)
+            .with_faults(FaultPlan {
+                seed: 7,
+                events: vec![
+                    FaultEvent::Straggler {
+                        rank: 3,
+                        slowdown: 1.5,
+                    },
+                    FaultEvent::OsNoise {
+                        ranks: RankSet::All,
+                        amplitude: 0.05,
+                    },
+                    FaultEvent::Throttle {
+                        ranks: RankSet::List(vec![1, 2]),
+                        t_start_s: 0.5,
+                        t_end_s: 1.0,
+                        slowdown: 2.0,
+                    },
+                ],
+            });
+        let text = req.to_json();
+        let back = RunRequest::from_json(&text).unwrap();
+        assert_eq!(back.benchmark, "lbm");
+        assert_eq!(back.cluster, "b");
+        assert_eq!(back.class, WorkloadClass::Tiny);
+        assert_eq!(back.nranks, 8);
+        assert_eq!(back.config.repetitions, 2);
+        assert_eq!(
+            back.config.faults.canonical(),
+            req.config.faults.canonical()
+        );
+        // Serialization is a fixed point.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn default_config_omits_the_fault_plan() {
+        let text = RunRequest::new("lbm", WorkloadClass::Tiny, 4).to_json();
+        assert!(!text.contains("faults"), "{text}");
+        let req = RunRequest::from_json(&text).unwrap();
+        assert!(req.config.faults.is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request_errors() {
+        for body in [
+            "not json",
+            "{}",
+            r#"{"benchmark": "lbm", "class": "epic"}"#,
+            r#"{"benchmark": "lbm", "config": {"faults": {"seed": 1}}}"#,
+            r#"{"benchmark": "lbm", "config": {"faults": {"events": [{"kind": "warp"}]}}}"#,
+        ] {
+            let err = RunRequest::from_json(body).unwrap_err();
+            assert_eq!(err.status, 400, "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn error_mapping_covers_every_harness_variant() {
+        let cases: Vec<(HarnessError, u16, &str)> = vec![
+            (
+                HarnessError::UnknownBenchmark { name: "hpl".into() },
+                400,
+                "unknown_benchmark",
+            ),
+            (
+                HarnessError::Sim(SimError::RankFailed {
+                    rank: 2,
+                    op_index: 0,
+                    at_s: 0.0,
+                }),
+                422,
+                "rank_failed",
+            ),
+            (
+                HarnessError::Sim(SimError::Deadlock(vec![])),
+                422,
+                "deadlock",
+            ),
+            (
+                HarnessError::Sim(SimError::InvalidProgram {
+                    rank: 0,
+                    reason: "x".into(),
+                }),
+                422,
+                "invalid_program",
+            ),
+            (HarnessError::Sim(SimError::Cancelled), 503, "cancelled"),
+            (
+                HarnessError::Timeout {
+                    label: "x".into(),
+                    limit_s: 1.0,
+                },
+                504,
+                "timeout",
+            ),
+            (
+                HarnessError::Panic {
+                    label: "x".into(),
+                    message: "boom".into(),
+                },
+                500,
+                "panic",
+            ),
+        ];
+        for (err, status, code) in cases {
+            let api = ApiError::from(err);
+            assert_eq!(api.status, status, "{api}");
+            assert_eq!(api.code, code);
+            assert_eq!(api.exit_code(), 1);
+            // Wire round trip.
+            let back = ApiError::from_json(&api.to_json()).unwrap();
+            assert_eq!(back, api);
+        }
+        assert_eq!(ApiError::partial_suite("x").exit_code(), 3);
+    }
+
+    #[test]
+    fn dispatch_run_serves_results_and_byte_identical_replays() {
+        let exec = Executor::new(quick(), ExecConfig::default().with_jobs(1));
+        let req = RunRequest::new("lbm", WorkloadClass::Tiny, 4);
+        let fresh = dispatch_run(&exec, &req).unwrap();
+        assert_eq!(fresh.result.benchmark, "lbm");
+        let replay = dispatch_run(&exec, &req).unwrap();
+        assert_eq!(
+            fresh.to_json(),
+            replay.to_json(),
+            "cached replay must serve identical bytes"
+        );
+        // The response decodes back to the same physics.
+        let decoded = RunResponse::from_json(&fresh.to_json()).unwrap();
+        assert_eq!(
+            decoded.result.step_seconds.to_bits(),
+            fresh.result.step_seconds.to_bits()
+        );
+        // Both requests hit one shared metrics ledger: one simulation,
+        // one memory hit.
+        let m = exec.metrics();
+        assert_eq!(m.runs_executed, 1);
+        assert_eq!(m.cache.hits_mem, 1);
+    }
+
+    #[test]
+    fn dispatch_run_maps_unknown_benchmarks_to_400() {
+        let exec = Executor::new(quick(), ExecConfig::default().with_jobs(1));
+        let err = dispatch_run(&exec, &RunRequest::new("hpl", WorkloadClass::Tiny, 4)).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "unknown_benchmark");
+        let err = dispatch_run(
+            &exec,
+            &RunRequest::new("lbm", WorkloadClass::Tiny, 4).with_cluster("c"),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn dispatch_suite_reports_partial_completion_as_exit_3() {
+        let exec = Executor::new(quick(), ExecConfig::default().with_jobs(2));
+        let req = SuiteRequest::new(WorkloadClass::Tiny).with_faults(FaultPlan {
+            seed: 11,
+            events: vec![FaultEvent::Crash {
+                rank: 30,
+                at_s: 0.0,
+            }],
+        });
+        let resp = dispatch_suite(&exec, &req).unwrap();
+        let partial = resp.partial_error().expect("rank 30 crashes something");
+        assert_eq!(partial.status, 207);
+        assert_eq!(partial.exit_code(), 3);
+        let text = resp.to_json();
+        assert!(text.contains("\"complete\": false"));
+        assert!(text.contains("rank_failed"), "{text}");
+
+        // A clean suite is complete and exit-0 shaped.
+        let clean = dispatch_suite(&exec, &SuiteRequest::new(WorkloadClass::Tiny)).unwrap();
+        assert!(clean.partial_error().is_none());
+        assert!(clean.to_json().contains("\"complete\": true"));
+    }
+
+    #[test]
+    fn run_text_rendering_is_stable() {
+        let exec = Executor::new(quick(), ExecConfig::default().with_jobs(1));
+        let resp = dispatch_run(&exec, &RunRequest::new("lbm", WorkloadClass::Tiny, 4)).unwrap();
+        let text = render_run_text(&resp.result);
+        assert!(text.contains("lbm (tiny) on ClusterA: 4 ranks"));
+        assert!(text.contains("runtime"));
+        assert!(text.contains("energy"));
+    }
+
+    #[test]
+    fn nranks_zero_resolves_to_a_full_node() {
+        let cluster = resolve_cluster("a").unwrap();
+        let spec = RunRequest::new("lbm", WorkloadClass::Tiny, 0).spec(&cluster);
+        assert_eq!(spec.nranks, cluster.node.cores());
+    }
+}

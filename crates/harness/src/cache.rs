@@ -29,6 +29,7 @@ use spechpc_power::rapl::JobPower;
 use spechpc_simmpi::profile::{Profile, RankPhases, SizeBucket};
 use spechpc_simmpi::trace::{Breakdown, EventKind, Timeline};
 
+use crate::json::{fmt_f64 as jf, parse_json, quote as jstr, Json};
 use crate::runner::{RunConfig, RunResult};
 
 /// Bump whenever the on-disk layout or the simulation semantics change;
@@ -315,42 +316,24 @@ fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
 // Encoding
 // ---------------------------------------------------------------------------
 
-/// Exact `f64` serialization: `{:?}` prints the shortest decimal that
-/// round-trips to the same bits. Non-finite values (which no sane run
-/// produces) map to `null` and decode back to NaN.
-fn jf(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:?}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn jstr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Serialize one cache entry (canonical key + result) as JSON.
 pub fn encode_entry(canonical_key: &str, r: &RunResult) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": {CACHE_SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"key\": {},\n", jstr(canonical_key)));
-    s.push_str("  \"result\": {\n");
+    s.push_str("  \"result\": ");
+    s.push_str(&encode_result(r));
+    s.push_str("\n}\n");
+    s
+}
+
+/// Serialize the result object — the `"result"` value of a cache entry,
+/// also embedded verbatim in the service API's run responses
+/// ([`crate::api`]) so a cached replay serves byte-identical payloads.
+pub(crate) fn encode_result(r: &RunResult) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\n");
     s.push_str(&format!("    \"benchmark\": {},\n", jstr(&r.benchmark)));
     s.push_str(&format!("    \"cluster\": {},\n", jstr(&r.cluster)));
     s.push_str(&format!("    \"class\": {},\n", jstr(&r.class)));
@@ -397,7 +380,7 @@ pub fn encode_entry(canonical_key: &str, r: &RunResult) -> String {
         jf(r.energy.dram_j),
         jf(r.energy.runtime_s),
     ));
-    s.push_str("  }\n}\n");
+    s.push_str("  }");
     s
 }
 
@@ -464,213 +447,6 @@ fn encode_profile(p: &Profile) -> String {
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------
-
-/// Minimal JSON value — just enough for the cache entries above and
-/// the perf-trajectory snapshot (`crate::snapshot`).
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub(crate) fn num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            Json::Null => Some(f64::NAN),
-            _ => None,
-        }
-    }
-
-    pub(crate) fn str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn usize_of(&self, key: &str) -> Option<usize> {
-        Some(self.get(key)?.num()? as usize)
-    }
-
-    pub(crate) fn f64_of(&self, key: &str) -> Option<f64> {
-        self.get(key)?.num()
-    }
-
-    pub(crate) fn str_of(&self, key: &str) -> Option<String> {
-        Some(self.get(key)?.str()?.to_string())
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Option<()> {
-        (self.peek()? == b).then(|| self.pos += 1)
-    }
-
-    fn value(&mut self) -> Option<Json> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Some(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Option<Json> {
-        self.skip_ws();
-        let end = self.pos + word.len();
-        (self.bytes.get(self.pos..end)? == word.as_bytes()).then(|| {
-            self.pos = end;
-            v
-        })
-    }
-
-    fn object(&mut self) -> Option<Json> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Some(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Some(Json::Obj(fields));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn array(&mut self) -> Option<Json> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Some(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Some(Json::Arr(items));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos)?;
-            self.pos += 1;
-            match b {
-                b'"' => return Some(out),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.pos)?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
-                            self.pos += 4;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                        }
-                        _ => return None,
-                    }
-                }
-                _ => {
-                    // Re-assemble multi-byte UTF-8 sequences.
-                    let len = match b {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let start = self.pos - 1;
-                    let chunk = self.bytes.get(start..start + len)?;
-                    out.push_str(std::str::from_utf8(chunk).ok()?);
-                    self.pos = start + len;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Option<Json> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
-        text.parse::<f64>().ok().map(Json::Num)
-    }
-}
-
-pub(crate) fn parse_json(text: &str) -> Option<Json> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.skip_ws();
-    (p.pos == p.bytes.len()).then_some(v)
-}
 
 /// Inverse of [`EventKind`]'s `Display` names.
 fn event_kind_from_name(name: &str) -> Option<EventKind> {
@@ -750,8 +526,12 @@ pub fn decode_entry(text: &str, expected_key: &str) -> Option<RunResult> {
     if root.str_of("key")? != expected_key {
         return None;
     }
-    let r = root.get("result")?;
+    decode_result(root.get("result")?)
+}
 
+/// Inverse of [`encode_result`] — shared with the service API's
+/// response decoding ([`crate::api`]).
+pub(crate) fn decode_result(r: &Json) -> Option<RunResult> {
     let c = r.get("counters")?;
     let counters = CounterSample {
         runtime_s: c.f64_of("runtime_s")?,
@@ -925,27 +705,15 @@ mod tests {
         let base = RunConfig::default();
         let key = RunKey::new("ClusterA", "lbm", "tiny", 8, &base);
         for cfg in [
-            RunConfig {
-                warmup_steps: 3,
-                ..base.clone()
-            },
-            RunConfig {
-                measured_steps: 5,
-                ..base.clone()
-            },
-            RunConfig {
-                repetitions: 1,
-                ..base.clone()
-            },
+            base.clone().with_warmup_steps(3),
+            base.clone().with_measured_steps(5),
+            base.clone().with_repetitions(1),
         ] {
             let k2 = RunKey::new("ClusterA", "lbm", "tiny", 8, &cfg);
             assert_ne!(key.canonical(), k2.canonical());
         }
         // Tracing does NOT change the key (traced runs skip the cache).
-        let traced = RunConfig {
-            trace: true,
-            ..base.clone()
-        };
+        let traced = base.clone().with_trace(true);
         assert_eq!(
             key.canonical(),
             RunKey::new("ClusterA", "lbm", "tiny", 8, &traced).canonical()
@@ -958,18 +726,6 @@ mod tests {
             assert_eq!(event_kind_from_name(&kind.to_string()), Some(kind));
         }
         assert_eq!(event_kind_from_name("MPI_Frobnicate"), None);
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_unicode() {
-        let j = parse_json(r#"{"k": "a\"b\\c\ndAé", "n": [1.5e3, -0.25, null]}"#).unwrap();
-        assert_eq!(j.str_of("k").unwrap(), "a\"b\\c\ndAé");
-        let Json::Arr(items) = j.get("n").unwrap() else {
-            panic!()
-        };
-        assert_eq!(items[0], Json::Num(1500.0));
-        assert_eq!(items[1], Json::Num(-0.25));
-        assert!(items[2].num().unwrap().is_nan());
     }
 
     #[test]
@@ -1067,33 +823,24 @@ mod tests {
     fn key_separates_fault_plans() {
         use spechpc_simmpi::faults::{FaultEvent, FaultPlan, RankSet};
         let clean = RunConfig::default();
-        let faulted = RunConfig {
-            faults: FaultPlan {
-                seed: 7,
-                events: vec![FaultEvent::Straggler {
-                    rank: 3,
-                    slowdown: 1.5,
-                }],
-            },
-            ..RunConfig::default()
-        };
-        let reseeded = RunConfig {
-            faults: FaultPlan {
-                seed: 8,
-                ..faulted.faults.clone()
-            },
-            ..RunConfig::default()
-        };
-        let noisy = RunConfig {
-            faults: FaultPlan {
-                seed: 7,
-                events: vec![FaultEvent::OsNoise {
-                    ranks: RankSet::All,
-                    amplitude: 0.05,
-                }],
-            },
-            ..RunConfig::default()
-        };
+        let faulted = RunConfig::default().with_faults(FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent::Straggler {
+                rank: 3,
+                slowdown: 1.5,
+            }],
+        });
+        let reseeded = RunConfig::default().with_faults(FaultPlan {
+            seed: 8,
+            ..faulted.faults.clone()
+        });
+        let noisy = RunConfig::default().with_faults(FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent::OsNoise {
+                ranks: RankSet::All,
+                amplitude: 0.05,
+            }],
+        });
         let keys: Vec<String> = [&clean, &faulted, &reseeded, &noisy]
             .iter()
             .map(|cfg| RunKey::new("ClusterA", "lbm", "tiny", 8, cfg).canonical())

@@ -40,7 +40,12 @@ use crate::error::HarnessError;
 use crate::runner::{RunConfig, RunResult, SimRunner};
 
 /// How the executor schedules, memoizes and supervises runs.
+///
+/// Marked `#[non_exhaustive]`: construct with [`ExecConfig::default`]
+/// plus the `with_*` builders, so new scheduling knobs stop being
+/// breaking changes for downstream crates.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct ExecConfig {
     /// Worker threads for grid execution; `0` means one per available
     /// host core.
@@ -63,6 +68,36 @@ pub struct ExecConfig {
 }
 
 impl ExecConfig {
+    /// Builder: worker threads for grid execution (`0` = one per core).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Builder: persist results under `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: disable memoization entirely.
+    pub fn with_no_cache(mut self, no_cache: bool) -> Self {
+        self.no_cache = no_cache;
+        self
+    }
+
+    /// Builder: per-run wall-clock budget in seconds (`0.0` = off).
+    pub fn with_timeout_s(mut self, timeout_s: f64) -> Self {
+        self.timeout_s = timeout_s;
+        self
+    }
+
+    /// Builder: bounded retries for transient failures.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
     /// `jobs` resolved against the host.
     pub fn effective_jobs(&self) -> usize {
         if self.jobs > 0 {
@@ -76,7 +111,11 @@ impl ExecConfig {
 }
 
 /// One point of an experiment grid.
+///
+/// Marked `#[non_exhaustive]`: construct with [`RunSpec::new`] plus
+/// the `with_*` builders.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct RunSpec {
     /// Registry name of the benchmark (see
     /// [`spechpc_kernels::registry`]).
@@ -92,6 +131,18 @@ impl RunSpec {
             class,
             nranks,
         }
+    }
+
+    /// Builder: replace the workload class.
+    pub fn with_class(mut self, class: WorkloadClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Builder: replace the rank count.
+    pub fn with_nranks(mut self, nranks: usize) -> Self {
+        self.nranks = nranks;
+        self
     }
 }
 
@@ -182,13 +233,18 @@ struct ExecCounters {
 
 /// Parallel, memoizing, fault-tolerant run executor (see the module
 /// docs).
+///
+/// The cache and the counters sit behind [`Arc`] so a resident service
+/// can fork per-request executors with [`Executor::with_run_config`]
+/// while every fork keeps hitting the *same* memoization store and
+/// accumulating into the *same* metrics.
 pub struct Executor {
     runner: SimRunner,
     jobs: usize,
     timeout_s: f64,
     retries: u32,
-    cache: Option<RunCache>,
-    counters: ExecCounters,
+    cache: Option<Arc<RunCache>>,
+    counters: Arc<ExecCounters>,
 }
 
 impl Executor {
@@ -196,10 +252,10 @@ impl Executor {
         let cache = if exec.no_cache {
             None
         } else {
-            Some(match &exec.cache_dir {
+            Some(Arc::new(match &exec.cache_dir {
                 Some(dir) => RunCache::on_disk(dir.clone()),
                 None => RunCache::in_memory(),
-            })
+            }))
         };
         Executor {
             jobs: exec.effective_jobs(),
@@ -207,25 +263,35 @@ impl Executor {
             retries: exec.retries,
             runner: SimRunner::new(run_config),
             cache,
-            counters: ExecCounters::default(),
+            counters: Arc::new(ExecCounters::default()),
         }
     }
 
     /// Serial, in-memory-cached executor — the drop-in replacement the
     /// compatibility wrappers (`fig1(cluster, config, step)` …) use.
     pub fn serial(run_config: RunConfig) -> Self {
-        Executor::new(
-            run_config,
-            ExecConfig {
-                jobs: 1,
-                ..ExecConfig::default()
-            },
-        )
+        Executor::new(run_config, ExecConfig::default().with_jobs(1))
     }
 
     /// The run rules this executor applies.
     pub fn run_config(&self) -> &RunConfig {
         &self.runner.config
+    }
+
+    /// Fork an executor that applies different run rules but shares
+    /// this executor's cache and metrics counters — how the `serve`
+    /// daemon answers requests with arbitrary per-request
+    /// [`RunConfig`]s against one resident cache. (Distinct run rules
+    /// hash to distinct [`RunKey`]s, so sharing the store is safe.)
+    pub fn with_run_config(&self, run_config: RunConfig) -> Executor {
+        Executor {
+            runner: SimRunner::new(run_config),
+            jobs: self.jobs,
+            timeout_s: self.timeout_s,
+            retries: self.retries,
+            cache: self.cache.clone(),
+            counters: Arc::clone(&self.counters),
+        }
     }
 
     fn key_of(&self, cluster: &ClusterSpec, spec: &RunSpec) -> RunKey {
@@ -325,6 +391,11 @@ impl Executor {
     /// timeout the engine's cancellation token is set — the simulation
     /// observes it at the next op boundary and unwinds — and the
     /// detached thread's late result is dropped with the channel.
+    ///
+    /// The budget is authoritative: a result that lands after the
+    /// deadline is still reported as [`HarnessError::Timeout`], so a
+    /// briefly descheduled parent thread cannot un-time-out a run
+    /// that was already over budget when it finished.
     fn simulate_with_deadline(
         &self,
         cluster: &ClusterSpec,
@@ -352,9 +423,11 @@ impl Executor {
                 })
             }));
         });
-        match rx.recv_timeout(Duration::from_secs_f64(self.timeout_s)) {
-            Ok(r) => r,
-            Err(_) => {
+        let budget = Duration::from_secs_f64(self.timeout_s);
+        let started = Instant::now();
+        match rx.recv_timeout(budget) {
+            Ok(r) if started.elapsed() <= budget => r,
+            _ => {
                 cancel.store(true, Ordering::Relaxed);
                 Err(HarnessError::Timeout {
                     label,
@@ -371,10 +444,7 @@ impl Executor {
         cluster: &ClusterSpec,
         spec: &RunSpec,
     ) -> Result<RunResult, HarnessError> {
-        let traced = SimRunner::new(RunConfig {
-            trace: true,
-            ..self.runner.config.clone()
-        });
+        let traced = SimRunner::new(self.runner.config.clone().with_trace(true));
         let bench = resolve(&spec.benchmark)?;
         let t0 = Instant::now();
         let outcome = traced
@@ -543,11 +613,7 @@ mod tests {
     use spechpc_simmpi::faults::{FaultEvent, FaultPlan};
 
     fn quick() -> RunConfig {
-        RunConfig {
-            repetitions: 1,
-            trace: false,
-            ..RunConfig::default()
-        }
+        RunConfig::default().with_repetitions(1).with_trace(false)
     }
 
     fn render(results: &[RunResult]) -> String {
@@ -581,19 +647,11 @@ mod tests {
         let specs = grid();
         let serial = Executor::new(
             quick(),
-            ExecConfig {
-                jobs: 1,
-                no_cache: true,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default().with_jobs(1).with_no_cache(true),
         );
         let parallel = Executor::new(
             quick(),
-            ExecConfig {
-                jobs: 8,
-                no_cache: true,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default().with_jobs(8).with_no_cache(true),
         );
         let a = serial.run_all(&cluster, &specs).into_results().unwrap();
         let b = parallel.run_all(&cluster, &specs).into_results().unwrap();
@@ -603,13 +661,7 @@ mod tests {
     #[test]
     fn memory_cache_hits_return_identical_results() {
         let cluster = presets::cluster_b();
-        let exec = Executor::new(
-            quick(),
-            ExecConfig {
-                jobs: 2,
-                ..ExecConfig::default()
-            },
-        );
+        let exec = Executor::new(quick(), ExecConfig::default().with_jobs(2));
         let spec = RunSpec::new("cloverleaf", WorkloadClass::Tiny, 26);
         let fresh = exec.run_one(&cluster, &spec).unwrap();
         let cached = exec.run_one(&cluster, &spec).unwrap();
@@ -635,11 +687,7 @@ mod tests {
         let cluster = presets::cluster_a();
         let exec = Executor::new(
             quick(),
-            ExecConfig {
-                jobs: 4,
-                no_cache: true,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default().with_jobs(4).with_no_cache(true),
         );
         // All points valid → full result set, order preserved.
         let specs = grid();
@@ -681,20 +729,13 @@ mod tests {
     #[test]
     fn injected_crash_yields_partial_results_and_a_report() {
         let cluster = presets::cluster_a();
-        let faulted = RunConfig {
-            faults: FaultPlan {
-                seed: 1,
-                events: vec![FaultEvent::Crash { rank: 2, at_s: 0.0 }],
-            },
-            ..quick()
-        };
+        let faulted = quick().with_faults(FaultPlan {
+            seed: 1,
+            events: vec![FaultEvent::Crash { rank: 2, at_s: 0.0 }],
+        });
         let exec = Executor::new(
             faulted,
-            ExecConfig {
-                jobs: 2,
-                no_cache: true,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default().with_jobs(2).with_no_cache(true),
         );
         // Rank 2 exists only in the larger runs: those crash, the
         // smaller ones complete.
@@ -721,11 +762,7 @@ mod tests {
         let cluster = presets::cluster_a();
         let exec = Executor::new(
             quick(),
-            ExecConfig {
-                jobs: 2,
-                no_cache: true,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default().with_jobs(2).with_no_cache(true),
         );
         // nranks = 0 trips the runner's assertion — a genuine panic,
         // caught at the run boundary.
@@ -745,15 +782,14 @@ mod tests {
     #[test]
     fn timeouts_cancel_and_retry_with_bounded_attempts() {
         let cluster = presets::cluster_a();
+        // No simulation finishes in a nanosecond.
         let exec = Executor::new(
             quick(),
-            ExecConfig {
-                jobs: 1,
-                no_cache: true,
-                timeout_s: 1e-9, // no simulation finishes in a nanosecond
-                retries: 2,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default()
+                .with_jobs(1)
+                .with_no_cache(true)
+                .with_timeout_s(1e-9)
+                .with_retries(2),
         );
         let spec = RunSpec::new("lbm", WorkloadClass::Tiny, 16);
         let err = exec.run_one(&cluster, &spec).unwrap_err();
@@ -783,11 +819,7 @@ mod tests {
         let cluster = presets::cluster_a();
         let exec = Executor::new(
             quick(),
-            ExecConfig {
-                jobs: 3,
-                no_cache: true,
-                ..ExecConfig::default()
-            },
+            ExecConfig::default().with_jobs(3).with_no_cache(true),
         );
         let specs = grid();
         assert!(exec.run_all(&cluster, &specs).is_complete());

@@ -150,7 +150,8 @@ impl Fig5 {
                     fmt(r.mem_bandwidth_per_node()),
                     fmt(r.counters.mem_bytes / steps / 1e9),
                     fmt(r.breakdown.mpi_fraction() * 100.0),
-                ]);
+                ])
+                .expect("row matches header");
             }
         }
         t.render()
@@ -253,11 +254,7 @@ mod tests {
     use spechpc_machine::presets;
 
     fn quick() -> RunConfig {
-        RunConfig {
-            repetitions: 1,
-            trace: true,
-            ..RunConfig::default()
-        }
+        RunConfig::default().with_repetitions(1).with_trace(true)
     }
 
     const NODES: [usize; 3] = [1, 2, 4];

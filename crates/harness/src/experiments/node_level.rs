@@ -135,7 +135,8 @@ impl Fig1 {
                     fmt(t1 / r.step_seconds_min),
                     fmt(r.counters.dp_gflops()),
                     fmt(r.counters.dp_avx_gflops()),
-                ]);
+                ])
+                .expect("row matches header");
             }
         }
         t.render()
@@ -292,7 +293,8 @@ impl Fig2 {
                     fmt(r.counters.l2_bandwidth()),
                     fmt(per_step(r.counters.mem_bytes) / 1e9),
                     fmt(per_step(r.counters.l2_bytes) / 1e9),
-                ]);
+                ])
+                .expect("row matches header");
             }
         }
         t.render()
@@ -305,11 +307,7 @@ mod tests {
     use spechpc_machine::presets;
 
     fn quick() -> RunConfig {
-        RunConfig {
-            repetitions: 3,
-            trace: false,
-            ..RunConfig::default()
-        }
+        RunConfig::default().with_repetitions(3).with_trace(false)
     }
 
     #[test]

@@ -141,7 +141,8 @@ pub fn baseline_table(nodes: &[&NodeSpec]) -> Table {
             fmt(n.cpu.tdp_w),
             fmt(n.cpu.baseline_power_w),
             fmt(100.0 * n.cpu.baseline_power_w / n.cpu.tdp_w),
-        ]);
+        ])
+        .expect("row matches header");
     }
     t
 }
@@ -184,11 +185,7 @@ mod tests {
     use spechpc_power::rapl::RaplModel;
 
     fn quick() -> RunConfig {
-        RunConfig {
-            repetitions: 1,
-            trace: false,
-            ..RunConfig::default()
-        }
+        RunConfig::default().with_repetitions(1).with_trace(false)
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub fn table1() -> Table {
             m.collective.to_string(),
             cfg(WorkloadClass::Tiny),
             cfg(WorkloadClass::Small),
-        ]);
+        ])
+        .expect("row matches header");
     }
     t
 }
@@ -55,7 +56,8 @@ pub fn table2() -> Table {
             m.name.to_string(),
             m.numerics.to_string(),
             m.domain.to_string(),
-        ]);
+        ])
+        .expect("row matches header");
     }
     t
 }
@@ -118,7 +120,7 @@ pub fn table3(clusters: &[&ClusterSpec]) -> Table {
         }),
     ];
     for r in rows {
-        t.row(r);
+        t.row(r).expect("row matches header");
     }
     t
 }

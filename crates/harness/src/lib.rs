@@ -17,19 +17,24 @@
 //! grids are spread across host cores with deterministic (byte-stable)
 //! result assembly. See `docs/ARCHITECTURE.md` for the full data flow.
 
+pub mod api;
 pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod experiments;
 pub mod faultcfg;
+pub mod json;
 pub mod obs;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod snapshot;
 pub mod suite;
 
+pub use api::{ApiError, RunRequest, RunResponse, SuiteRequest, SuiteResponse};
 pub use cache::{CacheMetrics, RunCache, RunKey};
 pub use error::HarnessError;
 pub use exec::{ExecConfig, ExecMetrics, Executor, GridFailure, GridReport, RunSpec};
 pub use runner::{RunConfig, RunResult, SimRunner};
+pub use serve::{install_signal_handlers, ServeConfig, Server, ShutdownHandle};
 pub use suite::{Suite, SuiteReport};

@@ -14,11 +14,11 @@ use std::path::{Path, PathBuf};
 use spechpc_simmpi::profile::{Profile, Regime};
 
 use crate::exec::ExecMetrics;
-use crate::report::{fmt, pct, Table};
+use crate::report::{fmt, pct, ReportError, Table};
 
 /// Per-rank phase-split table — the Fig.-2-style MPI time breakdown.
 /// Ends with an all-ranks TOTAL row.
-pub fn profile_rank_table(title: &str, p: &Profile) -> Table {
+pub fn profile_rank_table(title: &str, p: &Profile) -> Result<Table, ReportError> {
     let mut t = Table::new(
         title,
         &[
@@ -42,7 +42,7 @@ pub fn profile_rank_table(title: &str, p: &Profile) -> Table {
             fmt(ph.collective_wait_s),
             fmt(ph.fault_stall_s),
             pct(ph.comm_fraction() * 100.0),
-        ]);
+        ])?;
     }
     let tot = p.totals();
     t.row(vec![
@@ -54,13 +54,13 @@ pub fn profile_rank_table(title: &str, p: &Profile) -> Table {
         fmt(tot.collective_wait_s),
         fmt(tot.fault_stall_s),
         pct(tot.comm_fraction() * 100.0),
-    ]);
-    t
+    ])?;
+    Ok(t)
 }
 
 /// Message-size histogram table, both protocol regimes, non-empty
 /// buckets only.
-pub fn profile_histogram_table(title: &str, p: &Profile) -> Table {
+pub fn profile_histogram_table(title: &str, p: &Profile) -> Result<Table, ReportError> {
     let mut t = Table::new(title, &["regime", ">= bytes", "messages", "payload B"]);
     for (name, regime) in [("eager", Regime::Eager), ("rendezvous", Regime::Rendezvous)] {
         let hist = match regime {
@@ -76,15 +76,15 @@ pub fn profile_histogram_table(title: &str, p: &Profile) -> Table {
                 spechpc_simmpi::profile::bucket_floor(bucket).to_string(),
                 b.count.to_string(),
                 b.bytes.to_string(),
-            ]);
+            ])?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// The heaviest sender→receiver pairs of the communication matrix
 /// (ITAC message-statistics view), at most `top` rows.
-pub fn profile_matrix_table(title: &str, p: &Profile, top: usize) -> Table {
+pub fn profile_matrix_table(title: &str, p: &Profile, top: usize) -> Result<Table, ReportError> {
     let mut pairs: Vec<(usize, usize, u64)> = Vec::new();
     for from in 0..p.nranks {
         for to in 0..p.nranks {
@@ -99,29 +99,37 @@ pub fn profile_matrix_table(title: &str, p: &Profile, top: usize) -> Table {
     pairs.truncate(top);
     let mut t = Table::new(title, &["from", "to", "payload B"]);
     for (from, to, bytes) in pairs {
-        t.row(vec![from.to_string(), to.to_string(), bytes.to_string()]);
+        t.row(vec![from.to_string(), to.to_string(), bytes.to_string()])?;
     }
-    t
+    Ok(t)
 }
 
 /// Executor/cache counters as one table.
-pub fn metrics_table(title: &str, m: &ExecMetrics) -> Table {
+pub fn metrics_table(title: &str, m: &ExecMetrics) -> Result<Table, ReportError> {
     let mut t = Table::new(title, &["metric", "value"]);
-    let mut kv = |k: &str, v: String| t.row(vec![k.to_string(), v]);
-    kv("runs executed", m.runs_executed.to_string());
-    kv("cache hits (memory)", m.cache.hits_mem.to_string());
-    kv("cache hits (disk)", m.cache.hits_disk.to_string());
-    kv("cache misses", m.cache.misses.to_string());
-    kv("cache corrupt entries", m.cache.corrupt.to_string());
-    kv("cache entries quarantined", m.cache.quarantined.to_string());
-    kv("cache stores", m.cache.stores.to_string());
-    kv("cache hit rate", pct(m.cache.hit_rate() * 100.0));
+    let kv = |t: &mut Table, k: &str, v: String| t.row(vec![k.to_string(), v]);
+    kv(&mut t, "runs executed", m.runs_executed.to_string())?;
+    kv(&mut t, "cache hits (memory)", m.cache.hits_mem.to_string())?;
+    kv(&mut t, "cache hits (disk)", m.cache.hits_disk.to_string())?;
+    kv(&mut t, "cache misses", m.cache.misses.to_string())?;
+    kv(&mut t, "cache corrupt entries", m.cache.corrupt.to_string())?;
+    kv(
+        &mut t,
+        "cache entries quarantined",
+        m.cache.quarantined.to_string(),
+    )?;
+    kv(&mut t, "cache stores", m.cache.stores.to_string())?;
+    kv(&mut t, "cache hit rate", pct(m.cache.hit_rate() * 100.0))?;
     for (w, runs) in m.per_worker_runs.iter().enumerate() {
-        kv(&format!("worker {w} runs"), runs.to_string());
+        kv(&mut t, &format!("worker {w} runs"), runs.to_string())?;
     }
-    kv("grid points timed", m.point_wall_s.len().to_string());
-    kv("total wall s", format!("{:.3}", m.total_wall_s()));
-    t
+    kv(
+        &mut t,
+        "grid points timed",
+        m.point_wall_s.len().to_string(),
+    )?;
+    kv(&mut t, "total wall s", format!("{:.3}", m.total_wall_s()))?;
+    Ok(t)
 }
 
 /// Executor/cache counters as CSV (one `metric,value` pair per line,
@@ -190,7 +198,7 @@ mod tests {
 
     #[test]
     fn rank_table_has_total_row_and_fractions() {
-        let t = profile_rank_table("demo", &sample_profile());
+        let t = profile_rank_table("demo", &sample_profile()).unwrap();
         assert_eq!(t.rows.len(), 3); // 2 ranks + TOTAL
         assert_eq!(t.rows[2][0], "TOTAL");
         assert_eq!(t.rows[1][7], "75%"); // rank 1: 1.5 of 2.0 s in MPI
@@ -198,7 +206,7 @@ mod tests {
 
     #[test]
     fn histogram_table_lists_both_regimes() {
-        let t = profile_histogram_table("h", &sample_profile());
+        let t = profile_histogram_table("h", &sample_profile()).unwrap();
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][0], "eager");
         assert_eq!(t.rows[1][0], "rendezvous");
@@ -207,10 +215,10 @@ mod tests {
 
     #[test]
     fn matrix_table_is_heaviest_first_and_bounded() {
-        let t = profile_matrix_table("m", &sample_profile(), 10);
+        let t = profile_matrix_table("m", &sample_profile(), 10).unwrap();
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][2], (1u64 << 20).to_string());
-        let t1 = profile_matrix_table("m", &sample_profile(), 1);
+        let t1 = profile_matrix_table("m", &sample_profile(), 1).unwrap();
         assert_eq!(t1.rows.len(), 1);
     }
 
@@ -229,7 +237,7 @@ mod tests {
             per_worker_runs: vec![4, 2],
             point_wall_s: vec![("lbm/tiny/4@ClusterA".into(), 0.0123)],
         };
-        let t = metrics_table("metrics", &m);
+        let t = metrics_table("metrics", &m).unwrap();
         assert!(t.render().contains("cache hits (memory)"));
         let csv = metrics_to_csv(&m);
         assert!(csv.contains("cache_hits_mem,2"));

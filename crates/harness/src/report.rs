@@ -1,5 +1,37 @@
 //! Plain-text table rendering for the experiment reports.
 
+/// A malformed report table — the typed replacement for the
+/// `assert_eq!` width panic that used to abort the whole process (fatal
+/// for a one-shot CLI, unacceptable for the long-running `spechpc
+/// serve` daemon, where one bad report must degrade to an API error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// A row's cell count does not match the table header.
+    RowWidth {
+        /// The table this happened in (its title).
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::RowWidth {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "malformed report table '{table}': row has {got} cell(s), header has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -17,13 +49,18 @@ impl Table {
         }
     }
 
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.header.len(),
-            "row width must match the header"
-        );
+    /// Append a row; a width mismatch is a typed [`ReportError`], never
+    /// a panic.
+    pub fn row(&mut self, cells: Vec<String>) -> Result<(), ReportError> {
+        if cells.len() != self.header.len() {
+            return Err(ReportError::RowWidth {
+                table: self.title.clone(),
+                expected: self.header.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells);
+        Ok(())
     }
 
     /// Render with column alignment.
@@ -90,8 +127,8 @@ mod tests {
     #[test]
     fn table_renders_aligned() {
         let mut t = Table::new("demo", &["name", "value"]);
-        t.row(vec!["tealeaf".into(), "1.0".into()]);
-        t.row(vec!["lbm".into(), "130".into()]);
+        t.row(vec!["tealeaf".into(), "1.0".into()]).unwrap();
+        t.row(vec!["lbm".into(), "130".into()]).unwrap();
         let s = t.render();
         assert!(s.contains("## demo"));
         assert!(s.contains("| tealeaf | 1.0   |"));
@@ -101,10 +138,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_row_panics() {
+    fn mismatched_row_is_a_typed_error() {
         let mut t = Table::new("x", &["a", "b"]);
-        t.row(vec!["only one".into()]);
+        let err = t.row(vec!["only one".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::RowWidth {
+                table: "x".into(),
+                expected: 2,
+                got: 1,
+            }
+        );
+        // The malformed row was not appended.
+        assert!(t.rows.is_empty());
+        assert!(err.to_string().contains("malformed report table 'x'"));
     }
 
     #[test]

@@ -21,7 +21,12 @@ use spechpc_simmpi::trace::{Breakdown, Timeline};
 const MPI_SPIN_UTILIZATION: f64 = 0.7;
 
 /// Runner configuration, mirroring the paper's §3 methodology.
+///
+/// Marked `#[non_exhaustive]`: construct with [`RunConfig::default`]
+/// plus the `with_*` builders, so new run-rule knobs stop being
+/// breaking changes for downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RunConfig {
     /// Warm-up steps before the measured region ("at least two warm-up
     /// time steps, including global synchronisation").
@@ -51,6 +56,38 @@ impl Default for RunConfig {
             trace: false,
             faults: FaultPlan::none(),
         }
+    }
+}
+
+impl RunConfig {
+    /// Builder: warm-up steps before the measured region.
+    pub fn with_warmup_steps(mut self, steps: usize) -> Self {
+        self.warmup_steps = steps;
+        self
+    }
+
+    /// Builder: simulated measured steps.
+    pub fn with_measured_steps(mut self, steps: usize) -> Self {
+        self.measured_steps = steps;
+        self
+    }
+
+    /// Builder: repetitions for min/max/avg statistics.
+    pub fn with_repetitions(mut self, reps: usize) -> Self {
+        self.repetitions = reps;
+        self
+    }
+
+    /// Builder: record the full event timeline of the measured region.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Builder: seeded fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -395,10 +432,7 @@ mod tests {
     fn multi_node_sweep_spans_nodes() {
         let cluster = presets::cluster_a();
         let b = benchmark_by_name("weather").unwrap();
-        let r = SimRunner::new(RunConfig {
-            trace: false,
-            ..RunConfig::default()
-        });
+        let r = SimRunner::new(RunConfig::default().with_trace(false));
         let res = r
             .sweep(&cluster, &*b, WorkloadClass::Small, &[72, 144, 288])
             .unwrap();

@@ -1,0 +1,682 @@
+//! `spechpc serve` — the simulation-as-a-service daemon.
+//!
+//! A dependency-free HTTP/1.1 server hand-rolled over
+//! [`std::net::TcpListener`] (the same way [`faultcfg`](crate::faultcfg)
+//! hand-rolls TOML and [`json`](crate::json) hand-rolls JSON), keeping
+//! one [`Executor`] + run cache + metrics ledger resident across
+//! requests so the parameter-sweep workloads of the paper's methodology
+//! amortize their warm-up instead of re-opening the cache per
+//! invocation.
+//!
+//! Routes (all bodies JSON, all responses `Connection: close`):
+//!
+//! | route                  | meaning                                     |
+//! |------------------------|---------------------------------------------|
+//! | `POST /v1/run`         | one [`RunRequest`] → [`RunResponse`](crate::api::RunResponse) |
+//! | `POST /v1/suite`       | one [`SuiteRequest`] → suite report         |
+//! | `GET /v1/profile/{b}`  | MPI profile tables for one cached run       |
+//! | `GET /v1/metrics`      | resident executor/cache counters            |
+//! | `GET /v1/health`       | liveness + in-flight count + drain state    |
+//! | `POST /v1/shutdown`    | begin graceful drain                        |
+//!
+//! Production shape:
+//!
+//! * **admission control** — a bounded accept queue plus an in-flight
+//!   cap on the simulating routes; both answer `429` with `Retry-After`
+//!   when saturated (fast routes like health/metrics stay served so
+//!   clients can watch the backlog);
+//! * **per-request supervision** — handler panics are caught at the
+//!   connection boundary, and simulations inherit the resident
+//!   executor's cooperative-cancel timeout;
+//! * **byte-identical replays** — responses carry no timestamps and the
+//!   run payload reuses the cache encoding, so a repeated identical
+//!   `POST /v1/run` answers from memory in microseconds with the same
+//!   bytes;
+//! * **graceful shutdown** — SIGTERM or `POST /v1/shutdown` stops
+//!   accepting, drains queued and in-flight work, flushes the metrics
+//!   CSV, and [`Server::serve`] returns `Ok` (exit 0).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::api::{dispatch_run, dispatch_suite, parse_class, ApiError, RunRequest, SuiteRequest};
+use crate::exec::Executor;
+use crate::json::Json;
+use crate::obs;
+use crate::report::Table;
+
+/// How the daemon listens, schedules and drains.
+///
+/// Marked `#[non_exhaustive]`: construct with [`ServeConfig::default`]
+/// plus the `with_*` builders.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Listen address; port `0` picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded depth of the accept queue; a connection arriving on a
+    /// full queue is answered `429` straight from the accept loop.
+    pub queue_depth: usize,
+    /// Max simulating requests in flight before `POST /v1/run` and
+    /// `POST /v1/suite` answer `429`; `0` resolves to `workers - 1`
+    /// (min 1) so one worker always stays free for the fast routes.
+    pub max_inflight: usize,
+    /// Structured request log on stderr.
+    pub log_requests: bool,
+    /// Flush the executor metrics CSV here on graceful shutdown.
+    pub metrics_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            queue_depth: 64,
+            max_inflight: 0,
+            log_requests: true,
+            metrics_dir: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder: listen address (`host:port`; port `0` = ephemeral).
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Builder: worker thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder: accept-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Builder: in-flight simulation cap (`0` = auto).
+    pub fn with_max_inflight(mut self, max: usize) -> Self {
+        self.max_inflight = max;
+        self
+    }
+
+    /// Builder: toggle the stderr request log.
+    pub fn with_log_requests(mut self, log: bool) -> Self {
+        self.log_requests = log;
+        self
+    }
+
+    /// Builder: flush metrics CSV under `dir` on shutdown.
+    pub fn with_metrics_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.metrics_dir = Some(dir.into());
+        self
+    }
+
+    fn effective_max_inflight(&self) -> usize {
+        if self.max_inflight > 0 {
+            self.max_inflight
+        } else {
+            self.workers.saturating_sub(1).max(1)
+        }
+    }
+}
+
+/// Process-wide SIGTERM/SIGINT latch (signal handlers must be static).
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT into the graceful-drain path: the next
+/// accept-loop tick stops accepting and [`Server::serve`] drains and
+/// returns `Ok`. `std` already links the platform libc, so the raw
+/// `signal(2)` binding needs no external crate.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Shared state every worker sees.
+struct Ctx {
+    exec: Executor,
+    shutdown: AtomicBool,
+    sim_inflight: AtomicUsize,
+    max_inflight: usize,
+    log_requests: bool,
+}
+
+impl Ctx {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+/// RAII slot on the simulating routes: acquired before dispatch,
+/// released when the response is written (even on panic — the guard
+/// lives across the `catch_unwind`).
+struct SimSlot<'a>(&'a Ctx);
+
+impl<'a> SimSlot<'a> {
+    fn try_acquire(ctx: &'a Ctx) -> Result<Self, ApiError> {
+        let prev = ctx.sim_inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= ctx.max_inflight {
+            ctx.sim_inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(ApiError::saturated(format!(
+                "{prev} simulation(s) in flight (cap {})",
+                ctx.max_inflight
+            )));
+        }
+        Ok(SimSlot(ctx))
+    }
+}
+
+impl Drop for SimSlot<'_> {
+    fn drop(&mut self) {
+        self.0.sim_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The resident daemon. Bind with [`Server::bind`], then block on
+/// [`Server::serve`] until a graceful shutdown drains it.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Bind the listen socket around a resident executor. Nothing is
+    /// accepted until [`Server::serve`].
+    pub fn bind(exec: Executor, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let ctx = Arc::new(Ctx {
+            exec,
+            shutdown: AtomicBool::new(false),
+            sim_inflight: AtomicUsize::new(0),
+            max_inflight: config.effective_max_inflight(),
+            log_requests: config.log_requests,
+        });
+        Ok(Server {
+            listener,
+            ctx,
+            config,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers graceful drain when used — the same
+    /// latch `POST /v1/shutdown` and SIGTERM flip.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.ctx))
+    }
+
+    /// Accept and serve until shutdown is requested, then drain queued
+    /// and in-flight connections, flush metrics, and return. A clean
+    /// drain is `Ok(())` — the daemon's exit-0 path.
+    pub fn serve(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            ctx,
+            config,
+        } = self;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            workers.push(std::thread::spawn(move || loop {
+                let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                match next {
+                    Ok(stream) => handle_connection(&ctx, stream),
+                    Err(_) => return, // sender dropped: queue drained
+                }
+            }));
+        }
+
+        listener.set_nonblocking(true)?;
+        while !ctx.draining() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        // Bounded memory: a full queue answers 429
+                        // straight from the accept loop instead of
+                        // buffering unboundedly. Drain the request
+                        // first — closing with unread bytes in the
+                        // socket turns into an RST that can destroy
+                        // the 429 before the client reads it.
+                        Err(TrySendError::Full(mut stream)) => {
+                            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                            let _ = read_request(&mut stream);
+                            let e = ApiError::saturated("accept queue full");
+                            let _ = write_error(&mut stream, &e);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: stop accepting, let the workers finish everything
+        // already queued or in flight, then flush observability.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(dir) = &config.metrics_dir {
+            let _ = obs::write_metrics_csv(dir, "serve", &ctx.exec.metrics());
+        }
+        if ctx.log_requests {
+            let m = ctx.exec.metrics();
+            eprintln!(
+                "[serve] drained: {} run(s) executed, {} cache hit(s), bye",
+                m.runs_executed,
+                m.cache.hits_mem + m.cache.hits_disk
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Opaque drain trigger detached from the [`Server`]'s lifetime: keep
+/// one around, call [`ShutdownHandle::request_drain`] from any thread,
+/// and the accept loop begins its graceful drain on the next tick.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Ctx>);
+
+impl ShutdownHandle {
+    /// Flip the drain latch (idempotent).
+    pub fn request_drain(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Has a drain been requested (by this handle, a client, or a
+    /// signal)?
+    pub fn draining(&self) -> bool {
+        self.0.draining()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+/// One parsed request. Only what the routes need — this is a service
+/// endpoint, not a general web server.
+struct HttpRequest {
+    method: String,
+    /// Path without the query string.
+    path: String,
+    query: String,
+    body: String,
+}
+
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Read one HTTP/1.1 request (start line, headers, `Content-Length`
+/// body) off the stream.
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, ApiError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(ApiError::bad_request("request headers too large"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ApiError::bad_request(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(ApiError::bad_request("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let start = lines.next().unwrap_or_default();
+    let mut parts = start.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || target.is_empty() {
+        return Err(ApiError::bad_request("malformed request line"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ApiError::bad_request("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err(ApiError::bad_request("request body too large"));
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ApiError::bad_request(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(ApiError::bad_request("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body: String::from_utf8_lossy(&body).to_string(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        207 => "Multi-Status",
+        400 => "Bad Request",
+        404 => "Not Found",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response. Deterministic bytes: fixed header set in fixed
+/// order, no date, no server version — a cached replay is
+/// byte-identical to the response that simulated.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    retry_after: Option<u32>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason_of(status),
+        body.len()
+    );
+    if let Some(secs) = retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn write_error(stream: &mut TcpStream, e: &ApiError) -> std::io::Result<()> {
+    let retry = matches!(e.status, 429 | 503).then_some(1);
+    let mut body = e.to_json();
+    body.push('\n');
+    write_response(stream, e.status, &body, retry)
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
+    let t0 = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_error(&mut stream, &e);
+            return;
+        }
+    };
+    // A handler panic must never take the daemon down: catch at the
+    // connection boundary and degrade to a 500.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| route(ctx, &req)));
+    let outcome = outcome.unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(ApiError::internal(format!("handler panicked: {msg}")))
+    });
+    let (status, bytes) = match &outcome {
+        Ok((status, body)) => {
+            let _ = write_response(&mut stream, *status, body, None);
+            (*status, body.len())
+        }
+        Err(e) => {
+            let _ = write_error(&mut stream, e);
+            (e.status, e.to_json().len() + 1)
+        }
+    };
+    if ctx.log_requests {
+        eprintln!(
+            "[serve] {} {} -> {} {}B {:.1}ms inflight={}",
+            req.method,
+            req.path,
+            status,
+            bytes,
+            t0.elapsed().as_secs_f64() * 1e3,
+            ctx.sim_inflight.load(Ordering::SeqCst),
+        );
+    }
+}
+
+/// Dispatch one request to its handler; `Ok((status, body))` or a
+/// typed error.
+fn route(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/run") => {
+            admission(ctx)?;
+            let _slot = SimSlot::try_acquire(ctx)?;
+            let run = RunRequest::from_json(&req.body)?;
+            let resp = dispatch_run(&ctx.exec, &run)?;
+            Ok((200, resp.to_json()))
+        }
+        ("POST", "/v1/suite") => {
+            admission(ctx)?;
+            let _slot = SimSlot::try_acquire(ctx)?;
+            let suite = SuiteRequest::from_json(&req.body)?;
+            let resp = dispatch_suite(&ctx.exec, &suite)?;
+            let status = if resp.report.is_complete() { 200 } else { 207 };
+            Ok((status, resp.to_json()))
+        }
+        ("GET", path) if path.starts_with("/v1/profile/") => {
+            admission(ctx)?;
+            let _slot = SimSlot::try_acquire(ctx)?;
+            profile(ctx, &path["/v1/profile/".len()..], &req.query)
+        }
+        ("GET", "/v1/metrics") => Ok((200, metrics_json(ctx))),
+        ("GET", "/v1/health") => Ok((200, health_json(ctx))),
+        ("POST", "/v1/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Ok((200, "{\"status\":\"draining\"}\n".to_string()))
+        }
+        (_, path) => Err(ApiError::not_found(format!(
+            "no route for {} {path}",
+            req.method
+        ))),
+    }
+}
+
+/// Simulating routes refuse new work once a drain started.
+fn admission(ctx: &Ctx) -> Result<(), ApiError> {
+    if ctx.draining() {
+        Err(ApiError::shutting_down())
+    } else {
+        Ok(())
+    }
+}
+
+/// `GET /v1/profile/{benchmark}?cluster=a&class=tiny&n=8` — the
+/// Fig.-2-style MPI breakdown of one (cached) run as JSON tables.
+fn profile(ctx: &Ctx, benchmark: &str, query: &str) -> Result<(u16, String), ApiError> {
+    let mut cluster = "a".to_string();
+    let mut class = "tiny".to_string();
+    let mut nranks = 0usize;
+    for pair in query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "cluster" => cluster = v.to_string(),
+            "class" => class = v.to_string(),
+            "n" | "nranks" => {
+                nranks = v
+                    .parse()
+                    .map_err(|_| ApiError::bad_request(format!("bad rank count '{v}'")))?
+            }
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown query parameter '{other}'"
+                )))
+            }
+        }
+    }
+    let run = RunRequest::new(benchmark, parse_class(&class)?, nranks).with_cluster(cluster);
+    let resp = dispatch_run(&ctx.exec, &run)?;
+    let r = &resp.result;
+    let label = format!("{}/{}/{}@{}", r.benchmark, r.class, r.nranks, r.cluster);
+    let table_err = |e: crate::report::ReportError| ApiError::internal(e.to_string());
+    let ranks = obs::profile_rank_table(&label, &r.profile).map_err(table_err)?;
+    let hist = obs::profile_histogram_table("message sizes", &r.profile).map_err(table_err)?;
+    let matrix = obs::profile_matrix_table("heaviest pairs", &r.profile, 10).map_err(table_err)?;
+    let body = Json::Obj(vec![
+        ("run".into(), Json::from(label)),
+        ("ranks".into(), table_to_json(&ranks)),
+        ("histogram".into(), table_to_json(&hist)),
+        ("matrix".into(), table_to_json(&matrix)),
+    ])
+    .render();
+    Ok((200, body))
+}
+
+fn table_to_json(t: &Table) -> Json {
+    Json::Obj(vec![
+        ("title".into(), Json::from(t.title.as_str())),
+        (
+            "header".into(),
+            Json::Arr(t.header.iter().map(|h| Json::from(h.as_str())).collect()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                t.rows
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|c| Json::from(c.as_str())).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn health_json(ctx: &Ctx) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::from("ok")),
+        (
+            "inflight".into(),
+            Json::from(ctx.sim_inflight.load(Ordering::SeqCst)),
+        ),
+        ("draining".into(), Json::from(ctx.draining())),
+    ])
+    .render()
+}
+
+fn metrics_json(ctx: &Ctx) -> String {
+    let m = ctx.exec.metrics();
+    Json::Obj(vec![
+        ("runs_executed".into(), Json::from(m.runs_executed)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits_mem".into(), Json::from(m.cache.hits_mem)),
+                ("hits_disk".into(), Json::from(m.cache.hits_disk)),
+                ("misses".into(), Json::from(m.cache.misses)),
+                ("corrupt".into(), Json::from(m.cache.corrupt)),
+                ("quarantined".into(), Json::from(m.cache.quarantined)),
+                ("stores".into(), Json::from(m.cache.stores)),
+            ]),
+        ),
+        (
+            "per_worker_runs".into(),
+            Json::Arr(m.per_worker_runs.iter().map(|&r| Json::from(r)).collect()),
+        ),
+        ("points_timed".into(), Json::from(m.point_wall_s.len())),
+        ("total_wall_s".into(), Json::from(m.total_wall_s())),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection_and_reasons() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+        assert_eq!(reason_of(200), "OK");
+        assert_eq!(reason_of(429), "Too Many Requests");
+        assert_eq!(reason_of(207), "Multi-Status");
+        assert_eq!(reason_of(999), "Unknown");
+    }
+
+    #[test]
+    fn serve_config_resolves_inflight_cap() {
+        let cfg = ServeConfig::default().with_workers(8);
+        assert_eq!(cfg.effective_max_inflight(), 7);
+        let cfg = ServeConfig::default().with_workers(1);
+        assert_eq!(cfg.effective_max_inflight(), 1);
+        let cfg = ServeConfig::default().with_max_inflight(3);
+        assert_eq!(cfg.effective_max_inflight(), 3);
+    }
+}

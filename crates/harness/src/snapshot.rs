@@ -22,8 +22,8 @@ use spechpc_simmpi::engine::{Engine, SimConfig};
 use spechpc_simmpi::netmodel::NetModel;
 use spechpc_simmpi::program::{Op, Program};
 
-use crate::cache::parse_json;
 use crate::exec::{ExecConfig, Executor};
+use crate::json::parse_json;
 use crate::runner::RunConfig;
 use crate::suite::Suite;
 
@@ -156,16 +156,8 @@ fn calibration_score(iters: usize) -> f64 {
 fn measure_suite() -> Result<f64, String> {
     let cluster = presets::cluster_a();
     let executor = Executor::new(
-        RunConfig {
-            trace: false,
-            ..RunConfig::default()
-        },
-        ExecConfig {
-            jobs: 0,
-            cache_dir: None,
-            no_cache: true,
-            ..ExecConfig::default()
-        },
+        RunConfig::default().with_trace(false),
+        ExecConfig::default().with_jobs(0).with_no_cache(true),
     );
     let suite = Suite {
         class: WorkloadClass::Tiny,

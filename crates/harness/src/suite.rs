@@ -124,7 +124,8 @@ impl SuiteReport {
                 fmt(r.breakdown.mpi_fraction() * 100.0),
                 fmt(r.power.total()),
                 fmt(r.energy.total_j() / 1e3),
-            ]);
+            ])
+            .expect("suite row matches header");
         }
         let mut out = t.render();
         if !self.failures.is_empty() {
@@ -152,11 +153,7 @@ mod tests {
         let suite = Suite::tiny_full_node(&cluster);
         let report = suite.run(
             &cluster,
-            RunConfig {
-                repetitions: 1,
-                trace: false,
-                ..RunConfig::default()
-            },
+            RunConfig::default().with_repetitions(1).with_trace(false),
         );
         assert!(report.is_complete());
         assert_eq!(report.results.len(), 9);
@@ -180,18 +177,16 @@ mod tests {
         // suite still renders the survivors and blames the rank.
         let report = suite.run(
             &cluster,
-            RunConfig {
-                repetitions: 1,
-                trace: false,
-                faults: FaultPlan {
+            RunConfig::default()
+                .with_repetitions(1)
+                .with_trace(false)
+                .with_faults(FaultPlan {
                     seed: 11,
                     events: vec![FaultEvent::Crash {
                         rank: 30,
                         at_s: 0.0,
                     }],
-                },
-                ..RunConfig::default()
-            },
+                }),
         );
         assert!(!report.is_complete());
         assert_eq!(report.results.len() + report.failures.len(), 9);
@@ -209,11 +204,7 @@ mod tests {
 
     #[test]
     fn spec_score_is_one_against_itself_and_favours_cluster_b() {
-        let cfg = RunConfig {
-            repetitions: 1,
-            trace: false,
-            ..RunConfig::default()
-        };
+        let cfg = RunConfig::default().with_repetitions(1).with_trace(false);
         let a = presets::cluster_a();
         let b = presets::cluster_b();
         let ra = Suite::tiny_full_node(&a).run(&a, cfg.clone());
@@ -238,11 +229,7 @@ mod tests {
         };
         let report = suite.run(
             &cluster,
-            RunConfig {
-                repetitions: 1,
-                trace: false,
-                ..RunConfig::default()
-            },
+            RunConfig::default().with_repetitions(1).with_trace(false),
         );
         // Six of nine ship medium/large workloads.
         assert_eq!(report.results.len(), 6);

@@ -24,11 +24,7 @@ fn main() {
     let a = presets::cluster_a();
     let b = presets::cluster_b();
     let exec = Executor::new(
-        RunConfig {
-            repetitions: 1,
-            trace: false,
-            ..RunConfig::default()
-        },
+        RunConfig::default().with_repetitions(1).with_trace(false),
         ExecConfig::default(),
     );
 

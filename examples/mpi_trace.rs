@@ -16,10 +16,7 @@ fn main() {
 
     let cluster = presets::cluster_a();
     // Tracing is off by default; this study is *about* the timelines.
-    let runner = SimRunner::new(RunConfig {
-        trace: true,
-        ..RunConfig::default()
-    });
+    let runner = SimRunner::new(RunConfig::default().with_trace(true));
 
     for (name, nranks) in [("minisweep", 59usize), ("lbm", cluster.node.cores() - 1)] {
         let bench = benchmark_by_name(name).unwrap();

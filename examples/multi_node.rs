@@ -22,10 +22,7 @@ fn main() {
         let n = nodes.last().unwrap() * 2;
         nodes.push(n);
     }
-    let config = RunConfig {
-        repetitions: 1,
-        ..RunConfig::default()
-    };
+    let config = RunConfig::default().with_repetitions(1);
 
     for cluster in [presets::cluster_a(), presets::cluster_b()] {
         let cores = cluster.node.cores();

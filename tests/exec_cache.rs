@@ -9,13 +9,11 @@ use spechpc::harness::cache::RunKey;
 use spechpc::prelude::*;
 
 fn quick() -> RunConfig {
-    RunConfig {
-        warmup_steps: 1,
-        measured_steps: 2,
-        repetitions: 1,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default()
+        .with_warmup_steps(1)
+        .with_measured_steps(2)
+        .with_repetitions(1)
+        .with_trace(false)
 }
 
 /// A mixed grid: several benchmarks at several rank counts on both
@@ -51,12 +49,7 @@ fn parallel_output_is_byte_identical_to_serial() {
     let serial = Executor::serial(quick());
     let parallel = Executor::new(
         quick(),
-        ExecConfig {
-            jobs: 8,
-            cache_dir: None,
-            no_cache: true,
-            ..ExecConfig::default()
-        },
+        ExecConfig::default().with_jobs(8).with_no_cache(true),
     );
 
     let rs = serial.run_all(&cluster, &specs).into_results().unwrap();
@@ -77,12 +70,9 @@ fn disk_cache_round_trips_and_second_run_hits_it() {
 
     let cold = Executor::new(
         quick(),
-        ExecConfig {
-            jobs: 4,
-            cache_dir: Some(dir.clone()),
-            no_cache: false,
-            ..ExecConfig::default()
-        },
+        ExecConfig::default()
+            .with_jobs(4)
+            .with_cache_dir(dir.clone()),
     );
     let first = cold.run_all(&cluster, &specs).into_results().unwrap();
 
@@ -93,12 +83,9 @@ fn disk_cache_round_trips_and_second_run_hits_it() {
     // A fresh executor (empty memory cache) sees every key on disk …
     let warm = Executor::new(
         quick(),
-        ExecConfig {
-            jobs: 4,
-            cache_dir: Some(dir.clone()),
-            no_cache: false,
-            ..ExecConfig::default()
-        },
+        ExecConfig::default()
+            .with_jobs(4)
+            .with_cache_dir(dir.clone()),
     );
     let store = RunCache::on_disk(&dir);
     for spec in &specs {
@@ -132,12 +119,9 @@ fn cache_invalidates_when_run_key_inputs_change() {
 
     let exec = Executor::new(
         quick(),
-        ExecConfig {
-            jobs: 1,
-            cache_dir: Some(dir.clone()),
-            no_cache: false,
-            ..ExecConfig::default()
-        },
+        ExecConfig::default()
+            .with_jobs(1)
+            .with_cache_dir(dir.clone()),
     );
     exec.run_one(&cluster, &spec).unwrap();
 
@@ -146,10 +130,7 @@ fn cache_invalidates_when_run_key_inputs_change() {
     assert!(store.get(&hit).is_some());
 
     // Any change to a RunKey input addresses a different entry.
-    let more_steps = RunConfig {
-        measured_steps: quick().measured_steps + 1,
-        ..quick()
-    };
+    let more_steps = quick().with_measured_steps(quick().measured_steps + 1);
     let misses = [
         RunKey::new(&cluster.name, "tealeaf", "tiny", 8, &more_steps),
         RunKey::new(&cluster.name, "tealeaf", "tiny", 9, &quick()),

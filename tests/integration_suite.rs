@@ -5,11 +5,7 @@
 use spechpc::prelude::*;
 
 fn quick() -> RunConfig {
-    RunConfig {
-        repetitions: 2,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default().with_repetitions(2).with_trace(false)
 }
 
 #[test]

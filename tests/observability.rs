@@ -9,13 +9,11 @@ use spechpc::prelude::*;
 use spechpc::simmpi::Profile;
 
 fn quick() -> RunConfig {
-    RunConfig {
-        warmup_steps: 1,
-        measured_steps: 2,
-        repetitions: 1,
-        trace: false,
-        ..RunConfig::default()
-    }
+    RunConfig::default()
+        .with_warmup_steps(1)
+        .with_measured_steps(2)
+        .with_repetitions(1)
+        .with_trace(false)
 }
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -96,11 +94,10 @@ fn warm_cache_reports_hits_and_preserves_the_profile() {
         .map(|&(name, n)| RunSpec::new(name, WorkloadClass::Tiny, n))
         .collect();
 
-    let cfg = |jobs| ExecConfig {
-        jobs,
-        cache_dir: Some(dir.clone()),
-        no_cache: false,
-        ..ExecConfig::default()
+    let cfg = |jobs| {
+        ExecConfig::default()
+            .with_jobs(jobs)
+            .with_cache_dir(dir.clone())
     };
     let cold = Executor::new(quick(), cfg(2));
     let first = cold.run_all(&cluster, &specs).into_results().unwrap();

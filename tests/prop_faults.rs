@@ -261,13 +261,12 @@ fn cached_replay_of_a_faulty_run_is_byte_identical() {
             },
         ],
     };
-    let config = RunConfig {
-        warmup_steps: 1,
-        measured_steps: 2,
-        repetitions: 1,
-        trace: false,
-        faults: plan,
-    };
+    let config = RunConfig::default()
+        .with_warmup_steps(1)
+        .with_measured_steps(2)
+        .with_repetitions(1)
+        .with_trace(false)
+        .with_faults(plan);
     let spec = RunSpec::new("tealeaf", WorkloadClass::Tiny, 8);
 
     let dirs = [scratch_dir("a"), scratch_dir("b")];
@@ -276,11 +275,9 @@ fn cached_replay_of_a_faulty_run_is_byte_identical() {
         let _ = std::fs::remove_dir_all(dir);
         let exec = Executor::new(
             config.clone(),
-            ExecConfig {
-                jobs: 1,
-                cache_dir: Some(dir.clone()),
-                ..ExecConfig::default()
-            },
+            ExecConfig::default()
+                .with_jobs(1)
+                .with_cache_dir(dir.clone()),
         );
         exec.run_one(&cluster, &spec).expect("faulty run completes");
         blobs.push(only_entry(dir));
@@ -293,11 +290,9 @@ fn cached_replay_of_a_faulty_run_is_byte_identical() {
     // A fresh executor over the first store replays from disk.
     let warm = Executor::new(
         config,
-        ExecConfig {
-            jobs: 1,
-            cache_dir: Some(dirs[0].clone()),
-            ..ExecConfig::default()
-        },
+        ExecConfig::default()
+            .with_jobs(1)
+            .with_cache_dir(dirs[0].clone()),
     );
     let r = warm.run_one(&cluster, &spec).expect("warm replay");
     assert_eq!(warm.metrics().runs_executed, 0, "replay must not simulate");

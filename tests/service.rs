@@ -1,0 +1,374 @@
+//! End-to-end tests of `spechpc serve`: a real daemon bound to an
+//! ephemeral loopback port, driven by hand-rolled HTTP/1.1 clients over
+//! `TcpStream` — the same byte path `curl` would take.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spechpc::harness::api;
+use spechpc::prelude::*;
+
+/// A small resident executor: in-memory cache, few workers.
+fn executor() -> Executor {
+    Executor::new(
+        RunConfig::default().with_repetitions(1).with_trace(false),
+        ExecConfig::default().with_jobs(2),
+    )
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(4)
+        .with_log_requests(false)
+}
+
+/// Bind + spawn a daemon; returns its address, drain handle, and the
+/// join handle whose `Ok(())` is the daemon's exit-0 path.
+fn spawn_server(
+    exec: Executor,
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(exec, cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.serve());
+    (addr, handle, join)
+}
+
+/// One HTTP exchange; returns (status, raw response bytes, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Vec<u8>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {text:?}"));
+    let body = match text.find("\r\n\r\n") {
+        Some(pos) => text[pos + 4..].to_string(),
+        None => String::new(),
+    };
+    (status, raw, body)
+}
+
+/// A config whose simulation takes real wall time: DES cost scales
+/// with the number of simulated steps (× ranks).
+fn slow_config(measured_steps: usize) -> RunConfig {
+    RunConfig::default()
+        .with_measured_steps(measured_steps)
+        .with_repetitions(1)
+        .with_trace(false)
+}
+
+fn run_body(benchmark: &str, nranks: usize, repetitions: usize) -> String {
+    RunRequest::new(benchmark, WorkloadClass::Tiny, nranks)
+        .with_cluster("a")
+        .with_config(
+            RunConfig::default()
+                .with_repetitions(repetitions)
+                .with_trace(false),
+        )
+        .to_json()
+}
+
+/// Poll `/v1/health` until the in-flight gauge reaches `want`.
+fn wait_for_inflight(addr: SocketAddr, want: usize) {
+    let needle = format!("\"inflight\":{want}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _, body) = http(addr, "GET", "/v1/health", "");
+        assert_eq!(status, 200, "health must always be served: {body}");
+        if body.contains(&needle) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "in-flight gauge never reached {want}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn run_suite_profile_metrics_and_health_roundtrip() {
+    let (addr, _, join) = spawn_server(executor(), serve_config());
+
+    // Liveness first: a fresh daemon is idle and not draining.
+    let (status, _, health) = http(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"inflight\":0"), "{health}");
+    assert!(health.contains("\"draining\":false"), "{health}");
+
+    // POST /v1/run: a typed request in, a typed result out.
+    let (status, first, body) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 200, "{body}");
+    let resp = RunResponse::from_json(&body).expect("decodable run response");
+    assert_eq!(resp.result.benchmark, "lbm");
+    assert_eq!(resp.result.nranks, 4);
+    assert!(resp.result.runtime_s > 0.0);
+
+    // The identical request again: served from cache, byte-identical
+    // down to the HTTP framing (no Date header, no cache markers).
+    let (status, second, _) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "cached replay must be byte-identical");
+
+    // The metrics ledger saw one simulation and one memory hit.
+    let (status, _, metrics) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"runs_executed\":1"), "{metrics}");
+    assert!(metrics.contains("\"hits_mem\":1"), "{metrics}");
+
+    // POST /v1/suite: all nine benchmarks, complete.
+    let suite_req = SuiteRequest::new(WorkloadClass::Tiny)
+        .with_cluster("a")
+        .with_nranks(8)
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false))
+        .to_json();
+    let (status, _, suite) = http(addr, "POST", "/v1/suite", &suite_req);
+    assert_eq!(status, 200, "{suite}");
+    assert!(suite.contains("\"complete\": true"), "{suite}");
+    assert!(suite.contains("\"tealeaf\""), "{suite}");
+
+    // GET /v1/profile/{benchmark}: the Fig.-2-style tables as JSON.
+    let (status, _, profile) = http(addr, "GET", "/v1/profile/lbm?class=tiny&n=4", "");
+    assert_eq!(status, 200, "{profile}");
+    for key in [
+        "\"run\":\"lbm/tiny/4@ClusterA\"",
+        "\"ranks\"",
+        "\"histogram\"",
+        "\"matrix\"",
+    ] {
+        assert!(profile.contains(key), "missing {key} in {profile}");
+    }
+
+    // Error surface: unknown routes 404, malformed bodies 400, unknown
+    // benchmarks 400 — all as typed ApiError JSON.
+    let (status, _, body) = http(addr, "GET", "/v2/run", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"error\":\"not_found\""), "{body}");
+    let (status, _, body) = http(addr, "POST", "/v1/run", "{\"class\":\"tiny\"}");
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = http(addr, "POST", "/v1/run", &run_body("quantum-foo", 4, 1));
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown_benchmark"), "{body}");
+
+    // Graceful shutdown over the wire; serve() returns the exit-0 path.
+    let (status, _, body) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"), "{body}");
+    join.join()
+        .expect("server thread")
+        .expect("clean drain exits Ok");
+}
+
+#[test]
+fn a_failing_run_is_a_typed_422_not_a_crash() {
+    let (addr, handle, join) = spawn_server(executor(), serve_config());
+    let req = RunRequest::new("tealeaf", WorkloadClass::Tiny, 8)
+        .with_config(
+            RunConfig::default()
+                .with_repetitions(1)
+                .with_trace(false)
+                .with_faults(FaultPlan {
+                    seed: 1,
+                    events: vec![FaultEvent::Crash { rank: 3, at_s: 0.0 }],
+                }),
+        )
+        .to_json();
+    let (status, _, body) = http(addr, "POST", "/v1/run", &req);
+    assert_eq!(status, 422, "{body}");
+    let err = ApiError::from_json(&body).expect("typed error body");
+    assert_eq!(err.code, "rank_failed");
+    // The daemon survives the failure and keeps serving.
+    let (status, _, _) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 200);
+    handle.request_drain();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn saturation_answers_429_with_retry_after() {
+    // One simulation slot: the second concurrent run must be refused,
+    // while health stays served throughout.
+    let cfg = serve_config().with_workers(3).with_max_inflight(1);
+    let (addr, _, join) = spawn_server(executor(), cfg);
+
+    // Occupy the slot with a deliberately heavy run: simulated work
+    // scales with measured_steps × nranks, so a few hundred steps at
+    // 1152 ranks holds the slot for seconds even on a fast host.
+    let slow = std::thread::spawn(move || {
+        let req = RunRequest::new("pot3d", WorkloadClass::Large, 1152)
+            .with_config(slow_config(250))
+            .to_json();
+        http(addr, "POST", "/v1/run", &req)
+    });
+    wait_for_inflight(addr, 1);
+
+    let (status, raw, body) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("\"error\":\"saturated\""), "{body}");
+    let head = String::from_utf8_lossy(&raw);
+    assert!(head.contains("Retry-After: 1"), "{head}");
+
+    // The fast routes are exempt from admission control.
+    let (status, _, _) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+
+    let (status, _, body) = slow.join().unwrap();
+    assert_eq!(status, 200, "the occupying run still completes: {body}");
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn thirty_two_concurrent_clients_are_all_served() {
+    let cfg = serve_config().with_workers(8).with_queue_depth(8);
+    let (addr, _, join) = spawn_server(executor(), cfg);
+
+    // Prime the cache so the storm replays one entry.
+    let (status, reference, _) = http(addr, "POST", "/v1/run", &run_body("tealeaf", 8, 1));
+    assert_eq!(status, 200);
+    let reference = Arc::new(reference);
+
+    // 32 simultaneous clients, each retrying politely on 429 (the
+    // bounded queue and in-flight cap are allowed to push back; they
+    // are not allowed to drop or corrupt anyone).
+    let clients: Vec<_> = (0..32)
+        .map(|i| {
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(60);
+                loop {
+                    let (status, raw, body) =
+                        http(addr, "POST", "/v1/run", &run_body("tealeaf", 8, 1));
+                    match status {
+                        200 => {
+                            assert_eq!(
+                                raw, *reference,
+                                "client {i}: replay must be byte-identical"
+                            );
+                            return;
+                        }
+                        429 => {
+                            assert!(Instant::now() < deadline, "client {i} starved: {body}");
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        other => panic!("client {i}: unexpected status {other}: {body}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Exactly one simulation ever ran; everything else hit the cache.
+    let (_, _, metrics) = http(addr, "GET", "/v1/metrics", "");
+    assert!(metrics.contains("\"runs_executed\":1"), "{metrics}");
+
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn requests_over_the_time_budget_answer_a_typed_504() {
+    // The daemon runs every simulation under the executor's
+    // cooperative cancel token: a run that blows its budget surfaces
+    // as a typed 504, and the worker is free for the next request.
+    let exec = Executor::new(
+        RunConfig::default().with_repetitions(1).with_trace(false),
+        ExecConfig::default().with_jobs(2).with_timeout_s(0.05),
+    );
+    let (addr, _, join) = spawn_server(exec, serve_config());
+
+    let req = RunRequest::new("pot3d", WorkloadClass::Large, 1152)
+        .with_config(slow_config(400))
+        .to_json();
+    let (status, _, body) = http(addr, "POST", "/v1/run", &req);
+    assert_eq!(status, 504, "{body}");
+    let err = ApiError::from_json(&body).expect("typed error body");
+    assert_eq!(err.code, "timeout");
+
+    // A cheap run fits the same budget; the daemon kept serving.
+    let (status, _, body) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 200, "{body}");
+
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_inflight_work_before_exiting() {
+    let (addr, handle, join) = spawn_server(executor(), serve_config());
+
+    let slow = std::thread::spawn(move || {
+        let req = RunRequest::new("pot3d", WorkloadClass::Large, 1152)
+            .with_config(slow_config(150))
+            .to_json();
+        http(addr, "POST", "/v1/run", &req)
+    });
+    wait_for_inflight(addr, 1);
+
+    // Drain while the run is mid-flight: the daemon must finish it,
+    // answer 200, and only then let serve() return.
+    handle.request_drain();
+    let (status, _, body) = slow.join().unwrap();
+    assert_eq!(status, 200, "in-flight work must complete: {body}");
+    join.join().unwrap().unwrap();
+    assert!(handle.draining());
+}
+
+#[test]
+fn api_metrics_flush_to_csv_on_drain() {
+    let dir = std::env::temp_dir().join(format!("spechpc-serve-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = serve_config().with_metrics_dir(&dir);
+    let (addr, _, join) = spawn_server(executor(), cfg);
+    let (status, _, _) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 200);
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+    let csv = dir.join("serve.csv");
+    let text = std::fs::read_to_string(&csv)
+        .unwrap_or_else(|e| panic!("drain must flush {}: {e}", csv.display()));
+    assert!(text.contains("runs_executed"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_request_types_and_wire_requests_are_the_same_dispatch_path() {
+    // What the CLI builds and what the daemon decodes are literally the
+    // same value — the API round-trip is the contract.
+    let cli_side = RunRequest::new("lbm", WorkloadClass::Tiny, 4)
+        .with_cluster("a")
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false));
+    let wire_side = RunRequest::from_json(&cli_side.to_json()).unwrap();
+    let exec = executor();
+    let a = api::dispatch_run(&exec, &cli_side).unwrap();
+    let b = api::dispatch_run(&exec, &wire_side).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+}
