@@ -1,0 +1,145 @@
+//! Loopback benchmarks of the serve path itself: a real daemon on an
+//! ephemeral port, driven by hand-rolled HTTP/1.1 clients, replaying a
+//! cached `POST /v1/run` result. The contrast of interest is connection
+//! reuse — one keep-alive connection issuing a batch of requests versus
+//! a fresh TCP connect per request — plus a pipelined variant that
+//! writes the whole batch before reading any response.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use spechpc::harness::serve::{ServeConfig, Server};
+use spechpc::prelude::*;
+use spechpc_bench::{criterion_group, criterion_main, Criterion};
+
+/// Requests per timed sample: large enough that one sample measures
+/// steady-state serve throughput, not connect/teardown noise.
+const BATCH: usize = 256;
+
+fn run_body() -> String {
+    RunRequest::new("lbm", WorkloadClass::Tiny, 4)
+        .with_cluster("a")
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false))
+        .to_json()
+}
+
+fn request(body: &str, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "POST /v1/run HTTP/1.1\r\nHost: loopback\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Read exactly one framed response off a keep-alive connection,
+/// carrying over-read bytes (pipelined successors) between calls.
+fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Vec<u8> {
+    let mut raw = std::mem::take(carry);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read response headers");
+        assert!(n > 0, "EOF before response headers");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let headers = String::from_utf8_lossy(&raw[..header_end]).to_string();
+    let content_length: usize = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("numeric Content-Length");
+    let total = header_end + content_length;
+    while raw.len() < total {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "EOF before response body");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    *carry = raw.split_off(total);
+    raw
+}
+
+/// One connect → request → full response → close exchange.
+fn one_shot(addr: SocketAddr, req: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.write_all(req).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    raw
+}
+
+fn service_replay(c: &mut Criterion) {
+    let exec = Executor::new(
+        RunConfig::default().with_repetitions(1).with_trace(false),
+        ExecConfig::default().with_jobs(2),
+    );
+    let cfg = ServeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(2)
+        .with_log_requests(false);
+    let server = Server::bind(exec, cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.serve());
+
+    let keep = request(&run_body(), true);
+    let close = request(&run_body(), false);
+
+    // Prime the run cache so every timed request is a cached replay.
+    let primed = one_shot(addr, &close);
+    assert!(
+        String::from_utf8_lossy(&primed).starts_with("HTTP/1.1 200"),
+        "priming run failed: {}",
+        String::from_utf8_lossy(&primed)
+    );
+    println!("service bench: {BATCH} cached replays of POST /v1/run per sample");
+
+    let mut group = c.benchmark_group("serve_cached_replay");
+
+    let mut conn = TcpStream::connect(addr).expect("connect keep-alive");
+    conn.set_nodelay(true).ok();
+    let mut carry = Vec::new();
+    group.bench_function("keepalive_256", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                conn.write_all(&keep).expect("write request");
+                read_framed(&mut conn, &mut carry);
+            }
+        })
+    });
+
+    let mut pipe = TcpStream::connect(addr).expect("connect pipelined");
+    pipe.set_nodelay(true).ok();
+    let mut pipe_carry = Vec::new();
+    group.bench_function("pipelined_256", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                pipe.write_all(&keep).expect("write request");
+            }
+            for _ in 0..BATCH {
+                read_framed(&mut pipe, &mut pipe_carry);
+            }
+        })
+    });
+
+    group.bench_function("reconnect_256", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                one_shot(addr, &close);
+            }
+        })
+    });
+
+    group.finish();
+    drop((conn, pipe));
+    handle.request_drain();
+    join.join().expect("daemon thread").expect("clean drain");
+}
+
+criterion_group!(benches, service_replay);
+criterion_main!(benches);

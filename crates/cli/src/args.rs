@@ -106,15 +106,25 @@ pub enum Command {
     Serve {
         /// `--addr host:port` (port 0 = ephemeral).
         addr: String,
-        /// `--workers N`: connection worker threads.
+        /// `--workers N`: simulation worker threads.
         workers: Option<usize>,
-        /// `--queue-depth N`: bounded accept queue.
+        /// `--queue-depth N`: bounded dispatch queue.
         queue_depth: Option<usize>,
         /// `--max-inflight N`: concurrent simulation cap.
         max_inflight: Option<usize>,
         /// `--timeout-s S`: per-request simulation budget (cooperative
         /// cancel; `0` disables).
         timeout_s: Option<f64>,
+        /// `--max-conns N`: concurrent open-connection cap.
+        max_conns: Option<usize>,
+        /// `--keepalive-max N`: requests per keep-alive connection
+        /// (`0` = unlimited).
+        keepalive_max: Option<usize>,
+        /// `--idle-timeout-s S`: idle keep-alive connection timeout.
+        idle_timeout_s: Option<f64>,
+        /// `--read-timeout-s S`: incomplete-request read deadline
+        /// (slow-loris reaper).
+        read_timeout_s: Option<f64>,
         exec: ExecOpts,
     },
     BenchSnapshot {
@@ -161,11 +171,18 @@ COMMANDS:
                                  /v1/metrics, /v1/health; graceful drain on
                                  SIGTERM or POST /v1/shutdown
         --addr HOST:PORT         listen address        [default: 127.0.0.1:8722]
-        --workers N              connection workers              [default: 8]
-        --queue-depth N          bounded accept queue           [default: 64]
+        --workers N              simulation workers              [default: 8]
+        --queue-depth N          bounded dispatch queue         [default: 64]
         --max-inflight N         concurrent simulation cap [default: workers-1]
         --timeout-s S            per-request simulation budget; requests over
                                  budget answer 504 (0 disables) [default: 300]
+        --max-conns N            open-connection cap; accepts beyond it answer
+                                 503                         [default: 10240]
+        --keepalive-max N        requests per keep-alive connection before the
+                                 daemon closes it (0 = unlimited)  [default: 0]
+        --idle-timeout-s S       close idle keep-alive connections  [default: 60]
+        --read-timeout-s S       408 + close for requests not completed in time
+                                 (slow-loris reaper)               [default: 30]
     bench-snapshot               measure engine throughput + suite wall time
                                  and write the perf-trajectory file
         --out FILE               snapshot path        [default: BENCH_engine.json]
@@ -323,17 +340,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     None => Ok(None),
                 }
             };
-            let timeout_s = match options.get("timeout-s") {
-                Some(s) => Some(
-                    s.parse::<f64>()
-                        .map_err(|e| format!("bad --timeout-s '{s}': {e}"))
+            // Counters that legitimately allow 0 (= unlimited).
+            let count_opt = |key: &str| -> Result<Option<usize>, String> {
+                match options.get(key) {
+                    Some(s) => s
+                        .parse::<usize>()
+                        .map(Some)
+                        .map_err(|e| format!("bad --{key} '{s}': {e}")),
+                    None => Ok(None),
+                }
+            };
+            let secs_opt = |key: &str| -> Result<Option<f64>, String> {
+                match options.get(key) {
+                    Some(s) => s
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --{key} '{s}': {e}"))
                         .and_then(|t| {
                             (t >= 0.0)
-                                .then_some(t)
-                                .ok_or("--timeout-s must be ≥ 0".to_string())
-                        })?,
-                ),
-                None => None,
+                                .then_some(Some(t))
+                                .ok_or(format!("--{key} must be ≥ 0"))
+                        }),
+                    None => Ok(None),
+                }
             };
             Ok(Command::Serve {
                 addr: options
@@ -343,7 +371,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 workers: usize_opt("workers")?,
                 queue_depth: usize_opt("queue-depth")?,
                 max_inflight: usize_opt("max-inflight")?,
-                timeout_s,
+                timeout_s: secs_opt("timeout-s")?,
+                max_conns: usize_opt("max-conns")?,
+                keepalive_max: count_opt("keepalive-max")?,
+                idle_timeout_s: secs_opt("idle-timeout-s")?,
+                read_timeout_s: secs_opt("read-timeout-s")?,
                 exec,
             })
         }
@@ -547,6 +579,10 @@ mod tests {
                 queue_depth: None,
                 max_inflight: None,
                 timeout_s: None,
+                max_conns: None,
+                keepalive_max: None,
+                idle_timeout_s: None,
+                read_timeout_s: None,
                 exec: ExecOpts::default(),
             }
         );
@@ -563,6 +599,14 @@ mod tests {
                 "2",
                 "--timeout-s",
                 "1.5",
+                "--max-conns",
+                "2048",
+                "--keepalive-max",
+                "0",
+                "--idle-timeout-s",
+                "10",
+                "--read-timeout-s",
+                "5",
                 "--no-cache",
             ]))
             .unwrap(),
@@ -572,6 +616,10 @@ mod tests {
                 queue_depth: Some(16),
                 max_inflight: Some(2),
                 timeout_s: Some(1.5),
+                max_conns: Some(2048),
+                keepalive_max: Some(0),
+                idle_timeout_s: Some(10.0),
+                read_timeout_s: Some(5.0),
                 exec: ExecOpts {
                     jobs: None,
                     no_cache: true,
@@ -580,8 +628,11 @@ mod tests {
             }
         );
         assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--max-conns", "0"])).is_err());
         assert!(parse(&v(&["serve", "--queue-depth", "deep"])).is_err());
         assert!(parse(&v(&["serve", "--timeout-s", "-1"])).is_err());
+        assert!(parse(&v(&["serve", "--read-timeout-s", "-1"])).is_err());
+        assert!(parse(&v(&["serve", "--keepalive-max", "none"])).is_err());
     }
 
     #[test]

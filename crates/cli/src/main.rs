@@ -436,6 +436,10 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             queue_depth,
             max_inflight,
             timeout_s,
+            max_conns,
+            keepalive_max,
+            idle_timeout_s,
+            read_timeout_s,
             exec,
         } => {
             // One resident executor for the daemon's whole life: its
@@ -461,6 +465,18 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             }
             if let Some(m) = max_inflight {
                 cfg = cfg.with_max_inflight(m);
+            }
+            if let Some(m) = max_conns {
+                cfg = cfg.with_max_conns(m);
+            }
+            if let Some(k) = keepalive_max {
+                cfg = cfg.with_keepalive_requests(k);
+            }
+            if let Some(t) = idle_timeout_s {
+                cfg = cfg.with_idle_timeout_s(t);
+            }
+            if let Some(t) = read_timeout_s {
+                cfg = cfg.with_read_timeout_s(t);
             }
             if exec.metrics {
                 cfg = cfg.with_metrics_dir("results/metrics");

@@ -89,6 +89,35 @@ impl ApiError {
         ApiError::new(207, "partial_suite", message)
     }
 
+    /// 408 — the client did not deliver a complete request within the
+    /// daemon's read deadline (the slow-loris reaper's answer).
+    pub fn read_timeout(deadline_s: f64) -> Self {
+        ApiError::new(
+            408,
+            "read_timeout",
+            format!("request not received within the {deadline_s}s read deadline"),
+        )
+    }
+
+    /// 431 — the request's header block exceeds the daemon's cap.
+    pub fn headers_too_large(limit: usize) -> Self {
+        ApiError::new(
+            431,
+            "headers_too_large",
+            format!("request headers exceed {limit} bytes"),
+        )
+    }
+
+    /// 503 — the daemon is at its concurrent-connection cap
+    /// (`--max-conns`); retry once load subsides.
+    pub fn connection_limit(max: usize) -> Self {
+        ApiError::new(
+            503,
+            "connection_limit",
+            format!("connection limit {max} reached; retry later"),
+        )
+    }
+
     /// The process exit code a CLI invocation derives from this error:
     /// partial suites exit 3 (some benchmarks completed), everything
     /// else exits 1. (Argument-parse errors exit 2 before any `ApiError`

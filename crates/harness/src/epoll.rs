@@ -1,0 +1,491 @@
+//! Thin raw-syscall readiness binding for the [`serve`](crate::serve)
+//! event loop.
+//!
+//! The workspace is dependency-free, so — exactly like the `signal(2)`
+//! binding in [`serve`](crate::serve::install_signal_handlers) — the
+//! kernel interface is declared by hand against the libc that `std`
+//! already links. Two small abstractions are exposed:
+//!
+//! * [`Poller`] — readiness multiplexing over raw file descriptors:
+//!   `epoll(7)` on Linux, `poll(2)` on other Unixes. Level-triggered on
+//!   both backends, so a handler that does not fully drain a socket is
+//!   simply woken again — no edge-trigger starvation hazards.
+//! * [`WakePipe`] — a self-pipe that lets worker threads interrupt a
+//!   blocked [`Poller::wait`] (the classic self-pipe trick; the read
+//!   end is registered with the poller, the write end is handed to the
+//!   workers).
+//!
+//! Tokens are opaque `u64`s chosen by the caller (the serve loop uses
+//! connection-slab indices); readiness reports carry the token back, so
+//! the loop never touches a file descriptor it did not register.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// What a registered descriptor wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the idle state of a keep-alive connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Writable only — a connection flushing a response backlog.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    /// Neither — parked (e.g. while a request is in the worker pool and
+    /// the loop wants TCP backpressure instead of unbounded buffering).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Readiness {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// Data can be read without blocking.
+    pub readable: bool,
+    /// Data can be written without blocking.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored (`EPOLLHUP`/`EPOLLERR`
+    /// class); the owner should read to EOF and tear down.
+    pub closed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Linux backend: epoll(7)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Interest, Readiness};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    // The kernel ABI wants the event struct packed on x86-64 (a 12-byte
+    // layout); other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// epoll(7)-backed readiness multiplexer (level-triggered).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    fn mask_of(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.readable {
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask_of(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Readiness>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(()); // a signal (e.g. SIGTERM) — caller re-checks its latch
+                }
+                return Err(e);
+            }
+            for ev in events.iter().take(n as usize) {
+                // Copy out of the possibly-packed struct before use.
+                let (bits, token) = (ev.events, ev.data);
+                out.push(Readiness {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable Unix backend: poll(2)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Interest, Readiness};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// poll(2)-backed fallback for non-Linux Unixes. Registration is a
+    /// flat list rebuilt into a `pollfd` array per wait — O(conns) per
+    /// tick, which is fine for the fallback tier.
+    #[derive(Debug)]
+    pub struct Poller {
+        regs: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { regs: Vec::new() })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.regs.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for r in &mut self.regs {
+                if r.0 == fd {
+                    *r = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            self.regs.retain(|r| r.0 != fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Readiness>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> = self
+                .regs
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(&self.regs) {
+                if pfd.revents != 0 {
+                    out.push(Readiness {
+                        token,
+                        readable: pfd.revents & POLLIN != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        closed: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Readiness multiplexer over raw file descriptors: `epoll(7)` on
+/// Linux, `poll(2)` elsewhere. Level-triggered; see the module docs.
+pub use imp::Poller;
+
+// ---------------------------------------------------------------------------
+// Self-pipe wakeup
+// ---------------------------------------------------------------------------
+
+const F_SETFL: i32 = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: i32 = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: i32 = 0x4;
+
+extern "C" {
+    fn pipe(fds: *mut i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// A nonblocking self-pipe: [`Waker::wake`] from any thread makes the
+/// poller's registered read end ready, interrupting a blocked
+/// [`Poller::wait`]. Multiple wakes coalesce (the pipe is drained, not
+/// counted), which is exactly what a completion-queue consumer wants.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                let e = io::Error::last_os_error();
+                unsafe {
+                    close(fds[0]);
+                    close(fds[1]);
+                }
+                return Err(e);
+            }
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The descriptor to register with the [`Poller`] (read interest).
+    pub fn poll_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// A cloneable sender half for worker threads.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            write_fd: self.write_fd,
+        }
+    }
+
+    /// Drain pending wake bytes so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break; // empty (EAGAIN) or closed — either way, drained
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+/// The write half of a [`WakePipe`]. `Copy` + `Send`: hand one to every
+/// worker thread. The fd stays valid for the lifetime of the pipe that
+/// issued it — the serve loop joins its workers before dropping the
+/// pipe, which upholds that.
+#[derive(Debug, Clone, Copy)]
+pub struct Waker {
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Make the poller wake up. A full pipe (`EAGAIN`) is success — the
+    /// consumer is already scheduled to wake.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe {
+            write(self.write_fd, &byte, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poller_reports_listener_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no pending connection yet");
+
+        let _client = TcpStream::connect(addr).unwrap();
+        // Level-triggered: the pending accept stays readable until taken.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, 100).unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "listener never ready");
+        }
+    }
+
+    #[test]
+    fn poller_interest_modification_gates_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 1, Interest::NONE).unwrap();
+        let mut client = client;
+        client.write_all(b"x").unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(
+            events.iter().all(|e| e.token != 1 || !e.readable),
+            "parked interest must not report readability"
+        );
+        poller
+            .modify(server.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 1 && e.readable),
+            "read interest restored, byte pending: {events:?}"
+        );
+        poller.remove(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn wake_pipe_rouses_a_blocked_wait() {
+        let mut poller = Poller::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        poller.add(pipe.poll_fd(), 42, Interest::READ).unwrap();
+        let waker = pipe.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            waker.wake();
+            waker.wake(); // coalesces
+        });
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            poller.wait(&mut events, 200).unwrap();
+            if events.iter().any(|e| e.token == 42 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "wake never arrived");
+        }
+        pipe.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(
+            events.iter().all(|e| e.token != 42),
+            "drained pipe must quiesce: {events:?}"
+        );
+        t.join().unwrap();
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod epoll;
 pub mod error;
 pub mod exec;
 pub mod experiments;

@@ -8,7 +8,15 @@
 //! amortize their warm-up instead of re-opening the cache per
 //! invocation.
 //!
-//! Routes (all bodies JSON, all responses `Connection: close`):
+//! Since PR 6 the connection plane is a **nonblocking event loop** over
+//! the raw-syscall readiness binding in [`epoll`](crate::epoll): one
+//! loop thread owns every socket, parses requests incrementally from a
+//! slab of per-connection state machines, and dispatches the simulating
+//! routes into a resident worker pool. Keep-alive and pipelining are
+//! supported, so thousands of idle clients cost a slab slot each rather
+//! than a thread each.
+//!
+//! Routes (all bodies JSON):
 //!
 //! | route                  | meaning                                     |
 //! |------------------------|---------------------------------------------|
@@ -16,34 +24,38 @@
 //! | `POST /v1/suite`       | one [`SuiteRequest`] → suite report         |
 //! | `GET /v1/profile/{b}`  | MPI profile tables for one cached run       |
 //! | `GET /v1/metrics`      | resident executor/cache counters            |
-//! | `GET /v1/health`       | liveness + in-flight count + drain state    |
+//! | `GET /v1/health`       | liveness, in-flight + open-connection gauges |
 //! | `POST /v1/shutdown`    | begin graceful drain                        |
 //!
 //! Production shape:
 //!
-//! * **admission control** — a bounded accept queue plus an in-flight
+//! * **admission control** — a bounded dispatch queue plus an in-flight
 //!   cap on the simulating routes; both answer `429` with `Retry-After`
-//!   when saturated (fast routes like health/metrics stay served so
-//!   clients can watch the backlog);
+//!   when saturated, and a `--max-conns` cap answers `503` at accept
+//!   time. Fast routes (health/metrics) are served inline on the loop
+//!   thread so clients can watch the backlog even under saturation;
+//! * **deadlines** — a connection that dribbles an incomplete request
+//!   past the read deadline is answered `408` and reaped (slow-loris
+//!   defence); idle keep-alive connections are closed after the idle
+//!   timeout; oversized header blocks are refused with `431`;
 //! * **per-request supervision** — handler panics are caught at the
-//!   connection boundary, and simulations inherit the resident
+//!   dispatch boundary, and simulations inherit the resident
 //!   executor's cooperative-cancel timeout;
 //! * **byte-identical replays** — responses carry no timestamps and the
 //!   run payload reuses the cache encoding, so a repeated identical
 //!   `POST /v1/run` answers from memory in microseconds with the same
-//!   bytes;
+//!   bytes (`encode_response` is the one place framing is pinned);
 //! * **graceful shutdown** — SIGTERM or `POST /v1/shutdown` stops
 //!   accepting, drains queued and in-flight work, flushes the metrics
 //!   CSV, and [`Server::serve`] returns `Ok` (exit 0).
+//!
+//! `docs/SERVICE.md` is the operations guide for this module.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::AssertUnwindSafe;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::api::{dispatch_run, dispatch_suite, parse_class, ApiError, RunRequest, SuiteRequest};
 use crate::exec::Executor;
@@ -61,19 +73,33 @@ pub struct ServeConfig {
     /// Listen address; port `0` picks a free port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads executing the simulating routes.
     pub workers: usize,
-    /// Bounded depth of the accept queue; a connection arriving on a
-    /// full queue is answered `429` straight from the accept loop.
+    /// Bounded depth of the dispatch queue between the event loop and
+    /// the worker pool; a simulating request arriving on a full queue
+    /// is answered `429` straight from the loop thread.
     pub queue_depth: usize,
     /// Max simulating requests in flight before `POST /v1/run` and
     /// `POST /v1/suite` answer `429`; `0` resolves to `workers - 1`
-    /// (min 1) so one worker always stays free for the fast routes.
+    /// (min 1) so one worker always stays free for queued short work.
     pub max_inflight: usize,
     /// Structured request log on stderr.
     pub log_requests: bool,
     /// Flush the executor metrics CSV here on graceful shutdown.
     pub metrics_dir: Option<PathBuf>,
+    /// Max concurrently open connections; an accept beyond the cap is
+    /// answered with a canned `503 connection_limit` and closed.
+    pub max_conns: usize,
+    /// Max requests served per keep-alive connection before the daemon
+    /// answers `Connection: close`; `0` = unlimited.
+    pub keepalive_requests: usize,
+    /// Idle keep-alive connections (no request in progress) are closed
+    /// after this many seconds.
+    pub idle_timeout_s: f64,
+    /// A connection that has sent part of a request but not completed
+    /// it within this many seconds is answered `408` and closed
+    /// (slow-loris defence). Also bounds response write stalls.
+    pub read_timeout_s: f64,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +111,10 @@ impl Default for ServeConfig {
             max_inflight: 0,
             log_requests: true,
             metrics_dir: None,
+            max_conns: 10_240,
+            keepalive_requests: 0,
+            idle_timeout_s: 60.0,
+            read_timeout_s: 30.0,
         }
     }
 }
@@ -102,7 +132,7 @@ impl ServeConfig {
         self
     }
 
-    /// Builder: accept-queue depth.
+    /// Builder: dispatch-queue depth.
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth.max(1);
         self
@@ -126,6 +156,31 @@ impl ServeConfig {
         self
     }
 
+    /// Builder: concurrent-connection cap (min 1).
+    pub fn with_max_conns(mut self, max: usize) -> Self {
+        self.max_conns = max.max(1);
+        self
+    }
+
+    /// Builder: requests served per keep-alive connection before the
+    /// daemon closes it (`0` = unlimited).
+    pub fn with_keepalive_requests(mut self, max: usize) -> Self {
+        self.keepalive_requests = max;
+        self
+    }
+
+    /// Builder: idle keep-alive timeout in seconds.
+    pub fn with_idle_timeout_s(mut self, secs: f64) -> Self {
+        self.idle_timeout_s = secs.max(0.0);
+        self
+    }
+
+    /// Builder: incomplete-request read deadline in seconds.
+    pub fn with_read_timeout_s(mut self, secs: f64) -> Self {
+        self.read_timeout_s = secs.max(0.0);
+        self
+    }
+
     fn effective_max_inflight(&self) -> usize {
         if self.max_inflight > 0 {
             self.max_inflight
@@ -143,7 +198,7 @@ extern "C" fn on_signal(_sig: i32) {
 }
 
 /// Route SIGTERM and SIGINT into the graceful-drain path: the next
-/// accept-loop tick stops accepting and [`Server::serve`] drains and
+/// event-loop tick stops accepting and [`Server::serve`] drains and
 /// returns `Ok`. `std` already links the platform libc, so the raw
 /// `signal(2)` binding needs no external crate.
 pub fn install_signal_handlers() {
@@ -159,11 +214,12 @@ pub fn install_signal_handlers() {
     }
 }
 
-/// Shared state every worker sees.
+/// Shared state the event loop and every worker see.
 struct Ctx {
     exec: Executor,
     shutdown: AtomicBool,
     sim_inflight: AtomicUsize,
+    open_conns: AtomicUsize,
     max_inflight: usize,
     log_requests: bool,
 }
@@ -174,13 +230,14 @@ impl Ctx {
     }
 }
 
-/// RAII slot on the simulating routes: acquired before dispatch,
-/// released when the response is written (even on panic — the guard
-/// lives across the `catch_unwind`).
-struct SimSlot<'a>(&'a Ctx);
+/// RAII slot on the simulating routes: acquired on the loop thread at
+/// dispatch time (so saturation is decided before queueing), released
+/// by the worker when the response is encoded (even on panic — the
+/// guard lives across the `catch_unwind`).
+struct SimSlot(Arc<Ctx>);
 
-impl<'a> SimSlot<'a> {
-    fn try_acquire(ctx: &'a Ctx) -> Result<Self, ApiError> {
+impl SimSlot {
+    fn try_acquire(ctx: &Arc<Ctx>) -> Result<Self, ApiError> {
         let prev = ctx.sim_inflight.fetch_add(1, Ordering::SeqCst);
         if prev >= ctx.max_inflight {
             ctx.sim_inflight.fetch_sub(1, Ordering::SeqCst);
@@ -189,11 +246,11 @@ impl<'a> SimSlot<'a> {
                 ctx.max_inflight
             )));
         }
-        Ok(SimSlot(ctx))
+        Ok(SimSlot(Arc::clone(ctx)))
     }
 }
 
-impl Drop for SimSlot<'_> {
+impl Drop for SimSlot {
     fn drop(&mut self) {
         self.0.sim_inflight.fetch_sub(1, Ordering::SeqCst);
     }
@@ -216,6 +273,7 @@ impl Server {
             exec,
             shutdown: AtomicBool::new(false),
             sim_inflight: AtomicUsize::new(0),
+            open_conns: AtomicUsize::new(0),
             max_inflight: config.effective_max_inflight(),
             log_requests: config.log_requests,
         });
@@ -237,8 +295,8 @@ impl Server {
         ShutdownHandle(Arc::clone(&self.ctx))
     }
 
-    /// Accept and serve until shutdown is requested, then drain queued
-    /// and in-flight connections, flush metrics, and return. A clean
+    /// Run the event loop until shutdown is requested, then drain
+    /// queued and in-flight work, flush metrics, and return. A clean
     /// drain is `Ok(())` — the daemon's exit-0 path.
     pub fn serve(self) -> std::io::Result<()> {
         let Server {
@@ -246,74 +304,24 @@ impl Server {
             ctx,
             config,
         } = self;
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let ctx = Arc::clone(&ctx);
-            workers.push(std::thread::spawn(move || loop {
-                let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                match next {
-                    Ok(stream) => handle_connection(&ctx, stream),
-                    Err(_) => return, // sender dropped: queue drained
-                }
-            }));
+        #[cfg(unix)]
+        {
+            ev::run(listener, ctx, config)
         }
-
-        listener.set_nonblocking(true)?;
-        while !ctx.draining() {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nonblocking(false);
-                    match tx.try_send(stream) {
-                        Ok(()) => {}
-                        // Bounded memory: a full queue answers 429
-                        // straight from the accept loop instead of
-                        // buffering unboundedly. Drain the request
-                        // first — closing with unread bytes in the
-                        // socket turns into an RST that can destroy
-                        // the 429 before the client reads it.
-                        Err(TrySendError::Full(mut stream)) => {
-                            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-                            let _ = read_request(&mut stream);
-                            let e = ApiError::saturated("accept queue full");
-                            let _ = write_error(&mut stream, &e);
-                        }
-                        Err(TrySendError::Disconnected(_)) => break,
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
+        #[cfg(not(unix))]
+        {
+            let _ = (listener, ctx, config);
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "spechpc serve requires a Unix readiness backend (epoll/poll)",
+            ))
         }
-
-        // Drain: stop accepting, let the workers finish everything
-        // already queued or in flight, then flush observability.
-        drop(tx);
-        for w in workers {
-            let _ = w.join();
-        }
-        if let Some(dir) = &config.metrics_dir {
-            let _ = obs::write_metrics_csv(dir, "serve", &ctx.exec.metrics());
-        }
-        if ctx.log_requests {
-            let m = ctx.exec.metrics();
-            eprintln!(
-                "[serve] drained: {} run(s) executed, {} cache hit(s), bye",
-                m.runs_executed,
-                m.cache.hits_mem + m.cache.hits_disk
-            );
-        }
-        Ok(())
     }
 }
 
 /// Opaque drain trigger detached from the [`Server`]'s lifetime: keep
 /// one around, call [`ShutdownHandle::request_drain`] from any thread,
-/// and the accept loop begins its graceful drain on the next tick.
+/// and the event loop begins its graceful drain on the next tick.
 #[derive(Clone)]
 pub struct ShutdownHandle(Arc<Ctx>);
 
@@ -331,7 +339,7 @@ impl ShutdownHandle {
 }
 
 // ---------------------------------------------------------------------------
-// HTTP plumbing
+// HTTP plumbing: incremental parser + deterministic encoder
 // ---------------------------------------------------------------------------
 
 /// One parsed request. Only what the routes need — this is a service
@@ -342,30 +350,49 @@ struct HttpRequest {
     path: String,
     query: String,
     body: String,
+    /// What the request's HTTP version + `Connection` header ask for:
+    /// HTTP/1.1 defaults to keep-alive unless `close` is sent; HTTP/1.0
+    /// must opt in with `Connection: keep-alive`.
+    keep_alive: bool,
 }
 
-const MAX_REQUEST_BYTES: usize = 1 << 20;
+/// Header-block cap; a block that exceeds it is refused with `431`.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Body cap (`Content-Length` above this is refused with `400`).
+const MAX_BODY_BYTES: usize = 1 << 20;
+/// Read-buffer high-water mark: past this the loop stops reading from
+/// the socket (TCP backpressure) until the parser drains it.
+const MAX_BUFFERED_BYTES: usize = MAX_HEADER_BYTES + MAX_BODY_BYTES + 4096;
 
-/// Read one HTTP/1.1 request (start line, headers, `Content-Length`
-/// body) off the stream.
-fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, ApiError> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
+/// One step of the incremental parser over a connection's read buffer.
+enum Parsed {
+    /// Not enough bytes yet — keep reading.
+    Partial,
+    /// One complete request, consuming this many bytes of the buffer
+    /// (pipelined successors may follow).
+    Complete(HttpRequest, usize),
+    /// The bytes can never become a valid request; answer the error and
+    /// close (the parse position is unrecoverable).
+    Bad(ApiError),
+}
+
+/// Incrementally parse one HTTP/1.1 request (start line, headers,
+/// `Content-Length` body) from the front of `buf`. Pure function of the
+/// buffer — the event loop calls it after every read, at any byte
+/// boundary.
+fn parse_request(buf: &[u8]) -> Parsed {
+    let header_end = match find_header_end(buf) {
+        Some(pos) => pos,
+        None => {
+            if buf.len() > MAX_HEADER_BYTES {
+                return Parsed::Bad(ApiError::headers_too_large(MAX_HEADER_BYTES));
+            }
+            return Parsed::Partial;
         }
-        if buf.len() > MAX_REQUEST_BYTES {
-            return Err(ApiError::bad_request("request headers too large"));
-        }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| ApiError::bad_request(format!("read failed: {e}")))?;
-        if n == 0 {
-            return Err(ApiError::bad_request("connection closed mid-request"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
     };
+    if header_end > MAX_HEADER_BYTES {
+        return Parsed::Bad(ApiError::headers_too_large(MAX_HEADER_BYTES));
+    }
 
     let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
     let mut lines = head.split("\r\n");
@@ -373,46 +400,59 @@ fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, ApiError> {
     let mut parts = start.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_string();
     if method.is_empty() || target.is_empty() {
-        return Err(ApiError::bad_request("malformed request line"));
+        return Parsed::Bad(ApiError::bad_request("malformed request line"));
     }
     let mut content_length = 0usize;
+    let mut connection = String::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ApiError::bad_request("bad Content-Length"))?;
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Parsed::Bad(ApiError::bad_request("bad Content-Length")),
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Parsed::Bad(ApiError::bad_request(
+                    "chunked transfer encoding is not supported; send Content-Length",
+                ));
             }
         }
     }
-    if content_length > MAX_REQUEST_BYTES {
-        return Err(ApiError::bad_request("request body too large"));
+    if content_length > MAX_BODY_BYTES {
+        return Parsed::Bad(ApiError::bad_request("request body too large"));
+    }
+    let total = header_end + 4 + content_length;
+    if buf.len() < total {
+        return Parsed::Partial;
     }
 
-    let mut body = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| ApiError::bad_request(format!("read failed: {e}")))?;
-        if n == 0 {
-            return Err(ApiError::bad_request("connection closed mid-body"));
+    let keep_alive = {
+        let close = connection.split(',').any(|t| t.trim() == "close");
+        let keep = connection.split(',').any(|t| t.trim() == "keep-alive");
+        if version.eq_ignore_ascii_case("HTTP/1.0") {
+            keep
+        } else {
+            !close
         }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-
+    };
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target, String::new()),
     };
-    Ok(HttpRequest {
-        method,
-        path,
-        query,
-        body: String::from_utf8_lossy(&body).to_string(),
-    })
+    Parsed::Complete(
+        HttpRequest {
+            method,
+            path,
+            query,
+            body: String::from_utf8_lossy(&buf[header_end + 4..total]).to_string(),
+            keep_alive,
+        },
+        total,
+    )
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -425,8 +465,10 @@ fn reason_of(status: u16) -> &'static str {
         207 => "Multi-Status",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -434,109 +476,68 @@ fn reason_of(status: u16) -> &'static str {
     }
 }
 
-/// Write one response. Deterministic bytes: fixed header set in fixed
-/// order, no date, no server version — a cached replay is
-/// byte-identical to the response that simulated.
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &str,
-    retry_after: Option<u32>,
-) -> std::io::Result<()> {
+/// Encode one response. **This is where the byte-identity invariant is
+/// enforced**: a deterministic header set in a fixed order
+/// (`Content-Type`, `Content-Length`, `Connection`, optional
+/// `Retry-After`), no date, no server version — a cached replay is
+/// byte-identical to the response that simulated, and `Connection:
+/// close` responses are byte-identical to the pre-event-loop daemon's.
+fn encode_response(status: u16, body: &str, retry_after: Option<u32>, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason_of(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(secs) = retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
 }
 
-fn write_error(stream: &mut TcpStream, e: &ApiError) -> std::io::Result<()> {
-    let retry = matches!(e.status, 429 | 503).then_some(1);
+/// Saturation and drain answers carry `Retry-After` so polite clients
+/// back off instead of hammering.
+fn retry_after_of(status: u16) -> Option<u32> {
+    matches!(status, 429 | 503).then_some(1)
+}
+
+fn error_body(e: &ApiError) -> String {
     let mut body = e.to_json();
     body.push('\n');
-    write_response(stream, e.status, &body, retry)
+    body
+}
+
+fn panic_to_error(p: Box<dyn std::any::Any + Send>) -> ApiError {
+    let msg = p
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    ApiError::internal(format!("handler panicked: {msg}"))
 }
 
 // ---------------------------------------------------------------------------
 // Routing
 // ---------------------------------------------------------------------------
 
-fn handle_connection(ctx: &Ctx, mut stream: TcpStream) {
-    let t0 = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let req = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            let _ = write_error(&mut stream, &e);
-            return;
-        }
-    };
-    // A handler panic must never take the daemon down: catch at the
-    // connection boundary and degrade to a 500.
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| route(ctx, &req)));
-    let outcome = outcome.unwrap_or_else(|p| {
-        let msg = p
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| p.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        Err(ApiError::internal(format!("handler panicked: {msg}")))
-    });
-    let (status, bytes) = match &outcome {
-        Ok((status, body)) => {
-            let _ = write_response(&mut stream, *status, body, None);
-            (*status, body.len())
-        }
-        Err(e) => {
-            let _ = write_error(&mut stream, e);
-            (e.status, e.to_json().len() + 1)
-        }
-    };
-    if ctx.log_requests {
-        eprintln!(
-            "[serve] {} {} -> {} {}B {:.1}ms inflight={}",
-            req.method,
-            req.path,
-            status,
-            bytes,
-            t0.elapsed().as_secs_f64() * 1e3,
-            ctx.sim_inflight.load(Ordering::SeqCst),
-        );
-    }
+/// Does this request go to the worker pool (simulating routes) rather
+/// than being answered inline on the loop thread?
+fn is_sim_route(req: &HttpRequest) -> bool {
+    matches!(
+        (req.method.as_str(), req.path.as_str()),
+        ("POST", "/v1/run") | ("POST", "/v1/suite")
+    ) || (req.method == "GET" && req.path.starts_with("/v1/profile/"))
 }
 
-/// Dispatch one request to its handler; `Ok((status, body))` or a
-/// typed error.
-fn route(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
+/// Fast routes, answered inline on the loop thread: cheap, allocation-
+/// light, and exempt from admission control so clients can watch the
+/// backlog even under saturation. Unknown routes land here too (404).
+fn route_fast(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/run") => {
-            admission(ctx)?;
-            let _slot = SimSlot::try_acquire(ctx)?;
-            let run = RunRequest::from_json(&req.body)?;
-            let resp = dispatch_run(&ctx.exec, &run)?;
-            Ok((200, resp.to_json()))
-        }
-        ("POST", "/v1/suite") => {
-            admission(ctx)?;
-            let _slot = SimSlot::try_acquire(ctx)?;
-            let suite = SuiteRequest::from_json(&req.body)?;
-            let resp = dispatch_suite(&ctx.exec, &suite)?;
-            let status = if resp.report.is_complete() { 200 } else { 207 };
-            Ok((status, resp.to_json()))
-        }
-        ("GET", path) if path.starts_with("/v1/profile/") => {
-            admission(ctx)?;
-            let _slot = SimSlot::try_acquire(ctx)?;
-            profile(ctx, &path["/v1/profile/".len()..], &req.query)
-        }
         ("GET", "/v1/metrics") => Ok((200, metrics_json(ctx))),
         ("GET", "/v1/health") => Ok((200, health_json(ctx))),
         ("POST", "/v1/shutdown") => {
@@ -550,12 +551,27 @@ fn route(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
     }
 }
 
-/// Simulating routes refuse new work once a drain started.
-fn admission(ctx: &Ctx) -> Result<(), ApiError> {
-    if ctx.draining() {
-        Err(ApiError::shutting_down())
-    } else {
-        Ok(())
+/// Simulating routes, executed on a worker thread under a [`SimSlot`].
+fn route_sim(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/run") => {
+            let run = RunRequest::from_json(&req.body)?;
+            let resp = dispatch_run(&ctx.exec, &run)?;
+            Ok((200, resp.to_json()))
+        }
+        ("POST", "/v1/suite") => {
+            let suite = SuiteRequest::from_json(&req.body)?;
+            let resp = dispatch_suite(&ctx.exec, &suite)?;
+            let status = if resp.report.is_complete() { 200 } else { 207 };
+            Ok((status, resp.to_json()))
+        }
+        ("GET", path) if path.starts_with("/v1/profile/") => {
+            profile(ctx, &path["/v1/profile/".len()..], &req.query)
+        }
+        (_, path) => Err(ApiError::not_found(format!(
+            "no route for {} {path}",
+            req.method
+        ))),
     }
 }
 
@@ -626,6 +642,10 @@ fn health_json(ctx: &Ctx) -> String {
             "inflight".into(),
             Json::from(ctx.sim_inflight.load(Ordering::SeqCst)),
         ),
+        (
+            "connections".into(),
+            Json::from(ctx.open_conns.load(Ordering::SeqCst)),
+        ),
         ("draining".into(), Json::from(ctx.draining())),
     ])
     .render()
@@ -656,16 +676,704 @@ fn metrics_json(ctx: &Ctx) -> String {
     .render()
 }
 
+fn log_line(ctx: &Ctx, method: &str, path: &str, status: u16, bytes: usize, t0: Instant) {
+    eprintln!(
+        "[serve] {} {} -> {} {}B {:.1}ms inflight={}",
+        method,
+        path,
+        status,
+        bytes,
+        t0.elapsed().as_secs_f64() * 1e3,
+        ctx.sim_inflight.load(Ordering::SeqCst),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The event loop (Unix only — readiness comes from crate::epoll)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod ev {
+    use super::*;
+    use crate::epoll::{Interest, Poller, Readiness, WakePipe, Waker};
+    use std::collections::VecDeque;
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::mpsc::{self, TrySendError};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Poller token of the listen socket.
+    const LISTENER_TOKEN: u64 = u64::MAX;
+    /// Poller token of the wake pipe's read end.
+    const WAKE_TOKEN: u64 = u64::MAX - 1;
+    /// Deadline-sweep granularity: the loop wakes at least this often.
+    const TICK_MS: i32 = 50;
+
+    /// One connection's state machine. Lives in the slab; the poller
+    /// token is the slab index, and `gen` disambiguates recycled slots
+    /// when a worker completion arrives late.
+    struct Conn {
+        stream: TcpStream,
+        gen: u64,
+        /// Unparsed request bytes (reads append, the parser drains).
+        buf: Vec<u8>,
+        /// Encoded response bytes not yet written.
+        out: Vec<u8>,
+        out_pos: usize,
+        /// A request from this connection is in the worker pool; reads
+        /// are paused (TCP backpressure) until the completion arrives.
+        busy: bool,
+        /// Close once `out` is fully flushed.
+        close_after_flush: bool,
+        /// The peer half-closed (read EOF).
+        read_closed: bool,
+        /// Requests served on this connection (keep-alive cap).
+        served: usize,
+        /// When the current incomplete request started arriving — the
+        /// slow-loris clock.
+        partial_since: Option<Instant>,
+        /// Last byte read or written — the idle clock.
+        last_activity: Instant,
+        interest: Interest,
+        /// Whether the fd is currently registered with the poller
+        /// (parked connections deregister entirely: `EPOLLHUP` ignores
+        /// the interest mask and would busy-spin a level-triggered
+        /// loop).
+        registered: bool,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream, gen: u64) -> Conn {
+            Conn {
+                stream,
+                gen,
+                buf: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                busy: false,
+                close_after_flush: false,
+                read_closed: false,
+                served: 0,
+                partial_since: None,
+                last_activity: Instant::now(),
+                interest: Interest::NONE,
+                registered: false,
+            }
+        }
+
+        fn flushing(&self) -> bool {
+            self.out_pos < self.out.len()
+        }
+    }
+
+    /// One simulating request travelling to the worker pool.
+    struct Job {
+        conn: usize,
+        gen: u64,
+        req: HttpRequest,
+        keep_alive: bool,
+        slot: SimSlot,
+        t0: Instant,
+    }
+
+    /// A worker's finished response travelling back to the loop.
+    struct Completion {
+        conn: usize,
+        gen: u64,
+        bytes: Vec<u8>,
+        close: bool,
+    }
+
+    fn append_response(conn: &mut Conn, status: u16, body: &str, keep: bool) {
+        let bytes = encode_response(status, body, retry_after_of(status), keep);
+        conn.out.extend_from_slice(&bytes);
+    }
+
+    struct EventLoop {
+        poller: Poller,
+        listener: TcpListener,
+        listener_registered: bool,
+        wake: WakePipe,
+        conns: Vec<Option<Conn>>,
+        free: Vec<usize>,
+        gen_counter: u64,
+        tx: Option<mpsc::SyncSender<Job>>,
+        completions: Arc<Mutex<VecDeque<Completion>>>,
+        ctx: Arc<Ctx>,
+        max_conns: usize,
+        keepalive_requests: usize,
+        idle_timeout: Duration,
+        read_timeout: Duration,
+    }
+
+    /// Bind-to-drain lifetime of the daemon: spawn the worker pool, run
+    /// the readiness loop until the drain latch flips and the last
+    /// connection closes, then join workers and flush observability.
+    pub(super) fn run(listener: TcpListener, ctx: Arc<Ctx>, config: ServeConfig) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        let wake = WakePipe::new()?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            let completions = Arc::clone(&completions);
+            let waker = wake.waker();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(ctx, &rx, &completions, waker)
+            }));
+        }
+
+        let mut lp = EventLoop {
+            poller,
+            listener,
+            listener_registered: false,
+            wake,
+            conns: Vec::new(),
+            free: Vec::new(),
+            gen_counter: 0,
+            tx: Some(tx),
+            completions,
+            ctx,
+            max_conns: config.max_conns.max(1),
+            keepalive_requests: config.keepalive_requests,
+            idle_timeout: Duration::from_secs_f64(config.idle_timeout_s.max(0.0)),
+            read_timeout: Duration::from_secs_f64(config.read_timeout_s.max(0.0)),
+        };
+        lp.poller
+            .add(lp.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        lp.listener_registered = true;
+        lp.poller
+            .add(lp.wake.poll_fd(), WAKE_TOKEN, Interest::READ)?;
+
+        let mut events: Vec<Readiness> = Vec::new();
+        loop {
+            if lp.ctx.draining() {
+                if lp.listener_registered {
+                    let _ = lp.poller.remove(lp.listener.as_raw_fd());
+                    lp.listener_registered = false;
+                }
+                if lp.ctx.open_conns.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+            }
+            lp.poller.wait(&mut events, TICK_MS)?;
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    LISTENER_TOKEN => lp.accept_ready(),
+                    WAKE_TOKEN => lp.wake.drain(),
+                    token => lp.conn_event(token as usize, *ev),
+                }
+            }
+            events = batch;
+            lp.apply_completions();
+            lp.sweep();
+        }
+
+        // Drain epilogue: the dispatch queue is already empty (no
+        // connection survived with work queued), so dropping the sender
+        // lets every worker's recv() return Err and the pool exit.
+        drop(lp.tx.take());
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(dir) = &config.metrics_dir {
+            let _ = obs::write_metrics_csv(dir, "serve", &lp.ctx.exec.metrics());
+        }
+        if lp.ctx.log_requests {
+            let m = lp.ctx.exec.metrics();
+            eprintln!(
+                "[serve] drained: {} run(s) executed, {} cache hit(s), bye",
+                m.runs_executed,
+                m.cache.hits_mem + m.cache.hits_disk
+            );
+        }
+        Ok(())
+    }
+
+    fn worker_loop(
+        ctx: Arc<Ctx>,
+        rx: &Mutex<mpsc::Receiver<Job>>,
+        completions: &Mutex<VecDeque<Completion>>,
+        waker: Waker,
+    ) {
+        loop {
+            let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                Ok(j) => j,
+                Err(_) => return, // sender dropped: queue drained
+            };
+            let Job {
+                conn,
+                gen,
+                req,
+                keep_alive,
+                slot,
+                t0,
+            } = job;
+            // A handler panic must never take a worker down: catch at
+            // the dispatch boundary and degrade to a 500.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| route_sim(&ctx, &req)))
+                .unwrap_or_else(|p| Err(panic_to_error(p)));
+            let (status, body) = match outcome {
+                Ok((status, body)) => (status, body),
+                Err(e) => (e.status, error_body(&e)),
+            };
+            if ctx.log_requests {
+                log_line(&ctx, &req.method, &req.path, status, body.len(), t0);
+            }
+            let bytes = encode_response(status, &body, retry_after_of(status), keep_alive);
+            // Release the slot before publishing the completion so the
+            // in-flight gauge never over-reports past the response.
+            drop(slot);
+            completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(Completion {
+                    conn,
+                    gen,
+                    bytes,
+                    close: !keep_alive,
+                });
+            waker.wake();
+        }
+    }
+
+    /// Answer a connection refused at the cap with a canned `503` and
+    /// drop it. Best-effort and never blocking: any request bytes that
+    /// already arrived are discarded first (closing with unread data in
+    /// the socket turns into an RST that can destroy the 503 before the
+    /// client reads it), then the response goes out in one write.
+    fn refuse_over_limit(mut stream: TcpStream, max: usize) {
+        let mut scratch = [0u8; 4096];
+        for _ in 0..8 {
+            match stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let e = ApiError::connection_limit(max);
+        let bytes = encode_response(e.status, &error_body(&e), retry_after_of(e.status), false);
+        let _ = stream.write(&bytes);
+    }
+
+    impl EventLoop {
+        /// Run `f` on connection `idx` with the slab slot checked out;
+        /// `f` returns whether the connection stays open.
+        fn with_conn(&mut self, idx: usize, f: impl FnOnce(&mut Self, &mut Conn) -> bool) {
+            let mut conn = match self.conns.get_mut(idx).and_then(Option::take) {
+                Some(c) => c,
+                None => return, // stale token for an already-closed slot
+            };
+            if f(self, &mut conn) {
+                self.update_interest(idx, &mut conn);
+                self.conns[idx] = Some(conn);
+            } else {
+                self.teardown(idx, conn);
+            }
+        }
+
+        fn accept_ready(&mut self) {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.ctx.draining() {
+                            drop(stream);
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        if self.ctx.open_conns.load(Ordering::SeqCst) >= self.max_conns {
+                            refuse_over_limit(stream, self.max_conns);
+                            continue;
+                        }
+                        let idx = match self.free.pop() {
+                            Some(i) => i,
+                            None => {
+                                self.conns.push(None);
+                                self.conns.len() - 1
+                            }
+                        };
+                        self.gen_counter += 1;
+                        let mut conn = Conn::new(stream, self.gen_counter);
+                        self.ctx.open_conns.fetch_add(1, Ordering::SeqCst);
+                        self.update_interest(idx, &mut conn);
+                        self.conns[idx] = Some(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        fn conn_event(&mut self, idx: usize, ev: Readiness) {
+            self.with_conn(idx, |lp, conn| {
+                if (ev.readable || ev.closed) && !lp.on_readable(idx, conn) {
+                    return false;
+                }
+                if ev.writable && !lp.flush(conn) {
+                    return false;
+                }
+                true
+            });
+        }
+
+        /// Drain the socket into the connection's read buffer, then let
+        /// the parser make progress. Returns whether to keep the
+        /// connection.
+        fn on_readable(&mut self, idx: usize, conn: &mut Conn) -> bool {
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                if conn.busy || conn.close_after_flush || conn.buf.len() >= MAX_BUFFERED_BYTES {
+                    break; // backpressure: leave bytes in the kernel
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            self.advance(idx, conn)
+        }
+
+        /// Parse and route as many complete requests as the buffer
+        /// holds (pipelining), stopping when a request enters the
+        /// worker pool or the buffer runs dry. Returns whether to keep
+        /// the connection.
+        fn advance(&mut self, idx: usize, conn: &mut Conn) -> bool {
+            while !conn.busy && !conn.close_after_flush {
+                match parse_request(&conn.buf) {
+                    Parsed::Partial => {
+                        if conn.buf.is_empty() {
+                            conn.partial_since = None;
+                        } else if conn.partial_since.is_none() {
+                            conn.partial_since = Some(Instant::now());
+                        }
+                        if conn.read_closed {
+                            if !conn.buf.is_empty() {
+                                let e = ApiError::bad_request("connection closed mid-request");
+                                append_response(conn, e.status, &error_body(&e), false);
+                            }
+                            conn.close_after_flush = true;
+                        }
+                        break;
+                    }
+                    Parsed::Bad(e) => {
+                        // The parse position is unrecoverable: answer
+                        // and close.
+                        append_response(conn, e.status, &error_body(&e), false);
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                    Parsed::Complete(req, consumed) => {
+                        conn.buf.drain(..consumed);
+                        conn.partial_since = if conn.buf.is_empty() {
+                            None
+                        } else {
+                            Some(Instant::now())
+                        };
+                        conn.served += 1;
+                        let cap = self.keepalive_requests;
+                        let keep = req.keep_alive
+                            && !self.ctx.draining()
+                            && !conn.read_closed
+                            && (cap == 0 || conn.served < cap);
+                        if is_sim_route(&req) {
+                            match self.try_dispatch(idx, conn, req, keep) {
+                                Ok(()) => conn.busy = true,
+                                Err(refused) => {
+                                    let (req, e) = *refused;
+                                    // Well-framed refusal (429/503):
+                                    // a keep-alive connection survives
+                                    // a 429 so the client can retry
+                                    // without reconnecting; drain
+                                    // refusals close.
+                                    let keep_err = keep && e.status != 503;
+                                    let body = error_body(&e);
+                                    if self.ctx.log_requests {
+                                        log_line(
+                                            &self.ctx,
+                                            &req.method,
+                                            &req.path,
+                                            e.status,
+                                            body.len(),
+                                            Instant::now(),
+                                        );
+                                    }
+                                    append_response(conn, e.status, &body, keep_err);
+                                    if !keep_err {
+                                        conn.close_after_flush = true;
+                                    }
+                                }
+                            }
+                        } else {
+                            let t0 = Instant::now();
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                route_fast(&self.ctx, &req)
+                            }))
+                            .unwrap_or_else(|p| Err(panic_to_error(p)));
+                            let (status, body) = match outcome {
+                                Ok((status, body)) => (status, body),
+                                Err(e) => (e.status, error_body(&e)),
+                            };
+                            // `POST /v1/shutdown` just flipped the
+                            // drain latch — recompute so its own
+                            // response is framed `Connection: close`.
+                            let keep = keep && !self.ctx.draining();
+                            if self.ctx.log_requests {
+                                log_line(&self.ctx, &req.method, &req.path, status, body.len(), t0);
+                            }
+                            append_response(conn, status, &body, keep);
+                            if !keep {
+                                conn.close_after_flush = true;
+                            }
+                        }
+                    }
+                }
+            }
+            self.flush(conn)
+        }
+
+        /// Admission-checked hand-off of one simulating request to the
+        /// worker pool. On refusal the request is handed back (boxed:
+        /// the refusal path is cold and the pair is large) so the
+        /// caller can log and answer it.
+        fn try_dispatch(
+            &mut self,
+            idx: usize,
+            conn: &Conn,
+            req: HttpRequest,
+            keep: bool,
+        ) -> Result<(), Box<(HttpRequest, ApiError)>> {
+            if self.ctx.draining() {
+                return Err(Box::new((req, ApiError::shutting_down())));
+            }
+            let slot = match SimSlot::try_acquire(&self.ctx) {
+                Ok(s) => s,
+                Err(e) => return Err(Box::new((req, e))),
+            };
+            let job = Job {
+                conn: idx,
+                gen: conn.gen,
+                keep_alive: keep,
+                t0: Instant::now(),
+                req,
+                slot,
+            };
+            let tx = self
+                .tx
+                .as_ref()
+                .expect("dispatch channel outlives the loop");
+            match tx.try_send(job) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(job)) => Err(Box::new((
+                    job.req,
+                    ApiError::saturated("dispatch queue full"),
+                ))),
+                Err(TrySendError::Disconnected(job)) => {
+                    Err(Box::new((job.req, ApiError::shutting_down())))
+                }
+            }
+        }
+
+        /// Write as much of the pending response as the socket takes.
+        /// Returns whether to keep the connection.
+        fn flush(&mut self, conn: &mut Conn) -> bool {
+            while conn.flushing() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => return false,
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            if !conn.flushing() {
+                conn.out.clear();
+                conn.out_pos = 0;
+                if conn.close_after_flush {
+                    return false;
+                }
+            }
+            true
+        }
+
+        /// Apply worker completions: un-pause the connection, queue the
+        /// response bytes, and let the parser continue on any pipelined
+        /// successor already buffered.
+        fn apply_completions(&mut self) {
+            loop {
+                let c = self
+                    .completions
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                let Some(c) = c else { break };
+                self.with_conn(c.conn, |lp, conn| {
+                    if conn.gen != c.gen {
+                        return true; // recycled slot: completion is stale
+                    }
+                    conn.busy = false;
+                    conn.out.extend_from_slice(&c.bytes);
+                    if c.close {
+                        conn.close_after_flush = true;
+                        return lp.flush(conn);
+                    }
+                    lp.advance(c.conn, conn)
+                });
+            }
+        }
+
+        /// Keep the poller's interest in sync with the state machine:
+        /// read when the parser wants bytes, write when a response is
+        /// pending, deregister entirely when parked (busy in the worker
+        /// pool, or half-closed with nothing to say — `EPOLLHUP` is
+        /// level-triggered regardless of the mask and would spin us).
+        fn update_interest(&mut self, idx: usize, conn: &mut Conn) {
+            let want = Interest {
+                readable: !conn.busy
+                    && !conn.read_closed
+                    && !conn.close_after_flush
+                    && conn.buf.len() < MAX_BUFFERED_BYTES,
+                writable: conn.flushing(),
+            };
+            if !want.readable && !want.writable {
+                if conn.registered {
+                    let _ = self.poller.remove(conn.stream.as_raw_fd());
+                    conn.registered = false;
+                }
+                conn.interest = Interest::NONE;
+                return;
+            }
+            if !conn.registered {
+                if self
+                    .poller
+                    .add(conn.stream.as_raw_fd(), idx as u64, want)
+                    .is_ok()
+                {
+                    conn.registered = true;
+                    conn.interest = want;
+                }
+                return;
+            }
+            if want != conn.interest {
+                let _ = self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), idx as u64, want);
+                conn.interest = want;
+            }
+        }
+
+        /// Deadline sweep, once per tick: reap slow-loris uploads
+        /// (408), stalled response writes, and idle keep-alive
+        /// connections (silently, also how a drain sheds idle clients).
+        fn sweep(&mut self) {
+            enum Reap {
+                Drop,
+                Timeout408,
+            }
+            let now = Instant::now();
+            let draining = self.ctx.draining();
+            let mut reap: Vec<(usize, Reap)> = Vec::new();
+            for (idx, slot) in self.conns.iter().enumerate() {
+                let Some(conn) = slot else { continue };
+                if conn.busy {
+                    continue; // the worker owns the deadline (executor budget)
+                }
+                if conn.flushing() {
+                    if now.duration_since(conn.last_activity) > self.read_timeout {
+                        reap.push((idx, Reap::Drop)); // write stalled
+                    }
+                    continue;
+                }
+                if let Some(t0) = conn.partial_since {
+                    if now.duration_since(t0) > self.read_timeout {
+                        reap.push((idx, Reap::Timeout408));
+                    }
+                    continue;
+                }
+                if draining || now.duration_since(conn.last_activity) > self.idle_timeout {
+                    reap.push((idx, Reap::Drop));
+                }
+            }
+            let read_timeout_s = self.read_timeout.as_secs_f64();
+            for (idx, action) in reap {
+                match action {
+                    Reap::Drop => self.with_conn(idx, |_, _| false),
+                    Reap::Timeout408 => self.with_conn(idx, |lp, conn| {
+                        let e = ApiError::read_timeout(read_timeout_s);
+                        append_response(conn, e.status, &error_body(&e), false);
+                        conn.close_after_flush = true;
+                        lp.flush(conn)
+                    }),
+                }
+            }
+        }
+
+        /// Close a connection and recycle its slab slot. Unread request
+        /// bytes are discarded first (bounded): closing with data still
+        /// queued in the socket turns into an RST that can destroy a
+        /// just-written error response before the client reads it.
+        fn teardown(&mut self, idx: usize, mut conn: Conn) {
+            if conn.registered {
+                let _ = self.poller.remove(conn.stream.as_raw_fd());
+            }
+            if !conn.read_closed {
+                let mut scratch = [0u8; 4096];
+                for _ in 0..8 {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+            }
+            drop(conn);
+            self.ctx.open_conns.fetch_sub(1, Ordering::SeqCst);
+            self.free.push(idx);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn complete(p: Parsed) -> (HttpRequest, usize) {
+        match p {
+            Parsed::Complete(req, n) => (req, n),
+            Parsed::Partial => panic!("expected Complete, got Partial"),
+            Parsed::Bad(e) => panic!("expected Complete, got Bad: {e}"),
+        }
+    }
 
     #[test]
     fn header_end_detection_and_reasons() {
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
         assert_eq!(find_header_end(b"partial\r\n"), None);
         assert_eq!(reason_of(200), "OK");
+        assert_eq!(reason_of(408), "Request Timeout");
         assert_eq!(reason_of(429), "Too Many Requests");
+        assert_eq!(reason_of(431), "Request Header Fields Too Large");
         assert_eq!(reason_of(207), "Multi-Status");
         assert_eq!(reason_of(999), "Unknown");
     }
@@ -678,5 +1386,109 @@ mod tests {
         assert_eq!(cfg.effective_max_inflight(), 1);
         let cfg = ServeConfig::default().with_max_inflight(3);
         assert_eq!(cfg.effective_max_inflight(), 3);
+    }
+
+    #[test]
+    fn parser_accepts_any_byte_boundary_split() {
+        let raw = b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut]) {
+                Parsed::Partial => {}
+                Parsed::Complete(..) => panic!("complete at prefix {cut}"),
+                Parsed::Bad(e) => panic!("bad at prefix {cut}: {e}"),
+            }
+        }
+        let (req, consumed) = complete(parse_request(raw));
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.body, "body");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parser_consumes_exactly_one_pipelined_request() {
+        let first = b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+        let second = b"GET /v1/metrics HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+        let mut buf = first.clone();
+        buf.extend_from_slice(&second);
+        let (req, consumed) = complete(parse_request(&buf));
+        assert_eq!(req.path, "/v1/health");
+        assert_eq!(
+            consumed,
+            first.len(),
+            "must not eat the pipelined successor"
+        );
+        buf.drain(..consumed);
+        let (req, consumed) = complete(parse_request(&buf));
+        assert_eq!(req.path, "/v1/metrics");
+        assert_eq!(consumed, second.len());
+    }
+
+    #[test]
+    fn parser_connection_semantics() {
+        let (req, _) = complete(parse_request(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+        ));
+        assert!(!req.keep_alive, "explicit close wins on HTTP/1.1");
+        let (req, _) = complete(parse_request(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n"));
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let (req, _) = complete(parse_request(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+        ));
+        assert!(req.keep_alive, "HTTP/1.0 can opt in");
+    }
+
+    #[test]
+    fn parser_rejects_oversized_headers_with_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n", "y".repeat(MAX_HEADER_BYTES)).as_bytes());
+        // Even before the terminator arrives the verdict is final.
+        match parse_request(&raw) {
+            Parsed::Bad(e) => {
+                assert_eq!(e.status, 431);
+                assert_eq!(e.code, "headers_too_large");
+            }
+            _ => panic!("oversized headers must be refused"),
+        }
+        raw.extend_from_slice(b"\r\n");
+        match parse_request(&raw) {
+            Parsed::Bad(e) => assert_eq!(e.status, 431),
+            _ => panic!("oversized headers must be refused after terminator too"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_unframeable_requests() {
+        match parse_request(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n") {
+            Parsed::Bad(e) => assert_eq!(e.status, 400),
+            _ => panic!("bad Content-Length must be refused"),
+        }
+        match parse_request(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") {
+            Parsed::Bad(e) => assert_eq!(e.status, 400),
+            _ => panic!("chunked framing must be refused"),
+        }
+        match parse_request(b"\r\n\r\n") {
+            Parsed::Bad(e) => assert_eq!(e.status, 400),
+            _ => panic!("empty request line must be refused"),
+        }
+    }
+
+    #[test]
+    fn response_framing_is_pinned() {
+        // The byte-identity invariant: fixed header set, fixed order,
+        // no date. Close framing must match the pre-event-loop daemon.
+        let bytes = encode_response(200, "{}\n", None, false);
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 3\r\nConnection: close\r\n\r\n{}\n"
+        );
+        let bytes = encode_response(429, "x", retry_after_of(429), true);
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: 1\r\nConnection: keep-alive\r\nRetry-After: 1\r\n\r\nx"
+        );
+        assert_eq!(retry_after_of(503), Some(1));
+        assert_eq!(retry_after_of(200), None);
     }
 }

@@ -68,6 +68,65 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Vec<u8>
     (status, raw, body)
 }
 
+/// One request WITHOUT `Connection: close` — HTTP/1.1 keep-alive.
+fn keepalive_request(method: &str, path: &str, body: &str) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Read exactly one response off a keep-alive connection, framed by its
+/// `Content-Length`; returns (status, raw response bytes). Bytes read
+/// past the frame (the next pipelined response) go into `carry` and are
+/// consumed first on the next call.
+fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, Vec<u8>) {
+    let mut raw = std::mem::take(carry);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response headers");
+        assert!(
+            n > 0,
+            "EOF before response headers: {:?}",
+            String::from_utf8_lossy(&raw)
+        );
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..header_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable status line: {head:?}"));
+    let content_length: usize = head
+        .split("\r\n")
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .expect("response carries Content-Length");
+    let total = header_end + 4 + content_length;
+    while raw.len() < total {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "EOF mid-body");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    *carry = raw.split_off(total);
+    (status, raw)
+}
+
+/// [`read_framed`] for a connection that is not pipelining (no carry).
+fn read_response(stream: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut carry = Vec::new();
+    let got = read_framed(stream, &mut carry);
+    assert!(carry.is_empty(), "unexpected trailing bytes: {carry:?}");
+    got
+}
+
 /// A config whose simulation takes real wall time: DES cost scales
 /// with the number of simulated steps (× ranks).
 fn slow_config(measured_steps: usize) -> RunConfig {
@@ -357,6 +416,277 @@ fn api_metrics_flush_to_csv_on_drain() {
         .unwrap_or_else(|e| panic!("drain must flush {}: {e}", csv.display()));
     assert!(text.contains("runs_executed"), "{text}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keepalive_connection_replays_byte_identically_and_health_counts_it() {
+    let (addr, _, join) = spawn_server(executor(), serve_config());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // First request simulates; the identical second replays from cache
+    // over the SAME connection — byte-identical down to the framing.
+    let req = keepalive_request("POST", "/v1/run", &run_body("lbm", 4, 1));
+    conn.write_all(req.as_bytes()).unwrap();
+    let (status, first) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&first).contains("Connection: keep-alive"),
+        "keep-alive requests must be answered keep-alive"
+    );
+    conn.write_all(req.as_bytes()).unwrap();
+    let (status, second) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "keep-alive replay must be byte-identical");
+
+    // The health gauge distinguishes open connections from in-flight
+    // simulations: our idle keep-alive connection plus health's own.
+    let (status, _, health) = http(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"connections\":2"), "{health}");
+    assert!(health.contains("\"inflight\":0"), "{health}");
+
+    drop(conn);
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (addr, _, join) = spawn_server(executor(), serve_config());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // Two fast requests in one write: both answered, in order.
+    let pair = format!(
+        "{}{}",
+        keepalive_request("GET", "/v1/health", ""),
+        keepalive_request("GET", "/v1/metrics", "")
+    );
+    conn.write_all(pair.as_bytes()).unwrap();
+    let mut carry = Vec::new();
+    let (status, raw) = read_framed(&mut conn, &mut carry);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&raw).contains("\"status\":\"ok\""));
+    let (status, raw) = read_framed(&mut conn, &mut carry);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&raw).contains("runs_executed"));
+
+    // A simulating request with a fast one pipelined behind it: the
+    // buffered successor must be served after the completion lands.
+    let pair = format!(
+        "{}{}",
+        keepalive_request("POST", "/v1/run", &run_body("lbm", 4, 1)),
+        keepalive_request("GET", "/v1/health", "")
+    );
+    conn.write_all(pair.as_bytes()).unwrap();
+    let (status, raw) = read_framed(&mut conn, &mut carry);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&raw).contains("\"benchmark\""));
+    let (status, raw) = read_framed(&mut conn, &mut carry);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&raw).contains("\"status\":\"ok\""));
+
+    drop(conn);
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn requests_split_at_arbitrary_byte_boundaries_still_parse() {
+    let (addr, _, join) = spawn_server(executor(), serve_config());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let req = keepalive_request("POST", "/v1/run", &run_body("lbm", 4, 1));
+    for chunk in req.as_bytes().chunks(3) {
+        conn.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (status, _) = read_response(&mut conn);
+    assert_eq!(status, 200, "a dribbled request must still parse");
+    drop(conn);
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_headers_are_refused_with_431() {
+    let (addr, _, join) = spawn_server(executor(), serve_config());
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut req = b"GET /v1/health HTTP/1.1\r\nHost: loopback\r\n".to_vec();
+    req.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "y".repeat(20_000)).as_bytes());
+    conn.write_all(&req).unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read refusal");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 431"), "{text}");
+    assert!(text.contains("headers_too_large"), "{text}");
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_loris_is_reaped_by_the_read_deadline() {
+    let cfg = serve_config().with_read_timeout_s(0.2);
+    let (addr, _, join) = spawn_server(executor(), cfg);
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    // Start a request and never finish it.
+    conn.write_all(b"GET /v1/health HTTP/1.1\r\nHost: lo")
+        .unwrap();
+    let t0 = Instant::now();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read reap answer");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    assert!(text.contains("read_timeout"), "{text}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "reaper took {:?}",
+        t0.elapsed()
+    );
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn connections_beyond_the_cap_get_a_canned_503() {
+    let cfg = serve_config().with_max_conns(3);
+    let (addr, handle, join) = spawn_server(executor(), cfg);
+    let _c1 = TcpStream::connect(addr).expect("connect c1");
+    let _c2 = TcpStream::connect(addr).expect("connect c2");
+
+    // Hold the third (and last) slot with a keep-alive connection and
+    // wait until the gauge confirms all three are registered.
+    let mut c3 = TcpStream::connect(addr).expect("connect c3");
+    c3.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        c3.write_all(keepalive_request("GET", "/v1/health", "").as_bytes())
+            .unwrap();
+        let (status, raw) = read_response(&mut c3);
+        assert_eq!(status, 200);
+        if String::from_utf8_lossy(&raw).contains("\"connections\":3") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cap never filled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The fourth connection is refused at accept time.
+    let mut c4 = TcpStream::connect(addr).expect("connect c4");
+    c4.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let mut raw = Vec::new();
+    c4.read_to_end(&mut raw).expect("read refusal");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+    assert!(text.contains("connection_limit"), "{text}");
+
+    // Drain via the in-process handle: an HTTP shutdown would race the
+    // still-full cap and could itself be refused.
+    drop((_c1, _c2, c3));
+    handle.request_drain();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn keepalive_request_cap_closes_the_connection() {
+    let cfg = serve_config().with_keepalive_requests(2);
+    let (addr, _, join) = spawn_server(executor(), cfg);
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let req = keepalive_request("GET", "/v1/health", "");
+    conn.write_all(req.as_bytes()).unwrap();
+    let (status, raw) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&raw).contains("Connection: keep-alive"));
+    conn.write_all(req.as_bytes()).unwrap();
+    let (status, raw) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&raw).contains("Connection: close"),
+        "the capped request must be framed close"
+    );
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).expect("read close");
+    assert!(rest.is_empty(), "no bytes after the final response");
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn a_thousand_keepalive_connections_replay_byte_identically() {
+    // The acceptance bar for the event loop: ≥ 1024 concurrent
+    // keep-alive connections on one daemon, two full request rounds,
+    // zero refusals, every cached replay byte-identical.
+    let cfg = serve_config()
+        .with_workers(4)
+        .with_queue_depth(2048)
+        .with_max_inflight(2048)
+        .with_max_conns(2048)
+        .with_idle_timeout_s(300.0);
+    let (addr, _, join) = spawn_server(executor(), cfg);
+
+    // Prime the cache so the fleet replays one entry.
+    let (status, _, _) = http(addr, "POST", "/v1/run", &run_body("lbm", 4, 1));
+    assert_eq!(status, 200);
+
+    const FLEET: usize = 1024;
+    let req = keepalive_request("POST", "/v1/run", &run_body("lbm", 4, 1));
+    let mut conns: Vec<TcpStream> = (0..FLEET)
+        .map(|i| {
+            let s = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}"));
+            s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+            s
+        })
+        .collect();
+
+    let mut reference: Option<Vec<u8>> = None;
+    for round in 0..2 {
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.write_all(req.as_bytes())
+                .unwrap_or_else(|e| panic!("round {round} conn {i} write: {e}"));
+        }
+        for (i, c) in conns.iter_mut().enumerate() {
+            let (status, raw) = read_response(c);
+            assert_eq!(status, 200, "round {round} conn {i}");
+            if reference.is_none() {
+                reference = Some(raw.clone());
+            }
+            assert_eq!(
+                Some(&raw),
+                reference.as_ref(),
+                "round {round} conn {i}: replay must be byte-identical"
+            );
+        }
+    }
+
+    // All of them survived both rounds: the health gauge sees the whole
+    // fleet plus its own connection.
+    let (status, _, health) = http(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains(&format!("\"connections\":{}", FLEET + 1)),
+        "{health}"
+    );
+
+    drop(conns);
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
 }
 
 #[test]
