@@ -125,15 +125,50 @@ pub enum Command {
         /// `--read-timeout-s S`: incomplete-request read deadline
         /// (slow-loris reaper).
         read_timeout_s: Option<f64>,
+        /// `--peers a:p,b:p`: fleet peers whose caches are consulted on
+        /// a local miss (`GET /v1/cache/{hash}`).
+        peers: Vec<String>,
         exec: ExecOpts,
+    },
+    /// Run the fleet coordinator in front of N worker daemons.
+    Fleet {
+        /// `--addr host:port` (port 0 = ephemeral).
+        addr: String,
+        /// `--workers a:p,b:p,...`: worker daemon addresses.
+        workers: Vec<String>,
+        /// `--vnodes N`: virtual nodes per worker on the hash ring.
+        vnodes: Option<usize>,
+        /// `--timeout-s S`: per-forward timeout.
+        timeout_s: Option<f64>,
+    },
+    /// Synthetic keep-alive load against a daemon or coordinator.
+    Loadgen {
+        /// `--addr host:port`: target.
+        addr: String,
+        /// `--clients N`: concurrent keep-alive connections.
+        clients: Option<usize>,
+        /// `--requests N`: requests per client.
+        requests: Option<usize>,
+        /// Request shape: benchmark/cluster/class/ranks of the replayed
+        /// grid point.
+        benchmark: String,
+        cluster: ClusterChoice,
+        class: WorkloadClass,
+        nranks: Option<usize>,
+        /// `--timeout-s S`: per-request timeout.
+        timeout_s: Option<f64>,
     },
     BenchSnapshot {
         /// Fewer iterations (CI smoke mode).
         quick: bool,
         /// Compare against a committed snapshot instead of writing.
         check: Option<String>,
-        /// Output path (default `BENCH_engine.json`).
+        /// Output path (default `BENCH_engine.json` /
+        /// `BENCH_service.json`).
         out: Option<String>,
+        /// `--service`: snapshot the service path (requests/s, latency
+        /// percentiles, cache-hit ratio) instead of the engine.
+        service: bool,
     },
     Help,
 }
@@ -183,12 +218,32 @@ COMMANDS:
         --idle-timeout-s S       close idle keep-alive connections  [default: 60]
         --read-timeout-s S       408 + close for requests not completed in time
                                  (slow-loris reaper)               [default: 30]
+        --peers A:P,B:P          fleet peers; on a local cache miss ask each
+                                 peer's GET /v1/cache/{key} before simulating
+    fleet                        sharded-execution coordinator: routes /v1/run
+                                 by consistent-hashed RunKey, shards /v1/suite
+                                 across workers with work stealing, fails over
+                                 on dead or saturated workers
+        --addr HOST:PORT         listen address        [default: 127.0.0.1:8700]
+        --workers A:P,B:P,...    worker daemon addresses (required)
+        --vnodes N               virtual nodes per worker       [default: 64]
+        --timeout-s S            per-forward timeout           [default: 300]
+    loadgen [benchmark]          synthetic keep-alive load against a daemon or
+                                 coordinator; prints requests/s and p50/p99
+        --addr HOST:PORT         target                [default: 127.0.0.1:8722]
+        --clients N              concurrent connections         [default: 32]
+        --requests N             requests per client            [default: 64]
+        --cluster a|b  --class C  -n N    shape of the replayed run request
+        --timeout-s S            per-request timeout            [default: 60]
     bench-snapshot               measure engine throughput + suite wall time
                                  and write the perf-trajectory file
         --out FILE               snapshot path        [default: BENCH_engine.json]
         --check FILE             compare against FILE instead of writing;
                                  non-zero exit on >30% normalized regression
         --quick                  fewer iterations (CI smoke mode)
+        --service                snapshot the service path instead (requests/s,
+                                 p50/p99, cache-hit ratio) through a live
+                                 daemon; default out BENCH_service.json
     help                         show this message
 
 EXECUTION (run/suite/score/figures/profile):
@@ -212,7 +267,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     // Collect options (--key value / -n value), valueless flags, and
     // positionals.
-    const FLAGS: [&str; 3] = ["no-cache", "metrics", "quick"];
+    const FLAGS: [&str; 4] = ["no-cache", "metrics", "quick", "service"];
     let mut positional = Vec::new();
     let mut options = std::collections::BTreeMap::new();
     let mut flags = std::collections::BTreeSet::new();
@@ -272,6 +327,56 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         },
     };
 
+    let usize_opt = |key: &str| -> Result<Option<usize>, String> {
+        match options.get(key) {
+            Some(s) => s
+                .parse::<usize>()
+                .map_err(|e| format!("bad --{key} '{s}': {e}"))
+                .and_then(|n| {
+                    (n > 0)
+                        .then_some(Some(n))
+                        .ok_or(format!("--{key} must be ≥ 1"))
+                }),
+            None => Ok(None),
+        }
+    };
+    // Counters that legitimately allow 0 (= unlimited).
+    let count_opt = |key: &str| -> Result<Option<usize>, String> {
+        match options.get(key) {
+            Some(s) => s
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|e| format!("bad --{key} '{s}': {e}")),
+            None => Ok(None),
+        }
+    };
+    let secs_opt = |key: &str| -> Result<Option<f64>, String> {
+        match options.get(key) {
+            Some(s) => s
+                .parse::<f64>()
+                .map_err(|e| format!("bad --{key} '{s}': {e}"))
+                .and_then(|t| {
+                    (t >= 0.0)
+                        .then_some(Some(t))
+                        .ok_or(format!("--{key} must be ≥ 0"))
+                }),
+            None => Ok(None),
+        }
+    };
+    // Comma-separated address lists (`--peers a:1,b:2`).
+    let list_opt = |key: &str| -> Vec<String> {
+        options
+            .get(key)
+            .map(|s| {
+                s.split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+
     match cmd.as_str() {
         "list" => Ok(Command::List),
         "run" => {
@@ -326,63 +431,55 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let benchmark = positional.first().ok_or("dvfs: which benchmark?")?.clone();
             Ok(Command::Dvfs { benchmark, cluster })
         }
-        "serve" => {
-            let usize_opt = |key: &str| -> Result<Option<usize>, String> {
-                match options.get(key) {
-                    Some(s) => s
-                        .parse::<usize>()
-                        .map_err(|e| format!("bad --{key} '{s}': {e}"))
-                        .and_then(|n| {
-                            (n > 0)
-                                .then_some(Some(n))
-                                .ok_or(format!("--{key} must be ≥ 1"))
-                        }),
-                    None => Ok(None),
-                }
-            };
-            // Counters that legitimately allow 0 (= unlimited).
-            let count_opt = |key: &str| -> Result<Option<usize>, String> {
-                match options.get(key) {
-                    Some(s) => s
-                        .parse::<usize>()
-                        .map(Some)
-                        .map_err(|e| format!("bad --{key} '{s}': {e}")),
-                    None => Ok(None),
-                }
-            };
-            let secs_opt = |key: &str| -> Result<Option<f64>, String> {
-                match options.get(key) {
-                    Some(s) => s
-                        .parse::<f64>()
-                        .map_err(|e| format!("bad --{key} '{s}': {e}"))
-                        .and_then(|t| {
-                            (t >= 0.0)
-                                .then_some(Some(t))
-                                .ok_or(format!("--{key} must be ≥ 0"))
-                        }),
-                    None => Ok(None),
-                }
-            };
-            Ok(Command::Serve {
+        "serve" => Ok(Command::Serve {
+            addr: options
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:8722".into()),
+            workers: usize_opt("workers")?,
+            queue_depth: usize_opt("queue-depth")?,
+            max_inflight: usize_opt("max-inflight")?,
+            timeout_s: secs_opt("timeout-s")?,
+            max_conns: usize_opt("max-conns")?,
+            keepalive_max: count_opt("keepalive-max")?,
+            idle_timeout_s: secs_opt("idle-timeout-s")?,
+            read_timeout_s: secs_opt("read-timeout-s")?,
+            peers: list_opt("peers"),
+            exec,
+        }),
+        "fleet" => {
+            let workers = list_opt("workers");
+            if workers.is_empty() {
+                return Err("fleet: --workers a:port,b:port,... is required".into());
+            }
+            Ok(Command::Fleet {
                 addr: options
                     .get("addr")
                     .cloned()
-                    .unwrap_or_else(|| "127.0.0.1:8722".into()),
-                workers: usize_opt("workers")?,
-                queue_depth: usize_opt("queue-depth")?,
-                max_inflight: usize_opt("max-inflight")?,
+                    .unwrap_or_else(|| "127.0.0.1:8700".into()),
+                workers,
+                vnodes: usize_opt("vnodes")?,
                 timeout_s: secs_opt("timeout-s")?,
-                max_conns: usize_opt("max-conns")?,
-                keepalive_max: count_opt("keepalive-max")?,
-                idle_timeout_s: secs_opt("idle-timeout-s")?,
-                read_timeout_s: secs_opt("read-timeout-s")?,
-                exec,
             })
         }
+        "loadgen" => Ok(Command::Loadgen {
+            addr: options
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:8722".into()),
+            clients: usize_opt("clients")?,
+            requests: usize_opt("requests")?,
+            benchmark: positional.first().cloned().unwrap_or_else(|| "lbm".into()),
+            cluster,
+            class,
+            nranks,
+            timeout_s: secs_opt("timeout-s")?,
+        }),
         "bench-snapshot" => Ok(Command::BenchSnapshot {
             quick: flags.contains("quick"),
             check: options.get("check").cloned(),
             out: options.get("out").cloned(),
+            service: flags.contains("service"),
         }),
         "help" | "-h" | "--help" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -543,6 +640,7 @@ mod tests {
                 quick: false,
                 check: None,
                 out: None,
+                service: false,
             }
         );
         assert_eq!(
@@ -557,6 +655,7 @@ mod tests {
                 quick: true,
                 check: Some("BENCH_engine.json".into()),
                 out: None,
+                service: false,
             }
         );
         assert_eq!(
@@ -565,6 +664,23 @@ mod tests {
                 quick: false,
                 check: None,
                 out: Some("snap.json".into()),
+                service: false,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "bench-snapshot",
+                "--service",
+                "--quick",
+                "--check",
+                "BENCH_service.json"
+            ]))
+            .unwrap(),
+            Command::BenchSnapshot {
+                quick: true,
+                check: Some("BENCH_service.json".into()),
+                out: None,
+                service: true,
             }
         );
     }
@@ -583,6 +699,7 @@ mod tests {
                 keepalive_max: None,
                 idle_timeout_s: None,
                 read_timeout_s: None,
+                peers: Vec::new(),
                 exec: ExecOpts::default(),
             }
         );
@@ -607,6 +724,8 @@ mod tests {
                 "10",
                 "--read-timeout-s",
                 "5",
+                "--peers",
+                "127.0.0.1:8723, 127.0.0.1:8724",
                 "--no-cache",
             ]))
             .unwrap(),
@@ -620,6 +739,7 @@ mod tests {
                 keepalive_max: Some(0),
                 idle_timeout_s: Some(10.0),
                 read_timeout_s: Some(5.0),
+                peers: vec!["127.0.0.1:8723".into(), "127.0.0.1:8724".into()],
                 exec: ExecOpts {
                     jobs: None,
                     no_cache: true,
@@ -633,6 +753,79 @@ mod tests {
         assert!(parse(&v(&["serve", "--timeout-s", "-1"])).is_err());
         assert!(parse(&v(&["serve", "--read-timeout-s", "-1"])).is_err());
         assert!(parse(&v(&["serve", "--keepalive-max", "none"])).is_err());
+    }
+
+    #[test]
+    fn parses_fleet() {
+        assert_eq!(
+            parse(&v(&[
+                "fleet",
+                "--workers",
+                "127.0.0.1:8722,127.0.0.1:8723",
+                "--vnodes",
+                "32",
+                "--timeout-s",
+                "10",
+            ]))
+            .unwrap(),
+            Command::Fleet {
+                addr: "127.0.0.1:8700".into(),
+                workers: vec!["127.0.0.1:8722".into(), "127.0.0.1:8723".into()],
+                vnodes: Some(32),
+                timeout_s: Some(10.0),
+            }
+        );
+        // Workers are mandatory; an empty list is an error too.
+        assert!(parse(&v(&["fleet"])).is_err());
+        assert!(parse(&v(&["fleet", "--workers", ","])).is_err());
+        assert!(parse(&v(&["fleet", "--workers", "a:1", "--vnodes", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen() {
+        assert_eq!(
+            parse(&v(&["loadgen"])).unwrap(),
+            Command::Loadgen {
+                addr: "127.0.0.1:8722".into(),
+                clients: None,
+                requests: None,
+                benchmark: "lbm".into(),
+                cluster: ClusterChoice::A,
+                class: WorkloadClass::Tiny,
+                nranks: None,
+                timeout_s: None,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "loadgen",
+                "tealeaf",
+                "--addr",
+                "127.0.0.1:8700",
+                "--clients",
+                "8",
+                "--requests",
+                "100",
+                "--cluster",
+                "b",
+                "--class",
+                "small",
+                "-n",
+                "16",
+            ]))
+            .unwrap(),
+            Command::Loadgen {
+                addr: "127.0.0.1:8700".into(),
+                clients: Some(8),
+                requests: Some(100),
+                benchmark: "tealeaf".into(),
+                cluster: ClusterChoice::B,
+                class: WorkloadClass::Small,
+                nranks: Some(16),
+                timeout_s: None,
+            }
+        );
+        assert!(parse(&v(&["loadgen", "--clients", "0"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use args::{ClusterChoice, Command, ExecOpts, FaultOpts, USAGE};
 use spechpc::harness::api;
 use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
 use spechpc::harness::faultcfg;
+use spechpc::harness::fleet;
 use spechpc::harness::obs;
 use spechpc::harness::serve;
 use spechpc::power::dvfs;
@@ -347,9 +348,45 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             println!("cache key digest: {}", p.canonical());
             Ok(())
         }
-        Command::BenchSnapshot { quick, check, out } => {
+        Command::BenchSnapshot {
+            quick,
+            check,
+            out,
+            service,
+        } => {
             use spechpc::harness::snapshot;
             let mode = if quick { "quick" } else { "full" };
+            if service {
+                // Service-path trajectory: requests/s and latency
+                // percentiles through a live in-process daemon, same
+                // shape as the engine snapshot below.
+                println!("measuring service snapshot ({mode} mode)…");
+                let snap = snapshot::measure_service(quick).map_err(internal)?;
+                println!("{}", snapshot::render_service(&snap));
+                if let Some(path) = check {
+                    let committed =
+                        snapshot::read_service(std::path::Path::new(&path)).map_err(internal)?;
+                    if let Err(first) =
+                        snapshot::check_service(&snap, &committed, snapshot::SERVICE_TOLERANCE)
+                    {
+                        eprintln!("below tolerance, re-measuring: {first}");
+                        let retry = snapshot::measure_service(false).map_err(internal)?;
+                        println!("{}", snapshot::render_service(&retry));
+                        snapshot::check_service(&retry, &committed, snapshot::SERVICE_TOLERANCE)
+                            .map_err(internal)?;
+                    }
+                    println!(
+                        "ok: within {:.0}% of committed {path}",
+                        snapshot::SERVICE_TOLERANCE * 100.0
+                    );
+                } else {
+                    let path = out.unwrap_or_else(|| "BENCH_service.json".into());
+                    let path = std::path::Path::new(&path);
+                    snapshot::write_service(path, &snap).map_err(internal)?;
+                    println!("snapshot: written to {}", path.display());
+                }
+                return Ok(());
+            }
             println!("measuring perf snapshot ({mode} mode)…");
             let mut snap = snapshot::measure(quick).map_err(internal)?;
             println!("{}", snapshot::render(&snap));
@@ -440,6 +477,7 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             keepalive_max,
             idle_timeout_s,
             read_timeout_s,
+            peers,
             exec,
         } => {
             // One resident executor for the daemon's whole life: its
@@ -455,7 +493,15 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             if !exec.no_cache {
                 exec_cfg = exec_cfg.with_cache_dir(RunCache::default_dir());
             }
-            let executor = Executor::new(RunConfig::default().with_trace(false), exec_cfg);
+            let mut executor = Executor::new(RunConfig::default().with_trace(false), exec_cfg);
+            // In a fleet, a local cache miss consults the peers'
+            // GET /v1/cache/{key} before simulating: runs land on
+            // whichever worker the coordinator hashed them to, but any
+            // worker can replay them byte-identically.
+            if !peers.is_empty() {
+                eprintln!("[serve] peer cache fetch from {}", peers.join(", "));
+                executor = executor.with_peer_fetch(fleet::peer_fetcher(peers));
+            }
             let mut cfg = ServeConfig::default().with_addr(addr);
             if let Some(w) = workers {
                 cfg = cfg.with_workers(w);
@@ -489,6 +535,62 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             server
                 .serve()
                 .map_err(|e| ApiError::internal(format!("serve: {e}")))?;
+            Ok(())
+        }
+        Command::Fleet {
+            addr,
+            workers,
+            vnodes,
+            timeout_s,
+        } => {
+            let mut cfg = fleet::FleetConfig::default()
+                .with_addr(addr)
+                .with_workers(workers);
+            if let Some(v) = vnodes {
+                cfg = cfg.with_vnodes(v);
+            }
+            if let Some(t) = timeout_s {
+                cfg = cfg.with_request_timeout_s(t);
+            }
+            serve::install_signal_handlers();
+            let coordinator = fleet::Coordinator::bind(cfg)
+                .map_err(|e| ApiError::internal(format!("bind: {e}")))?;
+            let bound = coordinator.local_addr().map_err(internal)?;
+            eprintln!(
+                "[fleet] coordinating on http://{bound} — SIGTERM or POST /v1/shutdown drains"
+            );
+            coordinator
+                .serve()
+                .map_err(|e| ApiError::internal(format!("fleet: {e}")))?;
+            Ok(())
+        }
+        Command::Loadgen {
+            addr,
+            clients,
+            requests,
+            benchmark,
+            cluster,
+            class,
+            nranks,
+            timeout_s,
+        } => {
+            let body = RunRequest::new(&benchmark, class, nranks.unwrap_or(0))
+                .with_cluster(cluster_key(cluster))
+                .to_json();
+            let mut cfg = fleet::LoadgenConfig::default()
+                .with_addr(addr)
+                .with_request("POST", "/v1/run", body);
+            if let Some(c) = clients {
+                cfg = cfg.with_clients(c);
+            }
+            if let Some(r) = requests {
+                cfg = cfg.with_requests_per_client(r);
+            }
+            if let Some(t) = timeout_s {
+                cfg = cfg.with_timeout_s(t);
+            }
+            let report = fleet::run_loadgen(&cfg);
+            println!("{}", report.render());
             Ok(())
         }
     }

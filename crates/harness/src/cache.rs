@@ -102,15 +102,21 @@ impl RunKey {
     }
 
     /// Stable 64-bit FNV-1a hash of the canonical form, as 16 hex
-    /// digits — the cache file name.
+    /// digits — the cache file name, and the address fleet peers use
+    /// against `GET /v1/cache/{hash}`.
     pub fn hash_hex(&self) -> String {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in self.canonical().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        format!("{h:016x}")
+        fnv_hex(&self.canonical())
     }
+}
+
+/// FNV-1a 64-bit over `s`, rendered as 16 lowercase hex digits.
+fn fnv_hex(s: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
 }
 
 /// Counters describing how a [`RunCache`] behaved — the LIKWID-counter
@@ -284,6 +290,27 @@ impl RunCache {
             }
             let _ = write_atomically(&path, &encode_entry(&canonical, result));
         }
+    }
+
+    /// The raw entry text addressed by `hash` (a [`RunKey::hash_hex`]
+    /// value) — the read path behind the daemon's `GET /v1/cache/{hash}`
+    /// route, serving the exact bytes [`RunCache::put`] persists so a
+    /// fleet peer's replay stays byte-identical. Memory-resident
+    /// entries re-encode under their canonical key (a fixed point of
+    /// the codec, so identical to the disk write); otherwise the disk
+    /// file is served verbatim. Peer traffic deliberately leaves the
+    /// hit/miss metrics alone — those describe local run execution.
+    pub fn entry_by_hash(&self, hash: &str) -> Option<String> {
+        {
+            let mem = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+            for (canonical, result) in mem.iter() {
+                if fnv_hex(canonical) == hash {
+                    return Some(encode_entry(canonical, result));
+                }
+            }
+        }
+        let path = self.dir.as_ref()?.join(format!("{hash}.json"));
+        std::fs::read_to_string(path).ok()
     }
 
     /// Number of entries resident in memory (test/diagnostic hook).
@@ -816,6 +843,36 @@ mod tests {
             let cache = RunCache::on_disk(&dir);
             assert!(cache.get(&key).is_some());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_by_hash_serves_identical_bytes_from_memory_and_disk() {
+        let dir = std::env::temp_dir().join(format!("spechpc-hash-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig::default();
+        let key = RunKey::new("ClusterB", "pot3d", "tiny", 16, &cfg);
+        let r = sample_result();
+
+        let cache = RunCache::on_disk(&dir);
+        assert!(cache.entry_by_hash(&key.hash_hex()).is_none());
+        cache.put(&key, &r);
+        let from_mem = cache.entry_by_hash(&key.hash_hex()).expect("memory entry");
+        assert_eq!(from_mem, encode_entry(&key.canonical(), &r));
+
+        // A cold cache over the same directory serves the same bytes
+        // straight from the file.
+        let cold = RunCache::on_disk(&dir);
+        let from_disk = cold.entry_by_hash(&key.hash_hex()).expect("disk entry");
+        assert_eq!(from_mem, from_disk);
+        let back = decode_entry(&from_disk, &key.canonical()).expect("decodes");
+        assert!(results_equal(&r, &back));
+
+        // In-memory-only caches answer too; unknown hashes do not.
+        let mem_only = RunCache::in_memory();
+        mem_only.put(&key, &r);
+        assert_eq!(mem_only.entry_by_hash(&key.hash_hex()), Some(from_mem));
+        assert!(mem_only.entry_by_hash("0000000000000000").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -220,8 +220,18 @@ mod imp {
     const POLLERR: i16 = 0x008;
     const POLLHUP: i16 = 0x010;
 
+    // POSIX types `nfds` as `nfds_t`, which is `unsigned int` (32-bit)
+    // on several Unix targets — declaring it `u64` here would make the
+    // call pass a too-wide integer and silently truncate large counts.
+    #[allow(non_camel_case_types)]
+    type nfds_t = std::os::raw::c_uint;
+    const _: () = assert!(
+        std::mem::size_of::<nfds_t>() == 4,
+        "poll(2) nfds_t must be 32-bit on this target; revisit the fallback binding"
+    );
+
     extern "C" {
-        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn poll(fds: *mut PollFd, nfds: nfds_t, timeout: i32) -> i32;
     }
 
     /// poll(2)-backed fallback for non-Linux Unixes. Registration is a
@@ -269,7 +279,10 @@ mod imp {
                     revents: 0,
                 })
                 .collect();
-            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            let nfds: nfds_t = fds.len().try_into().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidInput, "too many fds for poll(2)")
+            })?;
+            let n = unsafe { poll(fds.as_mut_ptr(), nfds, timeout_ms) };
             if n < 0 {
                 let e = io::Error::last_os_error();
                 if e.kind() == io::ErrorKind::Interrupted {

@@ -39,6 +39,13 @@ use crate::cache::{CacheMetrics, RunCache, RunKey};
 use crate::error::HarnessError;
 use crate::runner::{RunConfig, RunResult, SimRunner};
 
+/// Resolver for results computed elsewhere in a fleet: given a
+/// [`RunKey`], return the verified [`RunResult`] a peer daemon already
+/// has cached, or `None` to fall through to local simulation. Consulted
+/// only after a local cache miss; a hit is stored locally so subsequent
+/// replays answer from memory (see [`Executor::with_peer_fetch`]).
+pub type PeerFetch = Arc<dyn Fn(&RunKey) -> Option<RunResult> + Send + Sync>;
+
 /// How the executor schedules, memoizes and supervises runs.
 ///
 /// Marked `#[non_exhaustive]`: construct with [`ExecConfig::default`]
@@ -214,6 +221,9 @@ pub struct ExecMetrics {
     /// Wall-clock seconds per completed grid point, in completion
     /// order, labelled `benchmark/class/nranks@cluster`.
     pub point_wall_s: Vec<(String, f64)>,
+    /// Results served from a fleet peer's cache instead of simulating
+    /// locally (zero without [`Executor::with_peer_fetch`]).
+    pub peer_hits: u64,
 }
 
 impl ExecMetrics {
@@ -229,6 +239,7 @@ struct ExecCounters {
     runs_executed: AtomicU64,
     per_worker: Mutex<Vec<u64>>,
     point_wall: Mutex<Vec<(String, f64)>>,
+    peer_hits: AtomicU64,
 }
 
 /// Parallel, memoizing, fault-tolerant run executor (see the module
@@ -245,6 +256,7 @@ pub struct Executor {
     retries: u32,
     cache: Option<Arc<RunCache>>,
     counters: Arc<ExecCounters>,
+    peer_fetch: Option<PeerFetch>,
 }
 
 impl Executor {
@@ -264,7 +276,23 @@ impl Executor {
             runner: SimRunner::new(run_config),
             cache,
             counters: Arc::new(ExecCounters::default()),
+            peer_fetch: None,
         }
+    }
+
+    /// Builder: consult a fleet peer's cache after a local miss, before
+    /// simulating. A peer hit is stored in the local cache so the next
+    /// replay answers from memory with the same bytes.
+    pub fn with_peer_fetch(mut self, fetch: PeerFetch) -> Self {
+        self.peer_fetch = Some(fetch);
+        self
+    }
+
+    /// The memoization store, when this executor runs cached — how the
+    /// daemon's `GET /v1/cache/{key}` route serves raw entries to
+    /// fleet peers.
+    pub fn cache(&self) -> Option<&RunCache> {
+        self.cache.as_deref()
     }
 
     /// Serial, in-memory-cached executor — the drop-in replacement the
@@ -291,6 +319,7 @@ impl Executor {
             retries: self.retries,
             cache: self.cache.clone(),
             counters: Arc::clone(&self.counters),
+            peer_fetch: self.peer_fetch.clone(),
         }
     }
 
@@ -342,6 +371,17 @@ impl Executor {
             if let Some(cache) = &self.cache {
                 if let Some(hit) = cache.get(&self.key_of(cluster, spec)) {
                     return Ok(hit);
+                }
+            }
+            // Local miss: a fleet peer may already have this result.
+            if let Some(fetch) = &self.peer_fetch {
+                let key = self.key_of(cluster, spec);
+                if let Some(result) = fetch(&key) {
+                    self.counters.peer_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(cache) = &self.cache {
+                        cache.put(&key, &result);
+                    }
+                    return Ok(result);
                 }
             }
         }
@@ -476,6 +516,7 @@ impl Executor {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
+            peer_hits: self.counters.peer_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -812,6 +853,33 @@ mod tests {
         assert_eq!(m.point_wall_s.len(), 2);
         assert_eq!(m.point_wall_s[0].0, "lbm/tiny/4@ClusterA");
         assert!(m.total_wall_s() >= 0.0);
+    }
+
+    #[test]
+    fn peer_fetch_answers_misses_and_fills_the_local_cache() {
+        let cluster = presets::cluster_a();
+        let origin = Arc::new(Executor::new(quick(), ExecConfig::default().with_jobs(1)));
+        let spec = RunSpec::new("lbm", WorkloadClass::Tiny, 6);
+        let fresh = origin.run_one(&cluster, &spec).unwrap();
+
+        let peer = Arc::clone(&origin);
+        let local = Executor::new(quick(), ExecConfig::default().with_jobs(1)).with_peer_fetch(
+            Arc::new(move |key: &RunKey| peer.cache().and_then(|c| c.get(key))),
+        );
+        let replayed = local.run_one(&cluster, &spec).unwrap();
+        assert_eq!(
+            fresh.step_seconds.to_bits(),
+            replayed.step_seconds.to_bits()
+        );
+        let m = local.metrics();
+        assert_eq!(m.peer_hits, 1);
+        assert_eq!(m.runs_executed, 0, "a peer hit must not simulate");
+        // The hit was stored locally: the next replay answers from
+        // memory without consulting the peer again.
+        local.run_one(&cluster, &spec).unwrap();
+        let m = local.metrics();
+        assert_eq!(m.peer_hits, 1);
+        assert_eq!(m.cache.hits_mem, 1);
     }
 
     #[test]

@@ -1,0 +1,1270 @@
+//! `spechpc fleet` — the sharded execution fabric over `spechpc serve`.
+//!
+//! One **coordinator** daemon fronts N **worker** daemons (plain
+//! [`serve`](crate::serve) instances). Requests are routed by
+//! *consistent hashing* on the content-addressed
+//! [`RunKey`]: a [`HashRing`] with virtual nodes
+//! maps each key's 64-bit FNV hash to a preference order of workers, so
+//! the same grid point always lands on the same worker (maximizing its
+//! warm in-memory cache) and adding or losing a worker only remaps the
+//! keys that worker owned.
+//!
+//! | route               | coordinator behaviour                           |
+//! |---------------------|-------------------------------------------------|
+//! | `POST /v1/run`      | forward to the key's worker, failover on death  |
+//! | `POST /v1/suite`    | shard the grid across workers, steal stragglers |
+//! | `GET /v1/health`    | coordinator + per-worker liveness               |
+//! | `GET /v1/metrics`   | routing counters (per-worker routed, failovers) |
+//! | `POST /v1/shutdown` | begin graceful drain                            |
+//!
+//! Fault handling:
+//!
+//! * a **worker registry** tracks liveness; a background prober hits
+//!   each worker's `GET /v1/health` and marks draining or unreachable
+//!   workers dead (and revives them when they answer again);
+//! * a forward that fails at the transport level, or is refused with
+//!   `429`/`503`, **fails over** to the next worker on the ring; runs
+//!   are content-addressed and therefore idempotent, so re-executing a
+//!   request whose first worker died mid-flight is safe;
+//! * suite grids are split into per-worker shards; a worker thread that
+//!   drains its own shard **steals** pending points from the slowest
+//!   shard, so one dead or slow worker cannot stall the suite.
+//!
+//! Byte identity is preserved end to end: run responses are relayed
+//! verbatim, and the coordinator reassembles suite responses in spec
+//! order from the workers' cache-encoded result payloads, so a suite
+//! routed through the fleet is byte-identical to the same suite on a
+//! single daemon. Workers can also *pull* results from each other: the
+//! executor's peer-fetch hook ([`peer_fetcher`]) asks each peer's
+//! `GET /v1/cache/{hash}` before simulating, so a result computed
+//! anywhere is served everywhere.
+//!
+//! [`run_loadgen`] is the synthetic-load client fleet (`spechpc
+//! loadgen`): N keep-alive connections hammering one address, reporting
+//! requests/s and latency percentiles.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use spechpc_kernels::registry::all_benchmarks;
+
+use crate::api::{resolve_cluster, ApiError, RunRequest, SuiteRequest};
+use crate::cache::{self, RunKey};
+use crate::exec::PeerFetch;
+use crate::json::{quote, Json};
+use crate::serve::{encode_response, error_body};
+
+/// FNV-1a 64-bit — the same hash the run cache addresses entries with,
+/// reused for ring placement so routing needs no second hash family.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer. FNV alone distributes the similar short
+/// strings of vnode labels poorly across the high bits; ring points and
+/// routed keys both pass through this mix so placement is uniform.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Exponential backoff between full failover sweeps, mirroring the
+/// executor's transient-retry schedule: 10 ms, 20, 40, … capped 640 ms.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis((10u64 << (attempt.saturating_sub(1)).min(6)).min(640))
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring over worker indices. Each worker contributes
+/// `vnodes` points (hashes of `"worker{i}#vnode{j}"`); a key is routed
+/// to the first point clockwise from its own hash. [`HashRing::preference`]
+/// returns the *full* failover order — every worker exactly once, in
+/// ring order from the key — so callers walk past dead workers without
+/// re-hashing.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, worker)` sorted by point.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl HashRing {
+    pub fn new(workers: usize, vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(workers * vnodes);
+        for w in 0..workers {
+            for v in 0..vnodes {
+                points.push((mix64(fnv64(&format!("worker{w}#vnode{v}"))), w));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, workers }
+    }
+
+    /// All workers in failover order for `key`: the key's owner first,
+    /// then each remaining worker in the order its first point appears
+    /// clockwise.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.workers);
+        if self.points.is_empty() {
+            return order;
+        }
+        let key = mix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = vec![false; self.workers];
+        for i in 0..self.points.len() {
+            let (_, w) = self.points[(start + i) % self.points.len()];
+            if !seen[w] {
+                seen[w] = true;
+                order.push(w);
+                if order.len() == self.workers {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal blocking HTTP client (coordinator → worker, peer fetch, loadgen)
+// ---------------------------------------------------------------------------
+
+/// A decoded upstream response: status, relayed `Retry-After`, body.
+#[derive(Debug, Clone)]
+pub(crate) struct WireResponse {
+    pub status: u16,
+    pub retry_after: Option<u32>,
+    pub body: String,
+}
+
+fn resolve_addr(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("cannot resolve {addr}")))
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: fleet\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Read one `Content-Length`-framed response off a (possibly
+/// keep-alive) stream.
+fn read_response(stream: &mut TcpStream) -> io::Result<WireResponse> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response headers",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    let mut retry_after = None;
+    for line in lines {
+        let Some((k, v)) = line.split_once(':') else {
+            continue;
+        };
+        let v = v.trim();
+        if k.eq_ignore_ascii_case("content-length") {
+            content_length = v
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+        } else if k.eq_ignore_ascii_case("retry-after") {
+            retry_after = v.parse().ok();
+        }
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).to_string();
+    Ok(WireResponse {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+/// One `Connection: close` request/response exchange with timeouts on
+/// connect, read and write.
+pub(crate) fn one_shot(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<WireResponse> {
+    let sockaddr = resolve_addr(addr)?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, timeout.min(Duration::from_secs(2)))?;
+    // Nagle on the client plus delayed ACK on the daemon would stall
+    // every small request/response exchange by ~40 ms.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_request(&mut stream, method, path, body, false)?;
+    read_response(&mut stream)
+}
+
+// ---------------------------------------------------------------------------
+// Worker registry
+// ---------------------------------------------------------------------------
+
+/// The fleet's view of its workers: addresses plus a liveness bit per
+/// worker, flipped by health probes and by transport failures on the
+/// forwarding path.
+pub struct WorkerRegistry {
+    addrs: Vec<String>,
+    alive: Vec<AtomicBool>,
+}
+
+impl WorkerRegistry {
+    pub fn new(addrs: Vec<String>) -> Self {
+        let alive = addrs.iter().map(|_| AtomicBool::new(true)).collect();
+        WorkerRegistry { addrs, alive }
+    }
+
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    pub fn addr(&self, w: usize) -> &str {
+        &self.addrs[w]
+    }
+
+    pub fn is_alive(&self, w: usize) -> bool {
+        self.alive[w].load(Ordering::SeqCst)
+    }
+
+    pub fn mark_dead(&self, w: usize) {
+        self.alive[w].store(false, Ordering::SeqCst);
+    }
+
+    pub fn mark_alive(&self, w: usize) {
+        self.alive[w].store(true, Ordering::SeqCst);
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Probe one worker's `GET /v1/health`. A worker is live iff it
+    /// answers `200` and is not draining — a draining daemon finishes
+    /// its in-flight work but must stop receiving new routes.
+    pub fn probe(&self, w: usize, timeout: Duration) -> bool {
+        let live = match one_shot(&self.addrs[w], "GET", "/v1/health", "", timeout) {
+            Ok(resp) => resp.status == 200 && !resp.body.contains("\"draining\": true"),
+            Err(_) => false,
+        };
+        self.alive[w].store(live, Ordering::SeqCst);
+        live
+    }
+
+    /// Probe every worker once.
+    pub fn probe_all(&self, timeout: Duration) {
+        for w in 0..self.addrs.len() {
+            self.probe(w, timeout);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// How the coordinator listens and routes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FleetConfig {
+    /// Coordinator listen address (`host:port`; port `0` = ephemeral).
+    pub addr: String,
+    /// Worker daemon addresses.
+    pub workers: Vec<String>,
+    /// Virtual nodes per worker on the hash ring.
+    pub vnodes: usize,
+    /// Per-forward timeout (seconds) — covers the slowest simulation.
+    pub request_timeout_s: f64,
+    /// Health-probe cadence (seconds).
+    pub probe_interval_s: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            addr: "127.0.0.1:8700".to_string(),
+            workers: Vec::new(),
+            vnodes: 64,
+            request_timeout_s: 300.0,
+            probe_interval_s: 0.5,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Builder: coordinator listen address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Builder: worker addresses.
+    pub fn with_workers(mut self, workers: Vec<String>) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder: virtual nodes per worker (min 1).
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        self.vnodes = vnodes.max(1);
+        self
+    }
+
+    /// Builder: per-forward timeout in seconds.
+    pub fn with_request_timeout_s(mut self, secs: f64) -> Self {
+        self.request_timeout_s = secs.max(0.1);
+        self
+    }
+
+    /// Builder: health-probe cadence in seconds.
+    pub fn with_probe_interval_s(mut self, secs: f64) -> Self {
+        self.probe_interval_s = secs.max(0.05);
+        self
+    }
+}
+
+/// Shared coordinator state.
+struct FleetCtx {
+    registry: WorkerRegistry,
+    ring: HashRing,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    failovers: AtomicU64,
+    routed: Vec<AtomicU64>,
+    request_timeout: Duration,
+    probe_interval: Duration,
+}
+
+impl FleetCtx {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::serve::signalled()
+    }
+}
+
+/// Drain trigger detached from the [`Coordinator`]'s lifetime, mirroring
+/// [`ShutdownHandle`](crate::serve::ShutdownHandle).
+#[derive(Clone)]
+pub struct FleetShutdownHandle(Arc<FleetCtx>);
+
+impl FleetShutdownHandle {
+    /// Flip the drain latch (idempotent).
+    pub fn request_drain(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The coordinator daemon. Bind with [`Coordinator::bind`], then block
+/// on [`Coordinator::serve`] until drained.
+pub struct Coordinator {
+    listener: TcpListener,
+    ctx: Arc<FleetCtx>,
+}
+
+impl Coordinator {
+    pub fn bind(config: FleetConfig) -> io::Result<Coordinator> {
+        if config.workers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a fleet needs at least one worker address",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let ring = HashRing::new(config.workers.len(), config.vnodes);
+        let routed = config.workers.iter().map(|_| AtomicU64::new(0)).collect();
+        let ctx = Arc::new(FleetCtx {
+            registry: WorkerRegistry::new(config.workers),
+            ring,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            routed,
+            request_timeout: Duration::from_secs_f64(config.request_timeout_s),
+            probe_interval: Duration::from_secs_f64(config.probe_interval_s),
+        });
+        Ok(Coordinator { listener, ctx })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn shutdown_handle(&self) -> FleetShutdownHandle {
+        FleetShutdownHandle(Arc::clone(&self.ctx))
+    }
+
+    /// Accept-and-route until the drain latch flips. Connections are
+    /// handled one thread each — the coordinator's work per request is
+    /// a forward, so the 10k-connection epoll machinery stays on the
+    /// workers where the simulations run.
+    pub fn serve(self) -> io::Result<()> {
+        let Coordinator { listener, ctx } = self;
+        listener.set_nonblocking(true)?;
+        ctx.registry.probe_all(Duration::from_secs(2));
+        let prober = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || {
+                while !ctx.draining() {
+                    ctx.registry.probe_all(Duration::from_secs(2));
+                    // Sleep in short slices so a drain isn't held up by
+                    // a long probe interval.
+                    let mut slept = Duration::ZERO;
+                    while slept < ctx.probe_interval && !ctx.draining() {
+                        let step = (ctx.probe_interval - slept).min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            })
+        };
+        let mut handlers = Vec::new();
+        while !ctx.draining() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let ctx = Arc::clone(&ctx);
+                    handlers.push(std::thread::spawn(move || handle_conn(stream, &ctx)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = prober.join();
+        Ok(())
+    }
+}
+
+/// One coordinator connection: parse framed requests, route, answer,
+/// keep alive until the client closes or the fleet drains.
+fn handle_conn(mut stream: TcpStream, ctx: &Arc<FleetCtx>) {
+    let _ = stream.set_read_timeout(Some(ctx.request_timeout + Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Read until one complete request is buffered.
+        let (method, path, body, keep_alive, consumed) = loop {
+            if let Some(parsed) = parse_buffered(&buf) {
+                break parsed;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        buf.drain(..consumed);
+        let keep = keep_alive && !ctx.draining();
+        let (status, body, retry_after) = route(ctx, &method, &path, &body);
+        let bytes = encode_response(status, &body, retry_after, keep);
+        if stream.write_all(&bytes).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// Parse one buffered request, if complete:
+/// `(method, path, body, keep_alive, bytes_consumed)`. The coordinator
+/// accepts the same framing the workers emit (`Content-Length`, no
+/// chunked encoding).
+#[allow(clippy::type_complexity)]
+fn parse_buffered(buf: &[u8]) -> Option<(String, String, String, bool, usize)> {
+    let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let mut start = lines.next().unwrap_or_default().split_whitespace();
+    let method = start.next().unwrap_or_default().to_string();
+    let target = start.next().unwrap_or_default().to_string();
+    let version = start.next().unwrap_or("HTTP/1.1").to_string();
+    let mut content_length = 0usize;
+    let mut connection = String::new();
+    for line in lines {
+        let Some((k, v)) = line.split_once(':') else {
+            continue;
+        };
+        let v = v.trim();
+        if k.eq_ignore_ascii_case("content-length") {
+            content_length = v.parse().unwrap_or(0);
+        } else if k.eq_ignore_ascii_case("connection") {
+            connection = v.to_ascii_lowercase();
+        }
+    }
+    let total = header_end + 4 + content_length;
+    if buf.len() < total {
+        return None;
+    }
+    let keep_alive = if version.eq_ignore_ascii_case("HTTP/1.0") {
+        connection.split(',').any(|t| t.trim() == "keep-alive")
+    } else {
+        !connection.split(',').any(|t| t.trim() == "close")
+    };
+    let path = target
+        .split_once('?')
+        .map(|(p, _)| p.to_string())
+        .unwrap_or(target);
+    let body = String::from_utf8_lossy(&buf[header_end + 4..total]).to_string();
+    Some((method, path, body, keep_alive, total))
+}
+
+/// Coordinator routing: `(status, body, relayed Retry-After)`.
+fn route(ctx: &Arc<FleetCtx>, method: &str, path: &str, body: &str) -> (u16, String, Option<u32>) {
+    ctx.requests.fetch_add(1, Ordering::Relaxed);
+    let refused = |e: ApiError| {
+        let retry = matches!(e.status, 429 | 503).then_some(1);
+        (e.status, error_body(&e), retry)
+    };
+    match (method, path) {
+        ("GET", "/v1/health") => (200, fleet_health_json(ctx), None),
+        ("GET", "/v1/metrics") => (200, fleet_metrics_json(ctx), None),
+        ("POST", "/v1/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            (200, "{\"status\":\"draining\"}\n".to_string(), None)
+        }
+        _ if ctx.draining() => refused(ApiError::shutting_down()),
+        ("POST", "/v1/run") => match forward_run(ctx, body) {
+            Ok(resp) => (resp.status, resp.body, resp.retry_after),
+            Err(e) => refused(e),
+        },
+        ("POST", "/v1/suite") => match fan_out_suite(ctx, body) {
+            Ok((status, body)) => (status, body, None),
+            Err(e) => refused(e),
+        },
+        _ => refused(ApiError::not_found(format!("no route for {method} {path}"))),
+    }
+}
+
+fn fleet_health_json(ctx: &FleetCtx) -> String {
+    let workers = (0..ctx.registry.len())
+        .map(|w| {
+            Json::Obj(vec![
+                ("addr".into(), Json::from(ctx.registry.addr(w))),
+                ("alive".into(), Json::from(ctx.registry.is_alive(w))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("status".into(), Json::from("ok")),
+        ("role".into(), Json::from("coordinator")),
+        ("workers".into(), Json::Arr(workers)),
+        ("draining".into(), Json::from(ctx.draining())),
+    ])
+    .render()
+}
+
+fn fleet_metrics_json(ctx: &FleetCtx) -> String {
+    Json::Obj(vec![
+        (
+            "requests".into(),
+            Json::from(ctx.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "failovers".into(),
+            Json::from(ctx.failovers.load(Ordering::Relaxed)),
+        ),
+        (
+            "workers_alive".into(),
+            Json::from(ctx.registry.live_count()),
+        ),
+        (
+            "per_worker_routed".into(),
+            Json::Arr(
+                ctx.routed
+                    .iter()
+                    .map(|r| Json::from(r.load(Ordering::Relaxed)))
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+/// The ring hash of one run request — the same FNV the cache files are
+/// named by, so routing follows data placement exactly.
+fn key_hash_of(req: &RunRequest) -> Result<u64, ApiError> {
+    let cluster = resolve_cluster(&req.cluster)?;
+    let spec = req.spec(&cluster);
+    let key = RunKey::new(
+        &cluster.name,
+        &spec.benchmark,
+        &spec.class.to_string(),
+        spec.nranks,
+        &req.config,
+    );
+    Ok(fnv64(&key.canonical()))
+}
+
+/// Forward one `POST /v1/run` body to the key's worker, failing over
+/// along the ring. Dead workers are skipped (and marked); `429`/`503`
+/// refusals also fail over — another worker may have capacity — and the
+/// whole ring is retried with backoff before giving up. Re-forwarding
+/// is safe: runs are content-addressed, so the worst case is a
+/// recomputed (identical) result.
+fn forward_run(ctx: &Arc<FleetCtx>, body: &str) -> Result<WireResponse, ApiError> {
+    let req = RunRequest::from_json(body)?;
+    let hash = key_hash_of(&req)?;
+    forward_with_failover(ctx, hash, "POST", "/v1/run", body)
+}
+
+fn forward_with_failover(
+    ctx: &Arc<FleetCtx>,
+    key_hash: u64,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<WireResponse, ApiError> {
+    const SWEEPS: u32 = 4;
+    let order = ctx.ring.preference(key_hash);
+    let mut last_refusal: Option<WireResponse> = None;
+    for sweep in 0..SWEEPS {
+        if sweep > 0 {
+            std::thread::sleep(backoff(sweep));
+        }
+        // Live workers in ring order first, then one shot at the dead
+        // ones — a "dead" worker may be back before the prober notices.
+        let pass: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&w| ctx.registry.is_alive(w))
+            .chain(order.iter().copied().filter(|&w| !ctx.registry.is_alive(w)))
+            .collect();
+        for (i, w) in pass.into_iter().enumerate() {
+            match one_shot(
+                ctx.registry.addr(w),
+                method,
+                path,
+                body,
+                ctx.request_timeout,
+            ) {
+                Ok(resp) if matches!(resp.status, 429 | 503) => {
+                    last_refusal = Some(resp);
+                }
+                Ok(resp) => {
+                    ctx.registry.mark_alive(w);
+                    ctx.routed[w].fetch_add(1, Ordering::Relaxed);
+                    if i > 0 || sweep > 0 {
+                        ctx.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(resp);
+                }
+                Err(_) => ctx.registry.mark_dead(w),
+            }
+        }
+    }
+    match last_refusal {
+        Some(resp) => Ok(resp),
+        None => Err(ApiError::new(
+            503,
+            "no_workers",
+            "no live worker reachable for this request",
+        )),
+    }
+}
+
+/// One suite grid point, pre-serialized for forwarding.
+struct SuitePoint {
+    /// `benchmark/class/nranks@cluster` — the failure label.
+    label: String,
+    key_hash: u64,
+    body: String,
+}
+
+/// A routed point's outcome: the worker's run body, or the failure the
+/// suite report blames.
+type PointOutcome = Result<String, (String, String)>;
+
+/// Shard a `POST /v1/suite` across the fleet and reassemble the exact
+/// single-daemon response bytes: results in spec (Table 1) order, each
+/// spliced verbatim from the owning worker's cache-encoded run payload.
+fn fan_out_suite(ctx: &Arc<FleetCtx>, body: &str) -> Result<(u16, String), ApiError> {
+    let req = SuiteRequest::from_json(body)?;
+    let cluster = resolve_cluster(&req.cluster)?;
+    let nranks = if req.nranks == 0 {
+        cluster.node.cores()
+    } else {
+        req.nranks
+    };
+    let points: Vec<SuitePoint> = all_benchmarks()
+        .iter()
+        .filter(|b| match req.class {
+            spechpc_kernels::common::config::WorkloadClass::Medium
+            | spechpc_kernels::common::config::WorkloadClass::Large => {
+                b.meta().supports_medium_large
+            }
+            _ => true,
+        })
+        .map(|b| {
+            let run = RunRequest::new(b.meta().name, req.class, nranks)
+                .with_cluster(req.cluster.clone())
+                .with_config(req.config.clone());
+            let label = format!(
+                "{}/{}/{}@{}",
+                b.meta().name,
+                req.class,
+                nranks,
+                cluster.name
+            );
+            let key_hash = key_hash_of(&run).expect("cluster already resolved");
+            SuitePoint {
+                label,
+                key_hash,
+                body: run.to_json(),
+            }
+        })
+        .collect();
+
+    // Shard by ring ownership; per-worker queues, stolen when drained.
+    let shards: Vec<Mutex<VecDeque<usize>>> = (0..ctx.registry.len())
+        .map(|_| Mutex::new(VecDeque::new()))
+        .collect();
+    for (i, p) in points.iter().enumerate() {
+        let owner = ctx
+            .ring
+            .preference(p.key_hash)
+            .into_iter()
+            .find(|&w| ctx.registry.is_alive(w))
+            .unwrap_or(0);
+        shards[owner]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(i);
+    }
+    let outcomes: Vec<Mutex<Option<PointOutcome>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..ctx.registry.len() {
+            let shards = &shards;
+            let outcomes = &outcomes;
+            let points = &points;
+            scope.spawn(move || loop {
+                // Own shard first, then steal from the longest queue —
+                // a dead or slow worker's backlog drains through its
+                // peers instead of stalling the suite. The own-queue
+                // guard must be dropped before scanning the others: the
+                // scan re-locks every shard, including our own.
+                let own = shards[w]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                let claimed = match own {
+                    Some(i) => Some(i),
+                    None => shards
+                        .iter()
+                        .max_by_key(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+                        .and_then(|s| s.lock().unwrap_or_else(|e| e.into_inner()).pop_back()),
+                };
+                let Some(i) = claimed else { break };
+                let p = &points[i];
+                let outcome =
+                    match forward_with_failover(ctx, p.key_hash, "POST", "/v1/run", &p.body) {
+                        Ok(resp) if resp.status == 200 => Ok(resp.body),
+                        Ok(resp) => Err(ApiError::from_json(&resp.body)
+                            .map(|e| (e.code, e.message))
+                            .unwrap_or_else(|| {
+                                (
+                                    "internal".to_string(),
+                                    format!("worker sent {}", resp.status),
+                                )
+                            })),
+                        Err(e) => Err((e.code, e.message)),
+                    };
+                *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+            });
+        }
+    });
+
+    // Reassemble the exact SuiteResponse byte format.
+    let mut results: Vec<&str> = Vec::new();
+    let mut failures: Vec<(&str, String, String)> = Vec::new();
+    let collected: Vec<PointOutcome> = outcomes
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| {
+                    Err((
+                        "internal".to_string(),
+                        "shard worker exited without depositing a result".to_string(),
+                    ))
+                })
+        })
+        .collect();
+    for (i, outcome) in collected.iter().enumerate() {
+        match outcome {
+            Ok(run_body) => {
+                // A run body is `{\n  "result": <encoded>\n}\n`; splice
+                // the cache-encoded result back out verbatim.
+                let inner = run_body
+                    .strip_prefix("{\n  \"result\": ")
+                    .and_then(|s| s.strip_suffix("\n}\n"));
+                match inner {
+                    Some(encoded) => results.push(encoded),
+                    None => failures.push((
+                        &points[i].label,
+                        "internal".to_string(),
+                        "worker sent an unparseable run payload".to_string(),
+                    )),
+                }
+            }
+            Err((code, message)) => {
+                failures.push((&points[i].label, code.clone(), message.clone()))
+            }
+        }
+    }
+    let complete = failures.is_empty();
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"cluster\": {},\n", quote(&cluster.name)));
+    s.push_str(&format!(
+        "  \"class\": {},\n",
+        quote(&req.class.to_string())
+    ));
+    s.push_str(&format!("  \"complete\": {complete},\n"));
+    s.push_str("  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        s.push_str(r);
+    }
+    s.push_str("],\n  \"failures\": [");
+    for (i, (label, code, message)) in failures.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "    {{ \"label\": {}, \"error\": {}, \"message\": {} }}",
+            quote(label),
+            quote(code),
+            quote(message)
+        ));
+    }
+    s.push_str("]\n}\n");
+    Ok((if complete { 200 } else { 207 }, s))
+}
+
+// ---------------------------------------------------------------------------
+// Peer cache fetch (worker → worker)
+// ---------------------------------------------------------------------------
+
+/// How long a peer-cache lookup may take before the worker gives up and
+/// simulates locally — a peer fetch must never cost more than a small
+/// fraction of the run it would save.
+const PEER_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Build the executor's peer-fetch hook over a fleet's peer list: on a
+/// local cache miss, ask each peer's `GET /v1/cache/{hash}` and verify
+/// the returned entry against the full canonical key
+/// ([`cache::decode_entry`] checks schema and key, so a hash collision
+/// or stale peer can never smuggle in a wrong result). Unreachable
+/// peers are skipped silently — a miss just means simulating locally.
+pub fn peer_fetcher(peers: Vec<String>) -> PeerFetch {
+    Arc::new(move |key: &RunKey| {
+        let path = format!("/v1/cache/{}", key.hash_hex());
+        let canonical = key.canonical();
+        for addr in &peers {
+            if let Ok(resp) = one_shot(addr, "GET", &path, "", PEER_FETCH_TIMEOUT) {
+                if resp.status == 200 {
+                    if let Some(result) = cache::decode_entry(&resp.body, &canonical) {
+                        return Some(result);
+                    }
+                }
+            }
+        }
+        None
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Load generator (`spechpc loadgen`)
+// ---------------------------------------------------------------------------
+
+/// One synthetic-load campaign: `clients` keep-alive connections each
+/// sending `requests_per_client` identical requests.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LoadgenConfig {
+    /// Target address (worker or coordinator).
+    pub addr: String,
+    /// Concurrent keep-alive client connections.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Request method + path + body.
+    pub method: String,
+    pub path: String,
+    pub body: String,
+    /// Per-request timeout in seconds.
+    pub timeout_s: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8722".to_string(),
+            clients: 32,
+            requests_per_client: 64,
+            method: "POST".to_string(),
+            path: "/v1/run".to_string(),
+            body: String::new(),
+            timeout_s: 60.0,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients.max(1);
+        self
+    }
+
+    pub fn with_requests_per_client(mut self, requests: usize) -> Self {
+        self.requests_per_client = requests.max(1);
+        self
+    }
+
+    pub fn with_request(
+        mut self,
+        method: impl Into<String>,
+        path: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Self {
+        self.method = method.into();
+        self.path = path.into();
+        self.body = body.into();
+        self
+    }
+
+    pub fn with_timeout_s(mut self, secs: f64) -> Self {
+        self.timeout_s = secs.max(0.1);
+        self
+    }
+}
+
+/// What a loadgen campaign measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    pub sent: usize,
+    pub ok: usize,
+    pub non_2xx: usize,
+    pub transport_errors: usize,
+    pub elapsed_s: f64,
+    pub requests_per_s: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+}
+
+impl LoadgenReport {
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} requests in {:.2} s → {:.0} req/s · ok {} · non-2xx {} · transport errors {} · \
+             p50 {:.2} ms · p99 {:.2} ms",
+            self.sent,
+            self.elapsed_s,
+            self.requests_per_s,
+            self.ok,
+            self.non_2xx,
+            self.transport_errors,
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+}
+
+/// `sorted` percentile by nearest-rank on an ascending slice.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] * 1e3
+}
+
+/// Run one synthetic-load campaign: every client opens one keep-alive
+/// connection and pipelines `requests_per_client` request/response
+/// exchanges, reconnecting (and counting a transport error) if the
+/// server closes it. Latency is measured per exchange.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    let timeout = Duration::from_secs_f64(cfg.timeout_s);
+    let t0 = Instant::now();
+    let mut per_client: Vec<(Vec<f64>, usize, usize, usize)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.clients);
+        for _ in 0..cfg.clients {
+            handles.push(scope.spawn(|| {
+                let mut latencies = Vec::with_capacity(cfg.requests_per_client);
+                let (mut ok, mut non_2xx, mut transport) = (0usize, 0usize, 0usize);
+                let mut conn: Option<TcpStream> = None;
+                for _ in 0..cfg.requests_per_client {
+                    let stream = match conn.take() {
+                        Some(s) => s,
+                        None => {
+                            match resolve_addr(&cfg.addr)
+                                .and_then(|a| TcpStream::connect_timeout(&a, timeout))
+                            {
+                                Ok(s) => {
+                                    let _ = s.set_nodelay(true);
+                                    let _ = s.set_read_timeout(Some(timeout));
+                                    let _ = s.set_write_timeout(Some(timeout));
+                                    s
+                                }
+                                Err(_) => {
+                                    transport += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    let mut stream = stream;
+                    let t = Instant::now();
+                    let exchange =
+                        write_request(&mut stream, &cfg.method, &cfg.path, &cfg.body, true)
+                            .and_then(|()| read_response(&mut stream));
+                    match exchange {
+                        Ok(resp) => {
+                            latencies.push(t.elapsed().as_secs_f64());
+                            if (200..300).contains(&resp.status) {
+                                ok += 1;
+                            } else {
+                                non_2xx += 1;
+                            }
+                            conn = Some(stream);
+                        }
+                        Err(_) => transport += 1,
+                    }
+                }
+                (latencies, ok, non_2xx, transport)
+            }));
+        }
+        for h in handles {
+            if let Ok(r) = h.join() {
+                per_client.push(r);
+            }
+        }
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut ok, mut non_2xx, mut transport_errors) = (0, 0, 0);
+    for (lat, o, n, t) in per_client {
+        latencies.extend(lat);
+        ok += o;
+        non_2xx += n;
+        transport_errors += t;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let sent = cfg.clients * cfg.requests_per_client;
+    LoadgenReport {
+        sent,
+        ok,
+        non_2xx,
+        transport_errors,
+        elapsed_s,
+        requests_per_s: if elapsed_s > 0.0 {
+            (ok + non_2xx) as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spechpc_kernels::common::config::WorkloadClass;
+
+    #[test]
+    fn ring_routing_is_deterministic_and_covers_every_worker() {
+        let ring = HashRing::new(3, 64);
+        for key in [0u64, 1, u64::MAX, 0xdeadbeef, fnv64("v3|lbm|ClusterA")] {
+            let order = ring.preference(key);
+            assert_eq!(order.len(), 3, "every worker appears once");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            assert_eq!(order, ring.preference(key), "routing is deterministic");
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_and_mostly_survives_resize() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        let keys: Vec<u64> = (0..1000).map(|i| fnv64(&format!("key{i}"))).collect();
+        for &k in &keys {
+            counts[ring.preference(k)[0]] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(
+                (100..500).contains(&c),
+                "worker {w} owns {c} of 1000 keys — ring is badly skewed"
+            );
+        }
+        // Consistent hashing's point: adding a worker remaps only a
+        // fraction of the keyspace.
+        let bigger = HashRing::new(5, 64);
+        let moved = keys
+            .iter()
+            .filter(|&&k| {
+                let old = ring.preference(k)[0];
+                let new = bigger.preference(k)[0];
+                new != old && new != 4
+            })
+            .count();
+        assert!(
+            moved < 100,
+            "{moved} of 1000 keys moved between surviving workers"
+        );
+    }
+
+    #[test]
+    fn key_hash_matches_the_cache_file_name() {
+        let req = RunRequest::new("lbm", WorkloadClass::Tiny, 4);
+        let cluster = resolve_cluster(&req.cluster).unwrap();
+        let spec = req.spec(&cluster);
+        let key = RunKey::new(
+            &cluster.name,
+            &spec.benchmark,
+            &spec.class.to_string(),
+            spec.nranks,
+            &req.config,
+        );
+        let hash = key_hash_of(&req).unwrap();
+        assert_eq!(
+            format!("{hash:016x}"),
+            key.hash_hex(),
+            "ring placement must follow cache placement"
+        );
+    }
+
+    #[test]
+    fn buffered_parser_frames_requests_and_keep_alive() {
+        let raw = b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbodyGET /v1/health HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (method, path, body, keep, consumed) = parse_buffered(raw).unwrap();
+        assert_eq!((method.as_str(), path.as_str()), ("POST", "/v1/run"));
+        assert_eq!(body, "body");
+        assert!(keep, "HTTP/1.1 defaults to keep-alive");
+        let rest = &raw[consumed..];
+        let (method, path, body, keep, _) = parse_buffered(rest).unwrap();
+        assert_eq!((method.as_str(), path.as_str()), ("GET", "/v1/health"));
+        assert!(body.is_empty());
+        assert!(!keep, "explicit close wins");
+        assert!(
+            parse_buffered(&raw[..10]).is_none(),
+            "partials stay partial"
+        );
+    }
+
+    #[test]
+    fn percentiles_and_backoff_are_sane() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64 / 1e3).collect();
+        assert!((percentile_ms(&sorted, 50.0) - 50.0).abs() < 1.5);
+        assert!((percentile_ms(&sorted, 99.0) - 99.0).abs() < 1.5);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(backoff(1), Duration::from_millis(10));
+        assert_eq!(backoff(4), Duration::from_millis(80));
+        assert_eq!(backoff(32), Duration::from_millis(640));
+    }
+
+    #[test]
+    fn registry_marks_unreachable_workers_dead() {
+        // A bound-then-dropped listener yields a connection refusal.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let reg = WorkerRegistry::new(vec![addr]);
+        assert!(reg.is_alive(0), "workers start presumed-live");
+        assert!(!reg.probe(0, Duration::from_millis(200)));
+        assert!(!reg.is_alive(0));
+        assert_eq!(reg.live_count(), 0);
+        reg.mark_alive(0);
+        assert_eq!(reg.live_count(), 1);
+    }
+}

@@ -24,6 +24,7 @@ pub mod error;
 pub mod exec;
 pub mod experiments;
 pub mod faultcfg;
+pub mod fleet;
 pub mod json;
 pub mod obs;
 pub mod report;
@@ -36,6 +37,10 @@ pub use api::{ApiError, RunRequest, RunResponse, SuiteRequest, SuiteResponse};
 pub use cache::{CacheMetrics, RunCache, RunKey};
 pub use error::HarnessError;
 pub use exec::{ExecConfig, ExecMetrics, Executor, GridFailure, GridReport, RunSpec};
+pub use fleet::{
+    peer_fetcher, run_loadgen, Coordinator, FleetConfig, FleetShutdownHandle, HashRing,
+    LoadgenConfig, LoadgenReport, WorkerRegistry,
+};
 pub use runner::{RunConfig, RunResult, SimRunner};
 pub use serve::{install_signal_handlers, ServeConfig, Server, ShutdownHandle};
 pub use suite::{Suite, SuiteReport};

@@ -109,6 +109,7 @@ pub fn metrics_table(title: &str, m: &ExecMetrics) -> Result<Table, ReportError>
     let mut t = Table::new(title, &["metric", "value"]);
     let kv = |t: &mut Table, k: &str, v: String| t.row(vec![k.to_string(), v]);
     kv(&mut t, "runs executed", m.runs_executed.to_string())?;
+    kv(&mut t, "peer cache hits", m.peer_hits.to_string())?;
     kv(&mut t, "cache hits (memory)", m.cache.hits_mem.to_string())?;
     kv(&mut t, "cache hits (disk)", m.cache.hits_disk.to_string())?;
     kv(&mut t, "cache misses", m.cache.misses.to_string())?;
@@ -137,6 +138,7 @@ pub fn metrics_table(title: &str, m: &ExecMetrics) -> Result<Table, ReportError>
 pub fn metrics_to_csv(m: &ExecMetrics) -> String {
     let mut out = String::from("metric,value\n");
     out.push_str(&format!("runs_executed,{}\n", m.runs_executed));
+    out.push_str(&format!("peer_hits,{}\n", m.peer_hits));
     out.push_str(&format!("cache_hits_mem,{}\n", m.cache.hits_mem));
     out.push_str(&format!("cache_hits_disk,{}\n", m.cache.hits_disk));
     out.push_str(&format!("cache_misses,{}\n", m.cache.misses));
@@ -226,6 +228,7 @@ mod tests {
     fn metrics_render_as_table_and_csv() {
         let m = ExecMetrics {
             runs_executed: 3,
+            peer_hits: 0,
             cache: CacheMetrics {
                 hits_mem: 2,
                 hits_disk: 1,

@@ -23,6 +23,7 @@
 //! | `POST /v1/run`         | one [`RunRequest`] → [`RunResponse`](crate::api::RunResponse) |
 //! | `POST /v1/suite`       | one [`SuiteRequest`] → suite report         |
 //! | `GET /v1/profile/{b}`  | MPI profile tables for one cached run       |
+//! | `GET /v1/cache/{hash}` | raw cache entry by [`RunKey`](crate::cache::RunKey) hash (fleet peer fetch) |
 //! | `GET /v1/metrics`      | resident executor/cache counters            |
 //! | `GET /v1/health`       | liveness, in-flight + open-connection gauges |
 //! | `POST /v1/shutdown`    | begin graceful drain                        |
@@ -193,6 +194,12 @@ impl ServeConfig {
 /// Process-wide SIGTERM/SIGINT latch (signal handlers must be static).
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
 
+/// Whether a SIGTERM/SIGINT has been latched — the fleet coordinator
+/// shares the drain signal with the worker daemon.
+pub(crate) fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
 extern "C" fn on_signal(_sig: i32) {
     SIGNALLED.store(true, Ordering::SeqCst);
 }
@@ -227,6 +234,15 @@ struct Ctx {
 impl Ctx {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    /// The `Retry-After` hint for `status` at the current load.
+    fn retry_after(&self, status: u16) -> Option<u32> {
+        retry_after_of(
+            status,
+            self.sim_inflight.load(Ordering::SeqCst),
+            self.max_inflight,
+        )
     }
 }
 
@@ -482,7 +498,12 @@ fn reason_of(status: u16) -> &'static str {
 /// `Retry-After`), no date, no server version — a cached replay is
 /// byte-identical to the response that simulated, and `Connection:
 /// close` responses are byte-identical to the pre-event-loop daemon's.
-fn encode_response(status: u16, body: &str, retry_after: Option<u32>, keep_alive: bool) -> Vec<u8> {
+pub(crate) fn encode_response(
+    status: u16,
+    body: &str,
+    retry_after: Option<u32>,
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
@@ -500,12 +521,20 @@ fn encode_response(status: u16, body: &str, retry_after: Option<u32>, keep_alive
 }
 
 /// Saturation and drain answers carry `Retry-After` so polite clients
-/// back off instead of hammering.
-fn retry_after_of(status: u16) -> Option<u32> {
-    matches!(status, 429 | 503).then_some(1)
+/// back off instead of hammering. The hint scales with the in-flight
+/// simulation load at encode time: an idle daemon says 1 s, a daemon at
+/// its cap says 5 s, and a deeply saturated fleet keeps stretching up
+/// to a 60 s ceiling — so backoff is proportional to how long the
+/// backlog will realistically take to clear.
+fn retry_after_of(status: u16, inflight: usize, cap: usize) -> Option<u32> {
+    matches!(status, 429 | 503).then(|| {
+        let cap = cap.max(1) as u64;
+        let load = 4 * inflight as u64 / cap;
+        (1 + load).min(60) as u32
+    })
 }
 
-fn error_body(e: &ApiError) -> String {
+pub(crate) fn error_body(e: &ApiError) -> String {
     let mut body = e.to_json();
     body.push('\n');
     body
@@ -540,6 +569,9 @@ fn route_fast(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/metrics") => Ok((200, metrics_json(ctx))),
         ("GET", "/v1/health") => Ok((200, health_json(ctx))),
+        ("GET", path) if path.starts_with("/v1/cache/") => {
+            cache_entry(ctx, &path["/v1/cache/".len()..])
+        }
         ("POST", "/v1/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Ok((200, "{\"status\":\"draining\"}\n".to_string()))
@@ -548,6 +580,31 @@ fn route_fast(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
             "no route for {} {path}",
             req.method
         ))),
+    }
+}
+
+/// `GET /v1/cache/{hash}` — one raw cache entry, addressed by its
+/// [`RunKey::hash_hex`](crate::cache::RunKey::hash_hex) value, served
+/// with the exact bytes the cache persists so a fleet peer's replay is
+/// byte-identical to a local one. Served inline on the loop thread
+/// (memory scan or one small file read); `404` for unknown keys and
+/// for daemons running `--no-cache`.
+fn cache_entry(ctx: &Ctx, hash: &str) -> Result<(u16, String), ApiError> {
+    // The hash is used as a file name: accept only the exact shape
+    // `RunKey::hash_hex` emits (16 lowercase hex digits) so a crafted
+    // path can never traverse outside the cache directory.
+    let well_formed = hash.len() == 16
+        && hash
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+    if !well_formed {
+        return Err(ApiError::bad_request(
+            "cache key must be 16 lowercase hex digits",
+        ));
+    }
+    match ctx.exec.cache().and_then(|c| c.entry_by_hash(hash)) {
+        Some(text) => Ok((200, text)),
+        None => Err(ApiError::not_found(format!("no cache entry {hash}"))),
     }
 }
 
@@ -655,6 +712,7 @@ fn metrics_json(ctx: &Ctx) -> String {
     let m = ctx.exec.metrics();
     Json::Obj(vec![
         ("runs_executed".into(), Json::from(m.runs_executed)),
+        ("peer_hits".into(), Json::from(m.peer_hits)),
         (
             "cache".into(),
             Json::Obj(vec![
@@ -787,8 +845,8 @@ mod ev {
         close: bool,
     }
 
-    fn append_response(conn: &mut Conn, status: u16, body: &str, keep: bool) {
-        let bytes = encode_response(status, body, retry_after_of(status), keep);
+    fn append_response(ctx: &Ctx, conn: &mut Conn, status: u16, body: &str, keep: bool) {
+        let bytes = encode_response(status, body, ctx.retry_after(status), keep);
         conn.out.extend_from_slice(&bytes);
     }
 
@@ -928,7 +986,7 @@ mod ev {
             if ctx.log_requests {
                 log_line(&ctx, &req.method, &req.path, status, body.len(), t0);
             }
-            let bytes = encode_response(status, &body, retry_after_of(status), keep_alive);
+            let bytes = encode_response(status, &body, ctx.retry_after(status), keep_alive);
             // Release the slot before publishing the completion so the
             // in-flight gauge never over-reports past the response.
             drop(slot);
@@ -950,7 +1008,7 @@ mod ev {
     /// already arrived are discarded first (closing with unread data in
     /// the socket turns into an RST that can destroy the 503 before the
     /// client reads it), then the response goes out in one write.
-    fn refuse_over_limit(mut stream: TcpStream, max: usize) {
+    fn refuse_over_limit(ctx: &Ctx, mut stream: TcpStream, max: usize) {
         let mut scratch = [0u8; 4096];
         for _ in 0..8 {
             match stream.read(&mut scratch) {
@@ -959,7 +1017,7 @@ mod ev {
             }
         }
         let e = ApiError::connection_limit(max);
-        let bytes = encode_response(e.status, &error_body(&e), retry_after_of(e.status), false);
+        let bytes = encode_response(e.status, &error_body(&e), ctx.retry_after(e.status), false);
         let _ = stream.write(&bytes);
     }
 
@@ -992,7 +1050,7 @@ mod ev {
                             continue;
                         }
                         if self.ctx.open_conns.load(Ordering::SeqCst) >= self.max_conns {
-                            refuse_over_limit(stream, self.max_conns);
+                            refuse_over_limit(&self.ctx, stream, self.max_conns);
                             continue;
                         }
                         let idx = match self.free.pop() {
@@ -1069,7 +1127,7 @@ mod ev {
                         if conn.read_closed {
                             if !conn.buf.is_empty() {
                                 let e = ApiError::bad_request("connection closed mid-request");
-                                append_response(conn, e.status, &error_body(&e), false);
+                                append_response(&self.ctx, conn, e.status, &error_body(&e), false);
                             }
                             conn.close_after_flush = true;
                         }
@@ -1078,7 +1136,7 @@ mod ev {
                     Parsed::Bad(e) => {
                         // The parse position is unrecoverable: answer
                         // and close.
-                        append_response(conn, e.status, &error_body(&e), false);
+                        append_response(&self.ctx, conn, e.status, &error_body(&e), false);
                         conn.close_after_flush = true;
                         break;
                     }
@@ -1117,7 +1175,7 @@ mod ev {
                                             Instant::now(),
                                         );
                                     }
-                                    append_response(conn, e.status, &body, keep_err);
+                                    append_response(&self.ctx, conn, e.status, &body, keep_err);
                                     if !keep_err {
                                         conn.close_after_flush = true;
                                     }
@@ -1140,7 +1198,7 @@ mod ev {
                             if self.ctx.log_requests {
                                 log_line(&self.ctx, &req.method, &req.path, status, body.len(), t0);
                             }
-                            append_response(conn, status, &body, keep);
+                            append_response(&self.ctx, conn, status, &body, keep);
                             if !keep {
                                 conn.close_after_flush = true;
                             }
@@ -1177,10 +1235,14 @@ mod ev {
                 req,
                 slot,
             };
-            let tx = self
-                .tx
-                .as_ref()
-                .expect("dispatch channel outlives the loop");
+            // A missing or disconnected channel means the worker pool
+            // is gone (torn down during drain, or every worker died).
+            // Either way the daemon must degrade to a typed refusal and
+            // drain — never panic the event loop, which would abort
+            // every open connection mid-response.
+            let Some(tx) = self.tx.as_ref() else {
+                return Err(Box::new((job.req, ApiError::shutting_down())));
+            };
             match tx.try_send(job) {
                 Ok(()) => Ok(()),
                 Err(TrySendError::Full(job)) => Err(Box::new((
@@ -1188,6 +1250,10 @@ mod ev {
                     ApiError::saturated("dispatch queue full"),
                 ))),
                 Err(TrySendError::Disconnected(job)) => {
+                    // Nothing will ever complete a queued job again:
+                    // flip the drain latch so the loop winds down
+                    // gracefully instead of refusing forever.
+                    self.ctx.shutdown.store(true, Ordering::SeqCst);
                     Err(Box::new((job.req, ApiError::shutting_down())))
                 }
             }
@@ -1322,7 +1388,7 @@ mod ev {
                     Reap::Drop => self.with_conn(idx, |_, _| false),
                     Reap::Timeout408 => self.with_conn(idx, |lp, conn| {
                         let e = ApiError::read_timeout(read_timeout_s);
-                        append_response(conn, e.status, &error_body(&e), false);
+                        append_response(&lp.ctx, conn, e.status, &error_body(&e), false);
                         conn.close_after_flush = true;
                         lp.flush(conn)
                     }),
@@ -1350,6 +1416,103 @@ mod ev {
             drop(conn);
             self.ctx.open_conns.fetch_sub(1, Ordering::SeqCst);
             self.free.push(idx);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::exec::ExecConfig;
+        use crate::runner::RunConfig;
+
+        /// An `EventLoop` wired to nothing: just enough state to
+        /// exercise `try_dispatch`'s refusal paths without running the
+        /// readiness loop.
+        fn bench_loop(tx: Option<mpsc::SyncSender<Job>>) -> (EventLoop, Conn) {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+            let (accepted, _) = listener.accept().expect("accept");
+            let ctx = Arc::new(Ctx {
+                exec: Executor::new(RunConfig::default(), ExecConfig::default()),
+                shutdown: AtomicBool::new(false),
+                sim_inflight: AtomicUsize::new(0),
+                open_conns: AtomicUsize::new(1),
+                max_inflight: 4,
+                log_requests: false,
+            });
+            let lp = EventLoop {
+                poller: Poller::new().expect("poller"),
+                listener,
+                listener_registered: false,
+                wake: WakePipe::new().expect("wake pipe"),
+                conns: Vec::new(),
+                free: Vec::new(),
+                gen_counter: 0,
+                tx,
+                completions: Arc::new(Mutex::new(VecDeque::new())),
+                ctx,
+                max_conns: 8,
+                keepalive_requests: 0,
+                idle_timeout: Duration::from_secs(5),
+                read_timeout: Duration::from_secs(5),
+            };
+            (lp, Conn::new(accepted, 0))
+        }
+
+        fn run_req() -> HttpRequest {
+            HttpRequest {
+                method: "POST".into(),
+                path: "/v1/run".into(),
+                query: String::new(),
+                body: String::new(),
+                keep_alive: true,
+            }
+        }
+
+        #[test]
+        fn dispatch_without_worker_pool_degrades_to_shutdown() {
+            // Regression: this path used to be
+            // `.expect("dispatch channel outlives the loop")`, aborting
+            // the daemon if the pool was gone at dispatch time.
+            let (mut lp, conn) = bench_loop(None);
+            let err = lp.try_dispatch(0, &conn, run_req(), true).unwrap_err();
+            let (req, e) = *err;
+            assert_eq!(req.path, "/v1/run", "request handed back for logging");
+            assert_eq!((e.status, e.code.as_str()), (503, "shutting_down"));
+            assert_eq!(
+                lp.ctx.sim_inflight.load(Ordering::SeqCst),
+                0,
+                "refusal must release the SimSlot"
+            );
+        }
+
+        #[test]
+        fn dispatch_on_dead_channel_refuses_and_latches_drain() {
+            let (tx, rx) = mpsc::sync_channel::<Job>(1);
+            drop(rx); // every worker died
+            let (mut lp, conn) = bench_loop(Some(tx));
+            let err = lp.try_dispatch(0, &conn, run_req(), true).unwrap_err();
+            let (_, e) = *err;
+            assert_eq!((e.status, e.code.as_str()), (503, "shutting_down"));
+            assert!(
+                lp.ctx.shutdown.load(Ordering::SeqCst),
+                "a dead pool must flip the drain latch"
+            );
+            assert_eq!(lp.ctx.sim_inflight.load(Ordering::SeqCst), 0);
+        }
+
+        #[test]
+        fn dispatch_on_full_queue_refuses_with_429() {
+            let (tx, _rx) = mpsc::sync_channel::<Job>(0); // rendezvous: always full
+            let (mut lp, conn) = bench_loop(Some(tx));
+            let err = lp.try_dispatch(0, &conn, run_req(), true).unwrap_err();
+            let (_, e) = *err;
+            assert_eq!(e.status, 429);
+            assert!(
+                !lp.ctx.shutdown.load(Ordering::SeqCst),
+                "saturation is backpressure, not drain"
+            );
+            assert_eq!(lp.ctx.sim_inflight.load(Ordering::SeqCst), 0);
         }
     }
 }
@@ -1483,12 +1646,29 @@ mod tests {
             String::from_utf8(bytes).unwrap(),
             "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 3\r\nConnection: close\r\n\r\n{}\n"
         );
-        let bytes = encode_response(429, "x", retry_after_of(429), true);
+        let bytes = encode_response(429, "x", retry_after_of(429, 0, 8), true);
         assert_eq!(
             String::from_utf8(bytes).unwrap(),
             "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nContent-Length: 1\r\nConnection: keep-alive\r\nRetry-After: 1\r\n\r\nx"
         );
-        assert_eq!(retry_after_of(503), Some(1));
-        assert_eq!(retry_after_of(200), None);
+    }
+
+    #[test]
+    fn retry_after_scales_with_load() {
+        // Idle → the old fixed 1 s floor; half load → 3 s; at the cap
+        // → 5 s; deep overload clamps at 60 s. Non-retryable statuses
+        // never carry the header.
+        assert_eq!(retry_after_of(429, 0, 8), Some(1));
+        assert_eq!(retry_after_of(503, 4, 8), Some(3));
+        assert_eq!(retry_after_of(429, 8, 8), Some(5));
+        assert_eq!(retry_after_of(429, 1, 1), Some(5));
+        assert_eq!(retry_after_of(429, 1000, 8), Some(60));
+        assert_eq!(
+            retry_after_of(503, 0, 0),
+            Some(1),
+            "cap 0 must not divide by zero"
+        );
+        assert_eq!(retry_after_of(200, 8, 8), None);
+        assert_eq!(retry_after_of(404, 8, 8), None);
     }
 }

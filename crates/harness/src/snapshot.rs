@@ -1,4 +1,4 @@
-//! Perf-trajectory snapshots (`BENCH_engine.json`).
+//! Perf-trajectory snapshots (`BENCH_engine.json`, `BENCH_service.json`).
 //!
 //! The discrete-event engine is the substrate every experiment funnels
 //! through, so its throughput is tracked as a committed artifact: a
@@ -13,6 +13,15 @@
 //! host, in the same process, right before the engine. Comparisons use
 //! the ratio `engine ops/s ÷ calibration score`, which cancels the
 //! host's overall speed and leaves (mostly) the engine's efficiency.
+//!
+//! The **service path** gets the same treatment ([`measure_service`] →
+//! `BENCH_service.json`): an in-process `spechpc serve` daemon is
+//! hammered by the [`fleet`](crate::fleet) load generator and the
+//! snapshot pins requests/s, p50/p99 latency and the cache-hit ratio.
+//! Latency percentiles are recorded for the trajectory but only the
+//! calibration-normalized throughput is checked (against the looser
+//! [`SERVICE_TOLERANCE`] — request latency on shared CI runners is far
+//! noisier than pure-CPU engine throughput).
 
 use std::time::Instant;
 
@@ -29,6 +38,11 @@ use crate::suite::Suite;
 
 /// Relative throughput loss CI tolerates before failing.
 pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Relative service-throughput loss CI tolerates before failing —
+/// looser than the engine's because request latency includes the
+/// kernel's network stack and scheduler noise.
+pub const SERVICE_TOLERANCE: f64 = 0.50;
 
 /// One engine-throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -227,6 +241,218 @@ pub fn check(current: &Snapshot, committed: &Snapshot, tolerance: f64) -> Result
 }
 
 // ---------------------------------------------------------------------------
+// Service-path snapshot (`BENCH_service.json`)
+// ---------------------------------------------------------------------------
+
+/// One service-throughput snapshot: the daemon's request plane measured
+/// end to end (TCP, HTTP framing, dispatch, cache replay) by the
+/// loadgen client fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    pub git_rev: String,
+    /// Concurrent keep-alive clients.
+    pub clients: usize,
+    /// Total requests sent across all clients.
+    pub requests: usize,
+    pub requests_per_s: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Executor cache hits ÷ lookups over the campaign (the workload
+    /// replays one grid point, so this should sit near 1.0).
+    pub cache_hit_ratio: f64,
+    /// Host-speed calibration (same scalar workload as the engine
+    /// snapshot).
+    pub calibration_score: f64,
+}
+
+impl ServiceSnapshot {
+    /// Request throughput with the host's overall speed divided out.
+    pub fn normalized_throughput(&self) -> f64 {
+        self.requests_per_s / self.calibration_score
+    }
+}
+
+/// Measure the service path: bind an in-process daemon on an ephemeral
+/// loopback port, warm the one grid point the campaign replays, run the
+/// loadgen fleet against it, read the cache counters, drain.
+pub fn measure_service(quick: bool) -> Result<ServiceSnapshot, String> {
+    use crate::api::RunRequest;
+    use crate::fleet::{one_shot, run_loadgen, LoadgenConfig};
+    use crate::serve::{ServeConfig, Server};
+    use std::time::Duration;
+
+    let calibration = calibration_score(if quick { 5 } else { 10 });
+    let (clients, per_client) = if quick { (8, 50) } else { (16, 250) };
+
+    let exec = Executor::new(
+        RunConfig::default().with_trace(false),
+        ExecConfig::default(),
+    );
+    let server = Server::bind(
+        exec,
+        ServeConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_workers(4)
+            .with_queue_depth(clients * 4)
+            .with_max_inflight(clients * 2)
+            .with_log_requests(false),
+    )
+    .map_err(|e| format!("binding the snapshot daemon: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving the snapshot daemon address: {e}"))?
+        .to_string();
+    let handle = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.serve());
+
+    let body = RunRequest::new("lbm", WorkloadClass::Tiny, 4).to_json();
+    // Warm-up: the single simulation happens here, outside the timed
+    // campaign, so the measurement is the replay path.
+    one_shot(&addr, "POST", "/v1/run", &body, Duration::from_secs(60))
+        .map_err(|e| format!("warm-up request failed: {e}"))?;
+
+    let report = run_loadgen(
+        &LoadgenConfig::default()
+            .with_addr(&addr)
+            .with_clients(clients)
+            .with_requests_per_client(per_client)
+            .with_request("POST", "/v1/run", body)
+            .with_timeout_s(60.0),
+    );
+
+    let metrics = one_shot(&addr, "GET", "/v1/metrics", "", Duration::from_secs(10))
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    handle.request_drain();
+    let _ = daemon.join();
+
+    if report.ok == 0 {
+        return Err(format!(
+            "service campaign produced no successful requests: {}",
+            report.render()
+        ));
+    }
+    if report.non_2xx + report.transport_errors > report.sent / 20 {
+        return Err(format!(
+            "service campaign too unhealthy to snapshot: {}",
+            report.render()
+        ));
+    }
+    let cache_hit_ratio = parse_json(&metrics.body)
+        .and_then(|j| {
+            let c = j.get("cache")?;
+            let hits = c.f64_of("hits_mem")? + c.f64_of("hits_disk")?;
+            let lookups = hits + c.f64_of("misses")? + c.f64_of("corrupt")?;
+            (lookups > 0.0).then(|| hits / lookups)
+        })
+        .unwrap_or(0.0);
+    Ok(ServiceSnapshot {
+        git_rev: git_rev(),
+        clients,
+        requests: report.sent,
+        requests_per_s: report.requests_per_s,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+        cache_hit_ratio,
+        calibration_score: calibration,
+    })
+}
+
+/// Compare a fresh service measurement against the committed snapshot
+/// on calibration-normalized requests/s.
+pub fn check_service(
+    current: &ServiceSnapshot,
+    committed: &ServiceSnapshot,
+    tolerance: f64,
+) -> Result<(), String> {
+    let cur = current.normalized_throughput();
+    let old = committed.normalized_throughput();
+    if !(cur.is_finite() && old.is_finite() && old > 0.0) {
+        return Err(format!(
+            "cannot compare service snapshots: normalized throughputs {cur} vs {old}"
+        ));
+    }
+    if cur < old * (1.0 - tolerance) {
+        return Err(format!(
+            "service throughput regressed: {:.0} req/s normalized {:.3e} vs committed {:.3e} \
+             ({:.0} req/s @ {}) — more than {:.0}% below",
+            current.requests_per_s,
+            cur,
+            old,
+            committed.requests_per_s,
+            committed.git_rev,
+            tolerance * 100.0
+        ));
+    }
+    Ok(())
+}
+
+pub fn service_to_json(s: &ServiceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", s.git_rev));
+    out.push_str(&format!("  \"clients\": {},\n", s.clients));
+    out.push_str(&format!("  \"requests\": {},\n", s.requests));
+    out.push_str(&format!(
+        "  \"requests_per_s\": {:.6e},\n",
+        s.requests_per_s
+    ));
+    out.push_str(&format!("  \"p50_ms\": {:.6e},\n", s.p50_ms));
+    out.push_str(&format!("  \"p99_ms\": {:.6e},\n", s.p99_ms));
+    out.push_str(&format!(
+        "  \"cache_hit_ratio\": {:.6},\n",
+        s.cache_hit_ratio
+    ));
+    out.push_str(&format!(
+        "  \"calibration_score\": {:.6e}\n",
+        s.calibration_score
+    ));
+    out.push_str("}\n");
+    out
+}
+
+pub fn service_from_json(text: &str) -> Option<ServiceSnapshot> {
+    let j = parse_json(text)?;
+    Some(ServiceSnapshot {
+        git_rev: j.str_of("git_rev")?,
+        clients: j.f64_of("clients")? as usize,
+        requests: j.f64_of("requests")? as usize,
+        requests_per_s: j.f64_of("requests_per_s")?,
+        p50_ms: j.f64_of("p50_ms")?,
+        p99_ms: j.f64_of("p99_ms")?,
+        cache_hit_ratio: j.f64_of("cache_hit_ratio")?,
+        calibration_score: j.f64_of("calibration_score")?,
+    })
+}
+
+pub fn read_service(path: &std::path::Path) -> Result<ServiceSnapshot, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    service_from_json(&text)
+        .ok_or_else(|| format!("{} is not a service snapshot file", path.display()))
+}
+
+pub fn write_service(path: &std::path::Path, s: &ServiceSnapshot) -> Result<(), String> {
+    std::fs::write(path, service_to_json(s)).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// One-line human summary of a service snapshot.
+pub fn render_service(s: &ServiceSnapshot) -> String {
+    format!(
+        "service {:.0} req/s ({} clients × {} requests) · p50 {:.2} ms · p99 {:.2} ms · \
+         cache hit {:.1}% · calibration {:.2e} · normalized {:.3e} · rev {}",
+        s.requests_per_s,
+        s.clients,
+        s.requests / s.clients.max(1),
+        s.p50_ms,
+        s.p99_ms,
+        s.cache_hit_ratio * 100.0,
+        s.calibration_score,
+        s.normalized_throughput(),
+        s.git_rev
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Encoding / decoding
 // ---------------------------------------------------------------------------
 
@@ -393,6 +619,65 @@ mod tests {
         assert_eq!(ps.len(), 256);
         let ops: usize = ps.iter().map(|p| p.ops.len()).sum();
         assert_eq!(ops, 256 * 20 * 3);
+    }
+
+    fn service_sample() -> ServiceSnapshot {
+        ServiceSnapshot {
+            git_rev: "abc1234".into(),
+            clients: 16,
+            requests: 4000,
+            requests_per_s: 52_000.0,
+            p50_ms: 0.21,
+            p99_ms: 1.4,
+            cache_hit_ratio: 0.999,
+            calibration_score: 1.9e9,
+        }
+    }
+
+    #[test]
+    fn service_json_round_trip() {
+        let s = service_sample();
+        let parsed = service_from_json(&service_to_json(&s)).expect("round trip");
+        assert_eq!(parsed.git_rev, s.git_rev);
+        assert_eq!(parsed.clients, 16);
+        assert_eq!(parsed.requests, 4000);
+        assert!((parsed.requests_per_s - s.requests_per_s).abs() < 1.0);
+        assert!((parsed.p99_ms - s.p99_ms).abs() < 1e-9);
+        assert!((parsed.cache_hit_ratio - s.cache_hit_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_check_is_host_normalized() {
+        let committed = service_sample();
+        // Same efficiency on a 4× slower host: no false positive.
+        let slower_host = ServiceSnapshot {
+            requests_per_s: committed.requests_per_s / 4.0,
+            calibration_score: committed.calibration_score / 4.0,
+            ..committed.clone()
+        };
+        assert!(check_service(&slower_host, &committed, SERVICE_TOLERANCE).is_ok());
+        let regressed = ServiceSnapshot {
+            requests_per_s: committed.requests_per_s / 3.0,
+            ..committed.clone()
+        };
+        let err = check_service(&regressed, &committed, SERVICE_TOLERANCE).unwrap_err();
+        assert!(err.contains("regressed"), "got: {err}");
+    }
+
+    #[test]
+    fn quick_service_snapshot_measures_a_live_daemon() {
+        // End-to-end against a real loopback daemon, scaled down; the
+        // numbers just have to be coherent, not fast.
+        let snap = measure_service(true).expect("service measurement");
+        assert!(snap.requests_per_s > 0.0);
+        assert!(snap.p99_ms >= snap.p50_ms);
+        assert!(
+            snap.cache_hit_ratio > 0.9,
+            "a single replayed grid point must be nearly all cache hits, got {}",
+            snap.cache_hit_ratio
+        );
+        let parsed = service_from_json(&service_to_json(&snap)).expect("round trip");
+        assert!(check_service(&parsed, &snap, SERVICE_TOLERANCE).is_ok());
     }
 
     #[test]

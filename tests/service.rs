@@ -286,7 +286,10 @@ fn saturation_answers_429_with_retry_after() {
     assert_eq!(status, 429, "{body}");
     assert!(body.contains("\"error\":\"saturated\""), "{body}");
     let head = String::from_utf8_lossy(&raw);
-    assert!(head.contains("Retry-After: 1"), "{head}");
+    // Retry-After is derived from the inflight/capacity load factor:
+    // at refusal the single slot is fully occupied (inflight 1, cap 1),
+    // so the hint is 1 + 4·1/1 = 5 s rather than the idle-daemon 1 s.
+    assert!(head.contains("Retry-After: 5"), "{head}");
 
     // The fast routes are exempt from admission control.
     let (status, _, _) = http(addr, "GET", "/v1/metrics", "");
