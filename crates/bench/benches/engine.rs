@@ -45,11 +45,7 @@ fn engine_throughput(c: &mut Criterion) {
     c.bench_function("engine_ring_allreduce_256r_noprofile", |b| {
         b.iter(|| {
             let net = NetModel::compact(&cluster, n);
-            let cfg = SimConfig {
-                trace: false,
-                profile: false,
-                ..SimConfig::default()
-            };
+            let cfg = SimConfig::default().with_profile(false);
             Engine::new(cfg, net, template.clone()).run().unwrap()
         })
     });

@@ -68,6 +68,9 @@ pub enum Command {
         class: WorkloadClass,
         nranks: Option<usize>,
         trace_csv: Option<String>,
+        /// `--threads N`: PDES engine threads per simulation
+        /// (`None` = 1 = sequential).
+        threads: Option<usize>,
         exec: ExecOpts,
         faults: FaultOpts,
     },
@@ -75,6 +78,8 @@ pub enum Command {
         cluster: ClusterChoice,
         class: WorkloadClass,
         nranks: Option<usize>,
+        /// `--threads N`: PDES engine threads per simulation.
+        threads: Option<usize>,
         exec: ExecOpts,
         faults: FaultOpts,
     },
@@ -83,6 +88,8 @@ pub enum Command {
         cluster: ClusterChoice,
         class: WorkloadClass,
         nranks: Option<usize>,
+        /// `--threads N`: PDES engine threads per simulation.
+        threads: Option<usize>,
         exec: ExecOpts,
         faults: FaultOpts,
     },
@@ -128,6 +135,9 @@ pub enum Command {
         /// `--peers a:p,b:p`: fleet peers whose caches are consulted on
         /// a local miss (`GET /v1/cache/{hash}`).
         peers: Vec<String>,
+        /// `--threads N`: default PDES engine threads per simulation
+        /// (requests may override through their `config.threads`).
+        threads: Option<usize>,
         exec: ExecOpts,
     },
     /// Run the fleet coordinator in front of N worker daemons.
@@ -251,6 +261,11 @@ EXECUTION (run/suite/score/figures/profile):
     --no-cache                   re-simulate; skip results/cache/
     --metrics                    report executor/cache counters; CSV under
                                  results/metrics/
+
+ENGINE (run/suite/profile/serve):
+    --threads N                  PDES engine threads inside each simulation;
+                                 results are bit-identical at any thread count
+                                 (1 = sequential scheduler)       [default: 1]
 
 FAULT INJECTION (run/suite/profile; see plans/ for examples):
     --faults plan.toml           inject a deterministic fault plan (os-noise,
@@ -390,6 +405,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 class,
                 nranks,
                 trace_csv: options.get("trace").cloned(),
+                threads: usize_opt("threads")?,
                 exec,
                 faults,
             })
@@ -398,6 +414,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             cluster,
             class,
             nranks,
+            threads: usize_opt("threads")?,
             exec,
             faults,
         }),
@@ -411,6 +428,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 cluster,
                 class,
                 nranks,
+                threads: usize_opt("threads")?,
                 exec,
                 faults,
             })
@@ -445,6 +463,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             idle_timeout_s: secs_opt("idle-timeout-s")?,
             read_timeout_s: secs_opt("read-timeout-s")?,
             peers: list_opt("peers"),
+            threads: usize_opt("threads")?,
             exec,
         }),
         "fleet" => {
@@ -507,6 +526,8 @@ mod tests {
             "208",
             "--trace",
             "out.csv",
+            "--threads",
+            "4",
             "--jobs",
             "4",
             "--no-cache",
@@ -525,6 +546,7 @@ mod tests {
                 class: WorkloadClass::Small,
                 nranks: Some(208),
                 trace_csv: Some("out.csv".into()),
+                threads: Some(4),
                 exec: ExecOpts {
                     jobs: Some(4),
                     no_cache: true,
@@ -560,6 +582,7 @@ mod tests {
                 cluster: ClusterChoice::B,
                 class: WorkloadClass::Tiny,
                 nranks: Some(59),
+                threads: None,
                 exec: ExecOpts::default(),
                 faults: FaultOpts::default(),
             }
@@ -578,10 +601,33 @@ mod tests {
                 class: WorkloadClass::Tiny,
                 nranks: None,
                 trace_csv: None,
+                threads: None,
                 exec: ExecOpts::default(),
                 faults: FaultOpts::default(),
             }
         );
+    }
+
+    #[test]
+    fn threads_validation() {
+        assert!(parse(&v(&["run", "lbm", "--threads", "0"])).is_err());
+        assert!(parse(&v(&["suite", "--threads", "several"])).is_err());
+        let c = parse(&v(&["suite", "--threads", "8"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Suite {
+                threads: Some(8),
+                ..
+            }
+        ));
+        let c = parse(&v(&["serve", "--threads", "2"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                threads: Some(2),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -700,6 +746,7 @@ mod tests {
                 idle_timeout_s: None,
                 read_timeout_s: None,
                 peers: Vec::new(),
+                threads: None,
                 exec: ExecOpts::default(),
             }
         );
@@ -740,6 +787,7 @@ mod tests {
                 idle_timeout_s: Some(10.0),
                 read_timeout_s: Some(5.0),
                 peers: vec!["127.0.0.1:8723".into(), "127.0.0.1:8724".into()],
+                threads: None,
                 exec: ExecOpts {
                     jobs: None,
                     no_cache: true,

@@ -180,6 +180,7 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             class,
             nranks,
             trace_csv,
+            threads,
             exec,
             faults,
         } => {
@@ -188,6 +189,7 @@ fn run(cmd: Command) -> Result<(), ApiError> {
                 .with_config(
                     RunConfig::default()
                         .with_trace(false)
+                        .with_threads(threads.unwrap_or(1))
                         .with_faults(fault_plan_of(&faults)?),
                 );
             let executor = executor_of(req.config.clone(), exec);
@@ -218,13 +220,18 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             cluster,
             class,
             nranks,
+            threads,
             exec,
             faults,
         } => {
             let req = SuiteRequest::new(class)
                 .with_cluster(cluster_key(cluster))
                 .with_nranks(nranks.unwrap_or(0))
-                .with_config(RunConfig::default().with_trace(false))
+                .with_config(
+                    RunConfig::default()
+                        .with_trace(false)
+                        .with_threads(threads.unwrap_or(1)),
+                )
                 .with_faults(fault_plan_of(&faults)?);
             let executor = executor_of(req.config.clone(), exec);
             let resp = api::dispatch_suite(&executor, &req)?;
@@ -247,6 +254,7 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             cluster,
             class,
             nranks,
+            threads,
             exec,
             faults,
         } => {
@@ -256,7 +264,11 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             // stall time in its own column.
             let req = RunRequest::new(&benchmark, class, nranks.unwrap_or(0))
                 .with_cluster(cluster_key(cluster))
-                .with_config(RunConfig::default().with_faults(fault_plan_of(&faults)?));
+                .with_config(
+                    RunConfig::default()
+                        .with_threads(threads.unwrap_or(1))
+                        .with_faults(fault_plan_of(&faults)?),
+                );
             let executor = executor_of(req.config.clone(), exec);
             let cl = api::resolve_cluster(&req.cluster)?;
             let r = api::dispatch_run(&executor, &req)?.result;
@@ -478,6 +490,7 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             idle_timeout_s,
             read_timeout_s,
             peers,
+            threads,
             exec,
         } => {
             // One resident executor for the daemon's whole life: its
@@ -493,7 +506,12 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             if !exec.no_cache {
                 exec_cfg = exec_cfg.with_cache_dir(RunCache::default_dir());
             }
-            let mut executor = Executor::new(RunConfig::default().with_trace(false), exec_cfg);
+            // `--threads` sets the resident default; a request's own
+            // `config.threads` forks the executor and overrides it.
+            let resident = RunConfig::default()
+                .with_trace(false)
+                .with_threads(threads.unwrap_or(1));
+            let mut executor = Executor::new(resident, exec_cfg);
             // In a fleet, a local cache miss consults the peers'
             // GET /v1/cache/{key} before simulating: runs land on
             // whichever worker the coordinator hashed them to, but any

@@ -272,6 +272,12 @@ impl RunRequest {
         self
     }
 
+    /// Builder: engine worker threads (must be ≥ 1; `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
     /// The grid point this request names, with `nranks == 0` resolved
     /// against the cluster's full node.
     pub fn spec(&self, cluster: &ClusterSpec) -> RunSpec {
@@ -402,8 +408,8 @@ impl SuiteRequest {
 // ---------------------------------------------------------------------------
 
 /// Encode run rules as the `"config"` object of a request. Only the
-/// non-default fault plan is emitted, keeping default requests small
-/// (and their cache keys stable across client versions).
+/// non-default fault plan and thread count are emitted, keeping default
+/// requests small (and their cache keys stable across client versions).
 fn config_to_json(c: &RunConfig) -> Json {
     let mut fields = vec![
         ("warmup_steps".into(), Json::from(c.warmup_steps)),
@@ -411,6 +417,9 @@ fn config_to_json(c: &RunConfig) -> Json {
         ("repetitions".into(), Json::from(c.repetitions)),
         ("trace".into(), Json::from(c.trace)),
     ];
+    if c.threads != 1 {
+        fields.push(("threads".into(), Json::from(c.threads)));
+    }
     if !c.faults.is_none() {
         fields.push(("faults".into(), fault_plan_to_json(&c.faults)));
     }
@@ -425,6 +434,16 @@ fn config_from_json(v: &Json) -> Result<RunConfig, ApiError> {
         .with_measured_steps(v.usize_of("measured_steps").unwrap_or(d.measured_steps))
         .with_repetitions(v.usize_of("repetitions").unwrap_or(d.repetitions))
         .with_trace(v.bool_of("trace").unwrap_or(d.trace));
+    if let Some(threads) = v.usize_of("threads") {
+        if threads == 0 {
+            return Err(ApiError::new(
+                422,
+                "invalid_threads",
+                "'threads' must be >= 1 (1 = sequential engine)",
+            ));
+        }
+        c = c.with_threads(threads);
+    }
     if let Some(f) = v.get("faults") {
         c = c.with_faults(fault_plan_from_json(f)?);
     }
@@ -803,6 +822,29 @@ mod tests {
         assert!(!text.contains("faults"), "{text}");
         let req = RunRequest::from_json(&text).unwrap();
         assert!(req.config.faults.is_none());
+    }
+
+    #[test]
+    fn threads_round_trip_and_default_omission() {
+        // Sequential default: the field never hits the wire.
+        let text = RunRequest::new("lbm", WorkloadClass::Tiny, 4).to_json();
+        assert!(!text.contains("threads"), "{text}");
+        assert_eq!(RunRequest::from_json(&text).unwrap().config.threads, 1);
+        // A parallel request round-trips through a fixed point.
+        let req = RunRequest::new("lbm", WorkloadClass::Tiny, 4).with_threads(4);
+        let text = req.to_json();
+        assert!(text.contains("\"threads\":4"), "{text}");
+        let back = RunRequest::from_json(&text).unwrap();
+        assert_eq!(back.config.threads, 4);
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_422() {
+        let err =
+            RunRequest::from_json(r#"{"benchmark": "lbm", "config": {"threads": 0}}"#).unwrap_err();
+        assert_eq!(err.status, 422, "{err}");
+        assert_eq!(err.code, "invalid_threads");
     }
 
     #[test]

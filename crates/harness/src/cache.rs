@@ -64,7 +64,10 @@ impl RunKey {
     ///
     /// `config.trace` is deliberately absent: tracing changes what is
     /// recorded, never what is computed, and traced runs bypass the
-    /// cache entirely.
+    /// cache entirely. `config.threads` is absent for the same reason —
+    /// the parallel engine is bit-identical to the sequential one at
+    /// every thread count, so a result computed at any `threads` replays
+    /// for all of them.
     pub fn new(
         cluster: &str,
         benchmark: &str,
@@ -744,6 +747,14 @@ mod tests {
         assert_eq!(
             key.canonical(),
             RunKey::new("ClusterA", "lbm", "tiny", 8, &traced).canonical()
+        );
+        // Neither does the thread count: the parallel engine is
+        // bit-identical to the sequential one, so any thread count may
+        // replay a cached result.
+        let parallel = base.clone().with_threads(8);
+        assert_eq!(
+            key.canonical(),
+            RunKey::new("ClusterA", "lbm", "tiny", 8, &parallel).canonical()
         );
     }
 

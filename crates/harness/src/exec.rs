@@ -224,6 +224,11 @@ pub struct ExecMetrics {
     /// Results served from a fleet peer's cache instead of simulating
     /// locally (zero without [`Executor::with_peer_fetch`]).
     pub peer_hits: u64,
+    /// Engine runs that reused a template-derived
+    /// [`Prepass`](spechpc_simmpi::engine::Prepass) instead of
+    /// re-walking their concatenated programs — two per simulation (the
+    /// warm-up and the full run share one per-step analysis).
+    pub prepass_reuses: u64,
 }
 
 impl ExecMetrics {
@@ -240,6 +245,9 @@ struct ExecCounters {
     per_worker: Mutex<Vec<u64>>,
     point_wall: Mutex<Vec<(String, f64)>>,
     peer_hits: AtomicU64,
+    /// Shared with every [`SimRunner`] this executor constructs (behind
+    /// its own [`Arc`] so watchdog-thread runners can hold it too).
+    prepass_reuses: Arc<AtomicU64>,
 }
 
 /// Parallel, memoizing, fault-tolerant run executor (see the module
@@ -269,13 +277,15 @@ impl Executor {
                 None => RunCache::in_memory(),
             }))
         };
+        let counters = Arc::new(ExecCounters::default());
         Executor {
             jobs: exec.effective_jobs(),
             timeout_s: exec.timeout_s,
             retries: exec.retries,
-            runner: SimRunner::new(run_config),
+            runner: SimRunner::new(run_config)
+                .with_prepass_counter(Arc::clone(&counters.prepass_reuses)),
             cache,
-            counters: Arc::new(ExecCounters::default()),
+            counters,
             peer_fetch: None,
         }
     }
@@ -313,7 +323,8 @@ impl Executor {
     /// hash to distinct [`RunKey`]s, so sharing the store is safe.)
     pub fn with_run_config(&self, run_config: RunConfig) -> Executor {
         Executor {
-            runner: SimRunner::new(run_config),
+            runner: SimRunner::new(run_config)
+                .with_prepass_counter(Arc::clone(&self.counters.prepass_reuses)),
             jobs: self.jobs,
             timeout_s: self.timeout_s,
             retries: self.retries,
@@ -449,10 +460,12 @@ impl Executor {
         let spec = spec.clone();
         let flag = Arc::clone(&cancel);
         let thread_label = label.clone();
+        let reuses = Arc::clone(&self.counters.prepass_reuses);
         std::thread::spawn(move || {
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 let bench = resolve(&spec.benchmark)?;
                 SimRunner::new(config)
+                    .with_prepass_counter(reuses)
                     .run_cancellable(&cluster, &*bench, spec.class, spec.nranks, Some(flag))
                     .map_err(HarnessError::from)
             }));
@@ -484,7 +497,8 @@ impl Executor {
         cluster: &ClusterSpec,
         spec: &RunSpec,
     ) -> Result<RunResult, HarnessError> {
-        let traced = SimRunner::new(self.runner.config.clone().with_trace(true));
+        let traced = SimRunner::new(self.runner.config.clone().with_trace(true))
+            .with_prepass_counter(Arc::clone(&self.counters.prepass_reuses));
         let bench = resolve(&spec.benchmark)?;
         let t0 = Instant::now();
         let outcome = traced
@@ -517,6 +531,7 @@ impl Executor {
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
             peer_hits: self.counters.peer_hits.load(Ordering::Relaxed),
+            prepass_reuses: self.counters.prepass_reuses.load(Ordering::Relaxed),
         }
     }
 
@@ -848,6 +863,9 @@ mod tests {
         exec.run_one(&cluster, &spec).unwrap(); // memory hit
         let m = exec.metrics();
         assert_eq!(m.runs_executed, 1);
+        // One simulation = one template analysis reused twice (warm-up
+        // and full run); the cache hit re-simulates nothing.
+        assert_eq!(m.prepass_reuses, 2);
         assert_eq!(m.cache.hits_mem, 1);
         assert_eq!(m.cache.misses, 1);
         assert_eq!(m.point_wall_s.len(), 2);
@@ -893,6 +911,8 @@ mod tests {
         assert!(exec.run_all(&cluster, &specs).is_complete());
         let m = exec.metrics();
         assert_eq!(m.runs_executed, specs.len() as u64);
+        // Every grid point reuses its template prepass twice.
+        assert_eq!(m.prepass_reuses, 2 * specs.len() as u64);
         assert_eq!(
             m.per_worker_runs.iter().sum::<u64>(),
             specs.len() as u64,

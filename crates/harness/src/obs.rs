@@ -110,6 +110,7 @@ pub fn metrics_table(title: &str, m: &ExecMetrics) -> Result<Table, ReportError>
     let kv = |t: &mut Table, k: &str, v: String| t.row(vec![k.to_string(), v]);
     kv(&mut t, "runs executed", m.runs_executed.to_string())?;
     kv(&mut t, "peer cache hits", m.peer_hits.to_string())?;
+    kv(&mut t, "prepass reuses", m.prepass_reuses.to_string())?;
     kv(&mut t, "cache hits (memory)", m.cache.hits_mem.to_string())?;
     kv(&mut t, "cache hits (disk)", m.cache.hits_disk.to_string())?;
     kv(&mut t, "cache misses", m.cache.misses.to_string())?;
@@ -139,6 +140,7 @@ pub fn metrics_to_csv(m: &ExecMetrics) -> String {
     let mut out = String::from("metric,value\n");
     out.push_str(&format!("runs_executed,{}\n", m.runs_executed));
     out.push_str(&format!("peer_hits,{}\n", m.peer_hits));
+    out.push_str(&format!("prepass_reuses,{}\n", m.prepass_reuses));
     out.push_str(&format!("cache_hits_mem,{}\n", m.cache.hits_mem));
     out.push_str(&format!("cache_hits_disk,{}\n", m.cache.hits_disk));
     out.push_str(&format!("cache_misses,{}\n", m.cache.misses));
@@ -229,6 +231,7 @@ mod tests {
         let m = ExecMetrics {
             runs_executed: 3,
             peer_hits: 0,
+            prepass_reuses: 6,
             cache: CacheMetrics {
                 hits_mem: 2,
                 hits_disk: 1,

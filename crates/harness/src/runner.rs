@@ -8,7 +8,7 @@ use spechpc_kernels::common::model::NodeModel;
 use spechpc_machine::cluster::ClusterSpec;
 use spechpc_power::energy::{energy_to_solution, EnergyBreakdown};
 use spechpc_power::rapl::{JobPower, PowerState, RaplModel};
-use spechpc_simmpi::engine::{Engine, SimConfig, SimError};
+use spechpc_simmpi::engine::{Engine, Prepass, SimConfig, SimError};
 use spechpc_simmpi::faults::FaultPlan;
 use spechpc_simmpi::netmodel::NetModel;
 use spechpc_simmpi::profile::Profile;
@@ -45,6 +45,11 @@ pub struct RunConfig {
     /// deterministic warm-prefix subtraction still applies; a crash
     /// inside the warm-up region fails the run like any other crash.
     pub faults: FaultPlan,
+    /// Partition threads for the engine's parallel (PDES) scheduler
+    /// ([`SimConfig::threads`]). `1` (the default) runs the sequential
+    /// engine; results are bit-identical at every value, so this is a
+    /// pure throughput knob and is excluded from the result cache key.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -55,6 +60,7 @@ impl Default for RunConfig {
             repetitions: 3,
             trace: false,
             faults: FaultPlan::none(),
+            threads: 1,
         }
     }
 }
@@ -87,6 +93,12 @@ impl RunConfig {
     /// Builder: seeded fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder: engine partition threads (see [`RunConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -152,11 +164,29 @@ fn jitter(benchmark: &str, nranks: usize, rep: usize) -> f64 {
 /// The simulation runner.
 pub struct SimRunner {
     pub config: RunConfig,
+    /// Optional counter of engine runs that *reused* a template-derived
+    /// [`Prepass`] instead of re-walking their concatenated programs
+    /// (two per [`SimRunner::run`]: the warm-up and the full run). The
+    /// executor plumbs its metrics counter in here.
+    prepass_reuses: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl SimRunner {
     pub fn new(config: RunConfig) -> Self {
-        SimRunner { config }
+        SimRunner {
+            config,
+            prepass_reuses: None,
+        }
+    }
+
+    /// Builder: count prepass reuses into `counter` (see the
+    /// `prepass_reuses` field).
+    pub fn with_prepass_counter(
+        mut self,
+        counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    ) -> Self {
+        self.prepass_reuses = Some(counter);
+        self
     }
 
     /// Run `benchmark` at `class` scale with `nranks` compactly pinned
@@ -216,28 +246,40 @@ impl SimRunner {
             })
             .collect();
 
-        let sim_cfg = SimConfig {
-            trace: self.config.trace,
-            profile: true,
-            faults: self.config.faults.clone(),
-        };
+        // Both simulated programs are concatenations of the same step
+        // template, so one fused validate/range/count walk over the
+        // template serves them both: the warm-up run (`W × step +
+        // Barrier` — collectives post no point-to-point requests) is
+        // described by `scaled(W)`, the full run by `scaled(W + M)`.
+        // Suite sweeps repeat this per grid point, saving two
+        // program-length walks per point.
+        let step_prepass = Prepass::analyze(&step_progs)?;
+        let warm_prepass = step_prepass.scaled(self.config.warmup_steps);
+        let full_prepass =
+            step_prepass.scaled(self.config.warmup_steps + self.config.measured_steps);
+        if let Some(counter) = &self.prepass_reuses {
+            counter.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        }
+
+        let sim_cfg = SimConfig::default()
+            .with_trace(self.config.trace)
+            .with_faults(self.config.faults.clone())
+            .with_threads(self.config.threads);
         let net_warm = NetModel::compact(cluster, nranks);
-        let warm_cfg = SimConfig {
-            trace: false,
-            profile: true,
-            faults: self.config.faults.clone(),
-        };
+        let warm_cfg = SimConfig::default()
+            .with_faults(self.config.faults.clone())
+            .with_threads(self.config.threads);
         let mut warm_engine = Engine::new(warm_cfg, net_warm, warm);
         if let Some(c) = &cancel {
             warm_engine = warm_engine.with_cancel(c.clone());
         }
-        let warm_result = warm_engine.run()?;
+        let warm_result = warm_engine.run_prevalidated(&warm_prepass)?;
         let net_full = NetModel::compact(cluster, nranks);
         let mut full_engine = Engine::new(sim_cfg, net_full, full);
         if let Some(c) = &cancel {
             full_engine = full_engine.with_cancel(c.clone());
         }
-        let full_result = full_engine.run()?;
+        let full_result = full_engine.run_prevalidated(&full_prepass)?;
 
         let measured = (full_result.makespan - warm_result.makespan).max(1e-12);
         let base_step = measured / self.config.measured_steps as f64;

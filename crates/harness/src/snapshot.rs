@@ -58,6 +58,34 @@ pub struct Measurement {
     pub ops_per_s: f64,
 }
 
+/// Floor the committed parallel point is held to when the checking
+/// host actually has the cores: the PDES engine must be at least this
+/// much faster than sequential at its recorded thread count.
+pub const PARALLEL_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// One parallel-engine (PDES) measurement: the partition-friendly
+/// reference workload at `threads` workers next to the same workload
+/// sequential, on the same host, in the same process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelMeasurement {
+    /// Ranks in the parallel reference workload.
+    pub ranks: usize,
+    /// Engine worker threads of the parallel run.
+    pub threads: usize,
+    /// Simulated MPI operations per engine run.
+    pub ops_per_iter: usize,
+    /// Fastest parallel run (seconds).
+    pub wall_s: f64,
+    /// `ops_per_iter / wall_s` of the parallel run.
+    pub ops_per_s: f64,
+    /// Parallel over sequential throughput on the same workload.
+    pub speedup_vs_1t: f64,
+    /// Host cores at measurement time. A 1-core container cannot show
+    /// parallel speedup, so [`check`] only enforces
+    /// [`PARALLEL_SPEEDUP_FLOOR`] when `host_cores >= threads`.
+    pub host_cores: usize,
+}
+
 /// The numbers a snapshot preserves from before a rewrite, so the file
 /// documents the trajectory (the acceptance bar of the event-driven
 /// scheduler was ≥3× against this).
@@ -80,6 +108,9 @@ pub struct Snapshot {
     pub calibration_score: f64,
     /// Pre-rewrite numbers, carried over from the committed file.
     pub baseline: Option<Baseline>,
+    /// The PDES thread-scaling point (absent in snapshots written
+    /// before the parallel engine existed).
+    pub parallel: Option<ParallelMeasurement>,
 }
 
 impl Snapshot {
@@ -140,6 +171,77 @@ fn measure_engine(iters: usize) -> Measurement {
         iters,
         wall_s: best,
         ops_per_s: ops_per_iter as f64 / best,
+    }
+}
+
+/// The parallel reference workload: the 1024-rank thread-scaling shape
+/// from ISSUE 8 — 16 steps of compute + ring sendrecv + a distance-8
+/// neighbor exchange, with an allreduce only on every 4th step so
+/// partitions stay decoupled long enough for lookahead batching to pay.
+pub fn parallel_reference_programs() -> Vec<Program> {
+    let n = 1024;
+    (0..n)
+        .map(|r| {
+            let mut p = Program::new();
+            for step in 0..16 {
+                p.push(Op::compute(2e-4));
+                p.push(Op::sendrecv((r + 1) % n, 8192, (r + n - 1) % n, 0));
+                p.push(Op::sendrecv((r + 8) % n, 4096, (r + n - 8) % n, 1));
+                if step % 4 == 3 {
+                    p.push(Op::allreduce(8));
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Host cores, or 1 when the runtime cannot tell.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Measure the PDES engine at `threads` workers against the sequential
+/// scheduler on the parallel reference workload (min wall time over
+/// `iters` runs each, one untimed warm-up per mode).
+fn measure_parallel(iters: usize, threads: usize) -> ParallelMeasurement {
+    let cluster = presets::cluster_a();
+    let template = parallel_reference_programs();
+    let n = template.len();
+    let ops_per_iter: usize = template.iter().map(|p| p.ops.len()).sum();
+    let run_best = |nthreads: usize| -> f64 {
+        let cfg = SimConfig::default().with_threads(nthreads);
+        let net = NetModel::compact(&cluster, n);
+        let r = Engine::new(cfg.clone(), net, template.clone())
+            .run()
+            .expect("parallel reference workload simulates");
+        std::hint::black_box(r.makespan);
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let net = NetModel::compact(&cluster, n);
+            let programs = template.clone();
+            let t0 = Instant::now();
+            let r = Engine::new(cfg.clone(), net, programs)
+                .run()
+                .expect("parallel reference workload simulates");
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(r.makespan);
+            best = best.min(dt);
+        }
+        best
+    };
+    let seq_best = run_best(1);
+    let par_best = run_best(threads);
+    ParallelMeasurement {
+        ranks: n,
+        threads,
+        ops_per_iter,
+        wall_s: par_best,
+        ops_per_s: ops_per_iter as f64 / par_best,
+        speedup_vs_1t: seq_best / par_best,
+        host_cores: host_cores(),
     }
 }
 
@@ -204,6 +306,7 @@ pub fn measure(quick: bool) -> Result<Snapshot, String> {
     let iters = if quick { 15 } else { 40 };
     let calibration = calibration_score(if quick { 5 } else { 10 });
     let engine = measure_engine(iters);
+    let parallel = measure_parallel(if quick { 4 } else { 10 }, 4);
     let suite_wall_s = measure_suite()?;
     Ok(Snapshot {
         git_rev: git_rev(),
@@ -211,6 +314,7 @@ pub fn measure(quick: bool) -> Result<Snapshot, String> {
         suite_wall_s,
         calibration_score: calibration,
         baseline: None,
+        parallel: Some(parallel),
     })
 }
 
@@ -236,6 +340,20 @@ pub fn check(current: &Snapshot, committed: &Snapshot, tolerance: f64) -> Result
             committed.git_rev,
             tolerance * 100.0
         ));
+    }
+    // The thread-scaling floor only binds where it is physically
+    // meaningful: the *current* measurement ran on this host, so its
+    // recorded core count says whether the host could have shown the
+    // speedup at all. A 1-core CI container records the point but is
+    // never failed on it.
+    if let Some(p) = &current.parallel {
+        if p.host_cores >= p.threads && p.speedup_vs_1t < PARALLEL_SPEEDUP_FLOOR {
+            return Err(format!(
+                "parallel engine speedup regressed: ×{:.2} at {} threads on a {}-core host \
+                 (1024-rank reference) — below the ×{:.1} floor",
+                p.speedup_vs_1t, p.threads, p.host_cores, PARALLEL_SPEEDUP_FLOOR
+            ));
+        }
     }
     Ok(())
 }
@@ -475,6 +593,20 @@ pub fn to_json(s: &Snapshot) -> String {
             b.git_rev, b.engine_ops_per_s, b.note
         ));
     }
+    if let Some(p) = &s.parallel {
+        out.push_str(&format!(
+            ",\n  \"parallel\": {{ \"ranks\": {}, \"threads\": {}, \"ops_per_iter\": {}, \
+             \"wall_s\": {:.6e}, \"ops_per_s\": {:.6e}, \"speedup_vs_1t\": {:.4}, \
+             \"host_cores\": {} }}",
+            p.ranks,
+            p.threads,
+            p.ops_per_iter,
+            p.wall_s,
+            p.ops_per_s,
+            p.speedup_vs_1t,
+            p.host_cores
+        ));
+    }
     out.push_str("\n}\n");
     out
 }
@@ -487,6 +619,15 @@ pub fn from_json(text: &str) -> Option<Snapshot> {
         engine_ops_per_s: b.f64_of("engine_ops_per_s").unwrap_or(f64::NAN),
         note: b.str_of("note").unwrap_or_default(),
     });
+    let parallel = j.get("parallel").map(|p| ParallelMeasurement {
+        ranks: p.f64_of("ranks").unwrap_or(0.0) as usize,
+        threads: p.f64_of("threads").unwrap_or(1.0) as usize,
+        ops_per_iter: p.f64_of("ops_per_iter").unwrap_or(0.0) as usize,
+        wall_s: p.f64_of("wall_s").unwrap_or(f64::NAN),
+        ops_per_s: p.f64_of("ops_per_s").unwrap_or(f64::NAN),
+        speedup_vs_1t: p.f64_of("speedup_vs_1t").unwrap_or(f64::NAN),
+        host_cores: p.f64_of("host_cores").unwrap_or(1.0) as usize,
+    });
     Some(Snapshot {
         git_rev: j.str_of("git_rev")?,
         engine: Measurement {
@@ -498,6 +639,7 @@ pub fn from_json(text: &str) -> Option<Snapshot> {
         suite_wall_s: j.f64_of("suite_wall_s")?,
         calibration_score: j.f64_of("calibration_score")?,
         baseline,
+        parallel,
     })
 }
 
@@ -534,6 +676,18 @@ pub fn render(s: &Snapshot) -> String {
             b.note
         ));
     }
+    if let Some(p) = &s.parallel {
+        line.push_str(&format!(
+            "\nparallel {:.2e} ops/s at {} threads ({} ranks, best {:.3} ms) — \
+             speedup ×{:.2} vs sequential on a {}-core host",
+            p.ops_per_s,
+            p.threads,
+            p.ranks,
+            p.wall_s * 1e3,
+            p.speedup_vs_1t,
+            p.host_cores
+        ));
+    }
     line
 }
 
@@ -557,6 +711,15 @@ mod tests {
                 engine_ops_per_s: 1.3e7,
                 note: "polling scheduler".into(),
             }),
+            parallel: Some(ParallelMeasurement {
+                ranks: 1024,
+                threads: 4,
+                ops_per_iter: 53248,
+                wall_s: 5.1e-4,
+                ops_per_s: 1.04e8,
+                speedup_vs_1t: 2.6,
+                host_cores: 8,
+            }),
         }
     }
 
@@ -571,16 +734,25 @@ mod tests {
         let b = parsed.baseline.expect("baseline survives");
         assert_eq!(b.git_rev, "6ee02c6");
         assert!((b.engine_ops_per_s - 1.3e7).abs() < 1.0);
+        let p = parsed.parallel.expect("parallel point survives");
+        assert_eq!(p.ranks, 1024);
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.ops_per_iter, 53248);
+        assert_eq!(p.host_cores, 8);
+        assert!((p.speedup_vs_1t - 2.6).abs() < 1e-9);
+        assert!((p.ops_per_s - 1.04e8).abs() < 1.0);
     }
 
     #[test]
     fn round_trip_without_baseline() {
         let s = Snapshot {
             baseline: None,
+            parallel: None,
             ..sample()
         };
         let parsed = from_json(&to_json(&s)).expect("round trip");
         assert!(parsed.baseline.is_none());
+        assert!(parsed.parallel.is_none());
     }
 
     #[test]
@@ -611,6 +783,62 @@ mod tests {
         };
         let err = check(&regressed, &committed, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.contains("regressed"), "got: {err}");
+    }
+
+    #[test]
+    fn check_gates_parallel_speedup_on_host_cores() {
+        let committed = sample();
+        // On a multi-core host, falling below the floor fails.
+        let slow_parallel = Snapshot {
+            parallel: Some(ParallelMeasurement {
+                speedup_vs_1t: 1.1,
+                host_cores: 8,
+                ..sample().parallel.unwrap()
+            }),
+            ..committed.clone()
+        };
+        let err = check(&slow_parallel, &committed, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("speedup regressed"), "got: {err}");
+        // The same number on a 1-core host is physically expected —
+        // the point is recorded but never enforced.
+        let one_core = Snapshot {
+            parallel: Some(ParallelMeasurement {
+                speedup_vs_1t: 0.9,
+                host_cores: 1,
+                ..sample().parallel.unwrap()
+            }),
+            ..committed.clone()
+        };
+        assert!(check(&one_core, &committed, DEFAULT_TOLERANCE).is_ok());
+        // A snapshot without the point (pre-PDES) still checks.
+        let absent = Snapshot {
+            parallel: None,
+            ..committed.clone()
+        };
+        assert!(check(&absent, &committed, DEFAULT_TOLERANCE).is_ok());
+    }
+
+    #[test]
+    fn parallel_reference_workload_has_the_issue_shape() {
+        let ps = parallel_reference_programs();
+        assert_eq!(ps.len(), 1024);
+        // 16 steps × (compute + 2 sendrecv) + 4 allreduces per rank.
+        let ops: usize = ps.iter().map(|p| p.ops.len()).sum();
+        assert_eq!(ops, 1024 * (16 * 3 + 4));
+    }
+
+    #[test]
+    fn quick_parallel_measurement_is_coherent() {
+        // One iteration at 2 threads: the numbers just have to be
+        // finite and self-consistent, not fast (CI hosts may have one
+        // core, where speedup_vs_1t < 1 is expected).
+        let p = measure_parallel(1, 2);
+        assert_eq!(p.ranks, 1024);
+        assert_eq!(p.threads, 2);
+        assert!(p.wall_s > 0.0 && p.wall_s.is_finite());
+        assert!(p.ops_per_s > 0.0);
+        assert!(p.speedup_vs_1t > 0.0 && p.speedup_vs_1t.is_finite());
+        assert!(p.host_cores >= 1);
     }
 
     #[test]
@@ -692,6 +920,7 @@ mod tests {
                 suite_wall_s: 0.0,
                 calibration_score: calibration_score(1),
                 baseline: None,
+                parallel: None,
             }
         };
         assert!(snap.engine.ops_per_s > 0.0);

@@ -39,6 +39,16 @@
 //!
 //! The engine is deterministic: completion times depend only on the
 //! programs and the network model, never on host scheduling.
+//!
+//! With [`SimConfig::threads`] `> 1` the run is executed by the
+//! conservative parallel (PDES) scheduler in [`crate::pdes`]: the rank
+//! range is split into contiguous, node-aligned partitions, each driven
+//! by its own ready-queue scheduler on a host thread, with
+//! cross-partition traffic forwarded over inter-partition channels. The
+//! visiting-order independence above is exactly what makes this safe —
+//! the parallel engine produces a bit-identical [`SimResult`] at every
+//! thread count, and `threads == 1` (the default) runs the sequential
+//! scheduler below unchanged.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
@@ -53,6 +63,7 @@ use crate::trace::{EventKind, Timeline};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Record a full event timeline. Off by default — timelines hold
     /// one entry per executed op and dominate memory on large sweeps;
@@ -71,6 +82,14 @@ pub struct SimConfig {
     /// fault branches on the hot path, and keeps [`SimResult`]
     /// bit-identical to a faults-free build.
     pub faults: FaultPlan,
+    /// Number of partition threads for the parallel (PDES) scheduler.
+    /// `1` (the default) runs the sequential engine unchanged; values
+    /// above `1` split the rank range into contiguous, node-aligned
+    /// partitions executed on host threads (see [`crate::pdes`]).
+    /// `SimResult` is bit-identical at every thread count; `0` is
+    /// clamped to `1`, and values above the rank count are clamped to
+    /// it.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -79,7 +98,34 @@ impl Default for SimConfig {
             trace: false,
             profile: true,
             faults: FaultPlan::none(),
+            threads: 1,
         }
+    }
+}
+
+impl SimConfig {
+    /// Builder: set [`SimConfig::trace`].
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Builder: set [`SimConfig::profile`].
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Builder: set [`SimConfig::faults`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: set [`SimConfig::threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -193,6 +239,119 @@ impl SimResult {
     }
 }
 
+/// Output of the engine's fused validation prepass: one walk over every
+/// program performing the structural checks of [`Program::validate`]
+/// (same rules, same messages), the peer range checks, and the
+/// point-to-point post count that sizes the request arena.
+///
+/// A `Prepass` is reusable: it depends only on the programs, not on the
+/// configuration, network model or fault plan, so a caller simulating
+/// several runs of the same programs (or of programs *derived* from a
+/// shared template — see [`Prepass::scaled`]) pays for the walk once.
+#[derive(Debug, Clone)]
+pub struct Prepass {
+    /// Point-to-point posts per rank (`Send`/`Isend`/`Recv`/`Irecv`
+    /// count 1, `Sendrecv` counts 2).
+    pub(crate) p2p_ops: Vec<usize>,
+}
+
+impl Prepass {
+    /// Run the fused validate/range/count walk over `programs`.
+    ///
+    /// Error precedence matches running [`Program::validate`] first: a
+    /// structural error on a rank wins over any range error on that
+    /// rank, regardless of op order, so range errors are buffered until
+    /// the rank's walk finishes.
+    pub fn analyze(programs: &[Program]) -> Result<Self, SimError> {
+        let nranks = programs.len();
+        let mut p2p_ops: Vec<usize> = vec![0; nranks];
+        let mut open: std::collections::BTreeSet<ReqId> = std::collections::BTreeSet::new();
+        for (rank, p) in programs.iter().enumerate() {
+            open.clear();
+            let invalid = |reason: String| SimError::InvalidProgram { rank, reason };
+            let mut range_err: Option<SimError> = None;
+            for (op_index, op) in p.ops.iter().enumerate() {
+                let peer = match op {
+                    Op::Send { to, .. } => {
+                        p2p_ops[rank] += 1;
+                        Some(*to)
+                    }
+                    Op::Isend { to, req, .. } => {
+                        p2p_ops[rank] += 1;
+                        if !open.insert(*req) {
+                            return Err(invalid(format!("request {req} created while still open")));
+                        }
+                        Some(*to)
+                    }
+                    Op::Recv { from, .. } => {
+                        p2p_ops[rank] += 1;
+                        Some(*from)
+                    }
+                    Op::Irecv { from, req, .. } => {
+                        p2p_ops[rank] += 1;
+                        if !open.insert(*req) {
+                            return Err(invalid(format!("request {req} created while still open")));
+                        }
+                        Some(*from)
+                    }
+                    Op::Wait { req } => {
+                        if !open.remove(req) {
+                            return Err(invalid(format!(
+                                "wait on request {req} which is not open"
+                            )));
+                        }
+                        None
+                    }
+                    Op::Bcast { root, .. } | Op::Reduce { root, .. } => Some(*root),
+                    Op::Sendrecv { to, from, .. } => {
+                        p2p_ops[rank] += 2;
+                        if *to >= nranks && range_err.is_none() {
+                            range_err = Some(SimError::RankOutOfRange {
+                                rank: *to,
+                                op_index,
+                            });
+                        }
+                        Some(*from)
+                    }
+                    _ => None,
+                };
+                if let Some(p) = peer {
+                    if p >= nranks && range_err.is_none() {
+                        range_err = Some(SimError::RankOutOfRange { rank: p, op_index });
+                    }
+                }
+            }
+            if let Some(req) = open.iter().next() {
+                return Err(invalid(format!("request {req} never waited on")));
+            }
+            if let Some(e) = range_err {
+                return Err(e);
+            }
+        }
+        Ok(Prepass { p2p_ops })
+    }
+
+    /// Prepass of the programs formed by concatenating `reps` copies of
+    /// the analyzed template per rank: post counts scale linearly, and
+    /// validity is preserved because [`Program::validate`] requires all
+    /// requests closed at the end of the template, so every copy starts
+    /// from a clean request namespace (the documented
+    /// reuse-after-`Wait` rule). Appending collectives (which post no
+    /// point-to-point requests) to such a concatenation leaves the
+    /// counts unchanged, so e.g. a `W×step + Barrier` warm-up program
+    /// is described by `template.scaled(W)` exactly.
+    pub fn scaled(&self, reps: usize) -> Prepass {
+        Prepass {
+            p2p_ops: self.p2p_ops.iter().map(|c| c * reps).collect(),
+        }
+    }
+
+    /// Number of ranks the prepass describes.
+    pub fn nranks(&self) -> usize {
+        self.p2p_ops.len()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Profile recording strategy (monomorphized; see `SimConfig::profile`)
 // ---------------------------------------------------------------------------
@@ -202,7 +361,7 @@ impl SimResult {
 /// profile-off one compiles to nothing (no per-op branch, no dead
 /// `Profile` allocation, and blocked-phase attribution is skipped
 /// entirely).
-trait ProfileSink {
+pub(crate) trait ProfileSink {
     /// Whether phase attribution needs to be computed at all.
     const ENABLED: bool;
     fn phase(&mut self, rank: usize, phase: Phase, secs: f64);
@@ -210,7 +369,7 @@ trait ProfileSink {
     fn finish(self) -> Profile;
 }
 
-struct LiveProfile(Profile);
+pub(crate) struct LiveProfile(pub(crate) Profile);
 
 impl ProfileSink for LiveProfile {
     const ENABLED: bool = true;
@@ -227,7 +386,7 @@ impl ProfileSink for LiveProfile {
     }
 }
 
-struct NoProfile;
+pub(crate) struct NoProfile;
 
 impl ProfileSink for NoProfile {
     const ENABLED: bool = false;
@@ -250,7 +409,7 @@ impl ProfileSink for NoProfile {
 /// perturbation — results stay bit-identical to a faults-free build),
 /// the active one reads the lookup tables an [`ActiveFaults`] compiled
 /// from the plan.
-trait FaultHook {
+pub(crate) trait FaultHook {
     /// Whether any fault logic needs to run at all.
     const ENABLED: bool;
     /// Perturbed duration of a compute op (`base` when off).
@@ -264,7 +423,7 @@ trait FaultHook {
 }
 
 /// The zero-cost off path.
-struct NoFaults;
+pub(crate) struct NoFaults;
 
 impl FaultHook for NoFaults {
     const ENABLED: bool = false;
@@ -358,14 +517,14 @@ type ChannelKey = (usize, usize, u32);
 /// (see [`ChanMemo`]); steady-state communication patterns (rings,
 /// halos) hit the memo and never hash.
 #[derive(Default)]
-struct Channels {
-    store: Vec<Channel>,
+pub(crate) struct Channels {
+    pub(crate) store: Vec<Channel>,
     index: HashMap<ChannelKey, u32, BuildHasherDefault<FxHasher>>,
 }
 
 impl Channels {
     /// Slot of channel `(from, to, tag)`, creating it on first use.
-    fn slot(&mut self, np: &NetParams, from: usize, to: usize, tag: u32) -> u32 {
+    pub(crate) fn slot(&mut self, np: &NetParams, from: usize, to: usize, tag: u32) -> u32 {
         use std::collections::hash_map::Entry;
         match self.index.entry((from, to, tag)) {
             Entry::Occupied(e) => *e.get(),
@@ -384,14 +543,14 @@ impl Channels {
 /// the memo turns almost every channel lookup into two integer
 /// compares.
 #[derive(Debug, Clone, Copy)]
-struct ChanMemo {
-    peer: usize,
-    tag: u32,
-    idx: u32,
+pub(crate) struct ChanMemo {
+    pub(crate) peer: usize,
+    pub(crate) tag: u32,
+    pub(crate) idx: u32,
 }
 
 impl ChanMemo {
-    const EMPTY: ChanMemo = ChanMemo {
+    pub(crate) const EMPTY: ChanMemo = ChanMemo {
         peer: usize::MAX,
         tag: 0,
         idx: 0,
@@ -399,15 +558,15 @@ impl ChanMemo {
 }
 
 /// Internal request id (separate namespace from user [`ReqId`]s).
-type IReq = usize;
+pub(crate) type IReq = usize;
 
 /// Sentinel for an unoccupied user-request slot.
-const NO_REQ: IReq = usize::MAX;
+pub(crate) const NO_REQ: IReq = usize::MAX;
 
 /// What an internal request stands for — used to attribute blocked time
 /// to a [`Phase`] in the online profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ReqClass {
+pub(crate) enum ReqClass {
     EagerSend,
     RdvSend,
     Recv,
@@ -417,14 +576,14 @@ enum ReqClass {
 /// `done_at`. State and classification live in one table so a post
 /// touches a single cache line.
 #[derive(Debug, Clone, Copy)]
-struct Req {
-    done_at: f64,
-    class: ReqClass,
-    done: bool,
+pub(crate) struct Req {
+    pub(crate) done_at: f64,
+    pub(crate) class: ReqClass,
+    pub(crate) done: bool,
 }
 
 /// Map the eager-protocol decision onto the profile's [`Regime`].
-fn regime_of(eager: bool) -> Regime {
+pub(crate) fn regime_of(eager: bool) -> Regime {
     if eager {
         Regime::Eager
     } else {
@@ -438,19 +597,19 @@ fn regime_of(eager: bool) -> Regime {
 /// [`InterconnectSpec::wire_time`](spechpc_machine::cluster::InterconnectSpec::wire_time)
 /// computes it (the `bandwidth * 1e9` product is hoisted, the division
 /// is not — keeping results bit-identical).
-struct NetParams {
-    send_overhead: f64,
-    eager_threshold: usize,
-    lat_intra: f64,
-    denom_intra: f64,
-    lat_inter: f64,
-    denom_inter: f64,
+pub(crate) struct NetParams {
+    pub(crate) send_overhead: f64,
+    pub(crate) eager_threshold: usize,
+    pub(crate) lat_intra: f64,
+    pub(crate) denom_intra: f64,
+    pub(crate) lat_inter: f64,
+    pub(crate) denom_inter: f64,
     /// Node id per rank (dense copy of the pinning).
-    node_of: Vec<u32>,
+    pub(crate) node_of: Vec<u32>,
 }
 
 impl NetParams {
-    fn of(net: &NetModel, nranks: usize) -> Self {
+    pub(crate) fn of(net: &NetModel, nranks: usize) -> Self {
         let ic = net.interconnect();
         NetParams {
             send_overhead: net.send_overhead,
@@ -467,16 +626,16 @@ impl NetParams {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct SendPost {
-    time: f64,
-    bytes: usize,
-    ireq: IReq,
+pub(crate) struct SendPost {
+    pub(crate) time: f64,
+    pub(crate) bytes: usize,
+    pub(crate) ireq: IReq,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct RecvPost {
-    time: f64,
-    ireq: IReq,
+pub(crate) struct RecvPost {
+    pub(crate) time: f64,
+    pub(crate) ireq: IReq,
 }
 
 /// FIFO with two inline slots and a heap spill area. A channel's
@@ -487,7 +646,7 @@ struct RecvPost {
 /// are always older than spilled ones, so popping inline-first
 /// preserves FIFO order.
 #[derive(Debug)]
-struct Fifo<T> {
+pub(crate) struct Fifo<T> {
     inline: [Option<T>; 2],
     head: u8,
     len: u8,
@@ -513,7 +672,7 @@ impl<T: Copy> Fifo<T> {
         self.spill_head < self.spill.len()
     }
     #[inline]
-    fn push(&mut self, t: T) {
+    pub(crate) fn push(&mut self, t: T) {
         // Once anything has spilled, newer items must follow it there
         // until the spill drains, or they would overtake it.
         if self.len < 2 && !self.spill_pending() {
@@ -524,7 +683,7 @@ impl<T: Copy> Fifo<T> {
         }
     }
     #[inline]
-    fn pop(&mut self) -> T {
+    pub(crate) fn pop(&mut self) -> T {
         if self.len > 0 {
             let t = self.inline[self.head as usize]
                 .take()
@@ -543,7 +702,7 @@ impl<T: Copy> Fifo<T> {
         }
     }
     #[inline]
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.len == 0 && !self.spill_pending()
     }
 }
@@ -552,16 +711,16 @@ impl<T: Copy> Fifo<T> {
 /// rank pair are resolved once at channel creation, so matching never
 /// consults the pinning tables.
 #[derive(Debug)]
-struct Channel {
-    sends: Fifo<SendPost>,
-    recvs: Fifo<RecvPost>,
-    wire_lat: f64,
-    wire_denom: f64,
-    same_node: bool,
+pub(crate) struct Channel {
+    pub(crate) sends: Fifo<SendPost>,
+    pub(crate) recvs: Fifo<RecvPost>,
+    pub(crate) wire_lat: f64,
+    pub(crate) wire_denom: f64,
+    pub(crate) same_node: bool,
 }
 
 impl Channel {
-    fn new(np: &NetParams, from: usize, to: usize) -> Self {
+    pub(crate) fn new(np: &NetParams, from: usize, to: usize) -> Self {
         let same_node = np.node_of[from] == np.node_of[to];
         Channel {
             sends: Fifo::default(),
@@ -585,35 +744,35 @@ impl Channel {
 /// `Sendrecv` is the maximum arity (2), so no blocking op ever
 /// heap-allocates its request list.
 #[derive(Debug, Clone, Copy)]
-struct ReqSet {
+pub(crate) struct ReqSet {
     reqs: [IReq; 2],
     len: u8,
 }
 
 impl ReqSet {
     #[inline]
-    fn one(a: IReq) -> Self {
+    pub(crate) fn one(a: IReq) -> Self {
         ReqSet {
             reqs: [a, a],
             len: 1,
         }
     }
     #[inline]
-    fn two(a: IReq, b: IReq) -> Self {
+    pub(crate) fn two(a: IReq, b: IReq) -> Self {
         ReqSet {
             reqs: [a, b],
             len: 2,
         }
     }
     #[inline]
-    fn as_slice(&self) -> &[IReq] {
+    pub(crate) fn as_slice(&self) -> &[IReq] {
         &self.reqs[..self.len as usize]
     }
 }
 
 /// What a rank is currently blocked on.
 #[derive(Debug, Clone, Copy)]
-enum Blocked {
+pub(crate) enum Blocked {
     /// Waiting for a set of internal requests; resumes at the max of
     /// their completion times (and not before `start`).
     Reqs {
@@ -626,26 +785,26 @@ enum Blocked {
     Collective { start: f64 },
 }
 
-struct RankState {
-    pc: usize,
-    clock: f64,
-    blocked: Option<Blocked>,
-    done: bool,
+pub(crate) struct RankState {
+    pub(crate) pc: usize,
+    pub(crate) clock: f64,
+    pub(crate) blocked: Option<Blocked>,
+    pub(crate) done: bool,
     /// Next free slot in the rank's range of the shared request arena.
-    req_next: usize,
+    pub(crate) req_next: usize,
     /// One past the last slot of that range (bounds the posts the
     /// validation prepass counted for this rank).
-    req_end: usize,
+    pub(crate) req_end: usize,
     /// Memo of the last send-side channel (`(to, tag)` → slot).
-    send_memo: ChanMemo,
+    pub(crate) send_memo: ChanMemo,
     /// Memo of the last receive-side channel (`(from, tag)` → slot).
-    recv_memo: ChanMemo,
+    pub(crate) recv_memo: ChanMemo,
     /// User request id → internal request id, as a slot vector indexed
     /// by [`ReqId`] (program validation guarantees every `Wait` follows
     /// its creation, so a `Wait` always finds its slot occupied).
-    user_reqs: Vec<IReq>,
+    pub(crate) user_reqs: Vec<IReq>,
     /// Rank-local collective sequence number.
-    coll_seq: usize,
+    pub(crate) coll_seq: usize,
 }
 
 struct CollectiveEntry {
@@ -674,21 +833,28 @@ struct CollectiveEntry {
 /// Together these guarantee no lost wakeups: a rank blocks only on
 /// requests/collectives that complete exactly once, and each completion
 /// produces a wake.
-struct ReadyQueue {
+pub(crate) struct ReadyQueue {
     queue: VecDeque<usize>,
     queued: Vec<bool>,
 }
 
 impl ReadyQueue {
     fn with_all(nranks: usize) -> Self {
+        Self::with_range(nranks, 0, nranks)
+    }
+
+    /// Queue over the global rank id space with only `lo..hi` initially
+    /// runnable — the partition-local variant the PDES scheduler uses
+    /// (a partition only ever enqueues its own ranks).
+    pub(crate) fn with_range(nranks: usize, lo: usize, hi: usize) -> Self {
         ReadyQueue {
-            queue: (0..nranks).collect(),
-            queued: vec![true; nranks],
+            queue: (lo..hi).collect(),
+            queued: (0..nranks).map(|r| (lo..hi).contains(&r)).collect(),
         }
     }
 
     #[inline]
-    fn wake(&mut self, rank: usize, running: usize) {
+    pub(crate) fn wake(&mut self, rank: usize, running: usize) {
         if rank != running && !self.queued[rank] {
             self.queued[rank] = true;
             self.queue.push_back(rank);
@@ -696,7 +862,7 @@ impl ReadyQueue {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<usize> {
+    pub(crate) fn pop(&mut self) -> Option<usize> {
         let r = self.queue.pop_front()?;
         self.queued[r] = false;
         Some(r)
@@ -705,11 +871,11 @@ impl ReadyQueue {
 
 /// The discrete-event engine. See the module docs for semantics.
 pub struct Engine {
-    config: SimConfig,
-    net: NetModel,
-    programs: Vec<Program>,
+    pub(crate) config: SimConfig,
+    pub(crate) net: NetModel,
+    pub(crate) programs: Vec<Program>,
     /// Cooperative cancellation token (see [`Engine::with_cancel`]).
-    cancel: Option<Arc<AtomicBool>>,
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Engine {
@@ -742,78 +908,37 @@ impl Engine {
 
     /// Execute the programs to completion.
     pub fn run(self) -> Result<SimResult, SimError> {
+        let prepass = Prepass::analyze(&self.programs)?;
+        self.run_prevalidated(&prepass)
+    }
+
+    /// Execute programs whose [`Prepass`] was computed (or derived) in
+    /// advance — the batch-simulation entry point: callers simulating a
+    /// family of runs built from one program template analyze the
+    /// template once and derive each run's prepass arithmetically (see
+    /// [`Prepass::scaled`]) instead of re-walking every concatenated
+    /// program.
+    ///
+    /// The prepass must describe exactly `self`'s programs (the rank
+    /// count is asserted; the per-rank post counts are trusted, and a
+    /// debug assertion in the scheduler catches undercounts).
+    pub fn run_prevalidated(self, prepass: &Prepass) -> Result<SimResult, SimError> {
         let nranks = self.programs.len();
-        // Single validation prepass per rank: the structural checks of
-        // [`Program::validate`] (same rules, same messages), the peer
-        // range checks, and the point-to-point op count (to size the
-        // request tables exactly once) fused into one walk. Precedence
-        // matches running `validate()` first: a structural error on a
-        // rank wins over any range error on that rank, regardless of op
-        // order, so range errors are buffered until the walk finishes.
-        let mut p2p_ops: Vec<usize> = vec![0; nranks];
-        let mut open: std::collections::BTreeSet<ReqId> = std::collections::BTreeSet::new();
-        for (rank, p) in self.programs.iter().enumerate() {
-            open.clear();
-            let invalid = |reason: String| SimError::InvalidProgram { rank, reason };
-            let mut range_err: Option<SimError> = None;
-            for (op_index, op) in p.ops.iter().enumerate() {
-                let peer = match op {
-                    Op::Send { to, .. } => {
-                        p2p_ops[rank] += 1;
-                        Some(*to)
-                    }
-                    Op::Isend { to, req, .. } => {
-                        p2p_ops[rank] += 1;
-                        if !open.insert(*req) {
-                            return Err(invalid(format!("request {req} created while still open")));
-                        }
-                        Some(*to)
-                    }
-                    Op::Recv { from, .. } => {
-                        p2p_ops[rank] += 1;
-                        Some(*from)
-                    }
-                    Op::Irecv { from, req, .. } => {
-                        p2p_ops[rank] += 1;
-                        if !open.insert(*req) {
-                            return Err(invalid(format!("request {req} created while still open")));
-                        }
-                        Some(*from)
-                    }
-                    Op::Wait { req } => {
-                        if !open.remove(req) {
-                            return Err(invalid(format!(
-                                "wait on request {req} which is not open"
-                            )));
-                        }
-                        None
-                    }
-                    Op::Bcast { root, .. } | Op::Reduce { root, .. } => Some(*root),
-                    Op::Sendrecv { to, from, .. } => {
-                        p2p_ops[rank] += 2;
-                        if *to >= nranks && range_err.is_none() {
-                            range_err = Some(SimError::RankOutOfRange {
-                                rank: *to,
-                                op_index,
-                            });
-                        }
-                        Some(*from)
-                    }
-                    _ => None,
-                };
-                if let Some(p) = peer {
-                    if p >= nranks && range_err.is_none() {
-                        range_err = Some(SimError::RankOutOfRange { rank: p, op_index });
-                    }
-                }
-            }
-            if let Some(req) = open.iter().next() {
-                return Err(invalid(format!("request {req} never waited on")));
-            }
-            if let Some(e) = range_err {
-                return Err(e);
-            }
+        assert_eq!(
+            prepass.p2p_ops.len(),
+            nranks,
+            "prepass sized for {} ranks but {} programs given",
+            prepass.p2p_ops.len(),
+            nranks
+        );
+        // `threads` is a scheduling knob, never a semantic one: results
+        // are bit-identical at every value, 0 is clamped to 1 and the
+        // partition count never exceeds the rank count.
+        let threads = self.config.threads.max(1).min(nranks.max(1));
+        if threads > 1 {
+            return crate::pdes::run_parallel(self, prepass, threads);
         }
+        let p2p_ops = &prepass.p2p_ops;
 
         // Fault-capable instantiations are selected only when a plan or
         // a cancellation token is present; otherwise the zero-cost
@@ -822,28 +947,28 @@ impl Engine {
             let hook = ActiveFaults::compile(&self.config.faults, nranks, self.cancel.clone());
             match (self.config.profile, self.config.trace) {
                 (true, false) => {
-                    self.run_with::<_, _, false>(LiveProfile(Profile::new(nranks)), hook, &p2p_ops)
+                    self.run_with::<_, _, false>(LiveProfile(Profile::new(nranks)), hook, p2p_ops)
                 }
                 (true, true) => {
-                    self.run_with::<_, _, true>(LiveProfile(Profile::new(nranks)), hook, &p2p_ops)
+                    self.run_with::<_, _, true>(LiveProfile(Profile::new(nranks)), hook, p2p_ops)
                 }
-                (false, false) => self.run_with::<_, _, false>(NoProfile, hook, &p2p_ops),
-                (false, true) => self.run_with::<_, _, true>(NoProfile, hook, &p2p_ops),
+                (false, false) => self.run_with::<_, _, false>(NoProfile, hook, p2p_ops),
+                (false, true) => self.run_with::<_, _, true>(NoProfile, hook, p2p_ops),
             }
         } else {
             match (self.config.profile, self.config.trace) {
                 (true, false) => self.run_with::<_, _, false>(
                     LiveProfile(Profile::new(nranks)),
                     NoFaults,
-                    &p2p_ops,
+                    p2p_ops,
                 ),
                 (true, true) => self.run_with::<_, _, true>(
                     LiveProfile(Profile::new(nranks)),
                     NoFaults,
-                    &p2p_ops,
+                    p2p_ops,
                 ),
-                (false, false) => self.run_with::<_, _, false>(NoProfile, NoFaults, &p2p_ops),
-                (false, true) => self.run_with::<_, _, true>(NoProfile, NoFaults, &p2p_ops),
+                (false, false) => self.run_with::<_, _, false>(NoProfile, NoFaults, p2p_ops),
+                (false, true) => self.run_with::<_, _, true>(NoProfile, NoFaults, p2p_ops),
             }
         }
     }
@@ -1281,7 +1406,7 @@ impl Engine {
     /// queue).
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn try_unblock_reqs<P: ProfileSink, const TRACE: bool>(
+    pub(crate) fn try_unblock_reqs<P: ProfileSink, const TRACE: bool>(
         r: usize,
         set: ReqSet,
         kind: EventKind,
@@ -1340,7 +1465,7 @@ impl Engine {
     /// sequence number.
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn unblock_collective<P: ProfileSink, const TRACE: bool>(
+    pub(crate) fn unblock_collective<P: ProfileSink, const TRACE: bool>(
         r: usize,
         start: f64,
         finish: f64,
@@ -1367,7 +1492,7 @@ impl Engine {
     /// Record `user req id → ireq` in the slot vector, growing it on
     /// first use of a new id (ids may be reused after their `Wait`).
     #[inline]
-    fn set_user_req(user_reqs: &mut Vec<IReq>, req: ReqId, ireq: IReq) {
+    pub(crate) fn set_user_req(user_reqs: &mut Vec<IReq>, req: ReqId, ireq: IReq) {
         let slot = req as usize;
         if user_reqs.len() <= slot {
             user_reqs.resize(slot + 1, NO_REQ);
@@ -1380,7 +1505,7 @@ impl Engine {
     /// resolve any matches this enables. Returns the request and
     /// whether the pair shares a node.
     #[allow(clippy::too_many_arguments)]
-    fn post_send<F: FaultHook>(
+    pub(crate) fn post_send<F: FaultHook>(
         np: &NetParams,
         ranks: &mut [RankState],
         reqs: &mut [Req],
@@ -1427,7 +1552,7 @@ impl Engine {
     /// Create the internal request for a receive, append the posting to
     /// its channel, and resolve any matches this enables.
     #[allow(clippy::too_many_arguments)]
-    fn post_recv<F: FaultHook>(
+    pub(crate) fn post_recv<F: FaultHook>(
         np: &NetParams,
         ranks: &mut [RankState],
         reqs: &mut [Req],
@@ -1469,7 +1594,7 @@ impl Engine {
     /// `running` re-examines its own state inline instead). FIFO per
     /// channel preserves MPI's non-overtaking rule.
     #[allow(clippy::too_many_arguments)]
-    fn match_channel<F: FaultHook>(
+    pub(crate) fn match_channel<F: FaultHook>(
         eager_threshold: usize,
         ch: &mut Channel,
         from: usize,
@@ -1516,7 +1641,7 @@ impl Engine {
     }
 
     /// Name used in collective-mismatch diagnostics.
-    fn collective_name(kind: EventKind) -> &'static str {
+    pub(crate) fn collective_name(kind: EventKind) -> &'static str {
         match kind {
             EventKind::Allreduce => "Allreduce",
             EventKind::Barrier => "Barrier",

@@ -17,6 +17,11 @@
 //!   program per rank with MPI matching semantics (FIFO per channel,
 //!   rendezvous hand-shakes, globally ordered collectives) and deadlock
 //!   detection,
+//! * [`pdes`] — the conservative parallel scheduler behind
+//!   [`SimConfig::threads`](engine::SimConfig): contiguous node-aligned
+//!   rank partitions on host threads, null-message-style synchronization
+//!   with LogGP lookahead, and a deterministic merge keeping results
+//!   bit-identical to the sequential engine,
 //! * [`faults`] — seeded, deterministic fault injection (OS noise,
 //!   stragglers, flaky links, power-cap throttling, rank crashes) woven
 //!   through the engine with a zero-cost off path,
@@ -58,13 +63,14 @@ pub mod engine;
 pub mod export;
 pub mod faults;
 pub mod netmodel;
+pub mod pdes;
 pub mod profile;
 pub mod program;
 pub mod threadcomm;
 pub mod trace;
 
 pub use comm::Comm;
-pub use engine::{Engine, SimConfig, SimError, SimResult};
+pub use engine::{Engine, Prepass, SimConfig, SimError, SimResult};
 pub use netmodel::NetModel;
 pub use profile::{Phase, Profile, RankPhases, Regime, SizeBucket};
 pub use program::{Op, Program, ReqId, Tag};

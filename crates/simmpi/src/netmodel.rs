@@ -48,6 +48,16 @@ impl NetModel {
         &self.interconnect
     }
 
+    /// Conservative PDES lookahead (seconds): the inter-node wire
+    /// latency, i.e. the LogGP `L` of the interconnect. No message
+    /// crossing a node boundary can complete sooner than this after its
+    /// post, so a partitioned scheduler (see [`crate::pdes`]) may batch
+    /// outgoing cross-partition traffic over windows of this width
+    /// without a receiver ever observing it early.
+    pub fn lookahead(&self) -> f64 {
+        self.interconnect.latency_s
+    }
+
     /// Whether a message of `bytes` uses the eager protocol.
     pub fn is_eager(&self, bytes: usize) -> bool {
         self.interconnect.is_eager(bytes)

@@ -267,6 +267,31 @@ impl Profile {
         }
     }
 
+    /// Merge one partition's profile into a full-size one: the
+    /// per-rank phase rows of `lo..hi` are scattered from the partition
+    /// (which owns those ranks exclusively), while the global views —
+    /// both size histograms and the communication matrix — are summed
+    /// element-wise. All global counters are `u64`, so the merged
+    /// result is bit-identical to a single-threaded accumulation
+    /// regardless of partition order; the per-rank `f64` sums are
+    /// owner-written in the rank's own operation order, which is the
+    /// same order the sequential engine uses.
+    pub fn absorb_partition(&mut self, part: &Profile, lo: usize, hi: usize) {
+        assert_eq!(self.nranks, part.nranks, "profiles of different runs");
+        self.per_rank[lo..hi].copy_from_slice(&part.per_rank[lo..hi]);
+        for (a, b) in self.eager_hist.iter_mut().zip(&part.eager_hist) {
+            a.count += b.count;
+            a.bytes += b.bytes;
+        }
+        for (a, b) in self.rendezvous_hist.iter_mut().zip(&part.rendezvous_hist) {
+            a.count += b.count;
+            a.bytes += b.bytes;
+        }
+        for (a, b) in self.comm_matrix.iter_mut().zip(&part.comm_matrix) {
+            *a += *b;
+        }
+    }
+
     // -----------------------------------------------------------------
     // CSV export (the `results/profile/` artifacts)
     // -----------------------------------------------------------------

@@ -181,6 +181,18 @@ impl Timeline {
         }
     }
 
+    /// Append every event of a partition timeline, preserving its
+    /// recording order. The per-rank event streams — the only ordering
+    /// [`Timeline`] promises (see [`Timeline::rank_events`]; the global
+    /// interleaving is scheduler-visiting-order and not part of the
+    /// contract) — are owner-recorded by exactly one partition, so
+    /// absorbing partitions in any order reproduces the sequential
+    /// engine's per-rank streams exactly.
+    pub fn absorb(&mut self, part: &Timeline) {
+        debug_assert_eq!(self.nranks, part.nranks, "timelines of different runs");
+        self.events.extend_from_slice(&part.events);
+    }
+
     /// Events of one rank, in time order.
     pub fn rank_events(&self, rank: usize) -> Vec<TraceEvent> {
         let mut ev: Vec<TraceEvent> = self

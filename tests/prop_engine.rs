@@ -49,16 +49,9 @@ fn ring_programs(
 fn run(progs: Vec<Program>) -> spechpc::simmpi::engine::SimResult {
     let cluster = presets::cluster_a();
     let net = NetModel::compact(&cluster, progs.len());
-    Engine::new(
-        SimConfig {
-            trace: true,
-            ..SimConfig::default()
-        },
-        net,
-        progs,
-    )
-    .run()
-    .expect("well-formed pattern must not deadlock")
+    Engine::new(SimConfig::default().with_trace(true), net, progs)
+        .run()
+        .expect("well-formed pattern must not deadlock")
 }
 
 /// Draw `len` compute durations in `[lo, hi)` milliseconds-ish units.
@@ -333,11 +326,7 @@ fn golden_case(seed: u64) -> u64 {
     let cluster = presets::cluster_a();
     let net = NetModel::compact(&cluster, nranks);
     let r = Engine::new(
-        SimConfig {
-            trace,
-            profile,
-            ..SimConfig::default()
-        },
+        SimConfig::default().with_trace(trace).with_profile(profile),
         net,
         progs,
     )

@@ -52,15 +52,7 @@ fn ring_programs(
 fn run_with(plan: FaultPlan, progs: Vec<Program>) -> Result<SimResult, SimError> {
     let cluster = presets::cluster_a();
     let net = NetModel::compact(&cluster, progs.len());
-    Engine::new(
-        SimConfig {
-            faults: plan,
-            ..SimConfig::default()
-        },
-        net,
-        progs,
-    )
-    .run()
+    Engine::new(SimConfig::default().with_faults(plan), net, progs).run()
 }
 
 /// FNV-1a digest over everything `SimResult` promises to keep stable.
