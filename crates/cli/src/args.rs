@@ -150,6 +150,21 @@ pub enum Command {
         vnodes: Option<usize>,
         /// `--timeout-s S`: per-forward timeout.
         timeout_s: Option<f64>,
+        /// `--no-hedge`: disable hedged `/v1/run` requests.
+        no_hedge: bool,
+    },
+    /// Deterministic seeded fault-injecting TCP proxy.
+    Chaos {
+        /// Positional: chaos plan TOML (see `plans/chaos-*.toml`).
+        plan: String,
+        /// `--listen host:port` (port 0 = ephemeral).
+        listen: String,
+        /// `--upstream host:port`: where intact bytes are relayed.
+        upstream: Option<String>,
+        /// `--chaos-seed N`: override the plan's seed.
+        seed: Option<u64>,
+        /// `--validate`: parse + describe the plan, then exit.
+        validate: bool,
     },
     /// Synthetic keep-alive load against a daemon or coordinator.
     Loadgen {
@@ -238,6 +253,18 @@ COMMANDS:
         --workers A:P,B:P,...    worker daemon addresses (required)
         --vnodes N               virtual nodes per worker       [default: 64]
         --timeout-s S            per-forward timeout           [default: 300]
+        --no-hedge               disable hedged /v1/run requests (hedging fires
+                                 the second ring preference after the observed
+                                 p99 latency; first trustworthy answer wins)
+    chaos <plan.toml>            deterministic fault-injecting TCP proxy: delay,
+                                 throttle, truncate, garbage, reset, black-hole
+                                 per connection, replayed bit-identically from a
+                                 stateless hash of (seed, conn, fault)
+        --listen HOST:PORT       proxy listen address  [default: 127.0.0.1:8799]
+        --upstream HOST:PORT     where intact bytes relay to (required unless
+                                 --validate)
+        --chaos-seed N           override the plan's seed
+        --validate               parse + describe the plan, then exit
     loadgen [benchmark]          synthetic keep-alive load against a daemon or
                                  coordinator; prints requests/s and p50/p99
         --addr HOST:PORT         target                [default: 127.0.0.1:8722]
@@ -282,7 +309,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     // Collect options (--key value / -n value), valueless flags, and
     // positionals.
-    const FLAGS: [&str; 4] = ["no-cache", "metrics", "quick", "service"];
+    const FLAGS: [&str; 6] = [
+        "no-cache", "metrics", "quick", "service", "validate", "no-hedge",
+    ];
     let mut positional = Vec::new();
     let mut options = std::collections::BTreeMap::new();
     let mut flags = std::collections::BTreeSet::new();
@@ -479,6 +508,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 workers,
                 vnodes: usize_opt("vnodes")?,
                 timeout_s: secs_opt("timeout-s")?,
+                no_hedge: flags.contains("no-hedge"),
+            })
+        }
+        "chaos" => {
+            let plan = positional
+                .first()
+                .ok_or("chaos: which plan file? (try plans/chaos-ci.toml)")?
+                .clone();
+            let validate = flags.contains("validate");
+            let upstream = options.get("upstream").cloned();
+            if !validate && upstream.is_none() {
+                return Err("chaos: --upstream host:port is required (or use --validate)".into());
+            }
+            Ok(Command::Chaos {
+                plan,
+                listen: options
+                    .get("listen")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:8799".into()),
+                upstream,
+                seed: match options.get("chaos-seed") {
+                    Some(s) => Some(
+                        s.parse::<u64>()
+                            .map_err(|e| format!("bad --chaos-seed '{s}': {e}"))?,
+                    ),
+                    None => None,
+                },
+                validate,
             })
         }
         "loadgen" => Ok(Command::Loadgen {
@@ -821,12 +878,57 @@ mod tests {
                 workers: vec!["127.0.0.1:8722".into(), "127.0.0.1:8723".into()],
                 vnodes: Some(32),
                 timeout_s: Some(10.0),
+                no_hedge: false,
             }
         );
         // Workers are mandatory; an empty list is an error too.
         assert!(parse(&v(&["fleet"])).is_err());
         assert!(parse(&v(&["fleet", "--workers", ","])).is_err());
         assert!(parse(&v(&["fleet", "--workers", "a:1", "--vnodes", "0"])).is_err());
+        // Hedging is on by default and --no-hedge switches it off.
+        assert!(matches!(
+            parse(&v(&["fleet", "--workers", "a:1", "--no-hedge"])).unwrap(),
+            Command::Fleet { no_hedge: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_chaos() {
+        assert_eq!(
+            parse(&v(&[
+                "chaos",
+                "plans/chaos-ci.toml",
+                "--listen",
+                "127.0.0.1:9001",
+                "--upstream",
+                "127.0.0.1:8722",
+                "--chaos-seed",
+                "7",
+            ]))
+            .unwrap(),
+            Command::Chaos {
+                plan: "plans/chaos-ci.toml".into(),
+                listen: "127.0.0.1:9001".into(),
+                upstream: Some("127.0.0.1:8722".into()),
+                seed: Some(7),
+                validate: false,
+            }
+        );
+        // --validate needs no upstream…
+        assert_eq!(
+            parse(&v(&["chaos", "plans/chaos-ci.toml", "--validate"])).unwrap(),
+            Command::Chaos {
+                plan: "plans/chaos-ci.toml".into(),
+                listen: "127.0.0.1:8799".into(),
+                upstream: None,
+                seed: None,
+                validate: true,
+            }
+        );
+        // …but serving does, and the plan file is always required.
+        assert!(parse(&v(&["chaos", "plans/chaos-ci.toml"])).is_err());
+        assert!(parse(&v(&["chaos"])).is_err());
+        assert!(parse(&v(&["chaos", "p.toml", "--validate", "--chaos-seed", "x"])).is_err());
     }
 
     #[test]

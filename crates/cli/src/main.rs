@@ -21,6 +21,7 @@ mod args;
 
 use args::{ClusterChoice, Command, ExecOpts, FaultOpts, USAGE};
 use spechpc::harness::api;
+use spechpc::harness::chaos;
 use spechpc::harness::experiments::{multi_node, node_level, power_energy, tables};
 use spechpc::harness::faultcfg;
 use spechpc::harness::fleet;
@@ -560,10 +561,12 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             workers,
             vnodes,
             timeout_s,
+            no_hedge,
         } => {
             let mut cfg = fleet::FleetConfig::default()
                 .with_addr(addr)
-                .with_workers(workers);
+                .with_workers(workers)
+                .with_hedging(!no_hedge);
             if let Some(v) = vnodes {
                 cfg = cfg.with_vnodes(v);
             }
@@ -580,6 +583,44 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             coordinator
                 .serve()
                 .map_err(|e| ApiError::internal(format!("fleet: {e}")))?;
+            Ok(())
+        }
+        Command::Chaos {
+            plan,
+            listen,
+            upstream,
+            seed,
+            validate,
+        } => {
+            let mut p = chaos::load_chaos_plan(std::path::Path::new(&plan))
+                .map_err(|e| ApiError::bad_request(e.to_string()))?;
+            if let Some(s) = seed {
+                p.seed = s;
+            }
+            if validate {
+                if p.faults.is_empty() {
+                    println!("{plan}: valid — empty plan (pure byte splice)");
+                    return Ok(());
+                }
+                println!(
+                    "{plan}: valid — seed {}, {} fault(s)",
+                    p.seed,
+                    p.faults.len()
+                );
+                for f in &p.faults {
+                    println!("  {}", f.describe());
+                }
+                return Ok(());
+            }
+            let upstream = upstream.expect("args parser requires --upstream unless --validate");
+            serve::install_signal_handlers();
+            let proxy = chaos::ChaosProxy::bind(p, &listen, upstream.clone())
+                .map_err(|e| ApiError::internal(format!("bind: {e}")))?;
+            let bound = proxy.local_addr().map_err(internal)?;
+            eprintln!("[chaos] injuring http://{bound} → {upstream} per {plan} — SIGTERM drains");
+            proxy
+                .serve()
+                .map_err(|e| ApiError::internal(format!("chaos: {e}")))?;
             Ok(())
         }
         Command::Loadgen {

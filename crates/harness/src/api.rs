@@ -118,6 +118,13 @@ impl ApiError {
         )
     }
 
+    /// 502 — an upstream worker answered with bytes the coordinator
+    /// could not trust (truncated body, corrupt framing, undecodable
+    /// payload). The partial bytes are never relayed.
+    pub fn bad_upstream(message: impl Into<String>) -> Self {
+        ApiError::new(502, "bad_upstream", message)
+    }
+
     /// The process exit code a CLI invocation derives from this error:
     /// partial suites exit 3 (some benchmarks completed), everything
     /// else exits 1. (Argument-parse errors exit 2 before any `ApiError`

@@ -144,6 +144,10 @@ pub struct CacheMetrics {
     /// `quarantine/` directory (each such lookup also counts under
     /// `corrupt`); the slot is then free for a clean re-run to refill.
     pub quarantined: u64,
+    /// Torn or orphaned files the startup [`RunCache::scrub`] swept
+    /// into quarantine: undecodable `*.json` entries and `*.tmp.*`
+    /// leftovers from writes a crash interrupted.
+    pub torn_quarantined: u64,
     /// Results stored (both fresh runs and disk-hit promotions write to
     /// the in-memory map; only fresh runs count here).
     pub stores: u64,
@@ -174,6 +178,7 @@ struct MetricCells {
     misses: AtomicU64,
     corrupt: AtomicU64,
     quarantined: AtomicU64,
+    torn_quarantined: AtomicU64,
     stores: AtomicU64,
 }
 
@@ -329,17 +334,94 @@ impl RunCache {
             misses: self.metrics.misses.load(Ordering::Relaxed),
             corrupt: self.metrics.corrupt.load(Ordering::Relaxed),
             quarantined: self.metrics.quarantined.load(Ordering::Relaxed),
+            torn_quarantined: self.metrics.torn_quarantined.load(Ordering::Relaxed),
             stores: self.metrics.stores.load(Ordering::Relaxed),
         }
     }
+
+    /// Startup integrity sweep over the on-disk cache: every `*.json`
+    /// entry must decode under its own embedded key and hash to its
+    /// file name; anything that fails — plus any `*.tmp.*` leftover of
+    /// a write a crash interrupted — is moved into `quarantine/` and
+    /// counted under `torn_quarantined`. Returns the number of files
+    /// swept. A no-op for in-memory caches and missing directories.
+    ///
+    /// This is invoked from the daemon's bind path, not from
+    /// [`RunCache::on_disk`]: construction stays cheap and pure, and
+    /// lookup-time corruption accounting (`corrupt`/`quarantined`)
+    /// keeps observing entries that rot *while* the daemon runs.
+    pub fn scrub(&self) -> u64 {
+        let Some(dir) = self.dir.as_ref() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        let mut swept = 0u64;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let torn = if name.contains(".tmp.") {
+                // A temp file only persists when its writer died
+                // between create and rename.
+                true
+            } else if let Some(stem) = name.strip_suffix(".json") {
+                !entry_is_sound(&path, stem)
+            } else {
+                continue;
+            };
+            if torn && self.quarantine(&path).is_ok() {
+                self.metrics
+                    .torn_quarantined
+                    .fetch_add(1, Ordering::Relaxed);
+                swept += 1;
+            }
+        }
+        swept
+    }
 }
 
-/// Write via a sibling temp file + rename so concurrent processes never
-/// observe a torn entry.
+/// Is the entry at `path` internally consistent? It must parse, carry
+/// the current schema, decode to a result, and its embedded canonical
+/// key must hash to the file's stem — a mismatch means the bytes were
+/// torn or the file was renamed into the wrong slot.
+fn entry_is_sound(path: &Path, stem: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Some(root) = parse_json(&text) else {
+        return false;
+    };
+    let Some(key) = root.str_of("key") else {
+        return false;
+    };
+    fnv_hex(&key) == stem && decode_entry(&text, &key).is_some()
+}
+
+/// Write via a sibling temp file + `fsync` + rename so neither
+/// concurrent processes nor a crash (`kill -9`, power loss) can leave a
+/// readable torn entry under the final name: the data is durable
+/// *before* the rename makes it visible, and the parent directory is
+/// synced after so the rename itself survives a crash. A crash mid-way
+/// leaves only a `*.tmp.*` file, which [`RunCache::scrub`] sweeps into
+/// quarantine on the next startup.
 fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -854,6 +936,64 @@ mod tests {
             let cache = RunCache::on_disk(&dir);
             assert!(cache.get(&key).is_some());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_quarantines_torn_entries_and_stale_temps_only() {
+        let dir = std::env::temp_dir().join(format!("spechpc-scrub-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig::default();
+        let good_key = RunKey::new("ClusterA", "lbm", "tiny", 8, &cfg);
+        let torn_key = RunKey::new("ClusterA", "soma", "tiny", 12, &cfg);
+        {
+            let cache = RunCache::on_disk(&dir);
+            cache.put(&good_key, &sample_result());
+            cache.put(&torn_key, &sample_result());
+        }
+        // Simulate a crash mid-write: a torn entry under the final name
+        // (half the bytes) and a leftover temp file that never renamed.
+        let torn_path = dir.join(format!("{}.json", torn_key.hash_hex()));
+        let full = std::fs::read_to_string(&torn_path).unwrap();
+        std::fs::write(&torn_path, &full[..full.len() / 2]).unwrap();
+        let tmp_path = dir.join("deadbeef00000000.tmp.12345");
+        std::fs::write(&tmp_path, "partial").unwrap();
+        // An entry whose bytes decode but live under the wrong name is
+        // torn too (a rename landed in the wrong slot).
+        let misfiled = dir.join("0123456789abcdef.json");
+        std::fs::write(&misfiled, &full).unwrap();
+
+        let cache = RunCache::on_disk(&dir);
+        assert_eq!(cache.scrub(), 3);
+        assert_eq!(cache.metrics().torn_quarantined, 3);
+        assert!(!torn_path.exists());
+        assert!(!tmp_path.exists());
+        assert!(!misfiled.exists());
+        assert!(dir
+            .join("quarantine")
+            .join(torn_path.file_name().unwrap())
+            .exists());
+        // The sound entry survived and still decodes; a second scrub
+        // finds nothing.
+        assert!(cache.get(&good_key).is_some());
+        assert_eq!(cache.scrub(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("spechpc-fsync-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig::default();
+        let key = RunKey::new("ClusterB", "tealeaf", "tiny", 16, &cfg);
+        let cache = RunCache::on_disk(&dir);
+        cache.put(&key, &sample_result());
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![format!("{}.json", key.hash_hex())]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

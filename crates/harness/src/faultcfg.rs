@@ -65,14 +65,14 @@ pub struct PlanError {
 }
 
 impl PlanError {
-    fn at(line: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn at(line: usize, message: impl Into<String>) -> Self {
         PlanError {
             line: Some(line),
             message: message.into(),
         }
     }
 
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         PlanError {
             line: None,
             message: message.into(),

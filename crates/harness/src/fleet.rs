@@ -46,8 +46,8 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use spechpc_kernels::registry::all_benchmarks;
@@ -55,7 +55,7 @@ use spechpc_kernels::registry::all_benchmarks;
 use crate::api::{resolve_cluster, ApiError, RunRequest, SuiteRequest};
 use crate::cache::{self, RunKey};
 use crate::exec::PeerFetch;
-use crate::json::{quote, Json};
+use crate::json::{parse_json, quote, Json};
 use crate::serve::{encode_response, error_body};
 
 /// FNV-1a 64-bit — the same hash the run cache addresses entries with,
@@ -154,6 +154,44 @@ pub(crate) struct WireResponse {
     pub body: String,
 }
 
+/// Why an upstream exchange produced no usable response. The split
+/// matters to the failover loop: an [`Io`](TransportError::Io) failure
+/// (refused, reset before headers, timed out) means the worker never
+/// answered, while an [`Integrity`](TransportError::Integrity) failure
+/// means it answered with bytes that cannot be trusted — a truncated
+/// body, an implausible `Content-Length`, a mangled status line. A
+/// request that exhausts its failovers on integrity failures becomes a
+/// typed `502 bad_upstream`, never a silent splice of partial JSON.
+#[derive(Debug)]
+pub(crate) enum TransportError {
+    /// The exchange failed below HTTP: connect, read or write error.
+    Io(io::Error),
+    /// Bytes arrived, but violate the response framing.
+    Integrity(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "{e}"),
+            TransportError::Integrity(msg) => write!(f, "response integrity: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Upper bound on a plausible response body. Nothing the daemon emits
+/// approaches this; a larger `Content-Length` is corruption, not data,
+/// and must not make the client allocate unbounded memory.
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
 fn resolve_addr(addr: &str) -> io::Result<SocketAddr> {
     addr.to_socket_addrs()?
         .next()
@@ -177,8 +215,12 @@ fn write_request(
 }
 
 /// Read one `Content-Length`-framed response off a (possibly
-/// keep-alive) stream.
-fn read_response(stream: &mut TcpStream) -> io::Result<WireResponse> {
+/// keep-alive) stream, enforcing integrity: the status line must parse,
+/// `Content-Length` must be a plausible number, and the body must
+/// arrive complete. A violation is a typed
+/// [`TransportError::Integrity`] — partial bytes are never returned as
+/// if they were a response.
+fn read_response(stream: &mut TcpStream) -> Result<WireResponse, TransportError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
@@ -187,25 +229,36 @@ fn read_response(stream: &mut TcpStream) -> io::Result<WireResponse> {
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed before response headers",
-            ));
+            // A clean close before any byte is an I/O-level failure
+            // (the peer never answered); a close after partial headers
+            // means it answered with torn bytes.
+            if buf.is_empty() {
+                return Err(TransportError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response headers",
+                )));
+            }
+            return Err(TransportError::Integrity(format!(
+                "connection closed inside response headers after {} bytes",
+                buf.len()
+            )));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
     let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
+    if !status_line.starts_with("HTTP/1.") {
+        return Err(TransportError::Integrity(format!(
+            "malformed status line {status_line:?}"
+        )));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed status line {status_line:?}"),
-            )
+            TransportError::Integrity(format!("malformed status line {status_line:?}"))
         })?;
     let mut content_length = 0usize;
     let mut retry_after = None;
@@ -217,7 +270,12 @@ fn read_response(stream: &mut TcpStream) -> io::Result<WireResponse> {
         if k.eq_ignore_ascii_case("content-length") {
             content_length = v
                 .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+                .map_err(|_| TransportError::Integrity(format!("bad Content-Length {v:?}")))?;
+            if content_length > MAX_RESPONSE_BODY {
+                return Err(TransportError::Integrity(format!(
+                    "implausible Content-Length {content_length}"
+                )));
+            }
         } else if k.eq_ignore_ascii_case("retry-after") {
             retry_after = v.parse().ok();
         }
@@ -226,10 +284,11 @@ fn read_response(stream: &mut TcpStream) -> io::Result<WireResponse> {
     while buf.len() < body_start + content_length {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
-            ));
+            return Err(TransportError::Integrity(format!(
+                "body truncated at {} of {} bytes",
+                buf.len() - body_start,
+                content_length
+            )));
         }
         buf.extend_from_slice(&chunk[..n]);
     }
@@ -249,7 +308,7 @@ pub(crate) fn one_shot(
     path: &str,
     body: &str,
     timeout: Duration,
-) -> io::Result<WireResponse> {
+) -> Result<WireResponse, TransportError> {
     let sockaddr = resolve_addr(addr)?;
     let mut stream = TcpStream::connect_timeout(&sockaddr, timeout.min(Duration::from_secs(2)))?;
     // Nagle on the client plus delayed ACK on the daemon would stall
@@ -265,18 +324,93 @@ pub(crate) fn one_shot(
 // Worker registry
 // ---------------------------------------------------------------------------
 
-/// The fleet's view of its workers: addresses plus a liveness bit per
-/// worker, flipped by health probes and by transport failures on the
-/// forwarding path.
+/// Circuit-breaker state of one worker.
+///
+/// * **Closed** — healthy: routed to normally.
+/// * **Open** — tripped: skipped on the live pass (the failover loop
+///   still gives open workers one last-resort shot per sweep, and the
+///   prober keeps testing them).
+/// * **Half-open** — a probe succeeded while open: eligible for real
+///   traffic again, but one forwarding failure re-opens immediately
+///   instead of taking `BREAKER_THRESHOLD` fresh failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's wire label (`/v1/health`, `/v1/metrics`, obs CSV).
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    fn from_u8(v: u8) -> BreakerState {
+        match v {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
+/// Consecutive forwarding failures that trip a closed breaker open.
+/// One flaky exchange on a noisy fabric must not eject a worker; three
+/// in a row is a pattern.
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// One worker's circuit breaker: state machine + trip counter.
+struct Breaker {
+    /// Encoded [`BreakerState`] (0 closed, 1 open, 2 half-open).
+    state: AtomicU8,
+    /// Consecutive forwarding failures while closed.
+    failures: AtomicU32,
+    /// Times this breaker has transitioned into open.
+    trips: AtomicU64,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: AtomicU8::new(BreakerState::Closed as u8),
+            failures: AtomicU32::new(0),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        BreakerState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    fn set(&self, s: BreakerState) {
+        let prev = self.state.swap(s as u8, Ordering::SeqCst);
+        if s == BreakerState::Open && prev != BreakerState::Open as u8 {
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
+        if s != BreakerState::Closed {
+            return;
+        }
+        self.failures.store(0, Ordering::SeqCst);
+    }
+}
+
+/// The fleet's view of its workers: addresses plus a circuit breaker
+/// per worker, driven by health probes and by transport/integrity
+/// failures on the forwarding path.
 pub struct WorkerRegistry {
     addrs: Vec<String>,
-    alive: Vec<AtomicBool>,
+    breakers: Vec<Breaker>,
 }
 
 impl WorkerRegistry {
     pub fn new(addrs: Vec<String>) -> Self {
-        let alive = addrs.iter().map(|_| AtomicBool::new(true)).collect();
-        WorkerRegistry { addrs, alive }
+        let breakers = addrs.iter().map(|_| Breaker::new()).collect();
+        WorkerRegistry { addrs, breakers }
     }
 
     pub fn len(&self) -> usize {
@@ -291,34 +425,64 @@ impl WorkerRegistry {
         &self.addrs[w]
     }
 
+    /// A worker is routable unless its breaker is open.
     pub fn is_alive(&self, w: usize) -> bool {
-        self.alive[w].load(Ordering::SeqCst)
+        self.breakers[w].state() != BreakerState::Open
     }
 
+    /// The worker's breaker state.
+    pub fn state(&self, w: usize) -> BreakerState {
+        self.breakers[w].state()
+    }
+
+    /// Times the worker's breaker has tripped open.
+    pub fn trips(&self, w: usize) -> u64 {
+        self.breakers[w].trips.load(Ordering::Relaxed)
+    }
+
+    /// Record one forwarding failure. A half-open worker was on
+    /// probation — it re-opens immediately; a closed worker takes
+    /// `BREAKER_THRESHOLD` consecutive failures to trip.
     pub fn mark_dead(&self, w: usize) {
-        self.alive[w].store(false, Ordering::SeqCst);
+        let b = &self.breakers[w];
+        match b.state() {
+            BreakerState::Open => {}
+            BreakerState::HalfOpen => b.set(BreakerState::Open),
+            BreakerState::Closed => {
+                if b.failures.fetch_add(1, Ordering::SeqCst) + 1 >= BREAKER_THRESHOLD {
+                    b.set(BreakerState::Open);
+                }
+            }
+        }
     }
 
+    /// Record one forwarding success: close the breaker.
     pub fn mark_alive(&self, w: usize) {
-        self.alive[w].store(true, Ordering::SeqCst);
+        self.breakers[w].set(BreakerState::Closed);
     }
 
     pub fn live_count(&self) -> usize {
-        self.alive
-            .iter()
-            .filter(|a| a.load(Ordering::SeqCst))
-            .count()
+        (0..self.addrs.len()).filter(|&w| self.is_alive(w)).count()
     }
 
-    /// Probe one worker's `GET /v1/health`. A worker is live iff it
-    /// answers `200` and is not draining — a draining daemon finishes
-    /// its in-flight work but must stop receiving new routes.
+    /// Probe one worker's `GET /v1/health`. The probe is authoritative
+    /// in the failure direction — a worker that cannot answer its own
+    /// health check is opened immediately, no threshold. In the
+    /// recovery direction it is deliberately cautious: a probe success
+    /// moves an open breaker to **half-open**, and only a real
+    /// forwarded request closes it — a daemon can answer `/v1/health`
+    /// while still failing real work behind a degraded fabric.
     pub fn probe(&self, w: usize, timeout: Duration) -> bool {
         let live = match one_shot(&self.addrs[w], "GET", "/v1/health", "", timeout) {
             Ok(resp) => resp.status == 200 && !resp.body.contains("\"draining\": true"),
             Err(_) => false,
         };
-        self.alive[w].store(live, Ordering::SeqCst);
+        let b = &self.breakers[w];
+        match (live, b.state()) {
+            (false, _) => b.set(BreakerState::Open),
+            (true, BreakerState::Open) => b.set(BreakerState::HalfOpen),
+            (true, _) => {}
+        }
         live
     }
 
@@ -348,6 +512,11 @@ pub struct FleetConfig {
     pub request_timeout_s: f64,
     /// Health-probe cadence (seconds).
     pub probe_interval_s: f64,
+    /// Hedge routed `/v1/run` requests: once enough latency samples
+    /// exist, fire the key's second preference after a p99-derived
+    /// delay and take whichever answer lands first. Safe because runs
+    /// are content-addressed and therefore idempotent.
+    pub hedge: bool,
 }
 
 impl Default for FleetConfig {
@@ -358,6 +527,7 @@ impl Default for FleetConfig {
             vnodes: 64,
             request_timeout_s: 300.0,
             probe_interval_s: 0.5,
+            hedge: true,
         }
     }
 }
@@ -392,7 +562,19 @@ impl FleetConfig {
         self.probe_interval_s = secs.max(0.05);
         self
     }
+
+    /// Builder: enable or disable hedged `/v1/run` requests.
+    pub fn with_hedging(mut self, hedge: bool) -> Self {
+        self.hedge = hedge;
+        self
+    }
 }
+
+/// Successful forward latencies kept for the hedging delay estimate.
+const LATENCY_WINDOW: usize = 512;
+/// Samples required before hedging activates — a p99 from a handful of
+/// observations is noise.
+const HEDGE_MIN_SAMPLES: usize = 32;
 
 /// Shared coordinator state.
 struct FleetCtx {
@@ -402,6 +584,17 @@ struct FleetCtx {
     requests: AtomicU64,
     failovers: AtomicU64,
     routed: Vec<AtomicU64>,
+    /// Hedged requests launched (second attempt actually fired).
+    hedges_fired: AtomicU64,
+    /// Hedged requests where the hedge's answer was used.
+    hedges_won: AtomicU64,
+    /// Extra forwarding attempts beyond each request's first.
+    retries_spent: AtomicU64,
+    /// Sliding window of successful forward latencies (seconds).
+    latencies: Mutex<VecDeque<f64>>,
+    /// splitmix64 counter state for decorrelated retry jitter.
+    rng: AtomicU64,
+    hedge: bool,
     request_timeout: Duration,
     probe_interval: Duration,
 }
@@ -409,6 +602,38 @@ struct FleetCtx {
 impl FleetCtx {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || crate::serve::signalled()
+    }
+
+    /// The next jitter draw in `[0, 1)` — lock-free: each caller
+    /// advances a shared splitmix64 counter.
+    fn jitter_unit(&self) -> f64 {
+        let x = self.rng.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        (mix64(x) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn record_latency(&self, elapsed: Duration) {
+        let mut lat = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if lat.len() >= LATENCY_WINDOW {
+            lat.pop_front();
+        }
+        lat.push_back(elapsed.as_secs_f64());
+    }
+
+    /// The hedging trigger delay: the observed p99 forward latency,
+    /// clamped to at least 10 ms so a warm-cache fleet (sub-ms answers)
+    /// does not hedge every single request. `None` until enough
+    /// samples exist.
+    fn hedge_delay(&self) -> Option<Duration> {
+        let mut sorted: Vec<f64> = {
+            let lat = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+            if lat.len() < HEDGE_MIN_SAMPLES {
+                return None;
+            }
+            lat.iter().copied().collect()
+        };
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let p99_ms = percentile_ms(&sorted, 99.0);
+        Some(Duration::from_secs_f64((p99_ms / 1e3).max(0.010)))
     }
 }
 
@@ -449,6 +674,12 @@ impl Coordinator {
             requests: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             routed,
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            retries_spent: AtomicU64::new(0),
+            latencies: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+            rng: AtomicU64::new(0x005e_edc0_de0f_1ee7),
+            hedge: config.hedge,
             request_timeout: Duration::from_secs_f64(config.request_timeout_s),
             probe_interval: Duration::from_secs_f64(config.probe_interval_s),
         });
@@ -616,6 +847,7 @@ fn fleet_health_json(ctx: &FleetCtx) -> String {
             Json::Obj(vec![
                 ("addr".into(), Json::from(ctx.registry.addr(w))),
                 ("alive".into(), Json::from(ctx.registry.is_alive(w))),
+                ("breaker".into(), Json::from(ctx.registry.state(w).label())),
             ])
         })
         .collect();
@@ -651,6 +883,34 @@ fn fleet_metrics_json(ctx: &FleetCtx) -> String {
                     .collect(),
             ),
         ),
+        (
+            "breaker_states".into(),
+            Json::Arr(
+                (0..ctx.registry.len())
+                    .map(|w| Json::from(ctx.registry.state(w).label()))
+                    .collect(),
+            ),
+        ),
+        (
+            "breaker_trips".into(),
+            Json::from(
+                (0..ctx.registry.len())
+                    .map(|w| ctx.registry.trips(w))
+                    .sum::<u64>(),
+            ),
+        ),
+        (
+            "hedges_fired".into(),
+            Json::from(ctx.hedges_fired.load(Ordering::Relaxed)),
+        ),
+        (
+            "hedges_won".into(),
+            Json::from(ctx.hedges_won.load(Ordering::Relaxed)),
+        ),
+        (
+            "retries_spent".into(),
+            Json::from(ctx.retries_spent.load(Ordering::Relaxed)),
+        ),
     ])
     .render()
 }
@@ -670,18 +930,177 @@ fn key_hash_of(req: &RunRequest) -> Result<u64, ApiError> {
     Ok(fnv64(&key.canonical()))
 }
 
-/// Forward one `POST /v1/run` body to the key's worker, failing over
-/// along the ring. Dead workers are skipped (and marked); `429`/`503`
-/// refusals also fail over — another worker may have capacity — and the
-/// whole ring is retried with backoff before giving up. Re-forwarding
-/// is safe: runs are content-addressed, so the worst case is a
-/// recomputed (identical) result.
+/// Forward one `POST /v1/run` body to the key's worker: hedged across
+/// the first two live preferences when enabled and warmed up, then the
+/// full failover walk. Re-forwarding (and hedging) is safe: runs are
+/// content-addressed, so the worst case is a recomputed (identical)
+/// result.
 fn forward_run(ctx: &Arc<FleetCtx>, body: &str) -> Result<WireResponse, ApiError> {
     let req = RunRequest::from_json(body)?;
     let hash = key_hash_of(&req)?;
+    if let Some(resp) = hedged_forward(ctx, hash, body) {
+        return Ok(resp);
+    }
     forward_with_failover(ctx, hash, "POST", "/v1/run", body)
 }
 
+/// What one worker exchange produced, with breaker bookkeeping done.
+enum Attempt {
+    /// A trustworthy response to relay (may be 4xx/5xx from the worker
+    /// itself — those are typed and valid).
+    Success(WireResponse),
+    /// The worker refused with `429`/`503` — it is healthy but loaded
+    /// or draining; try elsewhere, relay the refusal as a last resort.
+    Refusal(WireResponse),
+    /// No usable response; `integrity` records whether bytes arrived
+    /// but were corrupt (vs. no answer at all).
+    Failure { integrity: bool },
+}
+
+/// One exchange with worker `w`, including the integrity gate and the
+/// breaker/latency/routing bookkeeping.
+fn attempt(ctx: &Arc<FleetCtx>, w: usize, method: &str, path: &str, body: &str) -> Attempt {
+    let t = Instant::now();
+    match one_shot(
+        ctx.registry.addr(w),
+        method,
+        path,
+        body,
+        ctx.request_timeout,
+    ) {
+        Ok(resp) if matches!(resp.status, 429 | 503) => Attempt::Refusal(resp),
+        Ok(resp) => {
+            if vet_response(path, &resp).is_err() {
+                // Framing was intact but the payload is not something
+                // the daemon can have produced — same treatment as a
+                // torn body: never relay, fail over.
+                ctx.registry.mark_dead(w);
+                return Attempt::Failure { integrity: true };
+            }
+            ctx.registry.mark_alive(w);
+            ctx.routed[w].fetch_add(1, Ordering::Relaxed);
+            ctx.record_latency(t.elapsed());
+            Attempt::Success(resp)
+        }
+        Err(e) => {
+            ctx.registry.mark_dead(w);
+            Attempt::Failure {
+                integrity: matches!(e, TransportError::Integrity(_)),
+            }
+        }
+    }
+}
+
+/// Payload-level integrity: every daemon response body is JSON, and a
+/// `200` run body must be the exact splice envelope
+/// (`{\n  "result": …\n}\n`) the suite reassembly depends on. Garbage
+/// that kept its framing dies here instead of reaching a client.
+fn vet_response(path: &str, resp: &WireResponse) -> Result<(), String> {
+    if parse_json(&resp.body).is_none() {
+        return Err(format!(
+            "status {} body is not valid JSON ({} bytes)",
+            resp.status,
+            resp.body.len()
+        ));
+    }
+    if path == "/v1/run" && resp.status == 200 {
+        let enveloped = resp
+            .body
+            .strip_prefix("{\n  \"result\": ")
+            .and_then(|s| s.strip_suffix("\n}\n"))
+            .is_some();
+        if !enveloped {
+            return Err("200 run body is not the result envelope".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Hedge one routed `/v1/run`: send to the key's first live preference,
+/// and if no answer lands within the observed p99 latency, race a
+/// second attempt on the next preference — whichever trustworthy
+/// response arrives first wins. Returns `None` when hedging is off,
+/// cold, impossible (<2 live workers) or both attempts failed — the
+/// caller then falls back to the sequential failover walk.
+fn hedged_forward(ctx: &Arc<FleetCtx>, key_hash: u64, body: &str) -> Option<WireResponse> {
+    if !ctx.hedge {
+        return None;
+    }
+    let delay = ctx.hedge_delay()?;
+    let live: Vec<usize> = ctx
+        .ring
+        .preference(key_hash)
+        .into_iter()
+        .filter(|&w| ctx.registry.is_alive(w))
+        .collect();
+    if live.len() < 2 {
+        return None;
+    }
+    let (tx, rx) = mpsc::channel::<(bool, Attempt)>();
+    let launch = |w: usize, is_hedge: bool| {
+        let tx = tx.clone();
+        let ctx = Arc::clone(ctx);
+        let body = body.to_string();
+        std::thread::spawn(move || {
+            let out = attempt(&ctx, w, "POST", "/v1/run", &body);
+            let _ = tx.send((is_hedge, out));
+        });
+    };
+    launch(live[0], false);
+    let mut fired = false;
+    let mut pending = 1u32;
+    loop {
+        let wait = if fired {
+            // Both attempts in flight: wait out the slower one (the
+            // per-attempt timeout bounds this).
+            ctx.request_timeout + Duration::from_secs(5)
+        } else {
+            delay
+        };
+        match rx.recv_timeout(wait) {
+            Ok((is_hedge, Attempt::Success(resp))) => {
+                if is_hedge {
+                    ctx.hedges_won.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(resp);
+            }
+            Ok((_, Attempt::Refusal(_) | Attempt::Failure { .. })) => {
+                pending -= 1;
+                if pending == 0 {
+                    if fired {
+                        // Both attempts answered without a usable
+                        // response; the failover walk takes over (and
+                        // will surface a refusal if that is all there
+                        // is).
+                        return None;
+                    }
+                    // The primary failed before the hedge timer ran
+                    // out — fire the hedge now rather than sleep.
+                    fired = true;
+                    pending = 1;
+                    ctx.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                    ctx.retries_spent.fetch_add(1, Ordering::Relaxed);
+                    launch(live[1], true);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) if !fired => {
+                fired = true;
+                pending += 1;
+                ctx.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                ctx.retries_spent.fetch_add(1, Ordering::Relaxed);
+                launch(live[1], true);
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Walk the key's full preference order with a bounded retry budget:
+/// live workers first, then one last-resort shot at open-breaker
+/// workers, sweeping the ring with decorrelated-jitter backoff until
+/// the budget runs out. Terminal outcomes are always typed: a relayed
+/// refusal, `502 bad_upstream` when every answer was corrupt, or `503
+/// no_workers` when nobody answered at all.
 fn forward_with_failover(
     ctx: &Arc<FleetCtx>,
     key_hash: u64,
@@ -689,15 +1108,38 @@ fn forward_with_failover(
     path: &str,
     body: &str,
 ) -> Result<WireResponse, ApiError> {
-    const SWEEPS: u32 = 4;
     let order = ctx.ring.preference(key_hash);
+    if order.is_empty() {
+        return Err(ApiError::new(
+            503,
+            "no_workers",
+            "no live worker reachable for this request",
+        ));
+    }
+    // Enough budget for two full ring sweeps plus a tail of retries
+    // against a flapping fabric — bounded so a request cannot spin
+    // forever, generous enough that one live worker among corrupt
+    // peers is always reached.
+    let budget = 2 * order.len() + 6;
+    let mut attempts = 0usize;
     let mut last_refusal: Option<WireResponse> = None;
-    for sweep in 0..SWEEPS {
+    let mut saw_integrity = false;
+    let mut sleep_ms = 0f64;
+    'sweeps: for sweep in 0u32.. {
         if sweep > 0 {
-            std::thread::sleep(backoff(sweep));
+            // Decorrelated jitter: each sweep sleeps a uniformly random
+            // slice of [base, 3 × previous], capped — concurrent
+            // requests failing over the same dead worker spread out
+            // instead of thundering back in lockstep.
+            let base = backoff(1).as_millis() as f64;
+            let cap = backoff(u32::MAX).as_millis() as f64;
+            let hi = (sleep_ms * 3.0).clamp(base, cap);
+            sleep_ms = base + ctx.jitter_unit() * (hi - base);
+            std::thread::sleep(Duration::from_micros((sleep_ms * 1e3) as u64));
         }
-        // Live workers in ring order first, then one shot at the dead
-        // ones — a "dead" worker may be back before the prober notices.
+        // Live workers in ring order first, then one shot at the open
+        // ones — a tripped worker may be back before the prober
+        // notices.
         let pass: Vec<usize> = order
             .iter()
             .copied()
@@ -705,30 +1147,30 @@ fn forward_with_failover(
             .chain(order.iter().copied().filter(|&w| !ctx.registry.is_alive(w)))
             .collect();
         for (i, w) in pass.into_iter().enumerate() {
-            match one_shot(
-                ctx.registry.addr(w),
-                method,
-                path,
-                body,
-                ctx.request_timeout,
-            ) {
-                Ok(resp) if matches!(resp.status, 429 | 503) => {
-                    last_refusal = Some(resp);
-                }
-                Ok(resp) => {
-                    ctx.registry.mark_alive(w);
-                    ctx.routed[w].fetch_add(1, Ordering::Relaxed);
+            if attempts >= budget {
+                break 'sweeps;
+            }
+            attempts += 1;
+            if attempts > 1 {
+                ctx.retries_spent.fetch_add(1, Ordering::Relaxed);
+            }
+            match attempt(ctx, w, method, path, body) {
+                Attempt::Success(resp) => {
                     if i > 0 || sweep > 0 {
                         ctx.failovers.fetch_add(1, Ordering::Relaxed);
                     }
                     return Ok(resp);
                 }
-                Err(_) => ctx.registry.mark_dead(w),
+                Attempt::Refusal(resp) => last_refusal = Some(resp),
+                Attempt::Failure { integrity } => saw_integrity |= integrity,
             }
         }
     }
     match last_refusal {
         Some(resp) => Ok(resp),
+        None if saw_integrity => Err(ApiError::bad_upstream(
+            "every reachable worker answered with corrupt or truncated bytes",
+        )),
         None => Err(ApiError::new(
             503,
             "no_workers",
@@ -839,8 +1281,11 @@ fn fan_out_suite(ctx: &Arc<FleetCtx>, body: &str) -> Result<(u16, String), ApiEr
                             .map(|e| (e.code, e.message))
                             .unwrap_or_else(|| {
                                 (
-                                    "internal".to_string(),
-                                    format!("worker sent {}", resp.status),
+                                    "bad_upstream".to_string(),
+                                    format!(
+                                        "worker sent {} with an undecodable error body",
+                                        resp.status
+                                    ),
                                 )
                             })),
                         Err(e) => Err((e.code, e.message)),
@@ -878,7 +1323,7 @@ fn fan_out_suite(ctx: &Arc<FleetCtx>, body: &str) -> Result<(u16, String), ApiEr
                     Some(encoded) => results.push(encoded),
                     None => failures.push((
                         &points[i].label,
-                        "internal".to_string(),
+                        "bad_upstream".to_string(),
                         "worker sent an unparseable run payload".to_string(),
                     )),
                 }
@@ -1104,6 +1549,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                     let t = Instant::now();
                     let exchange =
                         write_request(&mut stream, &cfg.method, &cfg.path, &cfg.body, true)
+                            .map_err(TransportError::Io)
                             .and_then(|()| read_response(&mut stream));
                     match exchange {
                         Ok(resp) => {
@@ -1266,5 +1712,149 @@ mod tests {
         assert_eq!(reg.live_count(), 0);
         reg.mark_alive(0);
         assert_eq!(reg.live_count(), 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_reopens_from_half_open() {
+        let reg = WorkerRegistry::new(vec!["127.0.0.1:1".to_string()]);
+        assert_eq!(reg.state(0), BreakerState::Closed);
+        // Closed absorbs BREAKER_THRESHOLD - 1 consecutive failures…
+        for _ in 0..BREAKER_THRESHOLD - 1 {
+            reg.mark_dead(0);
+            assert!(reg.is_alive(0), "under threshold stays routable");
+        }
+        // …and the threshold-th failure trips it open.
+        reg.mark_dead(0);
+        assert_eq!(reg.state(0), BreakerState::Open);
+        assert!(!reg.is_alive(0));
+        assert_eq!(reg.trips(0), 1);
+        // Extra failures while open neither re-trip nor reset.
+        reg.mark_dead(0);
+        assert_eq!(reg.trips(0), 1);
+        // A forwarding success closes the breaker and resets the
+        // failure streak: the next single failure must not trip.
+        reg.mark_alive(0);
+        assert_eq!(reg.state(0), BreakerState::Closed);
+        reg.mark_dead(0);
+        assert!(reg.is_alive(0), "streak was reset on success");
+        // Trip again, then simulate probe-driven recovery: the breaker
+        // goes half-open (routable, on probation) and a single failure
+        // re-opens immediately.
+        reg.mark_dead(0);
+        reg.mark_dead(0);
+        assert_eq!(reg.state(0), BreakerState::Open);
+        assert_eq!(reg.trips(0), 2);
+        reg.breakers[0].set(BreakerState::HalfOpen);
+        assert!(reg.is_alive(0));
+        reg.mark_dead(0);
+        assert_eq!(reg.state(0), BreakerState::Open);
+        assert_eq!(reg.trips(0), 3, "half-open failure re-trips at once");
+    }
+
+    #[test]
+    fn probe_success_only_half_opens_a_tripped_breaker() {
+        // A live dummy HTTP server that always answers 200 /v1/health.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { break };
+                let mut buf = [0u8; 1024];
+                let _ = s.read(&mut buf);
+                let body = "{\"status\": \"ok\"}\n";
+                let _ = s.write_all(
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                        body.len(),
+                        body
+                    )
+                    .as_bytes(),
+                );
+            }
+        });
+        let reg = WorkerRegistry::new(vec![addr]);
+        for _ in 0..BREAKER_THRESHOLD {
+            reg.mark_dead(0);
+        }
+        assert_eq!(reg.state(0), BreakerState::Open);
+        assert!(reg.probe(0, Duration::from_secs(2)));
+        assert_eq!(
+            reg.state(0),
+            BreakerState::HalfOpen,
+            "a health answer is probation, not a clean bill — only real \
+             forwarded work closes the breaker"
+        );
+        assert!(reg.is_alive(0));
+        reg.mark_alive(0);
+        assert_eq!(reg.state(0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn read_response_types_torn_and_corrupt_bytes() {
+        // A server scripted to emit `raw` then close.
+        let serve_raw = |raw: &'static [u8]| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::spawn(move || {
+                if let Some(Ok(mut s)) = listener.incoming().next() {
+                    let mut buf = [0u8; 1024];
+                    let _ = s.read(&mut buf);
+                    let _ = s.write_all(raw);
+                }
+            });
+            one_shot(&addr, "GET", "/", "", Duration::from_secs(2))
+        };
+        let torn = serve_raw(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nonly a few");
+        assert!(
+            matches!(&torn, Err(TransportError::Integrity(m)) if m.contains("truncated")),
+            "{torn:?}"
+        );
+        let garbage = serve_raw(b"\xff\xfe\xfdgarbage bytes, no HTTP here\r\n\r\n");
+        assert!(
+            matches!(&garbage, Err(TransportError::Integrity(m)) if m.contains("status line")),
+            "{garbage:?}"
+        );
+        let bad_len = serve_raw(b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n");
+        assert!(
+            matches!(&bad_len, Err(TransportError::Integrity(m)) if m.contains("Content-Length")),
+            "{bad_len:?}"
+        );
+        let half_headers = serve_raw(b"HTTP/1.1 200 OK\r\nContent-Le");
+        assert!(
+            matches!(&half_headers, Err(TransportError::Integrity(m)) if m.contains("headers")),
+            "{half_headers:?}"
+        );
+        let clean = serve_raw(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+        assert_eq!(clean.unwrap().body, "ok");
+    }
+
+    #[test]
+    fn vet_response_rejects_json_shaped_garbage() {
+        let ok = WireResponse {
+            status: 200,
+            retry_after: None,
+            body: "{\n  \"result\": {\"x\": 1}\n}\n".to_string(),
+        };
+        assert!(vet_response("/v1/run", &ok).is_ok());
+        let not_json = WireResponse {
+            status: 200,
+            retry_after: None,
+            body: "\u{18}\u{7f}!!not json!!".to_string(),
+        };
+        assert!(vet_response("/v1/run", &not_json).is_err());
+        assert!(vet_response("/v1/health", &not_json).is_err());
+        let wrong_envelope = WireResponse {
+            status: 200,
+            retry_after: None,
+            body: "{\"result\": 1}".to_string(),
+        };
+        assert!(
+            vet_response("/v1/run", &wrong_envelope).is_err(),
+            "valid JSON that is not the splice envelope must not reach the splicer"
+        );
+        assert!(
+            vet_response("/v1/health", &wrong_envelope).is_ok(),
+            "the envelope rule only binds run responses"
+        );
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod chaos;
 pub mod epoll;
 pub mod error;
 pub mod exec;
@@ -35,6 +36,7 @@ pub mod suite;
 
 pub use api::{ApiError, RunRequest, RunResponse, SuiteRequest, SuiteResponse};
 pub use cache::{CacheMetrics, RunCache, RunKey};
+pub use chaos::{load_chaos_plan, parse_chaos_plan, ChaosPlan, ChaosProxy, ChaosShutdownHandle};
 pub use error::HarnessError;
 pub use exec::{ExecConfig, ExecMetrics, Executor, GridFailure, GridReport, RunSpec};
 pub use fleet::{

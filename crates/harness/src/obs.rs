@@ -120,6 +120,11 @@ pub fn metrics_table(title: &str, m: &ExecMetrics) -> Result<Table, ReportError>
         "cache entries quarantined",
         m.cache.quarantined.to_string(),
     )?;
+    kv(
+        &mut t,
+        "cache torn entries scrubbed",
+        m.cache.torn_quarantined.to_string(),
+    )?;
     kv(&mut t, "cache stores", m.cache.stores.to_string())?;
     kv(&mut t, "cache hit rate", pct(m.cache.hit_rate() * 100.0))?;
     for (w, runs) in m.per_worker_runs.iter().enumerate() {
@@ -146,6 +151,10 @@ pub fn metrics_to_csv(m: &ExecMetrics) -> String {
     out.push_str(&format!("cache_misses,{}\n", m.cache.misses));
     out.push_str(&format!("cache_corrupt,{}\n", m.cache.corrupt));
     out.push_str(&format!("cache_quarantined,{}\n", m.cache.quarantined));
+    out.push_str(&format!(
+        "cache_torn_quarantined,{}\n",
+        m.cache.torn_quarantined
+    ));
     out.push_str(&format!("cache_stores,{}\n", m.cache.stores));
     for (w, runs) in m.per_worker_runs.iter().enumerate() {
         out.push_str(&format!("worker_{w}_runs,{runs}\n"));
@@ -238,6 +247,7 @@ mod tests {
                 misses: 3,
                 corrupt: 0,
                 quarantined: 0,
+                torn_quarantined: 0,
                 stores: 3,
             },
             per_worker_runs: vec![4, 2],

@@ -285,6 +285,13 @@ impl Server {
     /// accepted until [`Server::serve`].
     pub fn bind(exec: Executor, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        // Sweep torn cache entries (crash-interrupted writes, corrupt
+        // files) into quarantine before any request can read them.
+        if let Some(swept) = exec.cache().map(|c| c.scrub()) {
+            if swept > 0 {
+                eprintln!("spechpc serve: cache scrub quarantined {swept} torn entries");
+            }
+        }
         let ctx = Arc::new(Ctx {
             exec,
             shutdown: AtomicBool::new(false),
@@ -486,6 +493,7 @@ fn reason_of(status: u16) -> &'static str {
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -721,6 +729,10 @@ fn metrics_json(ctx: &Ctx) -> String {
                 ("misses".into(), Json::from(m.cache.misses)),
                 ("corrupt".into(), Json::from(m.cache.corrupt)),
                 ("quarantined".into(), Json::from(m.cache.quarantined)),
+                (
+                    "torn_quarantined".into(),
+                    Json::from(m.cache.torn_quarantined),
+                ),
                 ("stores".into(), Json::from(m.cache.stores)),
             ]),
         ),
