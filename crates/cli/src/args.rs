@@ -109,6 +109,16 @@ pub enum Command {
         benchmark: String,
         cluster: ClusterChoice,
     },
+    /// Capacity-plan a job queue against a modeled cluster (the same
+    /// evaluator as `POST /v1/plan`).
+    Plan {
+        /// Positional: PlanRequest JSON file (see `plans/capacity-ci.json`).
+        file: String,
+        /// `--json`: print the wire-format `PlanResponse` instead of the
+        /// human-readable summary.
+        json: bool,
+        exec: ExecOpts,
+    },
     /// Run the resident simulation-as-a-service daemon.
     Serve {
         /// `--addr host:port` (port 0 = ephemeral).
@@ -226,6 +236,12 @@ COMMANDS:
                                  regenerate the paper's artifacts
     dvfs <benchmark>             frequency-scaling energy analysis
         --cluster a|b
+    plan <request.json>          capacity-plan a job queue against a modeled
+                                 cluster: FCFS + EASY backfill scheduling,
+                                 optional fleet power caps, per-job wait and
+                                 turnaround, energy/EDP, scenario comparison
+                                 (same evaluator as POST /v1/plan)
+        --json                   print the wire-format PlanResponse
     serve                        simulation-as-a-service HTTP daemon: POST
                                  /v1/run and /v1/suite, GET /v1/profile/{b},
                                  /v1/metrics, /v1/health; graceful drain on
@@ -309,8 +325,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     // Collect options (--key value / -n value), valueless flags, and
     // positionals.
-    const FLAGS: [&str; 6] = [
-        "no-cache", "metrics", "quick", "service", "validate", "no-hedge",
+    const FLAGS: [&str; 7] = [
+        "no-cache", "metrics", "quick", "service", "validate", "no-hedge", "json",
     ];
     let mut positional = Vec::new();
     let mut options = std::collections::BTreeMap::new();
@@ -478,6 +494,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let benchmark = positional.first().ok_or("dvfs: which benchmark?")?.clone();
             Ok(Command::Dvfs { benchmark, cluster })
         }
+        "plan" => {
+            let file = positional
+                .first()
+                .ok_or("plan: which request file? (try plans/capacity-ci.json)")?
+                .clone();
+            Ok(Command::Plan {
+                file,
+                json: flags.contains("json"),
+                exec,
+            })
+        }
         "serve" => Ok(Command::Serve {
             addr: options
                 .get("addr")
@@ -615,6 +642,31 @@ mod tests {
                 },
             }
         );
+    }
+
+    #[test]
+    fn parses_plan() {
+        let c = parse(&v(&[
+            "plan",
+            "plans/capacity-ci.json",
+            "--json",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Plan {
+                file: "plans/capacity-ci.json".into(),
+                json: true,
+                exec: ExecOpts {
+                    jobs: Some(2),
+                    no_cache: false,
+                    metrics: false,
+                },
+            }
+        );
+        assert!(parse(&v(&["plan"])).is_err());
     }
 
     #[test]

@@ -480,6 +480,22 @@ fn run(cmd: Command) -> Result<(), ApiError> {
             );
             Ok(())
         }
+        Command::Plan { file, json, exec } => {
+            use spechpc::harness::plan;
+            let body = std::fs::read_to_string(&file)
+                .map_err(|e| ApiError::bad_request(format!("reading {file}: {e}")))?;
+            let req = plan::PlanRequest::from_json(&body)?;
+            let executor = executor_of(req.config.clone(), exec);
+            let resp = plan::dispatch_plan(&executor, &req)?;
+            if json {
+                // Exact wire bytes of `POST /v1/plan`.
+                print!("{}", resp.to_json());
+            } else {
+                print!("{}", plan::render_plan_text(&resp));
+            }
+            maybe_metrics(&executor, "plan", exec)?;
+            Ok(())
+        }
         Command::Serve {
             addr,
             workers,

@@ -148,10 +148,12 @@ impl ApiError {
     }
 
     /// Decode an error body (the client half of [`ApiError::to_json`]).
+    /// The status must be an exact integer in `u16` range — fractional
+    /// or out-of-range values reject the body instead of truncating.
     pub fn from_json(text: &str) -> Option<ApiError> {
         let v = parse_json(text)?;
         Some(ApiError {
-            status: v.f64_of("status")? as u16,
+            status: v.u16_of("status")?,
             code: v.str_of("error")?,
             message: v.str_of("message")?,
         })
@@ -417,7 +419,7 @@ impl SuiteRequest {
 /// Encode run rules as the `"config"` object of a request. Only the
 /// non-default fault plan and thread count are emitted, keeping default
 /// requests small (and their cache keys stable across client versions).
-fn config_to_json(c: &RunConfig) -> Json {
+pub(crate) fn config_to_json(c: &RunConfig) -> Json {
     let mut fields = vec![
         ("warmup_steps".into(), Json::from(c.warmup_steps)),
         ("measured_steps".into(), Json::from(c.measured_steps)),
@@ -434,7 +436,7 @@ fn config_to_json(c: &RunConfig) -> Json {
 }
 
 /// Decode the `"config"` object; absent fields keep their defaults.
-fn config_from_json(v: &Json) -> Result<RunConfig, ApiError> {
+pub(crate) fn config_from_json(v: &Json) -> Result<RunConfig, ApiError> {
     let d = RunConfig::default();
     let mut c = RunConfig::default()
         .with_warmup_steps(v.usize_of("warmup_steps").unwrap_or(d.warmup_steps))
@@ -732,6 +734,324 @@ pub fn dispatch_suite(exec: &Executor, req: &SuiteRequest) -> Result<SuiteRespon
 }
 
 // ---------------------------------------------------------------------------
+// Endpoint registry
+// ---------------------------------------------------------------------------
+
+/// Version of the wire schema advertised by `GET /v1/capabilities`.
+/// Bumped whenever a request/response body changes shape incompatibly;
+/// clients feature-detect against it instead of sniffing bodies.
+pub const API_SCHEMA_VERSION: u64 = 1;
+
+/// Stable identity of one endpoint. `serve` and the fleet coordinator
+/// look a request up in [`ENDPOINTS`] and dispatch on this id — the
+/// path/method literals live in exactly one place (the route table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointId {
+    Run,
+    Suite,
+    Plan,
+    Profile,
+    CacheEntry,
+    Health,
+    Metrics,
+    Capabilities,
+    Shutdown,
+}
+
+impl EndpointId {
+    /// The registry row for this endpoint.
+    pub fn endpoint(self) -> &'static Endpoint {
+        ENDPOINTS
+            .iter()
+            .find(|e| e.id == self)
+            .expect("every EndpointId has a registry row")
+    }
+
+    /// The concrete request path (exact routes) or path prefix (routes
+    /// with a trailing segment) — what a client *sends*, so forwarding
+    /// code builds upstream requests from the table too.
+    pub fn path(self) -> &'static str {
+        self.endpoint().pattern.prefix_str()
+    }
+}
+
+/// How an endpoint's path is matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathPattern {
+    /// The path must equal this string.
+    Exact(&'static str),
+    /// The path must extend this prefix with a non-empty trailing
+    /// segment (e.g. a benchmark name or cache hash).
+    Prefix(&'static str),
+}
+
+impl PathPattern {
+    /// Does `path` match this pattern?
+    pub fn matches(&self, path: &str) -> bool {
+        match self {
+            PathPattern::Exact(p) => path == *p,
+            PathPattern::Prefix(p) => path.len() > p.len() && path.starts_with(p),
+        }
+    }
+
+    /// The trailing segment of a matched prefix path (`""` for exact
+    /// patterns).
+    pub fn trailing<'a>(&self, path: &'a str) -> &'a str {
+        match self {
+            PathPattern::Exact(_) => "",
+            PathPattern::Prefix(p) => path.strip_prefix(p).unwrap_or(""),
+        }
+    }
+
+    fn prefix_str(&self) -> &'static str {
+        match self {
+            PathPattern::Exact(p) | PathPattern::Prefix(p) => p,
+        }
+    }
+}
+
+/// How the single-daemon event loop executes an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeClass {
+    /// Answered inline on the event-loop thread; exempt from admission
+    /// control so health/metrics stay responsive under load.
+    Fast,
+    /// Dispatched to the simulation worker pool under admission control
+    /// (may run the engine for seconds).
+    Sim,
+}
+
+impl ServeClass {
+    /// Table label for docs/capabilities.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeClass::Fast => "fast",
+            ServeClass::Sim => "sim",
+        }
+    }
+}
+
+/// How the fleet coordinator treats an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetClass {
+    /// Answered by the coordinator itself (even while draining).
+    Local,
+    /// Forwarded to the worker owning the request's content hash.
+    Forward,
+    /// Sharded across all live workers and reassembled.
+    FanOut,
+    /// Not routable through the coordinator (worker-local resource).
+    Unrouted,
+}
+
+impl FleetClass {
+    /// Table label for docs/capabilities.
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetClass::Local => "local",
+            FleetClass::Forward => "forward",
+            FleetClass::FanOut => "fan-out",
+            FleetClass::Unrouted => "unrouted",
+        }
+    }
+}
+
+/// One row of the route table: everything `serve`, the fleet
+/// coordinator, `/v1/capabilities` and the generated API reference need
+/// to know about an endpoint.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct Endpoint {
+    pub id: EndpointId,
+    /// HTTP method.
+    pub method: &'static str,
+    /// Path matcher.
+    pub pattern: PathPattern,
+    /// Wire path with `{placeholder}` segments, for display only.
+    pub display_path: &'static str,
+    /// Execution class on a single daemon.
+    pub serve: ServeClass,
+    /// Routing class on the fleet coordinator.
+    pub fleet: FleetClass,
+    /// Request body type (`"-"` when the endpoint takes none).
+    pub request: &'static str,
+    /// Response body type.
+    pub response: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The route table — the single source of truth for the service
+/// surface. Order is the display order of `/v1/capabilities` and the
+/// generated SERVICE.md reference.
+pub const ENDPOINTS: &[Endpoint] = &[
+    Endpoint {
+        id: EndpointId::Run,
+        method: "POST",
+        pattern: PathPattern::Exact("/v1/run"),
+        display_path: "/v1/run",
+        serve: ServeClass::Sim,
+        fleet: FleetClass::Forward,
+        request: "RunRequest",
+        response: "RunResponse",
+        summary: "Simulate one benchmark run (cached, byte-replayable)",
+    },
+    Endpoint {
+        id: EndpointId::Suite,
+        method: "POST",
+        pattern: PathPattern::Exact("/v1/suite"),
+        display_path: "/v1/suite",
+        serve: ServeClass::Sim,
+        fleet: FleetClass::FanOut,
+        request: "SuiteRequest",
+        response: "SuiteResponse",
+        summary: "Run every benchmark at one workload class",
+    },
+    Endpoint {
+        id: EndpointId::Plan,
+        method: "POST",
+        pattern: PathPattern::Exact("/v1/plan"),
+        display_path: "/v1/plan",
+        serve: ServeClass::Sim,
+        fleet: FleetClass::Forward,
+        request: "PlanRequest",
+        response: "PlanResponse",
+        summary: "Capacity-plan a job queue on a modeled cluster",
+    },
+    Endpoint {
+        id: EndpointId::Profile,
+        method: "GET",
+        pattern: PathPattern::Prefix("/v1/profile/"),
+        display_path: "/v1/profile/{benchmark}",
+        serve: ServeClass::Sim,
+        fleet: FleetClass::Unrouted,
+        request: "-",
+        response: "ProfileTables",
+        summary: "Traced run: MPI phase, message-size and pair tables",
+    },
+    Endpoint {
+        id: EndpointId::CacheEntry,
+        method: "GET",
+        pattern: PathPattern::Prefix("/v1/cache/"),
+        display_path: "/v1/cache/{hash}",
+        serve: ServeClass::Fast,
+        fleet: FleetClass::Unrouted,
+        request: "-",
+        response: "CacheEntry",
+        summary: "Fetch one cache entry by key hash (peer warm-start)",
+    },
+    Endpoint {
+        id: EndpointId::Health,
+        method: "GET",
+        pattern: PathPattern::Exact("/v1/health"),
+        display_path: "/v1/health",
+        serve: ServeClass::Fast,
+        fleet: FleetClass::Local,
+        request: "-",
+        response: "Health",
+        summary: "Liveness, inflight load and drain state",
+    },
+    Endpoint {
+        id: EndpointId::Metrics,
+        method: "GET",
+        pattern: PathPattern::Exact("/v1/metrics"),
+        display_path: "/v1/metrics",
+        serve: ServeClass::Fast,
+        fleet: FleetClass::Local,
+        request: "-",
+        response: "Metrics",
+        summary: "Run, cache and worker counters",
+    },
+    Endpoint {
+        id: EndpointId::Capabilities,
+        method: "GET",
+        pattern: PathPattern::Exact("/v1/capabilities"),
+        display_path: "/v1/capabilities",
+        serve: ServeClass::Fast,
+        fleet: FleetClass::Local,
+        request: "-",
+        response: "Capabilities",
+        summary: "Route table + schema version (feature detection)",
+    },
+    Endpoint {
+        id: EndpointId::Shutdown,
+        method: "POST",
+        pattern: PathPattern::Exact("/v1/shutdown"),
+        display_path: "/v1/shutdown",
+        serve: ServeClass::Fast,
+        fleet: FleetClass::Local,
+        request: "-",
+        response: "DrainAck",
+        summary: "Begin graceful drain",
+    },
+];
+
+/// Look a request up in the route table. First match wins (patterns are
+/// disjoint; a test enforces it).
+pub fn endpoint_for(method: &str, path: &str) -> Option<&'static Endpoint> {
+    ENDPOINTS
+        .iter()
+        .find(|e| e.method == method && e.pattern.matches(path))
+}
+
+/// The typed 404 every unmatched `(method, path)` maps to — worded in
+/// one place so serve and fleet answer identically.
+pub fn no_route(method: &str, path: &str) -> ApiError {
+    ApiError::not_found(format!("no route for {method} {path}"))
+}
+
+/// The `GET /v1/capabilities` body: schema version plus one row per
+/// registry endpoint, rendered deterministically in table order.
+pub fn capabilities_json() -> String {
+    let endpoints = ENDPOINTS
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("method".into(), Json::from(e.method)),
+                ("path".into(), Json::from(e.display_path)),
+                ("request".into(), Json::from(e.request)),
+                ("response".into(), Json::from(e.response)),
+                ("serve".into(), Json::from(e.serve.label())),
+                ("fleet".into(), Json::from(e.fleet.label())),
+                ("summary".into(), Json::from(e.summary)),
+            ])
+        })
+        .collect();
+    let mut body = Json::Obj(vec![
+        ("schema".into(), Json::from(API_SCHEMA_VERSION)),
+        ("endpoints".into(), Json::Arr(endpoints)),
+    ])
+    .render();
+    body.push('\n');
+    body
+}
+
+/// The SERVICE.md API-reference section, generated from the route table
+/// (a repo test keeps the committed copy in sync with this output).
+pub fn reference_markdown() -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "Schema version {API_SCHEMA_VERSION}. Generated from the route table \
+         (`harness::api::ENDPOINTS`) — edit the table, not this block.\n\n"
+    ));
+    s.push_str("| Method | Path | Request | Response | Serve | Fleet | Summary |\n");
+    s.push_str("|--------|------|---------|----------|-------|-------|---------|\n");
+    for e in ENDPOINTS {
+        s.push_str(&format!(
+            "| {} | `{}` | {} | {} | {} | {} | {} |\n",
+            e.method,
+            e.display_path,
+            e.request,
+            e.response,
+            e.serve.label(),
+            e.fleet.label(),
+            e.summary
+        ));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
 // Rendering (the CLI's human-readable view of a response)
 // ---------------------------------------------------------------------------
 
@@ -1006,5 +1326,90 @@ mod tests {
         let cluster = resolve_cluster("a").unwrap();
         let spec = RunRequest::new("lbm", WorkloadClass::Tiny, 0).spec(&cluster);
         assert_eq!(spec.nranks, cluster.node.cores());
+    }
+
+    #[test]
+    fn error_status_round_trip_rejects_instead_of_truncating() {
+        // Valid bodies round-trip exactly.
+        let e = ApiError::new(422, "invalid_program", "boom");
+        assert_eq!(ApiError::from_json(&e.to_json()), Some(e));
+        // Fractional and out-of-range statuses are rejected, not
+        // truncated to a bogus but plausible status.
+        for bad in [
+            r#"{"error":"x","status":404.5,"message":"m"}"#,
+            r#"{"error":"x","status":70000,"message":"m"}"#,
+            r#"{"error":"x","status":-1,"message":"m"}"#,
+            r#"{"error":"x","status":"500","message":"m"}"#,
+        ] {
+            assert_eq!(ApiError::from_json(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn registry_rows_are_unique_and_disjoint() {
+        for (i, a) in ENDPOINTS.iter().enumerate() {
+            // Ids are unique and EndpointId::endpoint is its inverse.
+            assert_eq!(a.id.endpoint().display_path, a.display_path);
+            for b in &ENDPOINTS[i + 1..] {
+                assert_ne!(a.id, b.id);
+                if a.method == b.method {
+                    // No concrete path may match two patterns: probe each
+                    // row's own prefix/exact path against the other.
+                    let probe = format!("{}x", a.pattern.prefix_str());
+                    assert!(
+                        !(a.pattern.matches(&probe) && b.pattern.matches(&probe)),
+                        "{} and {} overlap on {probe}",
+                        a.display_path,
+                        b.display_path
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_lookup_matches_method_and_pattern() {
+        assert_eq!(endpoint_for("POST", "/v1/run").unwrap().id, EndpointId::Run);
+        assert_eq!(
+            endpoint_for("POST", "/v1/plan").unwrap().id,
+            EndpointId::Plan
+        );
+        assert_eq!(
+            endpoint_for("GET", "/v1/capabilities").unwrap().id,
+            EndpointId::Capabilities
+        );
+        let prof = endpoint_for("GET", "/v1/profile/lbm").unwrap();
+        assert_eq!(prof.id, EndpointId::Profile);
+        assert_eq!(prof.pattern.trailing("/v1/profile/lbm"), "lbm");
+        // A bare prefix (no trailing segment) does not match.
+        assert!(endpoint_for("GET", "/v1/profile/").is_none());
+        // Wrong method, unknown path, wrong version: no route.
+        assert!(endpoint_for("GET", "/v1/run").is_none());
+        assert!(endpoint_for("POST", "/v1/health").is_none());
+        assert!(endpoint_for("POST", "/v2/run").is_none());
+        assert_eq!(no_route("POST", "/v2/run").status, 404);
+    }
+
+    #[test]
+    fn capabilities_lists_every_route_deterministically() {
+        let body = capabilities_json();
+        assert_eq!(body, capabilities_json());
+        let v = parse_json(&body).unwrap();
+        assert_eq!(v.u64_of("schema"), Some(API_SCHEMA_VERSION));
+        let rows = v.get("endpoints").unwrap().arr().unwrap();
+        assert_eq!(rows.len(), ENDPOINTS.len());
+        for (row, e) in rows.iter().zip(ENDPOINTS) {
+            assert_eq!(row.str_of("path").as_deref(), Some(e.display_path));
+            assert_eq!(row.str_of("method").as_deref(), Some(e.method));
+        }
+    }
+
+    #[test]
+    fn reference_markdown_covers_the_table() {
+        let md = reference_markdown();
+        for e in ENDPOINTS {
+            assert!(md.contains(e.display_path), "{} missing", e.display_path);
+        }
+        assert!(md.contains(&format!("Schema version {API_SCHEMA_VERSION}")));
     }
 }

@@ -632,7 +632,7 @@ fn decode_profile(v: &Json) -> Option<Profile> {
 /// key (which guards against both hash collisions and stale layouts).
 pub fn decode_entry(text: &str, expected_key: &str) -> Option<RunResult> {
     let root = parse_json(text)?;
-    if root.f64_of("schema")? as u64 != CACHE_SCHEMA_VERSION {
+    if root.u64_of("schema")? != CACHE_SCHEMA_VERSION {
         return None;
     }
     if root.str_of("key")? != expected_key {

@@ -9,13 +9,19 @@
 //! warm in-memory cache) and adding or losing a worker only remaps the
 //! keys that worker owned.
 //!
-//! | route               | coordinator behaviour                           |
-//! |---------------------|-------------------------------------------------|
-//! | `POST /v1/run`      | forward to the key's worker, failover on death  |
-//! | `POST /v1/suite`    | shard the grid across workers, steal stragglers |
-//! | `GET /v1/health`    | coordinator + per-worker liveness               |
-//! | `GET /v1/metrics`   | routing counters (per-worker routed, failovers) |
-//! | `POST /v1/shutdown` | begin graceful drain                            |
+//! | route                  | coordinator behaviour                           |
+//! |------------------------|-------------------------------------------------|
+//! | `POST /v1/run`         | forward to the key's worker, failover on death  |
+//! | `POST /v1/suite`       | shard the grid across workers, steal stragglers |
+//! | `POST /v1/plan`        | forward to the plan hash's worker (cached shapes) |
+//! | `GET /v1/health`       | coordinator + per-worker liveness               |
+//! | `GET /v1/metrics`      | routing counters (per-worker routed, failovers) |
+//! | `GET /v1/capabilities` | the shared route table + schema version         |
+//! | `POST /v1/shutdown`    | begin graceful drain                            |
+//!
+//! Which class a route falls into (local / forward / fan-out) comes
+//! from the shared registry ([`api::ENDPOINTS`]), the same table the
+//! single daemon dispatches through.
 //!
 //! Fault handling:
 //!
@@ -52,10 +58,13 @@ use std::time::{Duration, Instant};
 
 use spechpc_kernels::registry::all_benchmarks;
 
-use crate::api::{resolve_cluster, ApiError, RunRequest, SuiteRequest};
+use crate::api::{
+    self, resolve_cluster, ApiError, EndpointId, FleetClass, RunRequest, SuiteRequest,
+};
 use crate::cache::{self, RunKey};
 use crate::exec::PeerFetch;
 use crate::json::{parse_json, quote, Json};
+use crate::plan::PlanRequest;
 use crate::serve::{encode_response, error_body};
 
 /// FNV-1a 64-bit — the same hash the run cache addresses entries with,
@@ -473,7 +482,13 @@ impl WorkerRegistry {
     /// forwarded request closes it — a daemon can answer `/v1/health`
     /// while still failing real work behind a degraded fabric.
     pub fn probe(&self, w: usize, timeout: Duration) -> bool {
-        let live = match one_shot(&self.addrs[w], "GET", "/v1/health", "", timeout) {
+        let live = match one_shot(
+            &self.addrs[w],
+            "GET",
+            EndpointId::Health.path(),
+            "",
+            timeout,
+        ) {
             Ok(resp) => resp.status == 200 && !resp.body.contains("\"draining\": true"),
             Err(_) => false,
         };
@@ -814,30 +829,53 @@ fn parse_buffered(buf: &[u8]) -> Option<(String, String, String, bool, usize)> {
     Some((method, path, body, keep_alive, total))
 }
 
-/// Coordinator routing: `(status, body, relayed Retry-After)`.
+/// Coordinator routing: `(status, body, relayed Retry-After)`. The
+/// shared route table ([`api::ENDPOINTS`]) decides whether a request is
+/// answered locally, forwarded to one worker, or fanned out — the same
+/// table `serve` dispatches through.
 fn route(ctx: &Arc<FleetCtx>, method: &str, path: &str, body: &str) -> (u16, String, Option<u32>) {
     ctx.requests.fetch_add(1, Ordering::Relaxed);
     let refused = |e: ApiError| {
         let retry = matches!(e.status, 429 | 503).then_some(1);
         (e.status, error_body(&e), retry)
     };
-    match (method, path) {
-        ("GET", "/v1/health") => (200, fleet_health_json(ctx), None),
-        ("GET", "/v1/metrics") => (200, fleet_metrics_json(ctx), None),
-        ("POST", "/v1/shutdown") => {
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            (200, "{\"status\":\"draining\"}\n".to_string(), None)
+    let ep = api::endpoint_for(method, path);
+    // Coordinator-local endpoints answer even while draining, so
+    // operators can watch the drain complete.
+    if let Some(ep) = ep {
+        if ep.fleet == FleetClass::Local {
+            return match ep.id {
+                EndpointId::Health => (200, fleet_health_json(ctx), None),
+                EndpointId::Metrics => (200, fleet_metrics_json(ctx), None),
+                EndpointId::Capabilities => (200, api::capabilities_json(), None),
+                EndpointId::Shutdown => {
+                    ctx.shutdown.store(true, Ordering::SeqCst);
+                    (200, "{\"status\":\"draining\"}\n".to_string(), None)
+                }
+                _ => refused(api::no_route(method, path)),
+            };
         }
-        _ if ctx.draining() => refused(ApiError::shutting_down()),
-        ("POST", "/v1/run") => match forward_run(ctx, body) {
-            Ok(resp) => (resp.status, resp.body, resp.retry_after),
-            Err(e) => refused(e),
-        },
-        ("POST", "/v1/suite") => match fan_out_suite(ctx, body) {
+    }
+    if ctx.draining() {
+        return refused(ApiError::shutting_down());
+    }
+    match ep.map(|e| (e.fleet, e.id)) {
+        Some((FleetClass::Forward, id)) => {
+            let out = match id {
+                EndpointId::Run => forward_run(ctx, body),
+                EndpointId::Plan => forward_plan(ctx, body),
+                _ => Err(api::no_route(method, path)),
+            };
+            match out {
+                Ok(resp) => (resp.status, resp.body, resp.retry_after),
+                Err(e) => refused(e),
+            }
+        }
+        Some((FleetClass::FanOut, _)) => match fan_out_suite(ctx, body) {
             Ok((status, body)) => (status, body, None),
             Err(e) => refused(e),
         },
-        _ => refused(ApiError::not_found(format!("no route for {method} {path}"))),
+        _ => refused(api::no_route(method, path)),
     }
 }
 
@@ -941,7 +979,19 @@ fn forward_run(ctx: &Arc<FleetCtx>, body: &str) -> Result<WireResponse, ApiError
     if let Some(resp) = hedged_forward(ctx, hash, body) {
         return Ok(resp);
     }
-    forward_with_failover(ctx, hash, "POST", "/v1/run", body)
+    forward_with_failover(ctx, hash, "POST", EndpointId::Run.path(), body)
+}
+
+/// Forward one `POST /v1/plan` body to the worker owning its canonical
+/// request hash. Planner replies are pure functions of the request, so
+/// hash routing lands a replay on the worker whose run cache already
+/// holds the plan's job shapes — the second identical POST is
+/// engine-free and byte-identical. Parsing here also rejects malformed
+/// plans at the coordinator without spending a forward.
+fn forward_plan(ctx: &Arc<FleetCtx>, body: &str) -> Result<WireResponse, ApiError> {
+    let req = PlanRequest::from_json(body)?;
+    let hash = fnv64(&req.to_json());
+    forward_with_failover(ctx, hash, "POST", EndpointId::Plan.path(), body)
 }
 
 /// What one worker exchange produced, with breaker bookkeeping done.
@@ -1003,7 +1053,7 @@ fn vet_response(path: &str, resp: &WireResponse) -> Result<(), String> {
             resp.body.len()
         ));
     }
-    if path == "/v1/run" && resp.status == 200 {
+    if path == EndpointId::Run.path() && resp.status == 200 {
         let enveloped = resp
             .body
             .strip_prefix("{\n  \"result\": ")
@@ -1042,7 +1092,7 @@ fn hedged_forward(ctx: &Arc<FleetCtx>, key_hash: u64, body: &str) -> Option<Wire
         let ctx = Arc::clone(ctx);
         let body = body.to_string();
         std::thread::spawn(move || {
-            let out = attempt(&ctx, w, "POST", "/v1/run", &body);
+            let out = attempt(&ctx, w, "POST", EndpointId::Run.path(), &body);
             let _ = tx.send((is_hedge, out));
         });
     };
@@ -1274,22 +1324,27 @@ fn fan_out_suite(ctx: &Arc<FleetCtx>, body: &str) -> Result<(u16, String), ApiEr
                 };
                 let Some(i) = claimed else { break };
                 let p = &points[i];
-                let outcome =
-                    match forward_with_failover(ctx, p.key_hash, "POST", "/v1/run", &p.body) {
-                        Ok(resp) if resp.status == 200 => Ok(resp.body),
-                        Ok(resp) => Err(ApiError::from_json(&resp.body)
-                            .map(|e| (e.code, e.message))
-                            .unwrap_or_else(|| {
-                                (
-                                    "bad_upstream".to_string(),
-                                    format!(
-                                        "worker sent {} with an undecodable error body",
-                                        resp.status
-                                    ),
-                                )
-                            })),
-                        Err(e) => Err((e.code, e.message)),
-                    };
+                let outcome = match forward_with_failover(
+                    ctx,
+                    p.key_hash,
+                    "POST",
+                    EndpointId::Run.path(),
+                    &p.body,
+                ) {
+                    Ok(resp) if resp.status == 200 => Ok(resp.body),
+                    Ok(resp) => Err(ApiError::from_json(&resp.body)
+                        .map(|e| (e.code, e.message))
+                        .unwrap_or_else(|| {
+                            (
+                                "bad_upstream".to_string(),
+                                format!(
+                                    "worker sent {} with an undecodable error body",
+                                    resp.status
+                                ),
+                            )
+                        })),
+                    Err(e) => Err((e.code, e.message)),
+                };
                 *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
             });
         }
@@ -1384,7 +1439,7 @@ const PEER_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
 /// peers are skipped silently — a miss just means simulating locally.
 pub fn peer_fetcher(peers: Vec<String>) -> PeerFetch {
     Arc::new(move |key: &RunKey| {
-        let path = format!("/v1/cache/{}", key.hash_hex());
+        let path = format!("{}{}", EndpointId::CacheEntry.path(), key.hash_hex());
         let canonical = key.canonical();
         for addr in &peers {
             if let Ok(resp) = one_shot(addr, "GET", &path, "", PEER_FETCH_TIMEOUT) {

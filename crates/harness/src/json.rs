@@ -81,6 +81,25 @@ impl Json {
         self.get(key)?.num()
     }
 
+    /// `self[key]` as an exact non-negative integer: the field must be
+    /// present, finite, fraction-free and inside the exactly-
+    /// representable `f64` integer range (< 2⁵³). Fractional,
+    /// negative or out-of-range values are *rejected* (`None`), never
+    /// truncated — the strict accessor wire-protocol integer fields
+    /// decode through.
+    pub fn u64_of(&self, key: &str) -> Option<u64> {
+        let x = self.get(key)?.num()?;
+        (x.is_finite() && x.fract() == 0.0 && (0.0..9.007_199_254_740_992e15).contains(&x))
+            .then_some(x as u64)
+    }
+
+    /// `self[key]` as an exact `u16` (see [`Json::u64_of`]) — small
+    /// integer wire fields like HTTP status codes. Out-of-range values
+    /// (`70000`, `-1`, `404.5`) are rejected, not wrapped.
+    pub fn u16_of(&self, key: &str) -> Option<u16> {
+        u16::try_from(self.u64_of(key)?).ok()
+    }
+
     /// `self[key]` as an owned string.
     pub fn str_of(&self, key: &str) -> Option<String> {
         Some(self.get(key)?.str()?.to_string())
@@ -408,6 +427,25 @@ mod tests {
         assert!(j.f64_of("n").unwrap().is_nan());
         assert_eq!(j.f64_of("missing"), None);
         assert_eq!(j.get("s").unwrap().bool(), None);
+    }
+
+    #[test]
+    fn strict_integer_accessors_reject_instead_of_truncating() {
+        let j = parse_json(
+            r#"{"ok": 422, "big": 70000, "frac": 404.5, "neg": -1,
+                "huge": 1e300, "zero": 0, "str": "5"}"#,
+        )
+        .unwrap();
+        assert_eq!(j.u16_of("ok"), Some(422));
+        assert_eq!(j.u64_of("big"), Some(70000));
+        assert_eq!(j.u16_of("big"), None); // in u64 range, not u16
+        assert_eq!(j.u64_of("frac"), None); // fractional: reject
+        assert_eq!(j.u16_of("frac"), None);
+        assert_eq!(j.u64_of("neg"), None); // negative: reject
+        assert_eq!(j.u64_of("huge"), None); // beyond exact-f64 integers
+        assert_eq!(j.u64_of("zero"), Some(0));
+        assert_eq!(j.u64_of("str"), None); // wrong type
+        assert_eq!(j.u64_of("missing"), None);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod faultcfg;
 pub mod fleet;
 pub mod json;
 pub mod obs;
+pub mod plan;
 pub mod report;
 pub mod runner;
 pub mod serve;
@@ -43,6 +44,7 @@ pub use fleet::{
     peer_fetcher, run_loadgen, Coordinator, FleetConfig, FleetShutdownHandle, HashRing,
     LoadgenConfig, LoadgenReport, WorkerRegistry,
 };
+pub use plan::{dispatch_plan, PlanJob, PlanRequest, PlanResponse, PlanVariant};
 pub use runner::{RunConfig, RunResult, SimRunner};
 pub use serve::{install_signal_handlers, ServeConfig, Server, ShutdownHandle};
 pub use suite::{Suite, SuiteReport};

@@ -16,17 +16,21 @@
 //! supported, so thousands of idle clients cost a slab slot each rather
 //! than a thread each.
 //!
-//! Routes (all bodies JSON):
+//! Routes (all bodies JSON; the authoritative table is
+//! [`api::ENDPOINTS`], which this module dispatches through —
+//! `GET /v1/capabilities` serves it on the wire):
 //!
-//! | route                  | meaning                                     |
-//! |------------------------|---------------------------------------------|
-//! | `POST /v1/run`         | one [`RunRequest`] → [`RunResponse`](crate::api::RunResponse) |
-//! | `POST /v1/suite`       | one [`SuiteRequest`] → suite report         |
-//! | `GET /v1/profile/{b}`  | MPI profile tables for one cached run       |
-//! | `GET /v1/cache/{hash}` | raw cache entry by [`RunKey`](crate::cache::RunKey) hash (fleet peer fetch) |
-//! | `GET /v1/metrics`      | resident executor/cache counters            |
-//! | `GET /v1/health`       | liveness, in-flight + open-connection gauges |
-//! | `POST /v1/shutdown`    | begin graceful drain                        |
+//! | route                   | meaning                                     |
+//! |-------------------------|---------------------------------------------|
+//! | `POST /v1/run`          | one [`RunRequest`] → [`RunResponse`](crate::api::RunResponse) |
+//! | `POST /v1/suite`        | one [`SuiteRequest`] → suite report         |
+//! | `POST /v1/plan`         | one [`PlanRequest`] → capacity-planner verdict |
+//! | `GET /v1/profile/{b}`   | MPI profile tables for one cached run       |
+//! | `GET /v1/cache/{hash}`  | raw cache entry by [`RunKey`](crate::cache::RunKey) hash (fleet peer fetch) |
+//! | `GET /v1/metrics`       | resident executor/cache counters            |
+//! | `GET /v1/health`        | liveness, in-flight + open-connection gauges |
+//! | `GET /v1/capabilities`  | route table + schema version                |
+//! | `POST /v1/shutdown`     | begin graceful drain                        |
 //!
 //! Production shape:
 //!
@@ -58,10 +62,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::api::{dispatch_run, dispatch_suite, parse_class, ApiError, RunRequest, SuiteRequest};
+use crate::api::{
+    self, dispatch_run, dispatch_suite, parse_class, ApiError, EndpointId, RunRequest, SuiteRequest,
+};
 use crate::exec::Executor;
 use crate::json::Json;
 use crate::obs;
+use crate::plan::{dispatch_plan, PlanRequest};
 use crate::report::Table;
 
 /// How the daemon listens, schedules and drains.
@@ -562,32 +569,29 @@ fn panic_to_error(p: Box<dyn std::any::Any + Send>) -> ApiError {
 // ---------------------------------------------------------------------------
 
 /// Does this request go to the worker pool (simulating routes) rather
-/// than being answered inline on the loop thread?
+/// than being answered inline on the loop thread? Decided by the shared
+/// route table ([`api::ENDPOINTS`]), not local string matching.
 fn is_sim_route(req: &HttpRequest) -> bool {
-    matches!(
-        (req.method.as_str(), req.path.as_str()),
-        ("POST", "/v1/run") | ("POST", "/v1/suite")
-    ) || (req.method == "GET" && req.path.starts_with("/v1/profile/"))
+    api::endpoint_for(&req.method, &req.path).is_some_and(|e| e.serve == api::ServeClass::Sim)
 }
 
 /// Fast routes, answered inline on the loop thread: cheap, allocation-
 /// light, and exempt from admission control so clients can watch the
 /// backlog even under saturation. Unknown routes land here too (404).
 fn route_fast(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/v1/metrics") => Ok((200, metrics_json(ctx))),
-        ("GET", "/v1/health") => Ok((200, health_json(ctx))),
-        ("GET", path) if path.starts_with("/v1/cache/") => {
-            cache_entry(ctx, &path["/v1/cache/".len()..])
-        }
-        ("POST", "/v1/shutdown") => {
+    let ep = api::endpoint_for(&req.method, &req.path)
+        .filter(|e| e.serve == api::ServeClass::Fast)
+        .ok_or_else(|| api::no_route(&req.method, &req.path))?;
+    match ep.id {
+        EndpointId::Metrics => Ok((200, metrics_json(ctx))),
+        EndpointId::Health => Ok((200, health_json(ctx))),
+        EndpointId::Capabilities => Ok((200, api::capabilities_json())),
+        EndpointId::CacheEntry => cache_entry(ctx, ep.pattern.trailing(&req.path)),
+        EndpointId::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Ok((200, "{\"status\":\"draining\"}\n".to_string()))
         }
-        (_, path) => Err(ApiError::not_found(format!(
-            "no route for {} {path}",
-            req.method
-        ))),
+        _ => Err(api::no_route(&req.method, &req.path)),
     }
 }
 
@@ -618,25 +622,28 @@ fn cache_entry(ctx: &Ctx, hash: &str) -> Result<(u16, String), ApiError> {
 
 /// Simulating routes, executed on a worker thread under a [`SimSlot`].
 fn route_sim(ctx: &Ctx, req: &HttpRequest) -> Result<(u16, String), ApiError> {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/run") => {
+    let ep = api::endpoint_for(&req.method, &req.path)
+        .filter(|e| e.serve == api::ServeClass::Sim)
+        .ok_or_else(|| api::no_route(&req.method, &req.path))?;
+    match ep.id {
+        EndpointId::Run => {
             let run = RunRequest::from_json(&req.body)?;
             let resp = dispatch_run(&ctx.exec, &run)?;
             Ok((200, resp.to_json()))
         }
-        ("POST", "/v1/suite") => {
+        EndpointId::Suite => {
             let suite = SuiteRequest::from_json(&req.body)?;
             let resp = dispatch_suite(&ctx.exec, &suite)?;
             let status = if resp.report.is_complete() { 200 } else { 207 };
             Ok((status, resp.to_json()))
         }
-        ("GET", path) if path.starts_with("/v1/profile/") => {
-            profile(ctx, &path["/v1/profile/".len()..], &req.query)
+        EndpointId::Plan => {
+            let plan = PlanRequest::from_json(&req.body)?;
+            let resp = dispatch_plan(&ctx.exec, &plan)?;
+            Ok((200, resp.to_json()))
         }
-        (_, path) => Err(ApiError::not_found(format!(
-            "no route for {} {path}",
-            req.method
-        ))),
+        EndpointId::Profile => profile(ctx, ep.pattern.trailing(&req.path), &req.query),
+        _ => Err(api::no_route(&req.method, &req.path)),
     }
 }
 

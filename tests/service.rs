@@ -240,6 +240,58 @@ fn run_suite_profile_metrics_and_health_roundtrip() {
 }
 
 #[test]
+fn plan_and_capabilities_roundtrip_over_the_wire() {
+    use spechpc::harness::plan::{PlanJob, PlanRequest, PlanVariant};
+    let (addr, _, join) = spawn_server(executor(), serve_config());
+
+    // GET /v1/capabilities: the whole route table, straight from the
+    // registry both dispatchers consume.
+    let (status, first_caps, caps) = http(addr, "GET", "/v1/capabilities", "");
+    assert_eq!(status, 200, "{caps}");
+    for ep in api::ENDPOINTS {
+        assert!(
+            caps.contains(&format!("\"path\":\"{}\"", ep.display_path)),
+            "capabilities must list {}: {caps}",
+            ep.display_path
+        );
+    }
+    let (_, second_caps, _) = http(addr, "GET", "/v1/capabilities", "");
+    assert_eq!(first_caps, second_caps, "capabilities must be stable");
+
+    // POST /v1/plan: a small queue with a capped variant. The identical
+    // request again must replay byte-identically down to the framing —
+    // every job shape comes out of the run cache.
+    let body = PlanRequest::new()
+        .with_cluster("a")
+        .with_nodes(4)
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false))
+        .with_job(PlanJob::new("lbm", WorkloadClass::Tiny, 72).with_count(6, 10.0))
+        .with_job(PlanJob::new("tealeaf", WorkloadClass::Tiny, 144).with_arrival(5.0))
+        .with_variant(PlanVariant::new("capped").with_power_cap_w(1300.0))
+        .to_json();
+    let (status, first, plan) = http(addr, "POST", "/v1/plan", &body);
+    assert_eq!(status, 200, "{plan}");
+    assert!(plan.contains("\"jobs\":7"), "{plan}");
+    assert!(plan.contains("\"name\":\"capped\""), "{plan}");
+    assert!(plan.contains("\"comparison\""), "{plan}");
+    let (status, second, _) = http(addr, "POST", "/v1/plan", &body);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "plan replay must be byte-identical");
+
+    // Semantic impossibility → typed 422, and the daemon keeps serving.
+    let wide = PlanRequest::new()
+        .with_job(PlanJob::new("lbm", WorkloadClass::Tiny, 1_000_000))
+        .to_json();
+    let (status, _, body) = http(addr, "POST", "/v1/plan", &wide);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("invalid_plan"), "{body}");
+
+    let (status, _, _) = http(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap().unwrap();
+}
+
+#[test]
 fn a_failing_run_is_a_typed_422_not_a_crash() {
     let (addr, handle, join) = spawn_server(executor(), serve_config());
     let req = RunRequest::new("tealeaf", WorkloadClass::Tiny, 8)

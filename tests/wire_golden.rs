@@ -1,0 +1,164 @@
+//! Golden wire-format fixtures: the exact bytes of every request and
+//! response type, committed under `tests/golden/`. A failing test here
+//! means the wire format changed — that is an API break, not a test to
+//! update casually. When the change is intentional, regenerate with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test wire_golden
+//! ```
+//!
+//! and review the fixture diff like any other interface change.
+
+use spechpc::harness::api::{self, ApiError, RunRequest, SuiteRequest};
+use spechpc::harness::plan::{evaluate_plan, JobShape, PlanJob, PlanRequest, PlanVariant};
+use spechpc::prelude::*;
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, current: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, current).expect("write fixture");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}) — run UPDATE_GOLDEN=1 cargo test --test wire_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        current, committed,
+        "{name}: wire bytes drifted from the committed fixture — an API \
+         break; regenerate with UPDATE_GOLDEN=1 only if intentional"
+    );
+}
+
+fn fixture_run_request() -> RunRequest {
+    RunRequest::new("tealeaf", WorkloadClass::Small, 144)
+        .with_cluster("b")
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false))
+}
+
+fn fixture_plan_request() -> PlanRequest {
+    PlanRequest::new()
+        .with_cluster("a")
+        .with_nodes(4)
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false))
+        .with_job(PlanJob::new("lbm", WorkloadClass::Tiny, 72).with_count(3, 60.0))
+        .with_job(PlanJob::new("pot3d", WorkloadClass::Tiny, 144).with_arrival(30.0))
+        .with_variant(PlanVariant::new("capped").with_power_cap_w(1300.0))
+        .with_variant(PlanVariant::new("spr").with_cluster("b"))
+}
+
+/// Engine-free shape oracle: nodes from rank packing, flat synthetic
+/// power, a benchmark-keyed roofline split. Keeps the response fixture
+/// independent of the performance model while still exercising every
+/// field of the wire format.
+fn synthetic_shape(
+    cl: &ClusterSpec,
+    benchmark: &str,
+    _class: WorkloadClass,
+    nranks: usize,
+    _faults: &FaultPlan,
+) -> Result<JobShape, ApiError> {
+    let nodes = nranks.div_ceil(cl.node.cores()).max(1);
+    Ok(JobShape {
+        runtime_s: 100.0 + nranks as f64,
+        nodes,
+        package_w: 200.0 * nodes as f64,
+        dram_w: 40.0 * nodes as f64,
+        flops_fraction: match benchmark {
+            "sph-exa" => 0.9,
+            "lbm" => 0.2,
+            _ => 0.5,
+        },
+    })
+}
+
+#[test]
+fn request_fixtures_are_stable_and_round_trip() {
+    let run = fixture_run_request();
+    check("run_request.json", &run.to_json());
+    assert_eq!(
+        RunRequest::from_json(&run.to_json()).unwrap().to_json(),
+        run.to_json()
+    );
+
+    let suite = SuiteRequest::new(WorkloadClass::Tiny)
+        .with_cluster("a")
+        .with_nranks(8)
+        .with_config(RunConfig::default().with_repetitions(1).with_trace(false));
+    check("suite_request.json", &suite.to_json());
+    assert_eq!(
+        SuiteRequest::from_json(&suite.to_json()).unwrap().to_json(),
+        suite.to_json()
+    );
+
+    let plan = fixture_plan_request();
+    check("plan_request.json", &plan.to_json());
+    assert_eq!(
+        PlanRequest::from_json(&plan.to_json()).unwrap().to_json(),
+        plan.to_json()
+    );
+}
+
+#[test]
+fn error_and_capabilities_fixtures_are_stable() {
+    let err = ApiError::new(422, "invalid_plan", "plan has no jobs");
+    check("api_error.json", &err.to_json());
+    let back = ApiError::from_json(&err.to_json()).expect("round trip");
+    assert_eq!(back.status, 422);
+    assert_eq!(back.code, "invalid_plan");
+
+    check("capabilities.json", &api::capabilities_json());
+}
+
+#[test]
+fn engine_response_fixtures_are_stable() {
+    let exec = Executor::new(
+        RunConfig::default().with_repetitions(1).with_trace(false),
+        ExecConfig::default().with_jobs(2),
+    );
+    let run = api::dispatch_run(&exec, &fixture_run_request()).expect("run dispatch");
+    check("run_response.json", &run.to_json());
+
+    let suite = api::dispatch_suite(
+        &exec,
+        &SuiteRequest::new(WorkloadClass::Tiny)
+            .with_cluster("a")
+            .with_nranks(8)
+            .with_config(RunConfig::default().with_repetitions(1).with_trace(false)),
+    )
+    .expect("suite dispatch");
+    check("suite_response.json", &suite.to_json());
+}
+
+#[test]
+fn plan_response_fixture_is_stable() {
+    let resp = evaluate_plan(&fixture_plan_request(), &mut |cl, b, c, n, f| {
+        synthetic_shape(cl, b, c, n, f)
+    })
+    .expect("synthetic plan evaluates");
+    check("plan_response.json", &resp.to_json());
+}
+
+#[test]
+fn service_reference_in_docs_matches_the_route_table() {
+    // `docs/SERVICE.md` embeds the generated endpoint table verbatim;
+    // regenerating it is part of changing the registry (see the marker
+    // comment in the document).
+    let doc = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/SERVICE.md"),
+    )
+    .expect("docs/SERVICE.md");
+    let generated = api::reference_markdown();
+    assert!(
+        doc.contains(&generated),
+        "docs/SERVICE.md is out of sync with harness::api::ENDPOINTS — \
+         paste the output of api::reference_markdown() over the generated block"
+    );
+}
